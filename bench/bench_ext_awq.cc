@@ -1,0 +1,56 @@
+// Extension bench: activation-aware weight scaling (the algorithm behind Table 1's
+// "AutoAWQ" column) on top of the group quantizer. AWQ minimizes the layer OUTPUT error, so
+// the sweep reports both the weight reconstruction error (which can get *worse*) and the
+// output MSE over calibration activations (which is what matters and improves).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/base/rng.h"
+#include "src/quant/awq.h"
+#include "src/quant/error_stats.h"
+#include "src/quant/synthetic_weights.h"
+
+int main() {
+  bench::Title("Activation-aware scaling (AWQ-style) on the group quantizer",
+               "Table 1 baseline internals");
+
+  hexllm::Rng rng(2049);
+  const int64_t k = 1024, n = 256, samples = 32;
+  const auto w = hquant::GenerateGaussianMatrix(k, n, rng, 0.05);
+
+  // Calibration activations with systematic outlier dims (the documented transformer
+  // activation structure AWQ exploits).
+  std::vector<double> dim_scale(static_cast<size_t>(k), 1.0);
+  for (auto& v : dim_scale) {
+    if (rng.NextBool(0.02)) {
+      v = 15.0;
+    }
+  }
+  std::vector<float> acts(static_cast<size_t>(samples * k));
+  for (int64_t s = 0; s < samples; ++s) {
+    for (int64_t i = 0; i < k; ++i) {
+      acts[static_cast<size_t>(s * k + i)] =
+          static_cast<float>(rng.NextGaussian() * dim_scale[static_cast<size_t>(i)]);
+    }
+  }
+  const auto act_scale = hquant::CalibrationActScales(acts, samples, k);
+
+  std::printf("%-8s %22s %22s\n", "alpha", "weight rel-RMS error", "output MSE (vs alpha=0)");
+  double mse0 = 0.0;
+  for (const double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const auto q = hquant::AwqQuantize(w, k, n, act_scale, alpha);
+    const auto rec = hquant::AwqDequantize(q);
+    const auto werr = hquant::ComputeErrorStats(w, rec);
+    const double mse = hquant::OutputMse(w, rec, k, n, acts, samples);
+    if (alpha == 0.0) {
+      mse0 = mse;
+    }
+    std::printf("%-8.2f %22.4f %19.3fx\n", alpha, werr.rel_rms, mse / mse0);
+  }
+  bench::Note("moderate alpha cuts the output error by protecting the weights that multiply "
+              "outlier activations, at a small weight-error cost — why the AutoAWQ baseline "
+              "keeps reasoning usable in Table 1 while plain coarse quantization destroys "
+              "it. The transform is offline-only and composes with the tile layout.");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Extension bench: static vs continuous batching for Best-of-N workloads. Samples finish at
+// different lengths; reclaiming finished slots immediately trims the batch-dependent costs
+// (CPU lm_head, attention) and removes padding decode — the scheduler a production TTS
+// runtime wants on top of the paper's kernels.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/rng.h"
+#include "src/runtime/scheduler.h"
+
+int main() {
+  bench::Title("Static vs continuous batching for Best-of-N decoding (Qwen2.5-1.5B, "
+               "OnePlus 12)", "runtime scheduling extension");
+
+  hrt::EngineOptions o;
+  o.model = &hllm::Qwen25_1_5B();
+  o.device = &hexsim::OnePlus12();
+  const hrt::Engine engine(o);
+  hexllm::Rng rng(404);
+
+  // 12 tasks x Best-of-8 samples, ~384-token solutions with realistic length spread.
+  const auto jobs = hrt::MakeSampleJobs(/*tasks=*/12, /*samples_per_task=*/8,
+                                        /*mean_tokens=*/384, rng);
+
+  std::printf("%-10s %14s %14s %14s %14s %12s\n", "max_batch", "static t/s", "contin. t/s",
+              "speedup", "static util", "avg active");
+  for (int max_batch : {4, 8, 16}) {
+    const auto st = hrt::RunStaticBatching(jobs, max_batch, engine, 768);
+    const auto ct = hrt::RunContinuousBatching(jobs, max_batch, engine, 768);
+    std::printf("%-10d %14.1f %14.1f %13.2fx %13.1f%% %12.1f\n", max_batch,
+                st.tokens_per_second, ct.tokens_per_second,
+                ct.tokens_per_second / st.tokens_per_second, 100.0 * st.slot_utilization,
+                ct.avg_active_batch);
+  }
+  bench::Note("the gap is the padding the static scheduler decodes while waiting for each "
+              "wave's longest sample; continuous batching keeps every decoded row useful. "
+              "The NPU kernels are unchanged — this is purely runtime policy.");
+  return 0;
+}

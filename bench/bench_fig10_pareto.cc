@@ -1,0 +1,92 @@
+// Figure 10: accuracy-latency trade-off of Best-of-N and Beam Search across models,
+// datasets, and SoCs. "QN"/"LN" = Qwen2.5 / Llama3.2 with N billion parameters; "base" =
+// conventional sampling. The 8 Gen 2 SoC is excluded for >=3B models (NPU address space,
+// §7.2.1); here we sweep the 8 Gen 3 and 8 Elite like the paper's SoC rows.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/tts/capability_model.h"
+#include "src/tts/pareto.h"
+
+namespace {
+
+std::string ShortName(const std::string& model) {
+  static const std::map<std::string, std::string> names = {
+      {"Qwen2.5-1.5B-Instruct", "Q1.5"}, {"Qwen2.5-3B-Instruct", "Q3"},
+      {"Qwen2.5-7B-Instruct", "Q7"},     {"Llama3.2-1B-Instruct", "L1"},
+      {"Llama3.2-3B-Instruct", "L3"},
+  };
+  auto it = names.find(model);
+  return it == names.end() ? model : it->second;
+}
+
+}  // namespace
+
+int main() {
+  using namespace htts;
+  bench::Title("Accuracy-latency trade-off of test-time scaling", "Figure 10");
+
+  const CapabilityModel cap;
+  for (const auto* device : {&hexsim::OnePlus12(), &hexsim::OnePlusAce5Pro()}) {
+    for (const Dataset dataset : {Dataset::kMath500, Dataset::kGsm8k}) {
+      bench::Section(device->soc_name + " / " + DatasetName(dataset));
+      ParetoSweepOptions opts;
+      opts.dataset = dataset;
+      opts.device = device;
+      opts.models = {&hllm::Qwen25_1_5B(), &hllm::Qwen25_3B(), &hllm::Qwen25_7B(),
+                     &hllm::Llama32_1B(), &hllm::Llama32_3B()};
+      opts.budgets = {2, 4, 8, 16};
+      opts.tasks = 400;
+      opts.trials = 5;
+      opts.seed = 10 + static_cast<uint64_t>(dataset);
+      const auto points = SweepPareto(cap, opts);
+
+      std::printf("%-6s %-12s %7s %10s %13s %9s %8s\n", "model", "method", "budget",
+                  "accuracy", "ms/token", "mJ/token", "pareto");
+      for (const auto& p : points) {
+        if (!p.runnable) {
+          std::printf("%-6s %-12s %7d   (exceeds NPU address space)\n",
+                      ShortName(p.model).c_str(), TtsMethodName(p.method), p.budget);
+          continue;
+        }
+        std::printf("%-6s %-12s %7d %9.1f%% %13.1f %9.1f %8s\n", ShortName(p.model).c_str(),
+                    TtsMethodName(p.method), p.budget, 100.0 * p.accuracy,
+                    p.latency_per_token_s * 1e3, p.energy_per_token_j * 1e3,
+                    OnParetoFrontier(p, points) ? "*" : "");
+      }
+
+      // The paper's headline comparisons for this panel.
+      const auto find = [&](const std::string& model, TtsMethod method,
+                            int budget) -> const ParetoPoint* {
+        for (const auto& p : points) {
+          if (p.model == model && p.method == method && (method == TtsMethod::kBase ||
+                                                         p.budget == budget)) {
+            return &p;
+          }
+        }
+        return nullptr;
+      };
+      const auto* q15_bon = find(hllm::Qwen25_1_5B().name, TtsMethod::kBestOfN, 16);
+      const auto* q3_base = find(hllm::Qwen25_3B().name, TtsMethod::kBase, 1);
+      const auto* q3_bon = find(hllm::Qwen25_3B().name, TtsMethod::kBestOfN, 16);
+      const auto* q7_base = find(hllm::Qwen25_7B().name, TtsMethod::kBase, 1);
+      if (q15_bon != nullptr && q3_base != nullptr && q3_base->runnable) {
+        std::printf("check: Q1.5 Best-of-16 %.1f%% vs Q3 base %.1f%%  -> %s\n",
+                    100 * q15_bon->accuracy, 100 * q3_base->accuracy,
+                    q15_bon->accuracy > q3_base->accuracy ? "scaling wins (paper: yes)"
+                                                          : "scaling loses");
+      }
+      if (q3_bon != nullptr && q7_base != nullptr && q7_base->runnable && q3_bon->runnable) {
+        std::printf("check: Q3 Best-of-16 %.1f%% vs Q7 base %.1f%%  -> %s\n",
+                    100 * q3_bon->accuracy, 100 * q7_base->accuracy,
+                    q3_bon->accuracy > q7_base->accuracy ? "scaling wins (paper: yes)"
+                                                         : "scaling loses");
+      }
+    }
+  }
+  bench::Note("* marks the accuracy-latency Pareto frontier; scaled small models dominate "
+              "conventionally-decoded larger models on it.");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 13: inference throughput comparison — ours (NPU) vs the llama.cpp OpenCL GPU
+// backend, with QNN FP16 as a reference. Decode across batch sizes plus prefill throughput.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/runtime/engine.h"
+
+int main() {
+  bench::Title("Inference throughput: ours (NPU) vs GPU (OpenCL) vs QNN FP16 (OnePlus 12)",
+               "Figure 13");
+
+  const auto& device = hexsim::OnePlus12();
+  const hrt::Backend backends[] = {hrt::Backend::kNpuOurs, hrt::Backend::kGpuOpenCl,
+                                   hrt::Backend::kQnnF16};
+
+  for (const auto* model : {&hllm::Qwen25_1_5B(), &hllm::Llama32_1B()}) {
+    bench::Section(model->name);
+    std::printf("%-18s", "decode batch:");
+    for (int b : {1, 2, 4, 8, 16}) {
+      std::printf("%9d", b);
+    }
+    std::printf("%14s\n", "prefill@1024");
+    for (const auto backend : backends) {
+      hrt::EngineOptions o;
+      o.model = model;
+      o.device = &device;
+      o.backend = backend;
+      const hrt::Engine engine(o);
+      std::printf("%-18s", hrt::BackendName(backend));
+      for (int b : {1, 2, 4, 8, 16}) {
+        std::printf("%9.1f", engine.DecodeThroughput(b, 1024));
+      }
+      std::printf("%14.1f\n", engine.PrefillThroughput(1024));
+    }
+  }
+  bench::Note("the GPU decodes faster at batch 1, but the NPU system scales with batch "
+              "(test-time-scaling workloads) and consistently wins prefill; QNN's static "
+              "graphs get no batching benefit. Matches §7.2.4.");
+  return 0;
+}

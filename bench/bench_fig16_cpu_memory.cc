@@ -1,0 +1,35 @@
+// Figure 16: CPU utilization and memory consumption during decoding (OnePlus 12): resident
+// CPU memory, dmabuf (NPU-mapped) size, and busy big-cores vs batch size.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/runtime/engine.h"
+
+int main() {
+  bench::Title("CPU and memory usage during the decoding stage (OnePlus 12)", "Figure 16");
+
+  for (const auto* model : {&hllm::Qwen25_1_5B(), &hllm::Qwen25_3B()}) {
+    hrt::EngineOptions o;
+    o.model = model;
+    o.device = &hexsim::OnePlus12();
+    const hrt::Engine engine(o);
+    bench::Section(model->name);
+    const auto mem = engine.Memory(1);
+    std::printf("dmabuf (NPU-mapped, context budget 4096): %lld MiB   %s\n",
+                static_cast<long long>(mem.dmabuf_bytes >> 20),
+                model == &hllm::Qwen25_1_5B() ? "[paper: 1056 MiB]" : "[paper: 2090 MiB]");
+    std::printf("CPU resident (lm_head + runtime): %lld MiB\n",
+                static_cast<long long>(mem.cpu_resident_bytes >> 20));
+    std::printf("total: ~%.1f GiB   %s\n",
+                static_cast<double>(mem.dmabuf_bytes + mem.cpu_resident_bytes) / (1 << 30),
+                model == &hllm::Qwen25_1_5B() ? "[paper: ~1.3 GiB]" : "[paper: ~2.4 GiB]");
+    std::printf("%-8s %22s\n", "batch", "busy big cores (of 4)");
+    for (int b : {1, 2, 4, 8, 16}) {
+      std::printf("%-8d %22.2f\n", b, engine.Memory(b).cpu_utilization);
+    }
+  }
+  bench::Note("dmabuf stays constant across batch (weights + KV budget are pre-mapped); CPU "
+              "utilization grows with batch because of the vocabulary projection, but never "
+              "exceeds 4 cores.");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 17: impact of prompt length on decoding throughput (OnePlus 12): 512 -> 4096
+// tokens across batch sizes for both Qwen models.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/runtime/engine.h"
+
+int main() {
+  bench::Title("Impact of prompt length on decoding throughput (OnePlus 12)", "Figure 17");
+
+  for (const auto* model : {&hllm::Qwen25_1_5B(), &hllm::Qwen25_3B()}) {
+    hrt::EngineOptions o;
+    o.model = model;
+    o.device = &hexsim::OnePlus12();
+    const hrt::Engine engine(o);
+    bench::Section(model->name);
+    std::printf("%-10s", "batch \\ prompt");
+    for (int len : {512, 1024, 2048, 4096}) {
+      std::printf("%10d", len);
+    }
+    std::printf("%12s\n", "drop@4096");
+    for (int b : {1, 4, 8, 16}) {
+      std::printf("%-14d", b);
+      double first = 0.0;
+      double last = 0.0;
+      for (int len : {512, 1024, 2048, 4096}) {
+        const double t = engine.DecodeThroughput(b, len);
+        if (len == 512) {
+          first = t;
+        }
+        last = t;
+        std::printf("%10.1f", t);
+      }
+      std::printf("%11.1f%%\n", 100.0 * (1.0 - last / first));
+    }
+  }
+  bench::Note("throughput declines only mildly up to 4096 tokens: attention grows with "
+              "context but the dequantization-bound linear layers dominate (§7.5).");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 8: FlashAttention latency breakdown on the Hexagon NPU (Qwen2.5-1.5B head shape,
+// prompt length 4096) across query lengths. The kernel runs functionally on the simulator;
+// the component times come from the tagged cycle ledger.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/base/rng.h"
+#include "src/hexsim/npu_device.h"
+#include "src/kernels/attention.h"
+
+int main() {
+  using hexllm::F16;
+  bench::Title("FlashAttention latency breakdown, Qwen2.5-1.5B head, KV length 4096",
+               "Figure 8");
+
+  const int head_dim = 128;  // Qwen2.5-1.5B
+  const int kv_len = 4096;
+  hexllm::Rng rng(8);
+
+  std::vector<F16> k(static_cast<size_t>(kv_len) * head_dim);
+  std::vector<F16> v(k.size());
+  for (size_t i = 0; i < k.size(); ++i) {
+    k[i] = F16(static_cast<float>(rng.NextGaussian() * 0.5));
+    v[i] = F16(static_cast<float>(rng.NextGaussian() * 0.5));
+  }
+
+  // On-chip compute breakdown; the asynchronous KV DMA overlaps compute and is reported
+  // separately.
+  std::printf("%-8s %10s %10s %10s %10s %12s %14s\n", "q_len", "softmax%", "matmul%",
+              "rescale%", "pack%", "on-chip(ms)", "dma-ovl(ms)");
+  for (const int q_len : {1, 4, 16}) {
+    hexsim::NpuDevice dev(hexsim::OnePlus12());
+    hkern::ExpLut lut(dev);
+    std::vector<F16> q(static_cast<size_t>(q_len) * head_dim);
+    std::vector<F16> o(q.size());
+    for (auto& x : q) {
+      x = F16(static_cast<float>(rng.NextGaussian() * 0.5));
+    }
+    hkern::FlashAttentionF16(dev, lut, hkern::SoftmaxVariant::kLut, q.data(), k.data(),
+                             v.data(), o.data(), q_len, kv_len, head_dim, 0.0884f);
+    const auto& ledger = dev.ledger();
+    const double softmax = ledger.TagSeconds("attn.softmax");
+    const double matmul = ledger.TagSeconds("attn.qk") + ledger.TagSeconds("attn.pv");
+    const double rescale = ledger.TagSeconds("attn.rescale");
+    const double pack = ledger.TagSeconds("attn.pack");
+    const double dma = ledger.TagSeconds("dma");
+    const double total = softmax + matmul + rescale + pack;
+    std::printf("%-8d %9.1f%% %9.1f%% %9.1f%% %9.1f%% %12.3f %14.3f\n", q_len,
+                100 * softmax / total, 100 * matmul / total, 100 * rescale / total,
+                100 * pack / total, total * 1e3, dma * 1e3);
+  }
+  bench::Note("matrix multiplication contributes little; Softmax dominates and its share "
+              "grows with the query length — the case for the LUT-based exp (§5.2.1).");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Host-side micro-benchmarks (google-benchmark): wall-clock throughput of the
+// instruction-level emulation for the key kernels. This is the complement to the
+// simulated-cycle benches — it measures how fast the SIMULATOR itself runs, which matters
+// for anyone extending the functional test coverage.
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/hexsim/npu_device.h"
+#include "src/kernels/attention.h"
+#include "src/kernels/exp_lut.h"
+#include "src/kernels/mixed_gemm.h"
+#include "src/kernels/softmax.h"
+#include "src/quant/group_quant.h"
+#include "src/quant/synthetic_weights.h"
+#include "src/quant/tile_quant.h"
+
+namespace {
+
+using hexllm::F16;
+
+void BM_QuantizeQ4(benchmark::State& state) {
+  hexllm::Rng rng(1);
+  std::vector<float> values(static_cast<size_t>(state.range(0)));
+  for (auto& v : values) {
+    v = static_cast<float>(rng.NextGaussian());
+  }
+  for (auto _ : state) {
+    auto blocks = hquant::QuantizeQ4_0(values);
+    benchmark::DoNotOptimize(blocks.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizeQ4)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_TileGroupQuantize(benchmark::State& state) {
+  hexllm::Rng rng(2);
+  const int64_t n = state.range(0);
+  const auto w = hquant::GenerateLlmLikeMatrix(n, n, rng);
+  for (auto _ : state) {
+    auto blocks = hquant::TileGroupQuantizeQ4(w, n, n);
+    benchmark::DoNotOptimize(blocks.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TileGroupQuantize)->Arg(256)->Arg(512);
+
+void BM_DequantCoalescedLutEmulation(benchmark::State& state) {
+  hexllm::Rng rng(3);
+  const int64_t elems = state.range(0);
+  std::vector<float> values(static_cast<size_t>(elems));
+  for (auto& v : values) {
+    v = static_cast<float>(rng.NextGaussian() * 0.05);
+  }
+  const auto sbs = hquant::CoalesceSuperblocks(hquant::QuantizeQ4_0(values));
+  hexsim::NpuDevice dev(hexsim::OnePlus12());
+  auto* out = reinterpret_cast<F16*>(dev.tcm().Alloc(elems * 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hkern::DequantCoalescedLut(dev, sbs, out));
+  }
+  state.SetItemsProcessed(state.iterations() * elems);
+}
+BENCHMARK(BM_DequantCoalescedLutEmulation)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_SoftmaxLutEmulation(benchmark::State& state) {
+  hexsim::NpuDevice dev(hexsim::OnePlus12());
+  hkern::ExpLut lut(dev);
+  const int rows = 4;
+  const int cols = static_cast<int>(state.range(0));
+  auto* s = reinterpret_cast<F16*>(dev.tcm().Alloc(static_cast<int64_t>(rows) * cols * 2));
+  hexllm::Rng rng(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < rows * cols; ++i) {
+      s[i] = F16(static_cast<float>(rng.NextGaussian()));
+    }
+    state.ResumeTiming();
+    hkern::SoftmaxRowsF16(dev, hkern::SoftmaxVariant::kLut, &lut, s, rows, cols);
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_SoftmaxLutEmulation)->Arg(1024)->Arg(4096);
+
+void BM_HmxTileMacc(benchmark::State& state) {
+  hexsim::NpuDevice dev(hexsim::OnePlus12());
+  auto* a = reinterpret_cast<F16*>(dev.tcm().Alloc(2048));
+  auto* b = reinterpret_cast<F16*>(dev.tcm().Alloc(2048));
+  hexllm::Rng rng(5);
+  for (int i = 0; i < 1024; ++i) {
+    a[i] = F16(static_cast<float>(rng.NextGaussian()));
+    b[i] = F16(static_cast<float>(rng.NextGaussian()));
+  }
+  std::vector<float> acc(1024, 0.0f);
+  for (auto _ : state) {
+    dev.hmx().TileMacc(dev.tcm(), a, b, acc.data());
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32 * 32 * 2);  // flops
+}
+BENCHMARK(BM_HmxTileMacc);
+
+void BM_FlashAttentionEmulation(benchmark::State& state) {
+  hexsim::NpuDevice dev(hexsim::OnePlus12());
+  hkern::ExpLut lut(dev);
+  const int q_len = 4;
+  const int kv_len = static_cast<int>(state.range(0));
+  const int d = 64;
+  hexllm::Rng rng(6);
+  std::vector<F16> q(static_cast<size_t>(q_len) * d), o(q.size());
+  std::vector<F16> k(static_cast<size_t>(kv_len) * d), v(k.size());
+  for (auto& x : q) {
+    x = F16(static_cast<float>(rng.NextGaussian()));
+  }
+  for (size_t i = 0; i < k.size(); ++i) {
+    k[i] = F16(static_cast<float>(rng.NextGaussian()));
+    v[i] = F16(static_cast<float>(rng.NextGaussian()));
+  }
+  for (auto _ : state) {
+    hkern::FlashAttentionF16(dev, lut, hkern::SoftmaxVariant::kLut, q.data(), k.data(),
+                             v.data(), o.data(), q_len, kv_len, d, 0.125f);
+    benchmark::DoNotOptimize(o.data());
+  }
+  state.SetItemsProcessed(state.iterations() * q_len * kv_len);
+}
+BENCHMARK(BM_FlashAttentionEmulation)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Table 4: Qwen2.5-1.5B accuracy with HMX tile quantization groups vs conventional groups
+// vs FP16. Errors measured from the real quantizers; the common-group WinoGrande and
+// Wikitext cells anchor the sensitivity curves, the rest are model outputs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/llm/model_config.h"
+#include "src/tts/capability_model.h"
+
+int main() {
+  using htts::CapabilityModel;
+  using htts::Dataset;
+  bench::Title("Tile quantization groups vs conventional groups, Qwen2.5-1.5B", "Table 4");
+
+  const CapabilityModel cap;
+  const auto& m = hllm::Qwen25_1_5B();
+  const double tile = cap.tile_group_q4_err();
+  const double common = cap.common_group_q4_err();
+
+  std::printf("measured weight reconstruction error (rel RMS):\n");
+  std::printf("  tile groups (2x16, HMX order): %.4f\n", tile);
+  std::printf("  common groups (32x1)         : %.4f\n", common);
+
+  std::printf("\n%-16s %12s %14s %8s\n", "dataset", "Tile group", "Common group", "F16");
+  std::printf("%-16s %7.3f [62.559] %7.3f [63.349] %7.3f [64.613]\n", "WinoGrande (up)",
+              cap.ChoiceAccuracy(Dataset::kWinoGrande, m, tile, 0.0),
+              cap.ChoiceAccuracy(Dataset::kWinoGrande, m, common, 0.0),
+              cap.ChoiceAccuracy(Dataset::kWinoGrande, m, 0.0, 0.0));
+  std::printf("%-16s %7.3f [35.465] %7.3f [35.271] %7.3f [34.819]\n", "MMLU (up)",
+              cap.ChoiceAccuracy(Dataset::kMmlu, m, tile, 0.0),
+              cap.ChoiceAccuracy(Dataset::kMmlu, m, common, 0.0),
+              cap.ChoiceAccuracy(Dataset::kMmlu, m, 0.0, 0.0));
+  std::printf("%-16s %7.3f [10.206] %7.3f [10.190] %7.3f [9.798]\n", "Wiki PPL (dn)",
+              cap.WikiPerplexity(m, tile, 0.0), cap.WikiPerplexity(m, common, 0.0),
+              cap.WikiPerplexity(m, 0.0, 0.0));
+  std::printf("\n[bracketed] = paper-reported value.\n");
+  bench::Note("tile-vs-common deltas are tiny compared with the F16->Q4 gap itself — the "
+              "paper's conclusion that the HMX-friendly grouping is accuracy-neutral. (The "
+              "paper's sub-point MMLU *increase* under quantization is within evaluation "
+              "noise; the monotone model predicts a same-magnitude decrease.)");
+  return 0;
+}

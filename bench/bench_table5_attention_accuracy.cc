@@ -1,0 +1,37 @@
+// Table 5: FP16 FlashAttention with LUT softmax vs conventional FP32 attention,
+// Qwen2.5-1.5B. The attention deviation is MEASURED by running the simulator's FlashAttention
+// kernel against the FP32 reference; the capability model turns it into metric deltas.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/llm/model_config.h"
+#include "src/tts/capability_model.h"
+
+int main() {
+  using htts::CapabilityModel;
+  using htts::Dataset;
+  bench::Title("FP16+LUT FlashAttention vs FP32 attention accuracy, Qwen2.5-1.5B", "Table 5");
+
+  const CapabilityModel cap;
+  const auto& m = hllm::Qwen25_1_5B();
+  const double werr = cap.tile_group_q4_err();  // both variants run the tile-quantized model
+  const double aerr = cap.lut_f16_attention_err();
+
+  std::printf("measured attention output deviation (FP16+LUT vs FP32 reference, rel RMS): "
+              "%.5f\n", aerr);
+
+  std::printf("\n%-16s %14s %16s\n", "dataset", "Our LUT16 FA", "F32 Attention");
+  std::printf("%-16s %7.3f [62.796] %9.3f [62.559]\n", "WinoGrande (up)",
+              cap.ChoiceAccuracy(Dataset::kWinoGrande, m, werr, aerr),
+              cap.ChoiceAccuracy(Dataset::kWinoGrande, m, werr, 0.0));
+  std::printf("%-16s %7.3f [35.207] %9.3f [35.465]\n", "MMLU (up)",
+              cap.ChoiceAccuracy(Dataset::kMmlu, m, werr, aerr),
+              cap.ChoiceAccuracy(Dataset::kMmlu, m, werr, 0.0));
+  std::printf("%-16s %7.3f [10.205] %9.3f [10.206]\n", "Wiki PPL (dn)",
+              cap.WikiPerplexity(m, werr, aerr), cap.WikiPerplexity(m, werr, 0.0));
+  std::printf("\n[bracketed] = paper-reported value.\n");
+  bench::Note("replacing the non-accumulation parts of attention with FP16 + the 64 KiB exp "
+              "LUT has no noticeable accuracy impact — the deviation is ~100x smaller than "
+              "the weight-quantization error.");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Shared formatting helpers for the reproduction benches. Every bench prints the rows/series
+// of one paper table or figure, with the paper's reported values alongside where the paper
+// states them (EXPERIMENTS.md records the comparison).
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace bench {
+
+inline void Title(const std::string& what, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproduces %s)\n", what.c_str(), paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline void Note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+}  // namespace bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,49 @@
+// Step-level beam search with a process reward model (Figure 1 right, §2.1): compare
+// Best-of-N and Beam Search at equal generation budgets, including the verifier-quality
+// sensitivity that decides which method wins.
+#include <cstdio>
+
+#include "src/base/rng.h"
+#include "src/tts/capability_model.h"
+#include "src/tts/reward_model.h"
+#include "src/tts/tts.h"
+
+int main() {
+  using namespace htts;
+  const CapabilityModel cap;
+  const auto& model = hllm::Llama32_1B();
+
+  std::printf("Best-of-N vs step-level Beam Search at equal budgets — %s, GSM8K-class tasks\n\n",
+              model.name.c_str());
+
+  const TaskSet tasks = GenerateTaskSet(Dataset::kGsm8k, 600, 31);
+  const double theta = cap.EffectiveTheta(model, Dataset::kGsm8k,
+                                          cap.DeployedWeightErr(model),
+                                          cap.lut_f16_attention_err());
+  hexllm::Rng rng(7);
+  const OutcomeRewardModel orm;
+  const ProcessRewardModel prm;
+
+  std::printf("single-sample baseline: %.1f%%\n\n",
+              100 * RunSingleSample(tasks, theta, 10, rng).accuracy);
+
+  std::printf("%-8s %14s %18s %14s\n", "budget", "Best-of-N", "Beam (expand=4)", "oracle pass@N");
+  for (int n : {4, 8, 16}) {
+    const auto bon = RunBestOfN(tasks, theta, orm, n, 10, rng);
+    const auto beam = RunBeamSearch(tasks, theta, prm, n, /*expansion=*/4, 10, rng);
+    std::printf("%-8d %13.1f%% %17.1f%% %13.1f%%\n", n, 100 * bon.accuracy,
+                100 * beam.accuracy, 100 * bon.oracle_accuracy);
+  }
+
+  std::printf("\nverifier-quality sensitivity (budget 16):\n");
+  std::printf("%-26s %10s\n", "ORM discrimination", "accuracy");
+  for (double disc : {0.0, 0.5, 1.2, 2.5, 6.0}) {
+    const OutcomeRewardModel rm(disc);
+    const auto r = RunBestOfN(tasks, theta, rm, 16, 10, rng);
+    std::printf("%-26.1f %9.1f%%\n", disc, 100 * r.accuracy);
+  }
+  std::printf("\nA blind verifier (0.0) degenerates to single-sample accuracy; a strong one\n"
+              "approaches the pass@N oracle. The step-level PRM lets beam search prune bad\n"
+              "prefixes early, which is why it extracts more accuracy per unit budget.\n");
+  return 0;
+}

@@ -1,0 +1,227 @@
+// hexllm_cli — command-line driver for the reproduction engine.
+//
+// Subcommands:
+//   devices                       list the simulated devices (Table 3)
+//   models                        list the model configurations
+//   decode  [--model M] [--device D] [--batch N] [--context C]
+//   prefill [--model M] [--device D] [--prompt-len L]
+//   power   [--model M] [--device D] [--context C]
+//   trace   [--model M] [--device D] [--batch N] [--context C] [--json]
+//   pareto  [--device D] [--dataset math500|gsm8k] [--budget N]
+//
+// Model keys: qwen0.5b qwen1.5b qwen3b qwen7b llama1b llama3b. Device keys: 8g2 8g3 8elite.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/runtime/engine.h"
+#include "src/runtime/trace.h"
+#include "src/tts/capability_model.h"
+#include "src/tts/pareto.h"
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& def) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : it->second;
+  }
+  int GetInt(const std::string& key, int def) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : std::atoi(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) {
+    a.command = argv[1];
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        a.flags[key] = argv[++i];
+      } else {
+        a.flags[key] = "1";
+      }
+    }
+  }
+  return a;
+}
+
+const hllm::ModelConfig* LookupModel(const std::string& key) {
+  static const std::map<std::string, const hllm::ModelConfig*> models = {
+      {"qwen0.5b", &hllm::Qwen25_0_5B()}, {"qwen1.5b", &hllm::Qwen25_1_5B()},
+      {"qwen3b", &hllm::Qwen25_3B()},     {"qwen7b", &hllm::Qwen25_7B()},
+      {"llama1b", &hllm::Llama32_1B()},   {"llama3b", &hllm::Llama32_3B()},
+  };
+  auto it = models.find(key);
+  if (it == models.end()) {
+    std::fprintf(stderr, "unknown model '%s' (try: qwen1.5b qwen3b qwen7b llama1b llama3b)\n",
+                 key.c_str());
+    return nullptr;
+  }
+  return it->second;
+}
+
+const hexsim::DeviceProfile* LookupDevice(const std::string& key) {
+  static const std::map<std::string, const hexsim::DeviceProfile*> devices = {
+      {"8g2", &hexsim::OnePlusAce3()},
+      {"8g3", &hexsim::OnePlus12()},
+      {"8elite", &hexsim::OnePlusAce5Pro()},
+  };
+  auto it = devices.find(key);
+  if (it == devices.end()) {
+    std::fprintf(stderr, "unknown device '%s' (try: 8g2 8g3 8elite)\n", key.c_str());
+    return nullptr;
+  }
+  return it->second;
+}
+
+int Usage() {
+  std::printf(
+      "hexllm_cli — simulated Hexagon-NPU LLM engine\n\n"
+      "  hexllm_cli devices\n"
+      "  hexllm_cli models\n"
+      "  hexllm_cli decode  [--model qwen1.5b] [--device 8g3] [--batch 8] [--context 1024]\n"
+      "  hexllm_cli prefill [--model qwen1.5b] [--device 8g3] [--prompt-len 1024]\n"
+      "  hexllm_cli power   [--model qwen1.5b] [--device 8g3] [--context 1024]\n"
+      "  hexllm_cli trace   [--model qwen1.5b] [--device 8g3] [--batch 8] [--json]\n"
+      "  hexllm_cli pareto  [--device 8g3] [--dataset math500] [--budget 16]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  if (args.command.empty() || args.command == "help" || args.command == "--help") {
+    return Usage();
+  }
+
+  if (args.command == "devices") {
+    std::printf("%-10s %-18s %-22s %-6s %s\n", "key", "device", "SoC", "NPU", "vaddr MiB");
+    const char* keys[] = {"8g2", "8g3", "8elite"};
+    int i = 0;
+    for (const auto* d : hexsim::AllDevices()) {
+      std::printf("%-10s %-18s %-22s %-6s %lld\n", keys[i++], d->device_name.c_str(),
+                  d->soc_name.c_str(), hexsim::NpuArchName(d->arch),
+                  static_cast<long long>(d->npu_vaddr_limit_bytes >> 20));
+    }
+    return 0;
+  }
+  if (args.command == "models") {
+    std::printf("%-10s %-24s %8s %7s %7s %9s %10s\n", "key", "name", "params", "hidden",
+                "layers", "vocab", "dmabuf MiB");
+    const std::pair<const char*, const hllm::ModelConfig*> models[] = {
+        {"qwen0.5b", &hllm::Qwen25_0_5B()}, {"qwen1.5b", &hllm::Qwen25_1_5B()},
+        {"qwen3b", &hllm::Qwen25_3B()},     {"qwen7b", &hllm::Qwen25_7B()},
+        {"llama1b", &hllm::Llama32_1B()},   {"llama3b", &hllm::Llama32_3B()},
+    };
+    for (const auto& [key, m] : models) {
+      std::printf("%-10s %-24s %7.2fB %7d %7d %9lld %10lld\n", key, m->name.c_str(),
+                  m->params_b, m->hidden, m->layers, static_cast<long long>(m->vocab),
+                  static_cast<long long>(m->DmabufBytes(4096, 16) >> 20));
+    }
+    return 0;
+  }
+
+  const auto* model = LookupModel(args.Get("model", "qwen1.5b"));
+  const auto* device = LookupDevice(args.Get("device", "8g3"));
+  if (model == nullptr || device == nullptr) {
+    return 1;
+  }
+  hrt::EngineOptions opts;
+  opts.model = model;
+  opts.device = device;
+  const hrt::Engine engine(opts);
+  std::string reason;
+  if ((args.command == "decode" || args.command == "prefill" || args.command == "power" ||
+       args.command == "trace") &&
+      !engine.CanRun(&reason)) {
+    std::fprintf(stderr, "cannot run: %s\n", reason.c_str());
+    return 2;
+  }
+
+  if (args.command == "decode") {
+    const int context = args.GetInt("context", 1024);
+    std::printf("%s on %s, context %d\n", model->name.c_str(), device->device_name.c_str(),
+                context);
+    std::printf("%-8s %12s %12s %10s %10s %10s %10s\n", "batch", "tokens/s", "ms/step",
+                "linear%", "attn%", "lm_head%", "comm%");
+    const int only = args.GetInt("batch", 0);
+    for (int b : {1, 2, 4, 8, 16}) {
+      if (only != 0 && b != only) {
+        continue;
+      }
+      const auto c = engine.DecodeStep(b, context);
+      std::printf("%-8d %12.1f %12.1f %9.1f%% %9.1f%% %9.1f%% %9.2f%%\n", b,
+                  engine.DecodeThroughput(b, context), c.total_s * 1e3,
+                  100 * c.linear_s / c.total_s, 100 * c.attention_s / c.total_s,
+                  100 * c.lm_head_s / c.total_s, 100 * c.comm_s / c.total_s);
+    }
+    return 0;
+  }
+  if (args.command == "prefill") {
+    const int len = args.GetInt("prompt-len", 1024);
+    const auto c = engine.Prefill(len);
+    std::printf("%s on %s: prefill %d tokens in %.1f ms -> %.1f tokens/s\n",
+                model->name.c_str(), device->device_name.c_str(), len, c.total_s * 1e3,
+                engine.PrefillThroughput(len));
+    return 0;
+  }
+  if (args.command == "power") {
+    const int context = args.GetInt("context", 1024);
+    std::printf("%-8s %10s %12s\n", "batch", "watts", "mJ/token");
+    for (int b : {1, 2, 4, 8, 16}) {
+      const auto p = engine.DecodePower(b, context);
+      std::printf("%-8d %10.2f %12.1f\n", b, p.watts, p.joules_per_token * 1e3);
+    }
+    return 0;
+  }
+  if (args.command == "trace") {
+    const auto tb =
+        hrt::TraceDecodeStep(engine, args.GetInt("batch", 8), args.GetInt("context", 1024));
+    if (args.Has("json")) {
+      std::printf("%s\n", tb.ToChromeJson().c_str());
+    } else {
+      std::printf("one decode step, %s on %s (lanes show busy intervals):\n",
+                  model->name.c_str(), device->device_name.c_str());
+      std::printf("%s", tb.ToAsciiGantt().c_str());
+    }
+    return 0;
+  }
+  if (args.command == "pareto") {
+    const htts::CapabilityModel cap;
+    htts::ParetoSweepOptions po;
+    po.dataset = args.Get("dataset", "math500") == "gsm8k" ? htts::Dataset::kGsm8k
+                                                           : htts::Dataset::kMath500;
+    po.device = device;
+    po.models = {&hllm::Qwen25_1_5B(), &hllm::Qwen25_3B(), &hllm::Llama32_1B(),
+                 &hllm::Llama32_3B()};
+    po.budgets = {args.GetInt("budget", 16)};
+    po.tasks = 300;
+    po.trials = 4;
+    const auto points = htts::SweepPareto(cap, po);
+    std::printf("%-24s %-12s %7s %10s %12s %8s\n", "model", "method", "budget", "accuracy",
+                "ms/token", "pareto");
+    for (const auto& p : points) {
+      if (!p.runnable) {
+        continue;
+      }
+      std::printf("%-24s %-12s %7d %9.1f%% %12.1f %8s\n", p.model.c_str(),
+                  htts::TtsMethodName(p.method), p.budget, 100 * p.accuracy,
+                  p.latency_per_token_s * 1e3, htts::OnParetoFrontier(p, points) ? "*" : "");
+    }
+    return 0;
+  }
+  return Usage();
+}

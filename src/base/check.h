@@ -1,0 +1,44 @@
+// Lightweight runtime-check macros.
+//
+// HEXLLM_CHECK is always on (simulator correctness depends on it); HEXLLM_DCHECK compiles out
+// in NDEBUG builds. Failures print the expression and location, then abort.
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hexllm {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line, msg[0] ? " — " : "",
+               msg);
+  std::abort();
+}
+
+}  // namespace hexllm
+
+#define HEXLLM_CHECK(cond)                                         \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::hexllm::CheckFailed(#cond, __FILE__, __LINE__, "");        \
+    }                                                              \
+  } while (0)
+
+#define HEXLLM_CHECK_MSG(cond, msg)                                \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::hexllm::CheckFailed(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                              \
+  } while (0)
+
+#ifdef NDEBUG
+#define HEXLLM_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define HEXLLM_DCHECK(cond) HEXLLM_CHECK(cond)
+#endif
+
+#endif  // SRC_BASE_CHECK_H_

@@ -1,0 +1,59 @@
+// Software IEEE-754 binary16 ("half") with round-to-nearest-even conversion.
+//
+// The Hexagon HVX unit computes in FP16 (and, before V79, in the internal "qfloat" format —
+// see hexsim/hvx.h for how that is modeled). The host has no portable native half type, so F16
+// stores raw bits and converts through float for arithmetic. Conversions implement full IEEE
+// semantics: subnormals, infinities, NaN, round-to-nearest-even.
+#ifndef SRC_BASE_FP16_H_
+#define SRC_BASE_FP16_H_
+
+#include <cstdint>
+
+namespace hexllm {
+
+// Converts an IEEE binary32 value to binary16 bits (round-to-nearest-even).
+uint16_t F32ToF16Bits(float f);
+
+// Converts binary16 bits to the exactly-representable binary32 value.
+float F16BitsToF32(uint16_t h);
+
+// Value type wrapping binary16 bits. Trivially copyable; 2 bytes; usable in packed buffers.
+class F16 {
+ public:
+  constexpr F16() : bits_(0) {}
+  explicit F16(float f) : bits_(F32ToF16Bits(f)) {}
+
+  static constexpr F16 FromBits(uint16_t bits) {
+    F16 h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  constexpr uint16_t bits() const { return bits_; }
+  float ToFloat() const { return F16BitsToF32(bits_); }
+  explicit operator float() const { return ToFloat(); }
+
+  // Bitwise identity; NaNs with different payloads compare unequal (intentional — this is a
+  // storage type, numeric comparisons should go through float).
+  constexpr bool operator==(const F16& o) const { return bits_ == o.bits_; }
+  constexpr bool operator!=(const F16& o) const { return bits_ != o.bits_; }
+
+  static constexpr F16 Zero() { return FromBits(0); }
+  static constexpr F16 NegInf() { return FromBits(0xFC00); }
+  static constexpr F16 Inf() { return FromBits(0x7C00); }
+  static constexpr F16 Lowest() { return FromBits(0xFBFF); }  // -65504
+  static constexpr F16 Max() { return FromBits(0x7BFF); }     // +65504
+
+ private:
+  uint16_t bits_;
+};
+
+static_assert(sizeof(F16) == 2, "F16 must be exactly 2 bytes");
+
+// Rounds a float through FP16 precision (the fundamental precision-loss primitive used by all
+// FP16 kernel emulation).
+inline float RoundToF16(float f) { return F16BitsToF32(F32ToF16Bits(f)); }
+
+}  // namespace hexllm
+
+#endif  // SRC_BASE_FP16_H_

@@ -1,0 +1,30 @@
+// Small integer/float helpers shared across the project.
+#ifndef SRC_BASE_MATH_UTIL_H_
+#define SRC_BASE_MATH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/base/check.h"
+
+namespace hexllm {
+
+constexpr int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+constexpr int64_t RoundUp(int64_t a, int64_t b) { return CeilDiv(a, b) * b; }
+
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+inline int64_t AlignUp(int64_t value, int64_t alignment) {
+  HEXLLM_DCHECK(IsPowerOfTwo(static_cast<uint64_t>(alignment)));
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+template <typename T>
+constexpr T Clamp(T v, T lo, T hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace hexllm
+
+#endif  // SRC_BASE_MATH_UTIL_H_

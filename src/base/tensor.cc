@@ -1,0 +1,70 @@
+#include "src/base/tensor.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <sstream>
+
+namespace hexllm {
+
+const char* DTypeName(DType t) {
+  switch (t) {
+    case DType::kF32:
+      return "f32";
+    case DType::kF16:
+      return "f16";
+    case DType::kU8:
+      return "u8";
+    case DType::kI32:
+      return "i32";
+  }
+  return "?";
+}
+
+AlignedBuffer::AlignedBuffer(size_t bytes) : size_(bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  const size_t padded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  data_ = static_cast<uint8_t*>(::operator new(padded, std::align_val_t(kAlignment)));
+  std::memset(data_, 0, padded);
+}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& o) noexcept {
+  if (this != &o) {
+    this->~AlignedBuffer();
+    data_ = o.data_;
+    size_ = o.size_;
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+AlignedBuffer::~AlignedBuffer() {
+  if (data_ != nullptr) {
+    ::operator delete(data_, std::align_val_t(kAlignment));
+    data_ = nullptr;
+  }
+}
+
+Tensor::Tensor(DType dtype, std::vector<int64_t> shape) : dtype_(dtype), shape_(std::move(shape)) {
+  numel_ = 1;
+  for (int64_t d : shape_) {
+    HEXLLM_CHECK(d >= 0);
+    numel_ *= d;
+  }
+  storage_ = AlignedBuffer(static_cast<size_t>(numel_) * DTypeSize(dtype_));
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    os << (i > 0 ? ", " : "") << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace hexllm

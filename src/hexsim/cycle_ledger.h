@@ -1,0 +1,110 @@
+// Time/energy accounting for the simulated SoC.
+//
+// Every engine (HVX, HMX, DMA, CPU, GPU) accumulates *busy seconds*; kernels additionally tag
+// contributions (e.g. "attn.softmax") so benches can print breakdowns like the paper's
+// Figure 8. Busy seconds feed the power model: energy = sum(engine busy x engine power) +
+// base power x wall-clock.
+#ifndef SRC_HEXSIM_CYCLE_LEDGER_H_
+#define SRC_HEXSIM_CYCLE_LEDGER_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/base/check.h"
+
+namespace hexsim {
+
+enum class Engine : uint8_t {
+  kHvx,
+  kHmx,
+  kDma,
+  kCpu,
+  kGpu,
+  kCount,
+};
+
+const char* EngineName(Engine e);
+
+class CycleLedger {
+ public:
+  void AddSeconds(Engine e, double seconds, std::string_view tag = {}) {
+    HEXLLM_DCHECK(seconds >= 0.0);
+    busy_[static_cast<size_t>(e)] += seconds;
+    if (!tag.empty()) {
+      tags_[std::string(tag)] += seconds;
+    }
+  }
+
+  // Advances the simulated wall clock (latency-critical path), independent of engine busy
+  // time: overlapped engine work advances the wall clock only once.
+  void AdvanceWall(double seconds) {
+    HEXLLM_DCHECK(seconds >= 0.0);
+    wall_seconds_ += seconds;
+  }
+
+  double EngineSeconds(Engine e) const { return busy_[static_cast<size_t>(e)]; }
+
+  double TagSeconds(std::string_view tag) const {
+    auto it = tags_.find(std::string(tag));
+    return it == tags_.end() ? 0.0 : it->second;
+  }
+
+  double wall_seconds() const { return wall_seconds_; }
+
+  const std::map<std::string, double>& tags() const { return tags_; }
+
+  // Total bytes moved over DDR by the DMA engine (power model input).
+  void AddDmaBytes(int64_t bytes) { dma_bytes_ += bytes; }
+  int64_t dma_bytes() const { return dma_bytes_; }
+
+  void Clear() {
+    for (auto& b : busy_) {
+      b = 0.0;
+    }
+    tags_.clear();
+    wall_seconds_ = 0.0;
+    dma_bytes_ = 0;
+  }
+
+  void MergeFrom(const CycleLedger& other) {
+    for (size_t i = 0; i < busy_.size(); ++i) {
+      busy_[i] += other.busy_[i];
+    }
+    for (const auto& [k, v] : other.tags_) {
+      tags_[k] += v;
+    }
+    wall_seconds_ += other.wall_seconds_;
+    dma_bytes_ += other.dma_bytes_;
+  }
+
+ private:
+  std::array<double, static_cast<size_t>(Engine::kCount)> busy_{};
+  std::map<std::string, double> tags_;
+  double wall_seconds_ = 0.0;
+  int64_t dma_bytes_ = 0;
+};
+
+inline const char* EngineName(Engine e) {
+  switch (e) {
+    case Engine::kHvx:
+      return "HVX";
+    case Engine::kHmx:
+      return "HMX";
+    case Engine::kDma:
+      return "DMA";
+    case Engine::kCpu:
+      return "CPU";
+    case Engine::kGpu:
+      return "GPU";
+    case Engine::kCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace hexsim
+
+#endif  // SRC_HEXSIM_CYCLE_LEDGER_H_

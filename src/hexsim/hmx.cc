@@ -1,0 +1,72 @@
+#include "src/hexsim/hmx.h"
+
+#include "src/base/check.h"
+
+namespace hexsim {
+
+using hexllm::F16;
+
+void HmxEngine::PackTile(const F16* rowmajor, int64_t row_stride, F16* tile) {
+  for (int r = 0; r < kTileDim; ++r) {
+    for (int c = 0; c < kTileDim; ++c) {
+      tile[TileHalfwordOffset(r, c)] = rowmajor[r * row_stride + c];
+    }
+  }
+}
+
+void HmxEngine::UnpackTile(const F16* tile, F16* rowmajor, int64_t row_stride) {
+  for (int r = 0; r < kTileDim; ++r) {
+    for (int c = 0; c < kTileDim; ++c) {
+      rowmajor[r * row_stride + c] = tile[TileHalfwordOffset(r, c)];
+    }
+  }
+}
+
+void HmxEngine::TileMacc(const Tcm& tcm, const F16* a_tile, const F16* b_tile, float* acc) {
+  HEXLLM_CHECK_MSG(tcm.Contains(a_tile), "HMX activation tile must reside in TCM");
+  HEXLLM_CHECK_MSG(tcm.Contains(b_tile), "HMX weight tile must reside in TCM");
+  ++tile_ops_;
+
+  // Decode both tiles into scratch row-major form once (the hardware streams the permuted
+  // layout natively; the decode is a simulation artifact, not a timed operation).
+  float a[kTileElems];
+  float b[kTileElems];
+  for (int r = 0; r < kTileDim; ++r) {
+    for (int c = 0; c < kTileDim; ++c) {
+      a[r * kTileDim + c] = a_tile[TileHalfwordOffset(r, c)].ToFloat();
+      b[r * kTileDim + c] = b_tile[TileHalfwordOffset(r, c)].ToFloat();
+    }
+  }
+  // FP16 products accumulated in FP32 (the unit's internal higher-precision accumulator).
+  for (int r = 0; r < kTileDim; ++r) {
+    for (int k = 0; k < kTileDim; ++k) {
+      const float av = a[r * kTileDim + k];
+      if (av == 0.0f) {
+        continue;  // simulation fast path; bit-identical result
+      }
+      float* acc_row = acc + r * kTileDim;
+      const float* b_row = b + k * kTileDim;
+      for (int c = 0; c < kTileDim; ++c) {
+        acc_row[c] += av * b_row[c];
+      }
+    }
+  }
+}
+
+void HmxEngine::StoreAcc(const float* acc, F16* out_tile, const float* col_scale,
+                         const float* col_bias) {
+  for (int r = 0; r < kTileDim; ++r) {
+    for (int c = 0; c < kTileDim; ++c) {
+      float v = acc[r * kTileDim + c];
+      if (col_scale != nullptr) {
+        v *= col_scale[c];
+      }
+      if (col_bias != nullptr) {
+        v += col_bias[c];
+      }
+      out_tile[TileHalfwordOffset(r, c)] = F16(v);
+    }
+  }
+}
+
+}  // namespace hexsim

@@ -1,0 +1,61 @@
+// NpuDevice: the bundle of simulation state for one Hexagon NPU — profile, time ledger, TCM
+// arena, DMA engine, HMX engine, and an HVX context. Kernels in src/kernels take an
+// NpuDevice& and charge all their costs through it.
+#ifndef SRC_HEXSIM_NPU_DEVICE_H_
+#define SRC_HEXSIM_NPU_DEVICE_H_
+
+#include "src/hexsim/cycle_ledger.h"
+#include "src/hexsim/device_profile.h"
+#include "src/hexsim/dma.h"
+#include "src/hexsim/hmx.h"
+#include "src/hexsim/hvx.h"
+#include "src/hexsim/tcm.h"
+
+namespace hexsim {
+
+class NpuDevice {
+ public:
+  explicit NpuDevice(const DeviceProfile& profile)
+      : profile_(profile),
+        tcm_(profile.tcm_bytes),
+        dma_(profile, ledger_),
+        hmx_(profile),
+        hvx_(profile) {}
+
+  const DeviceProfile& profile() const { return profile_; }
+  CycleLedger& ledger() { return ledger_; }
+  const CycleLedger& ledger() const { return ledger_; }
+  Tcm& tcm() { return tcm_; }
+  DmaEngine& dma() { return dma_; }
+  HmxEngine& hmx() { return hmx_; }
+  HvxContext& hvx() { return hvx_; }
+
+  // Converts HVX packets executed by a kernel into wall/busy seconds, given how many HVX
+  // hardware threads the kernel spread its work across. Records busy time under `tag` and
+  // returns the latency (busy / threads).
+  double CommitHvxPackets(int64_t packets, int threads, std::string_view tag) {
+    HEXLLM_CHECK(threads >= 1 && threads <= profile_.hvx_threads);
+    const double busy = hvx_.PacketsToSeconds(packets);
+    ledger_.AddSeconds(Engine::kHvx, busy, tag);
+    return busy / threads;
+  }
+
+  // Records HMX tile-op time under `tag` and returns the latency.
+  double CommitHmxTileOps(int64_t tile_ops, std::string_view tag) {
+    const double t = hmx_.TileOpsToSeconds(tile_ops);
+    ledger_.AddSeconds(Engine::kHmx, t, tag);
+    return t;
+  }
+
+ private:
+  const DeviceProfile& profile_;
+  CycleLedger ledger_;
+  Tcm tcm_;
+  DmaEngine dma_;
+  HmxEngine hmx_;
+  HvxContext hvx_;
+};
+
+}  // namespace hexsim
+
+#endif  // SRC_HEXSIM_NPU_DEVICE_H_

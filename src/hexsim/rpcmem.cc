@@ -1,0 +1,47 @@
+#include "src/hexsim/rpcmem.h"
+
+#include <algorithm>
+
+namespace hexsim {
+
+std::shared_ptr<SharedBuffer> RpcmemPool::Alloc(int64_t bytes, std::string name) {
+  HEXLLM_CHECK(bytes >= 0);
+  auto buf = std::make_shared<SharedBuffer>(next_id_++, bytes, std::move(name));
+  total_bytes_ += bytes;
+  live_.push_back(buf);
+  return buf;
+}
+
+void RpcmemPool::Free(const std::shared_ptr<SharedBuffer>& buf) {
+  auto it = std::find(live_.begin(), live_.end(), buf);
+  if (it != live_.end()) {
+    total_bytes_ -= (*it)->size();
+    live_.erase(it);
+  }
+}
+
+bool NpuSession::MapBuffer(const std::shared_ptr<SharedBuffer>& buf) {
+  if (mapped_bytes_ + buf->size() > profile_.npu_vaddr_limit_bytes) {
+    return false;
+  }
+  mapped_bytes_ += buf->size();
+  mapped_ids_.push_back(buf->id());
+  return true;
+}
+
+void NpuSession::UnmapBuffer(const std::shared_ptr<SharedBuffer>& buf) {
+  auto it = std::find(mapped_ids_.begin(), mapped_ids_.end(), buf->id());
+  if (it != mapped_ids_.end()) {
+    mapped_ids_.erase(it);
+    mapped_bytes_ -= buf->size();
+  }
+}
+
+double NpuSession::Submit(const OpRequest& req) {
+  HEXLLM_CHECK_MSG(static_cast<bool>(handler_), "NpuSession has no op handler installed");
+  ++submitted_ops_;
+  handler_(req);
+  return kMailboxLatencySeconds;
+}
+
+}  // namespace hexsim

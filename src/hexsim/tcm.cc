@@ -1,0 +1,38 @@
+#include "src/hexsim/tcm.h"
+
+#include <algorithm>
+
+#include "src/base/math_util.h"
+
+namespace hexsim {
+
+Tcm::Tcm(int64_t capacity_bytes)
+    : capacity_(capacity_bytes), storage_(static_cast<size_t>(capacity_bytes)) {
+  HEXLLM_CHECK(capacity_bytes > 0);
+}
+
+uint8_t* Tcm::Alloc(int64_t bytes, int64_t alignment) {
+  HEXLLM_CHECK(bytes >= 0);
+  const int64_t aligned_top = hexllm::AlignUp(top_, alignment);
+  HEXLLM_CHECK_MSG(aligned_top + bytes <= capacity_,
+                   "TCM exhausted: kernel tiling exceeds on-chip memory budget");
+  uint8_t* p = storage_.data() + aligned_top;
+  top_ = aligned_top + bytes;
+  high_watermark_ = std::max(high_watermark_, top_);
+  return p;
+}
+
+void Tcm::PushFrame() { frames_.push_back(top_); }
+
+void Tcm::PopFrame() {
+  HEXLLM_CHECK(!frames_.empty());
+  top_ = frames_.back();
+  frames_.pop_back();
+}
+
+void Tcm::Reset() {
+  top_ = 0;
+  frames_.clear();
+}
+
+}  // namespace hexsim

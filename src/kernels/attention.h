@@ -1,0 +1,72 @@
+// FP16 FlashAttention on the simulated Hexagon NPU (Algorithm 1) plus a conventional FP32
+// reference implementation.
+//
+// Structure of the NPU kernel (per attention head):
+//   * Q is processed in 32-row tiles (the HMX tile height); KV in chunks of 128 (4 tiles).
+//   * S = (Q * K^T) * scale runs on HMX with FP32 accumulation ("attn.qk").
+//   * Online safe softmax runs on HVX: running row-max m, running row-sum l (FP32
+//     accumulation), P = exp(S - m) through one of the three exp variants ("attn.softmax").
+//   * O_new = diag(exp(m_prev - m_new)) * O + P * V: the P*V product on HMX ("attn.pv"),
+//     the rescale/accumulate sweep on HVX ("attn.rescale").
+//   * Tile packing into the Figure 4a layout is charged under "attn.pack"; DMA under "dma".
+//
+// The tags drive the Figure 8 latency breakdown. All matrices are FP16 with FP32 accumulation
+// exactly where Algorithm 1 says (MatMul accumulators and the row-sum).
+#ifndef SRC_KERNELS_ATTENTION_H_
+#define SRC_KERNELS_ATTENTION_H_
+
+#include <cstdint>
+
+#include "src/base/fp16.h"
+#include "src/hexsim/npu_device.h"
+#include "src/kernels/exp_lut.h"
+#include "src/kernels/softmax.h"
+
+namespace hkern {
+
+inline constexpr int kAttnQTile = 32;    // HMX tile height
+inline constexpr int kAttnKvChunk = 128; // KV positions per online-softmax step (4 tiles)
+
+// Runs one head of FP16 FlashAttention. q: [q_len, head_dim], k/v: [kv_len, head_dim],
+// o: [q_len, head_dim], all row-major FP16 in (simulated) DDR. head_dim must be a multiple
+// of 32. `scale` is the 1/sqrt(d) factor (with log2 e absorbed upstream when the polynomial
+// exp2 variants are used — here variants all compute natural exp, so scale is just
+// 1/sqrt(d)).
+//
+// Causal masking (chunked prefill): when q_pos_offset >= 0, query row i attends only to KV
+// positions <= q_pos_offset + i (masked scores become -inf and exp to 0; fully-masked KV
+// chunks are skipped, which also halves the average cost — the standard causal-prefill
+// saving). q_pos_offset < 0 disables masking (pure cross-attention over the whole KV).
+void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant exp_variant,
+                       const hexllm::F16* q, const hexllm::F16* k, const hexllm::F16* v,
+                       hexllm::F16* o, int q_len, int kv_len, int head_dim, float scale,
+                       int q_pos_offset = -1);
+
+// Conventional full-precision attention (the Table 5 baseline): FP32 throughout, full S
+// matrix materialized. Pure host math — used as the numeric reference.
+void AttentionF32Reference(const float* q, const float* k, const float* v, float* o,
+                           int q_len, int kv_len, int head_dim, float scale);
+
+// Analytic per-head cost model of FlashAttentionF16 (validated against emulation in tests;
+// consumed by the timing-mode engine). Seconds by component.
+struct AttentionCost {
+  double hmx_qk_s = 0.0;
+  double hmx_pv_s = 0.0;
+  double hvx_softmax_s = 0.0;   // single-thread busy seconds
+  double hvx_rescale_s = 0.0;
+  double hvx_pack_s = 0.0;
+  double dma_s = 0.0;
+
+  double HvxBusySeconds() const { return hvx_softmax_s + hvx_rescale_s + hvx_pack_s; }
+  double TotalSerialSeconds() const {
+    return hmx_qk_s + hmx_pv_s + HvxBusySeconds() + dma_s;
+  }
+};
+
+AttentionCost FlashAttentionCost(const hexsim::DeviceProfile& profile,
+                                 SoftmaxVariant exp_variant, int q_len, int kv_len,
+                                 int head_dim);
+
+}  // namespace hkern
+
+#endif  // SRC_KERNELS_ATTENTION_H_

@@ -1,0 +1,32 @@
+#include "src/kernels/exp_lut.h"
+
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace hkern {
+
+using hexllm::F16;
+
+ExpLut::ExpLut(hexsim::NpuDevice& device) {
+  uint8_t* mem = device.tcm().Alloc(kBytes, 128);
+  table_ = reinterpret_cast<F16*>(mem);
+  tcm_offset_ = device.tcm().OffsetOf(mem);
+  for (int i = 0; i < kEntries; ++i) {
+    // Entry i corresponds to input bits (0x8000 | i), i.e. the value -|decode(i)|.
+    // Entry 0 is x == -0 -> exp(0) = 1.
+    const double x = static_cast<double>(hexllm::F16BitsToF32(static_cast<uint16_t>(i)));
+    const double e = std::exp(-x);  // computed at >= 32-bit precision (double) per §7.4
+    table_[i] = F16(static_cast<float>(e));
+  }
+}
+
+float ExpLut::Lookup(F16 x) const {
+  const float xf = x.ToFloat();
+  HEXLLM_DCHECK(!(xf > 0.0f));
+  (void)xf;
+  const uint16_t off = OffsetForInputBits(x.bits());
+  return table_[off / 2].ToFloat();
+}
+
+}  // namespace hkern

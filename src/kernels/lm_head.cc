@@ -1,0 +1,38 @@
+#include "src/kernels/lm_head.h"
+
+#include <algorithm>
+
+namespace hkern {
+
+LmHeadCost LmHeadCostModel(const hexsim::DeviceProfile& profile, int batch, int hidden,
+                           int64_t vocab) {
+  LmHeadCost cost;
+  cost.cores_used = std::min(profile.cpu_big_cores, std::max(1, batch));
+  const double weight_bytes = static_cast<double>(hidden) * vocab * 2.0;  // FP16
+  const double flops = 2.0 * batch * hidden * static_cast<double>(vocab);
+  // One streaming pass over the weights (shared across the batch) plus per-core compute.
+  const double mem_s = weight_bytes / (profile.cpu_mem_gbps * 1e9);
+  const double compute_s =
+      flops / (profile.cpu_gflops_per_core * 1e9 * cost.cores_used);
+  cost.seconds = std::max(mem_s, compute_s);
+  cost.cpu_busy_s = cost.seconds * cost.cores_used;
+  return cost;
+}
+
+void LmHeadForward(const hexllm::F16* h, const hexllm::F16* w, float* logits, int batch,
+                   int hidden, int64_t vocab) {
+  for (int b = 0; b < batch; ++b) {
+    const hexllm::F16* hb = h + static_cast<int64_t>(b) * hidden;
+    float* out = logits + static_cast<int64_t>(b) * vocab;
+    for (int64_t v = 0; v < vocab; ++v) {
+      const hexllm::F16* col = w + v * hidden;
+      float acc = 0.0f;
+      for (int i = 0; i < hidden; ++i) {
+        acc += hb[i].ToFloat() * col[i].ToFloat();
+      }
+      out[v] = acc;
+    }
+  }
+}
+
+}  // namespace hkern

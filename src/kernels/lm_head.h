@@ -1,0 +1,37 @@
+// The vocabulary projection (lm_head) on the host CPU.
+//
+// §7.2.2: the lm_head and logits tensors are deliberately placed on the CPU because the
+// Hexagon NPU's 32-bit session address space cannot also hold the large vocabulary
+// projection. At batch 16 this CPU stage approaches or exceeds 50% of per-token time, which
+// caps the throughput scaling in Figure 11. The cost model captures a GEMV/GEMM on the big
+// cores: bandwidth-bound at small batch (the FP16 weight matrix streams once), compute-bound
+// as batch grows, parallelized over up to 4 big cores (Figure 16 observes exactly 4).
+#ifndef SRC_KERNELS_LM_HEAD_H_
+#define SRC_KERNELS_LM_HEAD_H_
+
+#include <cstdint>
+
+#include "src/base/fp16.h"
+#include "src/hexsim/device_profile.h"
+
+namespace hkern {
+
+struct LmHeadCost {
+  double seconds = 0.0;
+  int cores_used = 0;
+  double cpu_busy_s = 0.0;  // sum over cores
+};
+
+// Cost of projecting `batch` hidden states of width `hidden` onto `vocab` logits with FP16
+// weights on the CPU.
+LmHeadCost LmHeadCostModel(const hexsim::DeviceProfile& profile, int batch, int hidden,
+                           int64_t vocab);
+
+// Functional reference (FP32 accumulate over FP16 weights) for the toy end-to-end tests.
+// logits[batch, vocab] = h[batch, hidden] x w[hidden, vocab] (w column-major: w[v*hidden+i]).
+void LmHeadForward(const hexllm::F16* h, const hexllm::F16* w, float* logits, int batch,
+                   int hidden, int64_t vocab);
+
+}  // namespace hkern
+
+#endif  // SRC_KERNELS_LM_HEAD_H_

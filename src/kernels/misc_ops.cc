@@ -1,0 +1,112 @@
+#include "src/kernels/misc_ops.h"
+
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace hkern {
+
+using hexllm::F16;
+using hexllm::RoundToF16;
+using hexsim::HvxContext;
+using hexsim::HvxVec;
+using hexsim::HvxVecPair;
+
+void RmsNormF16(hexsim::NpuDevice& dev, const F16* x, const F16* gamma, F16* y, int rows,
+                int width, float eps) {
+  HEXLLM_CHECK(width % HvxVec::kHalfwords == 0);
+  HvxContext& ctx = dev.hvx();
+  const int64_t start = ctx.packets();
+  const int regs = width / HvxVec::kHalfwords;
+
+  for (int r = 0; r < rows; ++r) {
+    const F16* row = x + static_cast<int64_t>(r) * width;
+    // Sum of squares in FP32.
+    double ss = 0.0;
+    for (int g = 0; g < regs; ++g) {
+      const HvxVec v = ctx.LoadAligned(row + g * HvxVec::kHalfwords);
+      const HvxVecPair wide = ctx.WidenHfToSf(v);
+      ctx.Charge(2);  // two FMA-style square-accumulates
+      for (int i = 0; i < HvxVec::kWords; ++i) {
+        ss += static_cast<double>(wide.lo.GetF32(i)) * wide.lo.GetF32(i);
+        ss += static_cast<double>(wide.hi.GetF32(i)) * wide.hi.GetF32(i);
+      }
+    }
+    ctx.Charge(6);       // horizontal reduction
+    ctx.ChargeScalar(25);  // rsqrt on the scalar core
+    const float inv_rms = 1.0f / std::sqrt(static_cast<float>(ss) / width + eps);
+    const HvxVec vscale = ctx.VSplatHf(inv_rms);
+    F16* out = y + static_cast<int64_t>(r) * width;
+    for (int g = 0; g < regs; ++g) {
+      HvxVec v = ctx.LoadAligned(row + g * HvxVec::kHalfwords);
+      const HvxVec gm = ctx.LoadAligned(gamma + g * HvxVec::kHalfwords);
+      v = ctx.VMpyHf(v, vscale);
+      v = ctx.VMpyHf(v, gm);
+      v = ctx.ConvertQf(v);
+      ctx.Store(out + g * HvxVec::kHalfwords, v);
+    }
+  }
+  dev.CommitHvxPackets(ctx.packets() - start, 1, "misc.rmsnorm");
+  ctx.ResetPackets();
+}
+
+void RopeF16(hexsim::NpuDevice& dev, F16* x, int rows, int head_dim, int pos0,
+             float theta_base) {
+  HEXLLM_CHECK(head_dim % 2 == 0);
+  HvxContext& ctx = dev.hvx();
+  const int64_t start = ctx.packets();
+
+  for (int r = 0; r < rows; ++r) {
+    const int pos = pos0 + r;
+    F16* row = x + static_cast<int64_t>(r) * head_dim;
+    // Vector cost: load sin/cos tables + rotate: ~6 packets per 64 lanes.
+    ctx.Charge((head_dim + HvxVec::kHalfwords - 1) / HvxVec::kHalfwords * 6);
+    for (int i = 0; i < head_dim / 2; ++i) {
+      const double theta =
+          pos * std::pow(static_cast<double>(theta_base),
+                         -2.0 * i / static_cast<double>(head_dim));
+      const float c = static_cast<float>(std::cos(theta));
+      const float s = static_cast<float>(std::sin(theta));
+      const float a = row[2 * i].ToFloat();
+      const float b = row[2 * i + 1].ToFloat();
+      row[2 * i] = F16(RoundToF16(a * c - b * s));
+      row[2 * i + 1] = F16(RoundToF16(a * s + b * c));
+    }
+  }
+  dev.CommitHvxPackets(ctx.packets() - start, 1, "misc.rope");
+  ctx.ResetPackets();
+}
+
+void SiluMulF16(hexsim::NpuDevice& dev, const F16* a, const F16* b, F16* y, int64_t count) {
+  HEXLLM_CHECK(count % HvxVec::kHalfwords == 0);
+  HvxContext& ctx = dev.hvx();
+  const int64_t start = ctx.packets();
+  const int64_t regs = count / HvxVec::kHalfwords;
+  // Per register: 2 loads + sigmoid approximation (~8) + 2 multiplies + store.
+  ctx.Charge(regs * 13);
+  for (int64_t i = 0; i < count; ++i) {
+    const float av = a[i].ToFloat();
+    const float bv = b[i].ToFloat();
+    const float silu = av / (1.0f + std::exp(-av));
+    y[i] = F16(RoundToF16(RoundToF16(silu) * bv));
+  }
+  dev.CommitHvxPackets(ctx.packets() - start, 1, "misc.silu");
+  ctx.ResetPackets();
+}
+
+void AddF16(hexsim::NpuDevice& dev, const F16* a, const F16* b, F16* y, int64_t count) {
+  HEXLLM_CHECK(count % HvxVec::kHalfwords == 0);
+  HvxContext& ctx = dev.hvx();
+  const int64_t start = ctx.packets();
+  for (int64_t off = 0; off < count; off += HvxVec::kHalfwords) {
+    const HvxVec va = ctx.LoadAligned(a + off);
+    const HvxVec vb = ctx.LoadAligned(b + off);
+    HvxVec s = ctx.VAddHf(va, vb);
+    s = ctx.ConvertQf(s);
+    ctx.Store(y + off, s);
+  }
+  dev.CommitHvxPackets(ctx.packets() - start, 1, "misc.add");
+  ctx.ResetPackets();
+}
+
+}  // namespace hkern

@@ -1,0 +1,39 @@
+// Miscellaneous HVX operators: RMSNorm, RoPE, SiLU, residual add.
+//
+// §5.2.1 classifies these as small contributors ("we neglect their impacts due to their
+// small computation and memory access volumes"), but a complete backend still needs them:
+// they run on HVX, are charged per-register, and are functionally exact so the end-to-end
+// toy-model tests validate real numerics.
+#ifndef SRC_KERNELS_MISC_OPS_H_
+#define SRC_KERNELS_MISC_OPS_H_
+
+#include <cstdint>
+
+#include "src/base/fp16.h"
+#include "src/hexsim/npu_device.h"
+
+namespace hkern {
+
+// y = x / rms(x) * gamma, row-wise over [rows, width] FP16 (width % 64 == 0). The mean of
+// squares is accumulated in FP32. Charged under "misc.rmsnorm".
+void RmsNormF16(hexsim::NpuDevice& dev, const hexllm::F16* x, const hexllm::F16* gamma,
+                hexllm::F16* y, int rows, int width, float eps);
+
+// Rotary position embedding applied in-place to [rows, head_dim] FP16 (one head),
+// interleaved-pair convention: (x[2i], x[2i+1]) rotated by theta_i = pos * base^(-2i/d).
+// Charged under "misc.rope".
+void RopeF16(hexsim::NpuDevice& dev, hexllm::F16* x, int rows, int head_dim, int pos0,
+             float theta_base);
+
+// y = silu(a) * b, elementwise over `count` FP16 values (count % 64 == 0) — the SwiGLU
+// gating op. silu evaluated at FP32 internally. Charged under "misc.silu".
+void SiluMulF16(hexsim::NpuDevice& dev, const hexllm::F16* a, const hexllm::F16* b,
+                hexllm::F16* y, int64_t count);
+
+// y = a + b elementwise (residual connection). Charged under "misc.add".
+void AddF16(hexsim::NpuDevice& dev, const hexllm::F16* a, const hexllm::F16* b,
+            hexllm::F16* y, int64_t count);
+
+}  // namespace hkern
+
+#endif  // SRC_KERNELS_MISC_OPS_H_

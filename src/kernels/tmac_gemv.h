@@ -1,0 +1,56 @@
+// T-MAC-style mixed-precision GEMV via table lookup — the §8(a) future-work direction
+// ("Approaches similar to T-MAC could potentially enable efficient GEMV with fine-grained
+// group quantization on NPUs, thereby accelerating the LLM decoding process"), implemented.
+//
+// Instead of dequantizing INT4 weights to FP16 and multiplying on HMX, the kernel computes
+// bit-serial subset sums (Wei et al., T-MAC, EuroSys'25):
+//
+//   y_n = sum_g d_{g,n} * [ sum_{b=0..3} 2^b * sum_{k in g} a_k * bit_b(u_{k,n})
+//                           - 8 * sum_{k in g} a_k ]
+//
+// For every quad of 4 activations a LUT of all 16 subset sums is precomputed (amortized
+// over all N outputs); each output then needs one 16-entry lookup per (quad, bit-plane) —
+// exactly the shape of vlut16, which serves 128 (quad, output) pairs per instruction.
+//
+// Consequences reproduced from the T-MAC paper's claims:
+//   * HVX work ~2 packets / 64 weights (vs 4.25 for dequant+HMX) and NO HMX at all, so
+//     batch-1 GEMV becomes DMA-bound (near the no-dequantization upper bound);
+//   * the LUTs depend on the activations, so a batch of B rows costs B times the lookup
+//     work — the HMX path wins back at moderate batch. bench_ext_tmac sweeps the crossover.
+#ifndef SRC_KERNELS_TMAC_GEMV_H_
+#define SRC_KERNELS_TMAC_GEMV_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/base/fp16.h"
+#include "src/hexsim/device_profile.h"
+#include "src/quant/quant_types.h"
+
+namespace hkern {
+
+// Functional reference: y[n] = sum_k a[k] * W[k,n] with W given as conventional
+// column-major Q4_0 blocks of a [K, N] matrix, computed with the bit-serial subset-sum LUT
+// algorithm (FP16 table entries, FP32 accumulation). Bit-exact in structure: every product
+// is realized as table lookups, never as a multiply against a dequantized weight.
+void TmacGemvReference(std::span<const hquant::BlockQ4_0> blocks, int64_t k_dim,
+                       int64_t n_dim, std::span<const hexllm::F16> a, std::span<float> y);
+
+struct TmacGemvCost {
+  double dma_s = 0.0;
+  double hvx_busy_s = 0.0;
+  double hvx_latency_s = 0.0;
+  double total_s = 0.0;
+};
+
+// Cost of a batch-M T-MAC GEMV over a [K, N] INT4 matrix with `threads` HVX threads.
+// HVX work scales with M (per-row LUTs); there is no HMX term.
+TmacGemvCost TmacGemvCostModel(const hexsim::DeviceProfile& profile, int m, int k_dim,
+                               int n_dim, int threads);
+
+// HVX packets per 64 weight elements per batch row (exposed for tests/benches).
+double TmacPacketsPer64(const hexsim::DeviceProfile& profile);
+
+}  // namespace hkern
+
+#endif  // SRC_KERNELS_TMAC_GEMV_H_

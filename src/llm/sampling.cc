@@ -1,0 +1,92 @@
+#include "src/llm/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace hllm {
+
+int ArgmaxToken(std::span<const float> logits) {
+  HEXLLM_CHECK(!logits.empty());
+  return static_cast<int>(std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+int SampleToken(std::span<const float> logits, const SamplerOptions& opts, hexllm::Rng& rng) {
+  HEXLLM_CHECK(!logits.empty());
+  if (opts.temperature <= 0.0f) {
+    return ArgmaxToken(logits);
+  }
+
+  // Candidate set, ordered by logit descending if any truncation is active.
+  std::vector<int> idx(logits.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  const bool truncate = (opts.top_k > 0 && opts.top_k < static_cast<int>(logits.size())) ||
+                        opts.top_p < 1.0f;
+  if (truncate) {
+    std::sort(idx.begin(), idx.end(),
+              [&](int a, int b) { return logits[static_cast<size_t>(a)] > logits[static_cast<size_t>(b)]; });
+    if (opts.top_k > 0 && opts.top_k < static_cast<int>(idx.size())) {
+      idx.resize(static_cast<size_t>(opts.top_k));
+    }
+  }
+
+  // Softmax over candidates at the given temperature.
+  double max_logit = -1e30;
+  for (int i : idx) {
+    max_logit = std::max(max_logit, static_cast<double>(logits[static_cast<size_t>(i)]));
+  }
+  std::vector<double> p(idx.size());
+  double sum = 0.0;
+  for (size_t j = 0; j < idx.size(); ++j) {
+    p[j] = std::exp((logits[static_cast<size_t>(idx[j])] - max_logit) / opts.temperature);
+    sum += p[j];
+  }
+  for (auto& v : p) {
+    v /= sum;
+  }
+
+  // Nucleus truncation on the (sorted) candidates.
+  size_t n = p.size();
+  if (truncate && opts.top_p < 1.0f) {
+    double cum = 0.0;
+    for (size_t j = 0; j < p.size(); ++j) {
+      cum += p[j];
+      if (cum >= opts.top_p) {
+        n = j + 1;
+        break;
+      }
+    }
+    const double renorm = std::accumulate(p.begin(), p.begin() + static_cast<long>(n), 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      p[j] /= renorm;
+    }
+  }
+
+  double r = rng.NextDouble();
+  for (size_t j = 0; j < n; ++j) {
+    r -= p[j];
+    if (r <= 0.0) {
+      return idx[j];
+    }
+  }
+  return idx[n - 1];
+}
+
+double TokenLogProb(std::span<const float> logits, int token, float temperature) {
+  HEXLLM_CHECK(token >= 0 && token < static_cast<int>(logits.size()));
+  const double t = (temperature > 0.0f) ? temperature : 1.0f;
+  double max_logit = -1e30;
+  for (const float v : logits) {
+    max_logit = std::max(max_logit, static_cast<double>(v));
+  }
+  double sum = 0.0;
+  for (const float v : logits) {
+    sum += std::exp((v - max_logit) / t);
+  }
+  return (logits[static_cast<size_t>(token)] - max_logit) / t - std::log(sum);
+}
+
+}  // namespace hllm

@@ -1,0 +1,30 @@
+// Token sampling from logits: greedy, temperature, top-k, nucleus (top-p).
+#ifndef SRC_LLM_SAMPLING_H_
+#define SRC_LLM_SAMPLING_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/base/rng.h"
+
+namespace hllm {
+
+struct SamplerOptions {
+  float temperature = 1.0f;  // <= 0 means greedy
+  int top_k = 0;             // 0 disables
+  float top_p = 1.0f;        // 1 disables
+};
+
+// Samples one token id from `logits` under `opts`. Deterministic given the Rng state.
+int SampleToken(std::span<const float> logits, const SamplerOptions& opts, hexllm::Rng& rng);
+
+// Greedy argmax.
+int ArgmaxToken(std::span<const float> logits);
+
+// Log-probability of `token` under softmax(logits / temperature) — used for
+// sequence-likelihood accounting in the test-time scaling library.
+double TokenLogProb(std::span<const float> logits, int token, float temperature);
+
+}  // namespace hllm
+
+#endif  // SRC_LLM_SAMPLING_H_

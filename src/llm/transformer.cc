@@ -1,0 +1,298 @@
+#include "src/llm/transformer.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/base/check.h"
+#include "src/kernels/attention.h"
+#include "src/kernels/lm_head.h"
+#include "src/kernels/misc_ops.h"
+
+namespace hllm {
+
+using hexllm::F16;
+
+KvCache::KvCache(const ModelConfig& config, int max_batch, int max_context)
+    : config_(config),
+      max_batch_(max_batch),
+      max_context_(max_context),
+      lengths_(static_cast<size_t>(max_batch), 0) {
+  storage_.resize(static_cast<size_t>(config.layers) * max_batch * 2 * max_context *
+                  config.kv_dim());
+}
+
+int64_t KvCache::Index(int layer, int seq, int pos, bool value) const {
+  HEXLLM_DCHECK(layer >= 0 && layer < config_.layers);
+  HEXLLM_DCHECK(seq >= 0 && seq < max_batch_);
+  HEXLLM_DCHECK(pos >= 0 && pos < max_context_);
+  const int64_t kv_dim = config_.kv_dim();
+  return (((static_cast<int64_t>(layer) * max_batch_ + seq) * 2 + (value ? 1 : 0)) *
+              max_context_ +
+          pos) *
+         kv_dim;
+}
+
+F16* KvCache::KeyRow(int layer, int seq, int pos) {
+  return storage_.data() + Index(layer, seq, pos, false);
+}
+F16* KvCache::ValueRow(int layer, int seq, int pos) {
+  return storage_.data() + Index(layer, seq, pos, true);
+}
+const F16* KvCache::Keys(int layer, int seq) const {
+  return storage_.data() + Index(layer, seq, 0, false);
+}
+const F16* KvCache::Values(int layer, int seq) const {
+  return storage_.data() + Index(layer, seq, 0, true);
+}
+
+void KvCache::Advance(int seq) {
+  HEXLLM_CHECK(lengths_[static_cast<size_t>(seq)] < max_context_);
+  ++lengths_[static_cast<size_t>(seq)];
+}
+
+void KvCache::ResetSeq(int seq) { lengths_[static_cast<size_t>(seq)] = 0; }
+
+Transformer::Transformer(hexsim::NpuDevice& dev, const ModelWeights& weights, int max_batch,
+                         int max_context)
+    : dev_(dev), weights_(weights), lut_(dev), kv_(weights.config, max_batch, max_context),
+      max_batch_(max_batch) {}
+
+void Transformer::Step(std::span<const int> tokens, std::span<float> logits,
+                       hkern::SoftmaxVariant exp_variant) {
+  std::vector<int> seq_ids(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    seq_ids[i] = static_cast<int>(i);
+  }
+  StepSeqSubset(tokens, seq_ids, logits, exp_variant);
+}
+
+void Transformer::Prefill(int seq, std::span<const int> tokens) {
+  size_t done = 0;
+  while (done < tokens.size()) {
+    const size_t chunk = std::min<size_t>(hkern::kAttnQTile, tokens.size() - done);
+    PrefillChunk(seq, tokens.subspan(done, chunk));
+    done += chunk;
+  }
+}
+
+void Transformer::PrefillChunk(int seq, std::span<const int> tokens) {
+  const ModelConfig& c = weights_.config;
+  const int rows = static_cast<int>(tokens.size());
+  HEXLLM_CHECK(rows >= 1 && rows <= hkern::kAttnQTile);
+  const int pos0 = kv_.length(seq);
+  const int hidden = c.hidden;
+  const int q_dim = c.q_dim();
+  const int kv_dim = c.kv_dim();
+  const int dh = c.head_dim;
+  const int group = c.heads / c.kv_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  std::vector<F16> x(static_cast<size_t>(rows) * hidden);
+  for (int r = 0; r < rows; ++r) {
+    HEXLLM_CHECK(tokens[static_cast<size_t>(r)] >= 0 &&
+                 tokens[static_cast<size_t>(r)] < c.vocab);
+    std::memcpy(x.data() + static_cast<size_t>(r) * hidden,
+                weights_.embedding.data() +
+                    static_cast<size_t>(tokens[static_cast<size_t>(r)]) * hidden,
+                static_cast<size_t>(hidden) * 2);
+  }
+
+  std::vector<F16> xn(x.size());
+  std::vector<F16> q(static_cast<size_t>(rows) * q_dim);
+  std::vector<F16> k(static_cast<size_t>(rows) * kv_dim);
+  std::vector<F16> v(static_cast<size_t>(rows) * kv_dim);
+  std::vector<F16> attn_out(static_cast<size_t>(rows) * q_dim);
+  std::vector<F16> proj(static_cast<size_t>(rows) * hidden);
+  std::vector<F16> gate(static_cast<size_t>(rows) * c.ffn_hidden);
+  std::vector<F16> up(static_cast<size_t>(rows) * c.ffn_hidden);
+  std::vector<F16> act(static_cast<size_t>(rows) * c.ffn_hidden);
+  const int kv_len = pos0 + rows;
+  std::vector<F16> k_head(static_cast<size_t>(kv_len) * dh);
+  std::vector<F16> v_head(static_cast<size_t>(kv_len) * dh);
+  std::vector<F16> q_head(static_cast<size_t>(rows) * dh);
+  std::vector<F16> o_head(static_cast<size_t>(rows) * dh);
+
+  for (int l = 0; l < c.layers; ++l) {
+    const LayerWeights& lw = weights_.layers[static_cast<size_t>(l)];
+    hkern::RmsNormF16(dev_, x.data(), lw.attn_norm.data(), xn.data(), rows, hidden,
+                      c.rms_eps);
+    lw.wq.Forward(dev_, xn.data(), q.data(), rows);
+    lw.wk.Forward(dev_, xn.data(), k.data(), rows);
+    lw.wv.Forward(dev_, xn.data(), v.data(), rows);
+
+    // RoPE per head with per-row positions, then append the chunk's K/V to the cache.
+    for (int h = 0; h < c.heads; ++h) {
+      for (int r = 0; r < rows; ++r) {
+        hkern::RopeF16(dev_, q.data() + static_cast<size_t>(r) * q_dim + h * dh, 1, dh,
+                       pos0 + r, c.rope_theta);
+      }
+    }
+    for (int h = 0; h < c.kv_heads; ++h) {
+      for (int r = 0; r < rows; ++r) {
+        hkern::RopeF16(dev_, k.data() + static_cast<size_t>(r) * kv_dim + h * dh, 1, dh,
+                       pos0 + r, c.rope_theta);
+      }
+    }
+    for (int r = 0; r < rows; ++r) {
+      std::memcpy(kv_.KeyRow(l, seq, pos0 + r), k.data() + static_cast<size_t>(r) * kv_dim,
+                  static_cast<size_t>(kv_dim) * 2);
+      std::memcpy(kv_.ValueRow(l, seq, pos0 + r), v.data() + static_cast<size_t>(r) * kv_dim,
+                  static_cast<size_t>(kv_dim) * 2);
+    }
+
+    // Causal FlashAttention over the chunk: rows x [0, kv_len) with offset pos0.
+    for (int h = 0; h < c.heads; ++h) {
+      const int kvh = h / group;
+      for (int t = 0; t < kv_len; ++t) {
+        std::memcpy(k_head.data() + static_cast<size_t>(t) * dh,
+                    kv_.Keys(l, seq) + static_cast<size_t>(t) * kv_dim + kvh * dh,
+                    static_cast<size_t>(dh) * 2);
+        std::memcpy(v_head.data() + static_cast<size_t>(t) * dh,
+                    kv_.Values(l, seq) + static_cast<size_t>(t) * kv_dim + kvh * dh,
+                    static_cast<size_t>(dh) * 2);
+      }
+      for (int r = 0; r < rows; ++r) {
+        std::memcpy(q_head.data() + static_cast<size_t>(r) * dh,
+                    q.data() + static_cast<size_t>(r) * q_dim + h * dh,
+                    static_cast<size_t>(dh) * 2);
+      }
+      hkern::FlashAttentionF16(dev_, lut_, hkern::SoftmaxVariant::kLut, q_head.data(),
+                               k_head.data(), v_head.data(), o_head.data(), rows, kv_len, dh,
+                               scale, /*q_pos_offset=*/pos0);
+      for (int r = 0; r < rows; ++r) {
+        std::memcpy(attn_out.data() + static_cast<size_t>(r) * q_dim + h * dh,
+                    o_head.data() + static_cast<size_t>(r) * dh,
+                    static_cast<size_t>(dh) * 2);
+      }
+    }
+
+    lw.wo.Forward(dev_, attn_out.data(), proj.data(), rows);
+    hkern::AddF16(dev_, x.data(), proj.data(), x.data(), static_cast<int64_t>(rows) * hidden);
+    hkern::RmsNormF16(dev_, x.data(), lw.ffn_norm.data(), xn.data(), rows, hidden, c.rms_eps);
+    lw.w_gate.Forward(dev_, xn.data(), gate.data(), rows);
+    lw.w_up.Forward(dev_, xn.data(), up.data(), rows);
+    hkern::SiluMulF16(dev_, gate.data(), up.data(), act.data(),
+                      static_cast<int64_t>(rows) * c.ffn_hidden);
+    lw.w_down.Forward(dev_, act.data(), proj.data(), rows);
+    hkern::AddF16(dev_, x.data(), proj.data(), x.data(), static_cast<int64_t>(rows) * hidden);
+  }
+
+  for (int r = 0; r < rows; ++r) {
+    kv_.Advance(seq);
+  }
+}
+
+void Transformer::StepSeqSubset(std::span<const int> tokens, std::span<const int> seq_ids,
+                                std::span<float> logits,
+                                hkern::SoftmaxVariant exp_variant) {
+  const ModelConfig& c = weights_.config;
+  const int batch = static_cast<int>(tokens.size());
+  HEXLLM_CHECK(batch >= 1 && batch <= max_batch_);
+  HEXLLM_CHECK(seq_ids.size() == tokens.size());
+  HEXLLM_CHECK(logits.size() == static_cast<size_t>(batch) * c.vocab);
+  const int hidden = c.hidden;
+  const int q_dim = c.q_dim();
+  const int kv_dim = c.kv_dim();
+  const int dh = c.head_dim;
+  const int group = c.heads / c.kv_heads;
+
+  // Embedding lookup on the CPU.
+  std::vector<F16> x(static_cast<size_t>(batch) * hidden);
+  for (int b = 0; b < batch; ++b) {
+    HEXLLM_CHECK(tokens[static_cast<size_t>(b)] >= 0 &&
+                 tokens[static_cast<size_t>(b)] < c.vocab);
+    std::memcpy(x.data() + static_cast<size_t>(b) * hidden,
+                weights_.embedding.data() +
+                    static_cast<size_t>(tokens[static_cast<size_t>(b)]) * hidden,
+                static_cast<size_t>(hidden) * 2);
+  }
+
+  std::vector<F16> xn(x.size());
+  std::vector<F16> q(static_cast<size_t>(batch) * q_dim);
+  std::vector<F16> k(static_cast<size_t>(batch) * kv_dim);
+  std::vector<F16> v(static_cast<size_t>(batch) * kv_dim);
+  std::vector<F16> attn_out(static_cast<size_t>(batch) * q_dim);
+  std::vector<F16> proj(static_cast<size_t>(batch) * hidden);
+  std::vector<F16> gate(static_cast<size_t>(batch) * c.ffn_hidden);
+  std::vector<F16> up(static_cast<size_t>(batch) * c.ffn_hidden);
+  std::vector<F16> act(static_cast<size_t>(batch) * c.ffn_hidden);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  for (int l = 0; l < c.layers; ++l) {
+    const LayerWeights& lw = weights_.layers[static_cast<size_t>(l)];
+
+    // --- attention block ---
+    hkern::RmsNormF16(dev_, x.data(), lw.attn_norm.data(), xn.data(), batch, hidden,
+                      c.rms_eps);
+    lw.wq.Forward(dev_, xn.data(), q.data(), batch);
+    lw.wk.Forward(dev_, xn.data(), k.data(), batch);
+    lw.wv.Forward(dev_, xn.data(), v.data(), batch);
+
+    for (int b = 0; b < batch; ++b) {
+      const int seq = seq_ids[static_cast<size_t>(b)];
+      const int pos = kv_.length(seq);
+      for (int h = 0; h < c.heads; ++h) {
+        hkern::RopeF16(dev_, q.data() + static_cast<size_t>(b) * q_dim + h * dh, 1, dh, pos,
+                       c.rope_theta);
+      }
+      for (int h = 0; h < c.kv_heads; ++h) {
+        hkern::RopeF16(dev_, k.data() + static_cast<size_t>(b) * kv_dim + h * dh, 1, dh, pos,
+                       c.rope_theta);
+      }
+      std::memcpy(kv_.KeyRow(l, seq, pos), k.data() + static_cast<size_t>(b) * kv_dim,
+                  static_cast<size_t>(kv_dim) * 2);
+      std::memcpy(kv_.ValueRow(l, seq, pos), v.data() + static_cast<size_t>(b) * kv_dim,
+                  static_cast<size_t>(kv_dim) * 2);
+    }
+
+    for (int b = 0; b < batch; ++b) {
+      const int seq = seq_ids[static_cast<size_t>(b)];
+      const int kv_len = kv_.length(seq) + 1;  // includes the row just written
+      // Strided head views copied contiguous for the attention kernel (on the phone the KV
+      // cache is stored head-major; the copy is a simulation convenience).
+      std::vector<F16> k_head(static_cast<size_t>(kv_len) * dh);
+      std::vector<F16> v_head(static_cast<size_t>(kv_len) * dh);
+      for (int h = 0; h < c.heads; ++h) {
+        const int kvh = h / group;
+        for (int t = 0; t < kv_len; ++t) {
+          std::memcpy(k_head.data() + static_cast<size_t>(t) * dh,
+                      kv_.Keys(l, seq) + static_cast<size_t>(t) * kv_dim + kvh * dh,
+                      static_cast<size_t>(dh) * 2);
+          std::memcpy(v_head.data() + static_cast<size_t>(t) * dh,
+                      kv_.Values(l, seq) + static_cast<size_t>(t) * kv_dim + kvh * dh,
+                      static_cast<size_t>(dh) * 2);
+        }
+        hkern::FlashAttentionF16(dev_, lut_, exp_variant,
+                                 q.data() + static_cast<size_t>(b) * q_dim + h * dh,
+                                 k_head.data(), v_head.data(),
+                                 attn_out.data() + static_cast<size_t>(b) * q_dim + h * dh,
+                                 /*q_len=*/1, kv_len, dh, scale);
+      }
+    }
+
+    lw.wo.Forward(dev_, attn_out.data(), proj.data(), batch);
+    hkern::AddF16(dev_, x.data(), proj.data(), x.data(), static_cast<int64_t>(batch) * hidden);
+
+    // --- FFN block ---
+    hkern::RmsNormF16(dev_, x.data(), lw.ffn_norm.data(), xn.data(), batch, hidden, c.rms_eps);
+    lw.w_gate.Forward(dev_, xn.data(), gate.data(), batch);
+    lw.w_up.Forward(dev_, xn.data(), up.data(), batch);
+    hkern::SiluMulF16(dev_, gate.data(), up.data(), act.data(),
+                      static_cast<int64_t>(batch) * c.ffn_hidden);
+    lw.w_down.Forward(dev_, act.data(), proj.data(), batch);
+    hkern::AddF16(dev_, x.data(), proj.data(), x.data(), static_cast<int64_t>(batch) * hidden);
+  }
+
+  for (size_t i = 0; i < seq_ids.size(); ++i) {
+    kv_.Advance(seq_ids[i]);
+  }
+
+  // Final norm + CPU lm_head.
+  hkern::RmsNormF16(dev_, x.data(), weights_.final_norm.data(), xn.data(), batch, hidden,
+                    c.rms_eps);
+  hkern::LmHeadForward(xn.data(), weights_.lm_head.data(), logits.data(), batch, hidden,
+                       c.vocab);
+}
+
+}  // namespace hllm

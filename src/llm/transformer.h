@@ -1,0 +1,94 @@
+// Functional batched transformer running end-to-end on the NPU simulator.
+//
+// Decode path per layer: RMSNorm -> Q/K/V projections (tile-quantized mixed GEMM on
+// HVX+HMX) -> RoPE -> KV-cache append -> per-head FP16 FlashAttention with LUT softmax ->
+// output projection -> residual -> RMSNorm -> SwiGLU FFN -> residual. The final hidden
+// states project to logits on the (simulated) CPU, matching the paper's operator placement
+// (§6, §7.2.2).
+//
+// This path is functional: it produces real numbers and charges realistic cycle costs. It is
+// intended for the toy configuration (tests, examples); full-size models use the analytic
+// timing engine in src/runtime.
+#ifndef SRC_LLM_TRANSFORMER_H_
+#define SRC_LLM_TRANSFORMER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/fp16.h"
+#include "src/hexsim/npu_device.h"
+#include "src/kernels/exp_lut.h"
+#include "src/kernels/softmax.h"
+#include "src/llm/weights.h"
+
+namespace hllm {
+
+// Per-layer, per-sequence FP16 KV cache.
+class KvCache {
+ public:
+  KvCache(const ModelConfig& config, int max_batch, int max_context);
+
+  int max_context() const { return max_context_; }
+  int length(int seq) const { return lengths_[static_cast<size_t>(seq)]; }
+
+  // Row pointers for appending at the current length (rows are [kv_dim] wide).
+  hexllm::F16* KeyRow(int layer, int seq, int pos);
+  hexllm::F16* ValueRow(int layer, int seq, int pos);
+  const hexllm::F16* Keys(int layer, int seq) const;
+  const hexllm::F16* Values(int layer, int seq) const;
+
+  // Advances sequence `seq` by one position (call once per decoded token, after all layers
+  // wrote their K/V rows).
+  void Advance(int seq);
+  void ResetSeq(int seq);
+
+  int64_t byte_size() const { return static_cast<int64_t>(storage_.size()) * 2; }
+
+ private:
+  int64_t Index(int layer, int seq, int pos, bool value) const;
+
+  ModelConfig config_;
+  int max_batch_;
+  int max_context_;
+  std::vector<int> lengths_;
+  std::vector<hexllm::F16> storage_;
+};
+
+class Transformer {
+ public:
+  Transformer(hexsim::NpuDevice& dev, const ModelWeights& weights, int max_batch,
+              int max_context);
+
+  // Decodes one step for `tokens.size()` parallel sequences (sequence i consumes tokens[i]
+  // at its current position). Writes FP32 logits [batch, vocab]. The softmax exp variant is
+  // configurable for the Table 5 experiments.
+  void Step(std::span<const int> tokens, std::span<float> logits,
+            hkern::SoftmaxVariant exp_variant = hkern::SoftmaxVariant::kLut);
+
+  // Prefills sequence `seq` with a prompt, processed in chunks of up to 32 tokens per
+  // forward pass (causal FlashAttention handles intra-chunk masking) — the paper's chunked
+  // prefill pipeline, not token-by-token decoding. Logits are discarded.
+  void Prefill(int seq, std::span<const int> tokens);
+
+  KvCache& kv() { return kv_; }
+  const ModelConfig& config() const { return weights_.config; }
+  hexsim::NpuDevice& device() { return dev_; }
+
+ private:
+  void StepSeqSubset(std::span<const int> tokens, std::span<const int> seq_ids,
+                     std::span<float> logits, hkern::SoftmaxVariant exp_variant);
+  // One prefill chunk for a single sequence: rows = tokens.size() (<= 32) query positions
+  // starting at the sequence's current KV length.
+  void PrefillChunk(int seq, std::span<const int> tokens);
+
+  hexsim::NpuDevice& dev_;
+  const ModelWeights& weights_;
+  hkern::ExpLut lut_;
+  KvCache kv_;
+  int max_batch_;
+};
+
+}  // namespace hllm
+
+#endif  // SRC_LLM_TRANSFORMER_H_

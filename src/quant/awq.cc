@@ -1,0 +1,90 @@
+#include "src/quant/awq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/check.h"
+#include "src/quant/group_quant.h"
+
+namespace hquant {
+
+std::vector<float> CalibrationActScales(std::span<const float> acts, int64_t samples,
+                                        int64_t k) {
+  HEXLLM_CHECK(static_cast<int64_t>(acts.size()) == samples * k);
+  HEXLLM_CHECK(samples > 0);
+  std::vector<float> scale(static_cast<size_t>(k), 0.0f);
+  for (int64_t s = 0; s < samples; ++s) {
+    for (int64_t i = 0; i < k; ++i) {
+      scale[static_cast<size_t>(i)] += std::fabs(acts[static_cast<size_t>(s * k + i)]);
+    }
+  }
+  for (auto& v : scale) {
+    v /= static_cast<float>(samples);
+  }
+  return scale;
+}
+
+AwqQuantized AwqQuantize(std::span<const float> w, int64_t k, int64_t n,
+                         std::span<const float> act_scale, double alpha) {
+  HEXLLM_CHECK(static_cast<int64_t>(w.size()) == k * n);
+  HEXLLM_CHECK(static_cast<int64_t>(act_scale.size()) == k);
+  AwqQuantized q;
+  q.k = k;
+  q.n = n;
+  // s_k = (E|a_k| / median)^alpha. Median normalization keeps the typical dimension
+  // unscaled even when a few outlier dims dominate the mean.
+  std::vector<float> sorted(act_scale.begin(), act_scale.end());
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<long>(sorted.size() / 2),
+                   sorted.end());
+  const double median = std::max(1e-20, static_cast<double>(sorted[sorted.size() / 2]));
+  q.scales.resize(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    const double rel = std::max(1e-6, act_scale[static_cast<size_t>(i)] / median);
+    q.scales[static_cast<size_t>(i)] = static_cast<float>(std::pow(rel, alpha));
+  }
+  // Scale, then conventional column-major group quantization.
+  std::vector<float> scaled(w.size());
+  for (int64_t c = 0; c < n; ++c) {
+    for (int64_t i = 0; i < k; ++i) {
+      scaled[static_cast<size_t>(c * k + i)] =
+          w[static_cast<size_t>(c * k + i)] * q.scales[static_cast<size_t>(i)];
+    }
+  }
+  q.blocks = QuantizeQ4_0(scaled);
+  return q;
+}
+
+std::vector<float> AwqDequantize(const AwqQuantized& q) {
+  std::vector<float> rec(static_cast<size_t>(q.k * q.n));
+  DequantizeQ4_0(q.blocks, rec);
+  for (int64_t c = 0; c < q.n; ++c) {
+    for (int64_t i = 0; i < q.k; ++i) {
+      rec[static_cast<size_t>(c * q.k + i)] /= q.scales[static_cast<size_t>(i)];
+    }
+  }
+  return rec;
+}
+
+double OutputMse(std::span<const float> w_ref, std::span<const float> w_rec, int64_t k,
+                 int64_t n, std::span<const float> acts, int64_t samples) {
+  HEXLLM_CHECK(w_ref.size() == w_rec.size());
+  HEXLLM_CHECK(static_cast<int64_t>(acts.size()) == samples * k);
+  double se = 0.0;
+  for (int64_t s = 0; s < samples; ++s) {
+    const float* a = acts.data() + s * k;
+    for (int64_t c = 0; c < n; ++c) {
+      double y_ref = 0.0;
+      double y_rec = 0.0;
+      const float* col_ref = w_ref.data() + c * k;
+      const float* col_rec = w_rec.data() + c * k;
+      for (int64_t i = 0; i < k; ++i) {
+        y_ref += static_cast<double>(a[i]) * col_ref[i];
+        y_rec += static_cast<double>(a[i]) * col_rec[i];
+      }
+      se += (y_ref - y_rec) * (y_ref - y_rec);
+    }
+  }
+  return se / (static_cast<double>(samples) * n);
+}
+
+}  // namespace hquant

@@ -1,0 +1,50 @@
+// AWQ-style activation-aware weight scaling (Lin et al., the "AutoAWQ" of Table 1).
+//
+// Weight-only group quantization treats every weight equally, but the output error of
+// y = W^T a is dominated by the weights multiplying large activations. AWQ scales the
+// salient input dimensions up before quantization (w'_{k,n} = w_{k,n} * s_k with
+// s_k = act_scale_k^alpha) and folds the inverse scaling into the activations (in practice
+// into the preceding normalization layer), so the quantization grid spends its resolution
+// where the output cares.
+//
+// This is the algorithm behind the paper's strongest W4 baseline; combined with the
+// tile-group layout it is fully compatible with the NPU pipeline (the scaling is an offline
+// transform, the storage format is unchanged).
+#ifndef SRC_QUANT_AWQ_H_
+#define SRC_QUANT_AWQ_H_
+
+#include <span>
+#include <vector>
+
+#include "src/quant/quant_types.h"
+
+namespace hquant {
+
+struct AwqQuantized {
+  std::vector<float> scales;          // per input-dim s_k (activations divide by these)
+  std::vector<BlockQ4_0> blocks;      // group-quantized scaled weights, column-major groups
+  int64_t k = 0;
+  int64_t n = 0;
+};
+
+// Per-input-dim activation magnitudes (E|a_k|) estimated from calibration activations
+// [samples x k] (row-major).
+std::vector<float> CalibrationActScales(std::span<const float> acts, int64_t samples,
+                                        int64_t k);
+
+// Quantizes a [K, N] column-major matrix with AWQ scaling at the given alpha (0 = plain
+// group quantization; ~0.5 is the paper-typical protection strength).
+AwqQuantized AwqQuantize(std::span<const float> w_col_major, int64_t k, int64_t n,
+                         std::span<const float> act_scale, double alpha);
+
+// Reconstructs the ORIGINAL (unscaled) [K, N] matrix from the AWQ blocks.
+std::vector<float> AwqDequantize(const AwqQuantized& q);
+
+// Mean squared error of the layer OUTPUT y = W^T a over calibration activations — the
+// quantity AWQ actually optimizes (plain weight MSE can go UP while this goes down).
+double OutputMse(std::span<const float> w_ref, std::span<const float> w_rec, int64_t k,
+                 int64_t n, std::span<const float> acts, int64_t samples);
+
+}  // namespace hquant
+
+#endif  // SRC_QUANT_AWQ_H_

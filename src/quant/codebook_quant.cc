@@ -1,0 +1,72 @@
+#include "src/quant/codebook_quant.h"
+
+#include <cmath>
+
+#include "src/base/check.h"
+#include "src/quant/tile_quant.h"
+
+namespace hquant {
+
+float CodebookGroupScale(Int4Codebook cb, std::span<const float> group) {
+  float amax = 0.0f;
+  float vmax = 0.0f;
+  for (const float x : group) {
+    if (std::fabs(x) > amax) {
+      amax = std::fabs(x);
+      vmax = x;
+    }
+  }
+  switch (cb) {
+    case Int4Codebook::kQ4_0:
+      return vmax / -8.0f;
+    case Int4Codebook::kNf4:
+      return amax;  // levels span [-1, 1]
+    case Int4Codebook::kFp4:
+      return amax / 6.0f;  // largest e2m1 magnitude
+    case Int4Codebook::kIq4Nl:
+      return amax / 127.0f;  // levels in the int8 domain
+  }
+  return 0.0f;
+}
+
+std::vector<SuperBlockQ4> CodebookQuantizeSuperblocks(std::span<const float> values,
+                                                      Int4Codebook cb) {
+  HEXLLM_CHECK(values.size() % SuperBlockQ4::kElems == 0);
+  const size_t n_sbs = values.size() / SuperBlockQ4::kElems;
+  std::vector<SuperBlockQ4> sbs(n_sbs);
+  for (size_t si = 0; si < n_sbs; ++si) {
+    SuperBlockQ4& sb = sbs[si];
+    const float* base = values.data() + si * SuperBlockQ4::kElems;
+    uint8_t codes[SuperBlockQ4::kElems];
+    for (int g = 0; g < SuperBlockQ4::kGroups; ++g) {
+      const std::span<const float> group{base + g * kGroupSize,
+                                         static_cast<size_t>(kGroupSize)};
+      const float d = CodebookGroupScale(cb, group);
+      sb.scales[g] = hexllm::F16(d);
+      const float id = (d != 0.0f) ? 1.0f / d : 0.0f;
+      for (int i = 0; i < kGroupSize; ++i) {
+        codes[g * kGroupSize + i] =
+            static_cast<uint8_t>(EncodeToCodebook(cb, group[static_cast<size_t>(i)] * id));
+      }
+    }
+    for (int i = 0; i < 128; ++i) {
+      sb.qs[i] = static_cast<uint8_t>(codes[i] | (codes[128 + i] << 4));
+    }
+  }
+  return sbs;
+}
+
+void CodebookDequantizeSuperblocks(std::span<const SuperBlockQ4> sbs, Int4Codebook cb,
+                                   std::span<float> out) {
+  HEXLLM_CHECK(out.size() == sbs.size() * SuperBlockQ4::kElems);
+  const auto levels = CodebookLevels(cb);
+  for (size_t si = 0; si < sbs.size(); ++si) {
+    float* o = out.data() + si * SuperBlockQ4::kElems;
+    for (int j = 0; j < SuperBlockQ4::kElems; ++j) {
+      const float d = sbs[si].scales[j / kGroupSize].ToFloat();
+      o[j] = levels[static_cast<size_t>(SuperBlockNibble(sbs[si], j))] * d;
+    }
+  }
+}
+
+}  // namespace hquant

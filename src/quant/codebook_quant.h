@@ -1,0 +1,38 @@
+// Codebook super-block quantization: the generalization §5.2.2 promises — "this LUT-centric
+// design can easily support different 4-bit encoding schemes (e.g. FP4, NF4, IQ4_NL) simply
+// by adjusting the table contents".
+//
+// The storage layout is byte-identical to SuperBlockQ4 (128 B of nibble indices + 8 FP16
+// scales); only the meaning of a nibble changes:
+//   kQ4_0   : value = (code - 8) * d,        d = signed-max / -8
+//   kNf4    : value = nf4_level[code] * d,   d = group absmax   (levels in [-1, 1])
+//   kFp4    : value = e2m1[code] * d,        d = absmax / 6
+//   kIq4Nl  : value = iq4nl[code] * d,       d = absmax / 127   (levels in int8 domain)
+// The runtime dequantization kernel is the SAME vlut16 instruction sequence for all of them
+// (see hkern::DequantCoalescedLut's codebook parameter) — identical cost, different table.
+#ifndef SRC_QUANT_CODEBOOK_QUANT_H_
+#define SRC_QUANT_CODEBOOK_QUANT_H_
+
+#include <span>
+#include <vector>
+
+#include "src/quant/codebooks.h"
+#include "src/quant/quant_types.h"
+
+namespace hquant {
+
+// Group scale for `cb` given the group's values (see table above).
+float CodebookGroupScale(Int4Codebook cb, std::span<const float> group);
+
+// Quantizes a flat stream (size % 256 == 0) into super-blocks under codebook `cb`.
+// For kQ4_0 this produces bit-identical output to CoalesceSuperblocks(QuantizeQ4_0(...)).
+std::vector<SuperBlockQ4> CodebookQuantizeSuperblocks(std::span<const float> values,
+                                                      Int4Codebook cb);
+
+// Reference dequantization under codebook `cb`.
+void CodebookDequantizeSuperblocks(std::span<const SuperBlockQ4> sbs, Int4Codebook cb,
+                                   std::span<float> out);
+
+}  // namespace hquant
+
+#endif  // SRC_QUANT_CODEBOOK_QUANT_H_

@@ -1,0 +1,74 @@
+#include "src/quant/codebooks.h"
+
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace hquant {
+
+const char* Int4CodebookName(Int4Codebook cb) {
+  switch (cb) {
+    case Int4Codebook::kQ4_0:
+      return "Q4_0";
+    case Int4Codebook::kNf4:
+      return "NF4";
+    case Int4Codebook::kFp4:
+      return "FP4";
+    case Int4Codebook::kIq4Nl:
+      return "IQ4_NL";
+  }
+  return "?";
+}
+
+std::array<float, 16> CodebookLevels(Int4Codebook cb) {
+  switch (cb) {
+    case Int4Codebook::kQ4_0: {
+      std::array<float, 16> v{};
+      for (int i = 0; i < 16; ++i) {
+        v[static_cast<size_t>(i)] = static_cast<float>(i - 8);
+      }
+      return v;
+    }
+    case Int4Codebook::kNf4:
+      // QLoRA (Dettmers et al. 2023) NormalFloat4 quantile levels.
+      return {-1.0f, -0.6961928009986877f, -0.5250730514526367f, -0.39491748809814453f,
+              -0.28444138169288635f, -0.18477343022823334f, -0.09105003625154495f, 0.0f,
+              0.07958029955625534f, 0.16093020141124725f, 0.24611230194568634f,
+              0.33791524171829224f, 0.44070982933044434f, 0.5626170039176941f,
+              0.7229568362236023f, 1.0f};
+    case Int4Codebook::kFp4:
+      // e2m1: codes 0..7 positive, 8..15 negative mirror.
+      return {0.0f, 0.5f, 1.0f, 1.5f, 2.0f, 3.0f, 4.0f, 6.0f,
+              -0.0f, -0.5f, -1.0f, -1.5f, -2.0f, -3.0f, -4.0f, -6.0f};
+    case Int4Codebook::kIq4Nl:
+      // llama.cpp kvalues_iq4nl.
+      return {-127.0f, -104.0f, -83.0f, -65.0f, -49.0f, -35.0f, -22.0f, -10.0f,
+              1.0f, 13.0f, 25.0f, 38.0f, 53.0f, 69.0f, 89.0f, 113.0f};
+  }
+  HEXLLM_CHECK_MSG(false, "unknown codebook");
+}
+
+std::array<uint16_t, 16> CodebookLevelsF16(Int4Codebook cb) {
+  const std::array<float, 16> levels = CodebookLevels(cb);
+  std::array<uint16_t, 16> bits{};
+  for (size_t i = 0; i < 16; ++i) {
+    bits[i] = hexllm::F32ToF16Bits(levels[i]);
+  }
+  return bits;
+}
+
+int EncodeToCodebook(Int4Codebook cb, float normalized_value) {
+  const std::array<float, 16> levels = CodebookLevels(cb);
+  int best = 0;
+  float best_d = std::fabs(normalized_value - levels[0]);
+  for (int i = 1; i < 16; ++i) {
+    const float d = std::fabs(normalized_value - levels[static_cast<size_t>(i)]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace hquant

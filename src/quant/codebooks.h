@@ -1,0 +1,37 @@
+// 16-entry dequantization codebooks for the vlut16-based INT4 -> FP16 conversion (§5.2.2).
+//
+// The LUT-centric design's selling point is that supporting a different 4-bit encoding is
+// just a different table: Q4_0's affine [-8..7] grid, NF4 (QLoRA's normal-float levels), FP4
+// (e2m1 mini-float), and IQ4_NL (llama.cpp's non-linear INT4 grid) all dequantize with the
+// identical instruction sequence.
+#ifndef SRC_QUANT_CODEBOOKS_H_
+#define SRC_QUANT_CODEBOOKS_H_
+
+#include <array>
+#include <span>
+
+#include "src/base/fp16.h"
+
+namespace hquant {
+
+enum class Int4Codebook : uint8_t {
+  kQ4_0,    // code - 8, scaled by the group scale
+  kNf4,     // QLoRA normal-float-4 levels in [-1, 1], scaled by group absmax
+  kFp4,     // e2m1: {0, .5, 1, 1.5, 2, 3, 4, 6} with sign bit
+  kIq4Nl,   // llama.cpp non-linear INT4 grid (int8-scaled domain)
+};
+
+const char* Int4CodebookName(Int4Codebook cb);
+
+// Returns the 16 dequantization levels for `cb` as FP32 (index = 4-bit code).
+std::array<float, 16> CodebookLevels(Int4Codebook cb);
+
+// Same levels converted to FP16 bit patterns, ready to splat into a vlut16 table register.
+std::array<uint16_t, 16> CodebookLevelsF16(Int4Codebook cb);
+
+// Nearest-level encoder for `cb` (used to quantize against non-uniform codebooks).
+int EncodeToCodebook(Int4Codebook cb, float normalized_value);
+
+}  // namespace hquant
+
+#endif  // SRC_QUANT_CODEBOOKS_H_

@@ -1,0 +1,38 @@
+#include "src/quant/error_stats.h"
+
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace hquant {
+
+ErrorStats ComputeErrorStats(std::span<const float> reference,
+                             std::span<const float> reconstruction) {
+  HEXLLM_CHECK(reference.size() == reconstruction.size());
+  HEXLLM_CHECK(!reference.empty());
+  double se = 0.0;
+  double ref_sq = 0.0;
+  double rec_sq = 0.0;
+  double dot = 0.0;
+  double max_abs = 0.0;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    const double r = reference[i];
+    const double q = reconstruction[i];
+    const double e = q - r;
+    se += e * e;
+    ref_sq += r * r;
+    rec_sq += q * q;
+    dot += r * q;
+    max_abs = std::max(max_abs, std::fabs(e));
+  }
+  ErrorStats s;
+  const double n = static_cast<double>(reference.size());
+  s.mse = se / n;
+  s.rel_rms = (ref_sq > 0.0) ? std::sqrt(se / ref_sq) : 0.0;
+  s.max_abs = max_abs;
+  const double denom = std::sqrt(ref_sq) * std::sqrt(rec_sq);
+  s.cosine = (denom > 0.0) ? dot / denom : 1.0;
+  return s;
+}
+
+}  // namespace hquant

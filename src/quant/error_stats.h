@@ -1,0 +1,24 @@
+// Quantization error statistics. The relative RMS error (RMS of the reconstruction error
+// normalized by the RMS of the original weights) is the quantity the capability model in
+// src/tts consumes: all accuracy contrasts in Tables 1/4/5 are driven by values *measured*
+// here, not hard-coded.
+#ifndef SRC_QUANT_ERROR_STATS_H_
+#define SRC_QUANT_ERROR_STATS_H_
+
+#include <span>
+
+namespace hquant {
+
+struct ErrorStats {
+  double mse = 0.0;        // mean squared error
+  double rel_rms = 0.0;    // rms(error) / rms(reference)
+  double max_abs = 0.0;    // worst-case absolute error
+  double cosine = 1.0;     // cosine similarity between reference and reconstruction
+};
+
+ErrorStats ComputeErrorStats(std::span<const float> reference,
+                             std::span<const float> reconstruction);
+
+}  // namespace hquant
+
+#endif  // SRC_QUANT_ERROR_STATS_H_

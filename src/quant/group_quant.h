@@ -1,0 +1,52 @@
+// Group quantizers (Q4_0 / Q8_0) and the QNN-style per-channel INT4 baseline.
+//
+// Weight-matrix convention across the project: W has shape [K, N] — K the input (reduction)
+// dimension, N the output dimension — stored column-major (each output channel's K weights
+// are contiguous), matching the layout llama.cpp uses for CPU dot-product kernels (§5.1.1).
+// "Conventional" grouping cuts each column into contiguous groups of 32 along K.
+#ifndef SRC_QUANT_GROUP_QUANT_H_
+#define SRC_QUANT_GROUP_QUANT_H_
+
+#include <span>
+#include <vector>
+
+#include "src/quant/quant_types.h"
+
+namespace hquant {
+
+// --- flat group quantization (layout-agnostic: operates on a linear element stream) ---
+
+// Quantizes `values` (size divisible by 32) into Q4_0 blocks with round-to-nearest.
+// Scale selection follows llama.cpp: d = (element of max magnitude) / -8, so the full
+// [-8, 7] integer range is reachable.
+std::vector<BlockQ4_0> QuantizeQ4_0(std::span<const float> values);
+
+// Quantizes into Q8_0 blocks (d = amax / 127).
+std::vector<BlockQ8_0> QuantizeQ8_0(std::span<const float> values);
+
+// Reference dequantizers (exact inverse of the storage semantics; FP16 scale applied in
+// FP32, result NOT re-rounded to FP16 — kernels decide their own output precision).
+void DequantizeQ4_0(std::span<const BlockQ4_0> blocks, std::span<float> out);
+void DequantizeQ8_0(std::span<const BlockQ8_0> blocks, std::span<float> out);
+
+// Value of element `i` within a block (for tests / scalar paths).
+float BlockQ4Value(const BlockQ4_0& b, int i);
+
+// --- per-channel INT4 (the QNN-style coarse baseline of Table 1) ---
+
+struct PerChannelInt4 {
+  int64_t k = 0;  // reduction dim (elements per channel)
+  int64_t n = 0;  // channels
+  std::vector<float> scales;  // one per channel
+  std::vector<uint8_t> qs;    // nibble-packed per channel: ceil(k/2) bytes * n
+};
+
+// Quantizes a [K, N] column-major weight matrix with one symmetric INT4 scale per output
+// channel (column). This is the coarse-grained scheme mobile NPUs support natively (§3.3).
+PerChannelInt4 QuantizePerChannelInt4(std::span<const float> w_col_major, int64_t k, int64_t n);
+
+void DequantizePerChannelInt4(const PerChannelInt4& q, std::span<float> out_col_major);
+
+}  // namespace hquant
+
+#endif  // SRC_QUANT_GROUP_QUANT_H_

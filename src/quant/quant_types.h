@@ -1,0 +1,63 @@
+// Quantization block formats.
+//
+// The storage layouts follow llama.cpp conventions (the system is built as a llama.cpp NPU
+// backend, §6): Q4_0 stores a group of 32 weights as one FP16 scale plus 16 nibble-packed
+// bytes; Q8_0 stores one FP16 scale plus 32 int8 values. Blocks interleave payload and scale
+// (AoS) because NPU prefetch prefers one contiguous stream over two (§5.1.2).
+#ifndef SRC_QUANT_QUANT_TYPES_H_
+#define SRC_QUANT_QUANT_TYPES_H_
+
+#include <cstdint>
+
+#include "src/base/fp16.h"
+
+namespace hquant {
+
+inline constexpr int kGroupSize = 32;  // elements per quantization group
+
+enum class WeightScheme : uint8_t {
+  kF16,             // unquantized half weights
+  kQ4_0,            // 4-bit symmetric groups of 32 (4.5 bits/weight)
+  kQ8_0,            // 8-bit symmetric groups of 32 (8.5 bits/weight)
+  kPerChannelInt4,  // QNN-style: one scale per output channel (coarse-grained)
+};
+
+const char* WeightSchemeName(WeightScheme s);
+
+// Bits per weight including scale overhead.
+double WeightSchemeBpw(WeightScheme s);
+
+// One Q4_0 group: 32 weights. value(i) = (nibble(i) - 8) * d.
+// Nibble packing: byte j holds element j in the low nibble and element j+16 in the high
+// nibble (llama.cpp block_q4_0 layout).
+struct BlockQ4_0 {
+  hexllm::F16 d;
+  uint8_t qs[kGroupSize / 2];
+};
+static_assert(sizeof(BlockQ4_0) == 18, "Q4_0 block is 18 bytes");
+
+// One Q8_0 group: 32 weights. value(i) = qs[i] * d.
+struct BlockQ8_0 {
+  hexllm::F16 d;
+  int8_t qs[kGroupSize];
+};
+static_assert(sizeof(BlockQ8_0) == 34, "Q8_0 block is 34 bytes");
+
+// Super-block produced by coalescing 8 Q4_0 groups (256 elements) so that the INT4 payload
+// fills exactly one 128-byte HVX register (§5.1.2, Figure 7).
+//
+// Payload nibble layout: byte i holds element i in the low nibble and element 128+i in the
+// high nibble. A single vand/vshr pair therefore yields two full index registers covering
+// elements 0..127 and 128..255 in order — no cross-register merging.
+// Scales: 8 FP16 scales, one per original group of 32 consecutive elements.
+struct SuperBlockQ4 {
+  static constexpr int kElems = 256;
+  static constexpr int kGroups = 8;
+  uint8_t qs[128];
+  hexllm::F16 scales[kGroups];
+};
+static_assert(sizeof(SuperBlockQ4) == 144, "super-block is 144 bytes");
+
+}  // namespace hquant
+
+#endif  // SRC_QUANT_QUANT_TYPES_H_

@@ -1,0 +1,38 @@
+#include "src/quant/synthetic_weights.h"
+
+namespace hquant {
+
+std::vector<float> GenerateLlmLikeMatrix(int64_t k_dim, int64_t n_dim, hexllm::Rng& rng,
+                                         const WeightGenOptions& opts) {
+  // Mark the systematic-outlier input dimensions once: they are shared across all output
+  // channels, as observed in real transformers.
+  std::vector<double> dim_scale(static_cast<size_t>(k_dim), 1.0);
+  for (int64_t i = 0; i < k_dim; ++i) {
+    if (rng.NextBool(opts.outlier_dim_frac)) {
+      dim_scale[static_cast<size_t>(i)] = opts.outlier_dim_scale * (0.75 + 0.5 * rng.NextDouble());
+    }
+  }
+  std::vector<float> w(static_cast<size_t>(k_dim * n_dim));
+  for (int64_t c = 0; c < n_dim; ++c) {
+    float* col = w.data() + c * k_dim;
+    for (int64_t i = 0; i < k_dim; ++i) {
+      double v = rng.NextGaussian() * opts.sigma * dim_scale[static_cast<size_t>(i)];
+      if (rng.NextBool(opts.spike_frac)) {
+        v *= opts.spike_scale;
+      }
+      col[i] = static_cast<float>(v);
+    }
+  }
+  return w;
+}
+
+std::vector<float> GenerateGaussianMatrix(int64_t k_dim, int64_t n_dim, hexllm::Rng& rng,
+                                          double sigma) {
+  std::vector<float> w(static_cast<size_t>(k_dim * n_dim));
+  for (auto& v : w) {
+    v = static_cast<float>(rng.NextGaussian() * sigma);
+  }
+  return w;
+}
+
+}  // namespace hquant

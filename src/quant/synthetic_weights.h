@@ -1,0 +1,44 @@
+// Synthetic LLM-like weight matrices (the substitution for real checkpoints).
+//
+// Two properties of real transformer weights drive every quantization result in the paper:
+//   1. the bulk of each matrix is approximately zero-mean Gaussian (§5.1.1 relies on this to
+//      argue tile-shaped groups match column-shaped groups statistically);
+//   2. a small fraction of *input dimensions* carry systematic outliers roughly an order of
+//      magnitude larger, consistently across output channels (the documented cause of
+//      coarse-quantization collapse, Table 1; see the "systematic outliers" literature the
+//      paper cites [27, 33, 35]). A per-output-channel scale must stretch to cover these few
+//      huge weights, crushing the resolution of everything else in the channel; groups of 32
+//      along K quarantine each outlier dimension into a handful of groups.
+//
+// GenerateLlmLikeMatrix produces exactly that: N(0, sigma^2) entries with `outlier_dim_frac`
+// of the K input dimensions scaled by a heavy factor, plus sporadic single-element spikes.
+#ifndef SRC_QUANT_SYNTHETIC_WEIGHTS_H_
+#define SRC_QUANT_SYNTHETIC_WEIGHTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace hquant {
+
+struct WeightGenOptions {
+  double sigma = 0.02;            // std-dev of the Gaussian bulk
+  double outlier_dim_frac = 0.003; // fraction of input dims (K) with systematic outliers
+  double outlier_dim_scale = 12.0; // magnitude multiplier for those dims
+  double spike_frac = 2e-4;       // per-element spike probability
+  double spike_scale = 25.0;      // spike magnitude multiplier
+};
+
+// Generates a [K, N] column-major weight matrix with LLM-like statistics.
+std::vector<float> GenerateLlmLikeMatrix(int64_t k_dim, int64_t n_dim, hexllm::Rng& rng,
+                                         const WeightGenOptions& opts = {});
+
+// Generates a plain Gaussian matrix (no outliers) — the idealized case in which per-channel
+// and per-group quantization perform similarly.
+std::vector<float> GenerateGaussianMatrix(int64_t k_dim, int64_t n_dim, hexllm::Rng& rng,
+                                          double sigma = 0.02);
+
+}  // namespace hquant
+
+#endif  // SRC_QUANT_SYNTHETIC_WEIGHTS_H_

@@ -1,0 +1,136 @@
+#include "src/quant/tile_quant.h"
+
+#include "src/base/check.h"
+#include "src/quant/group_quant.h"
+#include "src/hexsim/hmx.h"
+
+namespace hquant {
+namespace {
+
+void CheckDims(int64_t k_dim, int64_t n_dim) {
+  HEXLLM_CHECK_MSG(k_dim % kTileDim == 0 && n_dim % kTileDim == 0,
+                   "tile quantization requires K and N to be multiples of 32");
+}
+
+}  // namespace
+
+KnIndex HmxStreamToKn(int64_t stream_index, int64_t k_dim, int64_t n_dim) {
+  CheckDims(k_dim, n_dim);
+  const int64_t k_tiles = k_dim / kTileDim;
+  const int64_t tile = stream_index / kTileElems;
+  const int h = static_cast<int>(stream_index % kTileElems);
+  const int64_t tc = tile / k_tiles;  // output-dim tile (tiles are column-major, Fig 4b)
+  const int64_t tk = tile % k_tiles;
+  // Invert HmxEngine::TileHalfwordOffset: h = (r/2)*64 + c*2 + r%2.
+  const int p = h / (2 * kTileDim);
+  const int c = (h % (2 * kTileDim)) / 2;
+  const int s = h % 2;
+  const int r = 2 * p + s;
+  return {tk * kTileDim + r, tc * kTileDim + c};
+}
+
+int64_t KnToHmxStream(int64_t k, int64_t n, int64_t k_dim, int64_t n_dim) {
+  CheckDims(k_dim, n_dim);
+  const int64_t k_tiles = k_dim / kTileDim;
+  const int64_t tk = k / kTileDim;
+  const int64_t tc = n / kTileDim;
+  const int r = static_cast<int>(k % kTileDim);
+  const int c = static_cast<int>(n % kTileDim);
+  const int64_t tile = tc * k_tiles + tk;
+  return tile * kTileElems + hexsim::HmxEngine::TileHalfwordOffset(r, c);
+}
+
+std::vector<float> PermuteToHmxOrder(std::span<const float> w, int64_t k_dim, int64_t n_dim) {
+  CheckDims(k_dim, n_dim);
+  HEXLLM_CHECK(static_cast<int64_t>(w.size()) == k_dim * n_dim);
+  std::vector<float> out(w.size());
+  for (int64_t i = 0; i < static_cast<int64_t>(w.size()); ++i) {
+    const KnIndex kn = HmxStreamToKn(i, k_dim, n_dim);
+    out[static_cast<size_t>(i)] = w[static_cast<size_t>(kn.n * k_dim + kn.k)];
+  }
+  return out;
+}
+
+std::vector<float> UnpermuteFromHmxOrder(std::span<const float> stream, int64_t k_dim,
+                                         int64_t n_dim) {
+  CheckDims(k_dim, n_dim);
+  HEXLLM_CHECK(static_cast<int64_t>(stream.size()) == k_dim * n_dim);
+  std::vector<float> out(stream.size());
+  for (int64_t i = 0; i < static_cast<int64_t>(stream.size()); ++i) {
+    const KnIndex kn = HmxStreamToKn(i, k_dim, n_dim);
+    out[static_cast<size_t>(kn.n * k_dim + kn.k)] = stream[static_cast<size_t>(i)];
+  }
+  return out;
+}
+
+std::vector<BlockQ4_0> TileGroupQuantizeQ4(std::span<const float> w, int64_t k_dim,
+                                           int64_t n_dim) {
+  const std::vector<float> stream = PermuteToHmxOrder(w, k_dim, n_dim);
+  return QuantizeQ4_0(stream);
+}
+
+std::vector<BlockQ4_0> ConventionalGroupQuantizeQ4(std::span<const float> w, int64_t k_dim,
+                                                   int64_t n_dim) {
+  HEXLLM_CHECK(static_cast<int64_t>(w.size()) == k_dim * n_dim);
+  HEXLLM_CHECK(k_dim % kGroupSize == 0);
+  // Column-major storage means the whole matrix is already one linear stream of contiguous
+  // K-groups.
+  return QuantizeQ4_0(w);
+}
+
+std::vector<float> DequantizeTileGroupQ4(std::span<const BlockQ4_0> blocks, int64_t k_dim,
+                                         int64_t n_dim) {
+  std::vector<float> stream(blocks.size() * kGroupSize);
+  DequantizeQ4_0(blocks, stream);
+  return UnpermuteFromHmxOrder(stream, k_dim, n_dim);
+}
+
+std::vector<float> DequantizeConventionalQ4(std::span<const BlockQ4_0> blocks, int64_t k_dim,
+                                            int64_t n_dim) {
+  std::vector<float> out(blocks.size() * kGroupSize);
+  HEXLLM_CHECK(static_cast<int64_t>(out.size()) == k_dim * n_dim);
+  DequantizeQ4_0(blocks, out);
+  return out;
+}
+
+std::vector<SuperBlockQ4> CoalesceSuperblocks(std::span<const BlockQ4_0> blocks) {
+  HEXLLM_CHECK(blocks.size() % SuperBlockQ4::kGroups == 0);
+  std::vector<SuperBlockQ4> sbs(blocks.size() / SuperBlockQ4::kGroups);
+  for (size_t si = 0; si < sbs.size(); ++si) {
+    SuperBlockQ4& sb = sbs[si];
+    const BlockQ4_0* group = blocks.data() + si * SuperBlockQ4::kGroups;
+    for (int g = 0; g < SuperBlockQ4::kGroups; ++g) {
+      sb.scales[g] = group[g].d;
+    }
+    // Extract the 256 nibble codes in element order, then repack for HVX consumption.
+    uint8_t codes[SuperBlockQ4::kElems];
+    for (int j = 0; j < SuperBlockQ4::kElems; ++j) {
+      const int g = j / kGroupSize;
+      const int e = j % kGroupSize;
+      const uint8_t byte = group[g].qs[e % (kGroupSize / 2)];
+      codes[j] = (e < kGroupSize / 2) ? (byte & 0x0F) : (byte >> 4);
+    }
+    for (int i = 0; i < 128; ++i) {
+      sb.qs[i] = static_cast<uint8_t>(codes[i] | (codes[128 + i] << 4));
+    }
+  }
+  return sbs;
+}
+
+int SuperBlockNibble(const SuperBlockQ4& sb, int j) {
+  HEXLLM_DCHECK(j >= 0 && j < SuperBlockQ4::kElems);
+  return (j < 128) ? (sb.qs[j] & 0x0F) : (sb.qs[j - 128] >> 4);
+}
+
+void DequantizeSuperblocks(std::span<const SuperBlockQ4> sbs, std::span<float> out) {
+  HEXLLM_CHECK(out.size() == sbs.size() * SuperBlockQ4::kElems);
+  for (size_t si = 0; si < sbs.size(); ++si) {
+    float* o = out.data() + si * SuperBlockQ4::kElems;
+    for (int j = 0; j < SuperBlockQ4::kElems; ++j) {
+      const float d = sbs[si].scales[j / kGroupSize].ToFloat();
+      o[j] = static_cast<float>(SuperBlockNibble(sbs[si], j) - 8) * d;
+    }
+  }
+}
+
+}  // namespace hquant

@@ -1,0 +1,85 @@
+// Hardware-aware tile quantization (§5.1) — the paper's first key technique.
+//
+// Conventional group quantization cuts each weight column into contiguous groups of 32 along
+// the reduction dimension. On the HMX unit that layout scatters each group across the tile
+// memory (Figure 6), forcing expensive gather/scatter in the dequantizing GEMM kernel.
+//
+// The tile scheme instead:
+//   1. permutes the [K, N] weight matrix into the exact layout the HMX unit consumes —
+//      column-major 32x32 tiles, each with Figure 4a's two-row interleave — BEFORE
+//      quantization ("pre-quantization transformation");
+//   2. applies round-to-nearest group quantization on 32 *consecutive* elements of the
+//      permuted stream, which correspond to 2x16 rectangular tiles of the original matrix;
+//   3. post-quantization, coalesces 8 groups into a 256-element super-block whose INT4
+//      payload fills one full 128-byte HVX register (§5.1.2, Figure 7).
+//
+// At runtime the dequantized FP16 output streams contiguously into TCM in exactly the order
+// HMX reads it — no scatter, no layout fixup.
+#ifndef SRC_QUANT_TILE_QUANT_H_
+#define SRC_QUANT_TILE_QUANT_H_
+
+#include <span>
+#include <vector>
+
+#include "src/quant/quant_types.h"
+
+namespace hquant {
+
+inline constexpr int kTileDim = 32;
+inline constexpr int kTileElems = kTileDim * kTileDim;
+
+// Maps a linear index of the HMX-permuted stream back to (k, n) of the [K, N] matrix.
+// The permuted stream enumerates weight tiles column-major (all K-tiles of output-tile 0,
+// then output-tile 1, ...) and elements within a tile in Figure 4a order.
+struct KnIndex {
+  int64_t k;
+  int64_t n;
+};
+KnIndex HmxStreamToKn(int64_t stream_index, int64_t k_dim, int64_t n_dim);
+
+// Inverse: position of element (k, n) in the HMX-permuted stream.
+int64_t KnToHmxStream(int64_t k, int64_t n, int64_t k_dim, int64_t n_dim);
+
+// Permutes a column-major [K, N] matrix into HMX stream order (the offline
+// "pre-quantization transformation"). K and N must be multiples of 32.
+std::vector<float> PermuteToHmxOrder(std::span<const float> w_col_major, int64_t k_dim,
+                                     int64_t n_dim);
+
+// Inverse permutation (used by tests and by the accuracy-evaluation path).
+std::vector<float> UnpermuteFromHmxOrder(std::span<const float> stream, int64_t k_dim,
+                                         int64_t n_dim);
+
+// Tile-group quantization: permute + Q4_0 RTN over the permuted stream. Blocks are stored in
+// stream order; block i covers permuted elements [32*i, 32*i + 32).
+std::vector<BlockQ4_0> TileGroupQuantizeQ4(std::span<const float> w_col_major, int64_t k_dim,
+                                           int64_t n_dim);
+
+// Conventional grouping for comparison: Q4_0 over each column's contiguous K-groups
+// (llama.cpp CPU layout). Blocks ordered column by column.
+std::vector<BlockQ4_0> ConventionalGroupQuantizeQ4(std::span<const float> w_col_major,
+                                                   int64_t k_dim, int64_t n_dim);
+
+// Reconstructs the full [K, N] column-major matrix from tile-group blocks (dequantize stream,
+// unpermute).
+std::vector<float> DequantizeTileGroupQ4(std::span<const BlockQ4_0> blocks, int64_t k_dim,
+                                         int64_t n_dim);
+
+// Reconstructs from conventional blocks.
+std::vector<float> DequantizeConventionalQ4(std::span<const BlockQ4_0> blocks, int64_t k_dim,
+                                            int64_t n_dim);
+
+// --- super-block coalescing (§5.1.2) ---
+
+// Repacks 8 consecutive Q4_0 blocks into one SuperBlockQ4. blocks.size() must be a multiple
+// of 8. Payload layout: byte i = element i (low nibble) | element 128+i (high nibble).
+std::vector<SuperBlockQ4> CoalesceSuperblocks(std::span<const BlockQ4_0> blocks);
+
+// Integer code (0..15) of element j (0..255) in a super-block.
+int SuperBlockNibble(const SuperBlockQ4& sb, int j);
+
+// Reference dequantization of super-blocks into a flat stream.
+void DequantizeSuperblocks(std::span<const SuperBlockQ4> sbs, std::span<float> out);
+
+}  // namespace hquant
+
+#endif  // SRC_QUANT_TILE_QUANT_H_

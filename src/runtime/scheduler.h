@@ -1,0 +1,51 @@
+// Batch scheduling for parallel-sampling workloads.
+//
+// Test-time scaling decodes N samples of the same prompt in parallel, but samples finish at
+// different lengths (a short confident solution vs a long meandering one). A naive static
+// batch keeps all N slots occupied until the LONGEST sample finishes — finished slots decode
+// padding. Continuous batching reclaims finished slots immediately: the next queued sample
+// (e.g. the next task's samples, or additional Best-of-N rounds) starts on the freed row.
+//
+// The simulator prices each step with the engine's batch-dependent cost, so the benefit is
+// exactly what the hardware gives: the HMX rows are nearly free, but the CPU lm_head and
+// attention costs scale with the ACTIVE batch, which is what slot reclamation shrinks.
+#ifndef SRC_RUNTIME_SCHEDULER_H_
+#define SRC_RUNTIME_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/runtime/engine.h"
+
+namespace hrt {
+
+struct SampleJob {
+  int id = 0;
+  int total_tokens = 0;  // decode length of this sample
+};
+
+// Generates N-per-task sample jobs with realistic length dispersion: lengths are lognormal
+// around `mean_tokens` (clamped to [16, 4 * mean]).
+std::vector<SampleJob> MakeSampleJobs(int tasks, int samples_per_task, int mean_tokens,
+                                      hexllm::Rng& rng);
+
+struct ScheduleResult {
+  double makespan_s = 0.0;        // wall time to finish every job
+  double tokens_per_second = 0.0; // useful (non-padding) tokens / makespan
+  double avg_active_batch = 0.0;  // mean ACTIVE rows per step
+  double slot_utilization = 0.0;  // useful rows / (rows x steps) while any slot busy
+  int64_t steps = 0;
+};
+
+// Static batching: jobs run in waves of `max_batch`; a wave ends when its longest job does
+// (finished slots decode padding until then).
+ScheduleResult RunStaticBatching(const std::vector<SampleJob>& jobs, int max_batch,
+                                 const Engine& engine, int context);
+
+// Continuous batching: finished slots refill from the queue on the next step.
+ScheduleResult RunContinuousBatching(const std::vector<SampleJob>& jobs, int max_batch,
+                                     const Engine& engine, int context);
+
+}  // namespace hrt
+
+#endif  // SRC_RUNTIME_SCHEDULER_H_

@@ -1,0 +1,46 @@
+// Execution-timeline export: builds a chrome://tracing-compatible JSON trace (and an ASCII
+// gantt for terminals) from the engine's cost decomposition, so a decode step's schedule —
+// DMA / HVX dequant / HMX / CPU lm_head overlap — can be inspected visually.
+#ifndef SRC_RUNTIME_TRACE_H_
+#define SRC_RUNTIME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/engine.h"
+
+namespace hrt {
+
+struct TraceEvent {
+  std::string lane;   // "DMA", "HVX", "HMX", "CPU", "COMM"
+  std::string name;   // e.g. "layer 3 dequant"
+  double start_s = 0.0;
+  double dur_s = 0.0;
+};
+
+class TraceBuilder {
+ public:
+  void Add(std::string lane, std::string name, double start_s, double dur_s);
+
+  // Chrome trace-event JSON (open in chrome://tracing or Perfetto).
+  std::string ToChromeJson() const;
+
+  // Terminal-friendly gantt chart, `width` characters across the step duration.
+  std::string ToAsciiGantt(int width = 78) const;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  double end_s() const { return end_s_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  double end_s_ = 0.0;
+};
+
+// Lays one decode step's pipeline onto the engine lanes: per-layer linear blocks (DMA +
+// HVX dequant + HMX overlapped), the attention block, misc ops, the CPU lm_head, and the
+// mailbox communication.
+TraceBuilder TraceDecodeStep(const Engine& engine, int batch, int context);
+
+}  // namespace hrt
+
+#endif  // SRC_RUNTIME_TRACE_H_

@@ -1,0 +1,99 @@
+#include "src/tts/pareto.h"
+
+#include "src/base/check.h"
+#include "src/runtime/engine.h"
+#include "src/tts/reward_model.h"
+#include "src/tts/tts.h"
+
+namespace htts {
+
+const char* TtsMethodName(TtsMethod m) {
+  switch (m) {
+    case TtsMethod::kBase:
+      return "base";
+    case TtsMethod::kBestOfN:
+      return "Best-of-N";
+    case TtsMethod::kBeamSearch:
+      return "Beam Search";
+    case TtsMethod::kMajorityVote:
+      return "Majority Vote";
+  }
+  return "?";
+}
+
+std::vector<ParetoPoint> SweepPareto(const CapabilityModel& cap,
+                                     const ParetoSweepOptions& options) {
+  HEXLLM_CHECK(options.device != nullptr && !options.models.empty());
+  std::vector<ParetoPoint> points;
+  const TaskSet tasks = GenerateTaskSet(options.dataset, options.tasks, options.seed);
+  const OutcomeRewardModel orm;
+  const ProcessRewardModel prm;
+  hexllm::Rng rng(options.seed ^ 0xFACADE);
+
+  for (const auto* model : options.models) {
+    const double theta = cap.EffectiveTheta(*model, options.dataset,
+                                            cap.DeployedWeightErr(*model),
+                                            cap.lut_f16_attention_err());
+    hrt::EngineOptions eo;
+    eo.model = model;
+    eo.device = options.device;
+    hrt::Engine engine(eo);
+    const bool runnable = engine.CanRun();
+
+    const auto add_point = [&](TtsMethod method, int budget, const MethodResult& r) {
+      ParetoPoint p;
+      p.model = model->name;
+      p.method = method;
+      p.budget = budget;
+      p.accuracy = r.accuracy;
+      p.runnable = runnable;
+      if (runnable) {
+        // Cost: per-step decode latency at the sustained batch, at a context that accounts
+        // for the prompt plus the TTS generation depth (§7.2.1's "increased context").
+        const int context =
+            static_cast<int>(128 + r.avg_seq_tokens);
+        p.latency_per_token_s = engine.DecodeSecondsPerToken(r.batch, context);
+        const auto power = engine.DecodePower(r.batch, context);
+        p.watts = power.watts;
+        p.energy_per_token_j = power.joules_per_token;
+      }
+      points.push_back(p);
+    };
+
+    // Base point (conventional sampling).
+    add_point(TtsMethod::kBase, 1, RunSingleSample(tasks, theta, options.trials, rng));
+
+    for (const int budget : options.budgets) {
+      if (budget < 2) {
+        continue;
+      }
+      add_point(TtsMethod::kBestOfN, budget,
+                RunBestOfN(tasks, theta, orm, budget, options.trials, rng));
+      add_point(TtsMethod::kBeamSearch, budget,
+                RunBeamSearch(tasks, theta, prm, budget, /*expansion=*/4, options.trials,
+                              rng));
+    }
+  }
+  return points;
+}
+
+bool OnParetoFrontier(const ParetoPoint& p, const std::vector<ParetoPoint>& points) {
+  if (!p.runnable) {
+    return false;
+  }
+  for (const auto& q : points) {
+    if (!q.runnable) {
+      continue;
+    }
+    const bool dominates = q.accuracy >= p.accuracy &&
+                           q.latency_per_token_s <= p.latency_per_token_s &&
+                           (q.accuracy > p.accuracy ||
+                            q.latency_per_token_s < p.latency_per_token_s);
+    if (dominates) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace htts

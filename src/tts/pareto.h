@@ -1,0 +1,56 @@
+// The accuracy-cost sweep driver behind Figures 5 and 10: couples the statistical TTS
+// algorithms (accuracy) with the runtime engine (per-token decode latency and energy at the
+// method's sustained batch size, accounting for the longer contexts TTS produces).
+#ifndef SRC_TTS_PARETO_H_
+#define SRC_TTS_PARETO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hexsim/device_profile.h"
+#include "src/llm/model_config.h"
+#include "src/tts/capability_model.h"
+#include "src/tts/task.h"
+
+namespace htts {
+
+enum class TtsMethod : uint8_t {
+  kBase,          // conventional single-sample decoding
+  kBestOfN,
+  kBeamSearch,
+  kMajorityVote,
+};
+
+const char* TtsMethodName(TtsMethod m);
+
+struct ParetoPoint {
+  std::string model;
+  TtsMethod method = TtsMethod::kBase;
+  int budget = 1;                 // generation budget (max decode batch)
+  double accuracy = 0.0;          // task accuracy (fraction)
+  double latency_per_token_s = 0.0;  // average decode latency per step (cost axis, Fig 10)
+  double energy_per_token_j = 0.0;   // energy cost alternative (§7.2.3)
+  double watts = 0.0;
+  bool runnable = true;           // false if the model does not fit the device NPU
+};
+
+struct ParetoSweepOptions {
+  Dataset dataset = Dataset::kMath500;
+  const hexsim::DeviceProfile* device = nullptr;
+  std::vector<const hllm::ModelConfig*> models;
+  std::vector<int> budgets = {1, 2, 4, 8, 16};
+  int tasks = 500;
+  int trials = 8;
+  uint64_t seed = 7;
+};
+
+// Runs base + Best-of-N + Beam Search sweeps for every model/budget on one device+dataset.
+std::vector<ParetoPoint> SweepPareto(const CapabilityModel& cap,
+                                     const ParetoSweepOptions& options);
+
+// True if `p` is on the Pareto frontier of (latency low, accuracy high) within `points`.
+bool OnParetoFrontier(const ParetoPoint& p, const std::vector<ParetoPoint>& points);
+
+}  // namespace htts
+
+#endif  // SRC_TTS_PARETO_H_

@@ -1,0 +1,60 @@
+// Simulated reward models (the substitution for Skywork-1.5B-PRM, §7.1).
+//
+// A reward model is an imperfect observer of true sample quality: its score separates
+// correct from incorrect candidates by `discrimination` standard deviations of its noise.
+// discrimination -> infinity gives an oracle verifier (pass@N); 0 gives random selection.
+// The defaults are chosen so Best-of-N selection quality sits between majority voting and
+// the oracle, which is where published PRM-based results fall.
+#ifndef SRC_TTS_REWARD_MODEL_H_
+#define SRC_TTS_REWARD_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace htts {
+
+// One sampled solution path.
+struct SamplePath {
+  bool correct = false;              // final-answer correctness
+  std::vector<uint8_t> step_ok;      // prefix correctness per step (monotone)
+  int answer = 0;                    // produced answer (synthetic space)
+  int gen_tokens = 0;                // tokens this path generated
+};
+
+// Outcome reward model: scores a COMPLETE path (Best-of-N selection).
+class OutcomeRewardModel {
+ public:
+  explicit OutcomeRewardModel(double discrimination = 1.2)
+      : discrimination_(discrimination) {}
+
+  double Score(const SamplePath& path, hexllm::Rng& rng) const {
+    return (path.correct ? discrimination_ : 0.0) + rng.NextGaussian();
+  }
+
+  double discrimination() const { return discrimination_; }
+
+ private:
+  double discrimination_;
+};
+
+// Process reward model: scores a PARTIAL path after each step (beam-search pruning).
+class ProcessRewardModel {
+ public:
+  explicit ProcessRewardModel(double step_discrimination = 0.55)
+      : step_discrimination_(step_discrimination) {}
+
+  double StepScore(bool prefix_ok, hexllm::Rng& rng) const {
+    return (prefix_ok ? step_discrimination_ : 0.0) + rng.NextGaussian();
+  }
+
+  double step_discrimination() const { return step_discrimination_; }
+
+ private:
+  double step_discrimination_;
+};
+
+}  // namespace htts
+
+#endif  // SRC_TTS_REWARD_MODEL_H_

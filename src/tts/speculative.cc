@@ -1,0 +1,64 @@
+#include "src/tts/speculative.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace htts {
+
+double SpeculativeAcceptanceRate(const CapabilityModel& cap, const hllm::ModelConfig& draft,
+                                 const hllm::ModelConfig& target) {
+  // Skill gap on the GSM8K scale (a generic language-competence proxy here). A draft equal
+  // to its target would be accepted at ~0.88 (sampling noise still rejects some tokens).
+  // Next-token agreement is far less sensitive to the skill gap than end-task accuracy —
+  // most tokens are locally predictable — so the decay per logit of gap is gentle (~8%),
+  // in line with the 0.6-0.8 acceptance rates same-family draft pairs report in practice.
+  const double gap = std::max(
+      0.0, cap.ThetaF16(target, Dataset::kGsm8k) - cap.ThetaF16(draft, Dataset::kGsm8k));
+  return 0.88 * std::exp(-0.08 * gap);
+}
+
+double SimulateTokensPerCycle(double acceptance, int gamma, int trials, hexllm::Rng& rng) {
+  HEXLLM_CHECK(trials > 0);
+  int64_t total = 0;
+  for (int t = 0; t < trials; ++t) {
+    int accepted = 0;
+    while (accepted < gamma && rng.NextBool(acceptance)) {
+      ++accepted;
+    }
+    // Accepted draft tokens plus the target's own token (bonus on full acceptance, or the
+    // corrected token at the first rejection).
+    total += accepted + 1;
+  }
+  return static_cast<double>(total) / trials;
+}
+
+SpeculativeReport EvaluateSpeculative(const hrt::Engine& target_engine,
+                                      const hrt::Engine& draft_engine, double acceptance,
+                                      int gamma, int context) {
+  HEXLLM_CHECK(gamma >= 1);
+  SpeculativeReport r;
+  r.gamma = gamma;
+  r.acceptance = acceptance;
+  // E[accepted] = sum_{i=1}^{gamma} beta^i, plus 1 target token per cycle.
+  double e_accepted = 0.0;
+  double b = 1.0;
+  for (int i = 0; i < gamma; ++i) {
+    b *= acceptance;
+    e_accepted += b;
+  }
+  r.tokens_per_cycle = e_accepted + 1.0;
+
+  // gamma autoregressive draft steps + ONE target step verifying gamma+1 positions: the
+  // verify step rides the idle HMX rows, so it is priced as a (gamma+1)-row batched step.
+  const double draft_step = draft_engine.DecodeStep(1, context).total_s;
+  const double verify_step = target_engine.DecodeStep(gamma + 1, context).total_s;
+  r.cycle_seconds = gamma * draft_step + verify_step;
+  r.tokens_per_second = r.tokens_per_cycle / r.cycle_seconds;
+  r.plain_tokens_per_second = 1.0 / target_engine.DecodeStep(1, context).total_s;
+  r.speedup = r.tokens_per_second / r.plain_tokens_per_second;
+  return r;
+}
+
+}  // namespace htts

@@ -1,0 +1,48 @@
+// Speculative decoding on the NPU engine — the §9 observation made concrete: "generalized
+// Speculative Decoding and test-time scaling methods both belong to the generalized
+// Generate-then-Verify framework, and our system can theoretically support these
+// applications seamlessly."
+//
+// The mechanism is the SAME hardware opportunity as test-time scaling: verifying gamma+1
+// draft tokens in one target forward pass fills HMX tile rows that idle during plain
+// decoding, so the verify step costs barely more than a single-token step (§3.2).
+//
+// Acceptance model: the classic geometric acceptance process (Leviathan et al.) with a
+// per-token acceptance rate beta derived from the draft/target skill gap on the capability
+// model's logit scale. Expected accepted tokens per cycle: E = sum_{i=0}^{gamma} beta^i
+// = (1 - beta^{gamma+1}) / (1 - beta), plus the bonus token from the target's own sample.
+#ifndef SRC_TTS_SPECULATIVE_H_
+#define SRC_TTS_SPECULATIVE_H_
+
+#include "src/base/rng.h"
+#include "src/runtime/engine.h"
+#include "src/tts/capability_model.h"
+
+namespace htts {
+
+// Per-token probability that the target accepts a draft token, derived from the skill gap
+// (equal skills -> beta_max; each logit of gap decays acceptance).
+double SpeculativeAcceptanceRate(const CapabilityModel& cap, const hllm::ModelConfig& draft,
+                                 const hllm::ModelConfig& target);
+
+struct SpeculativeReport {
+  int gamma = 0;                  // draft tokens per cycle
+  double acceptance = 0.0;        // beta
+  double tokens_per_cycle = 0.0;  // expected accepted + bonus tokens
+  double cycle_seconds = 0.0;     // gamma draft steps + one batched verify step
+  double tokens_per_second = 0.0;
+  double plain_tokens_per_second = 0.0;  // target decoding alone
+  double speedup = 0.0;
+};
+
+// Evaluates draft-assisted decoding of `target` using `draft`, both on the same device.
+SpeculativeReport EvaluateSpeculative(const hrt::Engine& target_engine,
+                                      const hrt::Engine& draft_engine, double acceptance,
+                                      int gamma, int context);
+
+// Monte-Carlo validation of the closed-form expected tokens per cycle.
+double SimulateTokensPerCycle(double acceptance, int gamma, int trials, hexllm::Rng& rng);
+
+}  // namespace htts
+
+#endif  // SRC_TTS_SPECULATIVE_H_

@@ -1,0 +1,73 @@
+#include "src/tts/task.h"
+
+#include "src/base/check.h"
+#include "src/base/math_util.h"
+
+namespace htts {
+
+const char* DatasetName(Dataset d) {
+  switch (d) {
+    case Dataset::kMath500:
+      return "MATH500";
+    case Dataset::kGsm8k:
+      return "GSM8K";
+    case Dataset::kWikitext:
+      return "Wikitext-2";
+    case Dataset::kWinoGrande:
+      return "WinoGrande";
+    case Dataset::kMmlu:
+      return "MMLU";
+  }
+  return "?";
+}
+
+TaskSet GenerateTaskSet(Dataset dataset, int n, uint64_t seed) {
+  hexllm::Rng rng(seed);
+  TaskSet set;
+  set.dataset = dataset;
+  set.tasks.reserve(static_cast<size_t>(n));
+
+  // Difficulty distributions on the logit scale. The policy skills in
+  // capability_model.cc are calibrated against these by construction (the anchor solver
+  // inverts accuracy -> skill on a generated task set), so only the *spread* matters:
+  // it controls how much headroom Best-of-N has (tasks near p=0.5 benefit most).
+  double mean_d = 0.0;
+  double sd_d = 1.0;
+  int min_steps = 2;
+  int max_steps = 6;
+  int gen_tokens = 256;
+  switch (dataset) {
+    case Dataset::kMath500:
+      mean_d = 2.2;
+      sd_d = 1.6;
+      min_steps = 4;
+      max_steps = 10;
+      gen_tokens = 512;
+      break;
+    case Dataset::kGsm8k:
+      mean_d = 0.9;
+      sd_d = 1.4;
+      min_steps = 2;
+      max_steps = 6;
+      gen_tokens = 256;
+      break;
+    default:
+      HEXLLM_CHECK_MSG(false, "task generation only defined for MATH500/GSM8K");
+  }
+
+  for (int i = 0; i < n; ++i) {
+    ReasoningTask t;
+    t.id = i;
+    t.difficulty = mean_d + sd_d * rng.NextGaussian();
+    t.num_steps =
+        min_steps + static_cast<int>(rng.NextBounded(static_cast<uint64_t>(max_steps - min_steps + 1)));
+    t.answer = static_cast<int>(rng.NextBounded(1000));
+    t.gen_tokens = gen_tokens / 2 +
+                   static_cast<int>(rng.NextBounded(static_cast<uint64_t>(gen_tokens)));
+    t.prompt_tokens = 96 + static_cast<int>(rng.NextBounded(128));
+    set.tasks.push_back(t);
+  }
+  return set;
+}
+
+}  // namespace htts

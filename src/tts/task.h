@@ -1,0 +1,53 @@
+// Synthetic reasoning tasks — the substitution for MATH500 / GSM8K (DESIGN.md §2).
+//
+// Each task is a multi-step reasoning chain with a latent difficulty drawn from a
+// dataset-specific distribution (an Item-Response-Theory setup): a policy with latent skill
+// theta solves the task with probability sigmoid(theta - difficulty), decomposed into
+// per-step success so process-level methods (PRM-guided beam search) have real structure to
+// exploit. Answers live in a small synthetic space so majority voting has genuine collision
+// dynamics.
+#ifndef SRC_TTS_TASK_H_
+#define SRC_TTS_TASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace htts {
+
+enum class Dataset : uint8_t {
+  kMath500,
+  kGsm8k,
+  kWikitext,    // perplexity proxy (no tasks; used by the capability model only)
+  kWinoGrande,  // binary-choice accuracy proxy
+  kMmlu,        // 4-way-choice accuracy proxy
+};
+
+const char* DatasetName(Dataset d);
+
+struct ReasoningTask {
+  int id = 0;
+  double difficulty = 0.0;  // IRT difficulty (logit scale)
+  int num_steps = 1;        // reasoning-chain length
+  int answer = 0;           // ground truth in the synthetic answer space
+  int gen_tokens = 256;     // tokens a solution attempt generates
+  int prompt_tokens = 128;  // prompt length
+};
+
+struct TaskSet {
+  Dataset dataset;
+  std::vector<ReasoningTask> tasks;
+};
+
+// Generates `n` tasks with the dataset's difficulty/step/length distributions.
+// MATH500: hard (mean difficulty well above typical small-model skill), long chains and
+// generations. GSM8K: easier, shorter chains.
+TaskSet GenerateTaskSet(Dataset dataset, int n, uint64_t seed);
+
+// Number of distinct wrong answers a failed attempt can produce (majority voting support).
+inline constexpr int kWrongAnswerSpace = 12;
+
+}  // namespace htts
+
+#endif  // SRC_TTS_TASK_H_

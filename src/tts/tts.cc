@@ -1,0 +1,202 @@
+#include "src/tts/tts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/tts/capability_model.h"
+
+namespace htts {
+
+// Samples within one attempt at a task are correlated: the model tends to misread or
+// mis-plan a given problem the same way across all N parallel samples. Each (task, trial)
+// therefore draws a shared skill perturbation before sampling; this is what keeps pass@N
+// from exploding and makes the Figure 5/10 scaling curves saturate realistically.
+namespace {
+double TrialTheta(double theta, hexllm::Rng& rng) {
+  return theta + kTrialSkillSd * rng.NextGaussian();
+}
+}  // namespace
+
+SamplePath SamplePolicyPath(const ReasoningTask& task, double theta, hexllm::Rng& rng) {
+  SamplePath path;
+  const double p = CapabilityModel::SolveProb(theta, task);
+  // Per-step success probability so that a full chain succeeds with probability p.
+  const double q = std::pow(p, 1.0 / task.num_steps);
+  path.step_ok.resize(static_cast<size_t>(task.num_steps));
+  bool ok = true;
+  for (int s = 0; s < task.num_steps; ++s) {
+    ok = ok && rng.NextBool(q);
+    path.step_ok[static_cast<size_t>(s)] = ok ? 1 : 0;
+  }
+  path.correct = ok;
+  path.answer = ok ? task.answer
+                   : 100000 + static_cast<int>(rng.NextBounded(kWrongAnswerSpace));
+  path.gen_tokens = task.gen_tokens;
+  return path;
+}
+
+MethodResult RunSingleSample(const TaskSet& tasks, double theta, int trials,
+                             hexllm::Rng& rng) {
+  MethodResult r;
+  r.batch = 1;
+  int64_t correct = 0;
+  int64_t total = 0;
+  double tokens = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    for (const auto& t : tasks.tasks) {
+      const SamplePath p = SamplePolicyPath(t, TrialTheta(theta, rng), rng);
+      correct += p.correct ? 1 : 0;
+      tokens += p.gen_tokens;
+      ++total;
+    }
+  }
+  r.accuracy = static_cast<double>(correct) / total;
+  r.oracle_accuracy = r.accuracy;
+  r.avg_seq_tokens = tokens / total;
+  r.avg_total_tokens = r.avg_seq_tokens;
+  return r;
+}
+
+MethodResult RunBestOfN(const TaskSet& tasks, double theta, const OutcomeRewardModel& orm,
+                        int n, int trials, hexllm::Rng& rng) {
+  HEXLLM_CHECK(n >= 1);
+  MethodResult r;
+  r.batch = n;
+  int64_t correct = 0;
+  int64_t oracle = 0;
+  int64_t total = 0;
+  double seq_tokens = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    for (const auto& t : tasks.tasks) {
+      double best_score = -1e30;
+      bool best_correct = false;
+      bool any_correct = false;
+      const double trial_theta = TrialTheta(theta, rng);
+      for (int i = 0; i < n; ++i) {
+        const SamplePath p = SamplePolicyPath(t, trial_theta, rng);
+        any_correct = any_correct || p.correct;
+        const double s = orm.Score(p, rng);
+        if (s > best_score) {
+          best_score = s;
+          best_correct = p.correct;
+        }
+      }
+      correct += best_correct ? 1 : 0;
+      oracle += any_correct ? 1 : 0;
+      seq_tokens += t.gen_tokens;
+      ++total;
+    }
+  }
+  r.accuracy = static_cast<double>(correct) / total;
+  r.oracle_accuracy = static_cast<double>(oracle) / total;
+  r.avg_seq_tokens = seq_tokens / total;
+  r.avg_total_tokens = r.avg_seq_tokens * n;
+  return r;
+}
+
+MethodResult RunMajorityVote(const TaskSet& tasks, double theta, int n, int trials,
+                             hexllm::Rng& rng) {
+  HEXLLM_CHECK(n >= 1);
+  MethodResult r;
+  r.batch = n;
+  int64_t correct = 0;
+  int64_t oracle = 0;
+  int64_t total = 0;
+  double seq_tokens = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    for (const auto& t : tasks.tasks) {
+      std::map<int, int> votes;
+      bool any_correct = false;
+      const double trial_theta = TrialTheta(theta, rng);
+      for (int i = 0; i < n; ++i) {
+        const SamplePath p = SamplePolicyPath(t, trial_theta, rng);
+        any_correct = any_correct || p.correct;
+        ++votes[p.answer];
+      }
+      int best_answer = -1;
+      int best_count = 0;
+      for (const auto& [ans, count] : votes) {
+        if (count > best_count) {
+          best_count = count;
+          best_answer = ans;
+        }
+      }
+      correct += (best_answer == t.answer) ? 1 : 0;
+      oracle += any_correct ? 1 : 0;
+      seq_tokens += t.gen_tokens;
+      ++total;
+    }
+  }
+  r.accuracy = static_cast<double>(correct) / total;
+  r.oracle_accuracy = static_cast<double>(oracle) / total;
+  r.avg_seq_tokens = seq_tokens / total;
+  r.avg_total_tokens = r.avg_seq_tokens * n;
+  return r;
+}
+
+MethodResult RunBeamSearch(const TaskSet& tasks, double theta, const ProcessRewardModel& prm,
+                           int n, int expansion, int trials, hexllm::Rng& rng) {
+  HEXLLM_CHECK(n >= 1 && expansion >= 1);
+  // The budget is the maximum decode batch; clamp the expansion so width x expansion <= n.
+  const int eff_expansion = std::min(expansion, n);
+  const int width = std::max(1, n / eff_expansion);
+  MethodResult r;
+  r.batch = width * eff_expansion;
+  int64_t correct = 0;
+  int64_t oracle = 0;
+  int64_t total = 0;
+  double seq_tokens = 0.0;
+
+  struct Beam {
+    bool ok = true;
+    double score = 0.0;  // cumulative PRM score
+  };
+
+  for (int trial = 0; trial < trials; ++trial) {
+    for (const auto& t : tasks.tasks) {
+      const double p = CapabilityModel::SolveProb(TrialTheta(theta, rng), t);
+      const double q = std::pow(p, 1.0 / t.num_steps);
+      std::vector<Beam> beams(static_cast<size_t>(width));
+      bool any_correct_ever = false;
+      for (int step = 0; step < t.num_steps; ++step) {
+        std::vector<Beam> candidates;
+        candidates.reserve(beams.size() * static_cast<size_t>(eff_expansion));
+        for (const Beam& b : beams) {
+          for (int e = 0; e < eff_expansion; ++e) {
+            Beam c = b;
+            c.ok = c.ok && rng.NextBool(q);
+            c.score += prm.StepScore(c.ok, rng);
+            candidates.push_back(c);
+          }
+        }
+        std::partial_sort(candidates.begin(),
+                          candidates.begin() + std::min<size_t>(candidates.size(),
+                                                                static_cast<size_t>(width)),
+                          candidates.end(),
+                          [](const Beam& a, const Beam& b) { return a.score > b.score; });
+        candidates.resize(std::min<size_t>(candidates.size(), static_cast<size_t>(width)));
+        beams = std::move(candidates);
+        for (const Beam& b : beams) {
+          any_correct_ever = any_correct_ever || b.ok;
+        }
+      }
+      const Beam& best =
+          *std::max_element(beams.begin(), beams.end(),
+                            [](const Beam& a, const Beam& b) { return a.score < b.score; });
+      correct += best.ok ? 1 : 0;
+      oracle += any_correct_ever ? 1 : 0;
+      seq_tokens += t.gen_tokens;
+      ++total;
+    }
+  }
+  r.accuracy = static_cast<double>(correct) / total;
+  r.oracle_accuracy = static_cast<double>(oracle) / total;
+  r.avg_seq_tokens = seq_tokens / total;
+  r.avg_total_tokens = r.avg_seq_tokens * r.batch;
+  return r;
+}
+
+}  // namespace htts

@@ -1,0 +1,48 @@
+// Parallel test-time scaling algorithms (§2.1, Figure 1): Best-of-N with an outcome reward
+// model, self-consistency / majority voting, and step-level beam search with a process
+// reward model. All operate on the statistical policy (capability model skill) and report
+// accuracy plus generation-volume statistics; the runtime engine converts those into
+// latency/energy (pareto.h).
+#ifndef SRC_TTS_TTS_H_
+#define SRC_TTS_TTS_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/tts/reward_model.h"
+#include "src/tts/task.h"
+
+namespace htts {
+
+// Samples one solution path from a policy with skill `theta` on `task` (temperature
+// sampling: step successes are independent Bernoulli draws).
+SamplePath SamplePolicyPath(const ReasoningTask& task, double theta, hexllm::Rng& rng);
+
+struct MethodResult {
+  double accuracy = 0.0;          // fraction of tasks answered correctly (pass@1 of the
+                                  // selected answer)
+  double oracle_accuracy = 0.0;   // pass@N (any sampled path correct) — the verifier ceiling
+  double avg_seq_tokens = 0.0;    // tokens generated along ONE path (sequential depth)
+  double avg_total_tokens = 0.0;  // tokens across all parallel paths
+  int batch = 1;                  // decode batch the method sustains
+};
+
+// Conventional sampling (budget 1).
+MethodResult RunSingleSample(const TaskSet& tasks, double theta, int trials, hexllm::Rng& rng);
+
+// Best-of-N: N parallel full generations, ORM picks the winner (§2.1).
+MethodResult RunBestOfN(const TaskSet& tasks, double theta, const OutcomeRewardModel& orm,
+                        int n, int trials, hexllm::Rng& rng);
+
+// Self-consistency / majority voting over N samples; ties broken by first occurrence.
+MethodResult RunMajorityVote(const TaskSet& tasks, double theta, int n, int trials,
+                             hexllm::Rng& rng);
+
+// Step-level beam search (§2.1): budget n = beam_width x expansion candidates decoded in
+// parallel each step; the PRM keeps the best `beam_width` prefixes after every step.
+MethodResult RunBeamSearch(const TaskSet& tasks, double theta, const ProcessRewardModel& prm,
+                           int n, int expansion, int trials, hexllm::Rng& rng);
+
+}  // namespace htts
+
+#endif  // SRC_TTS_TTS_H_

@@ -1,0 +1,269 @@
+// Tests for the implemented future-work extensions: T-MAC LUT GEMV (§8a), codebook-general
+// dequantization (§5.2.2), speculative decoding (§9), and multi-session models (§8c).
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/hexsim/npu_device.h"
+#include "src/kernels/mixed_gemm.h"
+#include "src/kernels/tmac_gemv.h"
+#include "src/quant/codebook_quant.h"
+#include "src/quant/error_stats.h"
+#include "src/quant/group_quant.h"
+#include "src/quant/synthetic_weights.h"
+#include "src/quant/tile_quant.h"
+#include "src/runtime/engine.h"
+#include "src/tts/capability_model.h"
+#include "src/tts/speculative.h"
+
+namespace {
+
+using hexllm::F16;
+using hexllm::Rng;
+
+// --- T-MAC GEMV ---
+
+TEST(TmacGemvTest, MatchesDequantizedMatmul) {
+  Rng rng(81);
+  const int64_t k = 128, n = 64;
+  std::vector<float> w(static_cast<size_t>(k * n));
+  for (auto& v : w) {
+    v = static_cast<float>(rng.NextGaussian() * 0.05);
+  }
+  const auto blocks = hquant::ConventionalGroupQuantizeQ4(w, k, n);
+  std::vector<float> wd(w.size());
+  hquant::DequantizeQ4_0(blocks, wd);
+
+  std::vector<F16> a(static_cast<size_t>(k));
+  for (auto& v : a) {
+    v = F16(static_cast<float>(rng.NextGaussian()));
+  }
+  std::vector<float> y(static_cast<size_t>(n));
+  hkern::TmacGemvReference(blocks, k, n, a, y);
+
+  for (int64_t col = 0; col < n; ++col) {
+    double expected = 0.0;
+    for (int64_t i = 0; i < k; ++i) {
+      expected += a[static_cast<size_t>(i)].ToFloat() * wd[static_cast<size_t>(col * k + i)];
+    }
+    // The subset-sum tables round to FP16, so allow a small relative tolerance.
+    EXPECT_NEAR(y[static_cast<size_t>(col)], expected, std::fabs(expected) * 0.02 + 0.01)
+        << col;
+  }
+}
+
+TEST(TmacGemvTest, Batch1IsNearDmaBound) {
+  // §8a's prediction: LUT-based mpGEMM makes GEMV memory-bound.
+  const auto& p = hexsim::OnePlus12();
+  const auto c = hkern::TmacGemvCostModel(p, 1, 2048, 8192, p.hvx_threads);
+  EXPECT_LT(c.total_s, c.dma_s * 1.35);
+  // And cheaper than the dequant+HMX pipeline at batch 1.
+  const auto ours = hkern::MixedGemmCostModel(p, hkern::DequantKernel::kCoalescedLut,
+                                              hquant::WeightScheme::kQ4_0, 1, 2048, 8192, 4);
+  EXPECT_LT(c.total_s, ours.total_s);
+}
+
+TEST(TmacGemvTest, LosesToHmxAtBatch) {
+  const auto& p = hexsim::OnePlus12();
+  const auto tmac = hkern::TmacGemvCostModel(p, 8, 2048, 8192, p.hvx_threads);
+  const auto ours = hkern::MixedGemmCostModel(p, hkern::DequantKernel::kCoalescedLut,
+                                              hquant::WeightScheme::kQ4_0, 8, 2048, 8192, 4);
+  EXPECT_GT(tmac.total_s, 1.5 * ours.total_s);
+}
+
+TEST(TmacGemvTest, EngineIntegrationCrossover) {
+  hrt::EngineOptions base;
+  base.model = &hllm::Qwen25_1_5B();
+  base.device = &hexsim::OnePlus12();
+  const hrt::Engine hmx(base);
+  hrt::EngineOptions tm = base;
+  tm.use_tmac_gemv = true;
+  const hrt::Engine tmac(tm);
+  EXPECT_GT(tmac.DecodeThroughput(1, 1024), hmx.DecodeThroughput(1, 1024));
+  EXPECT_LT(tmac.DecodeThroughput(8, 1024), hmx.DecodeThroughput(8, 1024));
+}
+
+// --- codebook-general quantization ---
+
+class CodebookQuantTest : public ::testing::TestWithParam<hquant::Int4Codebook> {};
+
+TEST_P(CodebookQuantTest, RoundTripErrorBounded) {
+  Rng rng(82);
+  std::vector<float> values(2048);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.NextGaussian() * 0.05);
+  }
+  const auto sbs = hquant::CodebookQuantizeSuperblocks(values, GetParam());
+  std::vector<float> back(values.size());
+  hquant::CodebookDequantizeSuperblocks(sbs, GetParam(), back);
+  const auto err = hquant::ComputeErrorStats(values, back);
+  EXPECT_LT(err.rel_rms, 0.2) << hquant::Int4CodebookName(GetParam());
+  EXPECT_GT(err.cosine, 0.97);
+}
+
+TEST_P(CodebookQuantTest, KernelCostIsCodebookIndependent) {
+  // §5.2.2: "simply by adjusting the table contents" — same instruction count.
+  Rng rng(83);
+  std::vector<float> values(2048);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.NextGaussian() * 0.05);
+  }
+  const auto sbs = hquant::CodebookQuantizeSuperblocks(values, GetParam());
+  hexsim::NpuDevice dev(hexsim::OnePlus12());
+  auto* out = reinterpret_cast<F16*>(dev.tcm().Alloc(values.size() * 2));
+  const int64_t packets = hkern::DequantCoalescedLut(dev, sbs, out, GetParam());
+  EXPECT_EQ(packets, static_cast<int64_t>(sbs.size()) * 17 + 4);
+}
+
+TEST_P(CodebookQuantTest, KernelMatchesReferenceDequant) {
+  Rng rng(84);
+  std::vector<float> values(1024);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.NextGaussian() * 0.05);
+  }
+  const auto sbs = hquant::CodebookQuantizeSuperblocks(values, GetParam());
+  std::vector<float> ref(values.size());
+  hquant::CodebookDequantizeSuperblocks(sbs, GetParam(), ref);
+  hexsim::NpuDevice dev(hexsim::OnePlus12());
+  auto* out = reinterpret_cast<F16*>(dev.tcm().Alloc(values.size() * 2));
+  hkern::DequantCoalescedLut(dev, sbs, out, GetParam());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(out[i].ToFloat(), hexllm::RoundToF16(ref[i]), std::fabs(ref[i]) * 2e-3 + 1e-5)
+        << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodebooks, CodebookQuantTest,
+                         ::testing::Values(hquant::Int4Codebook::kQ4_0,
+                                           hquant::Int4Codebook::kNf4,
+                                           hquant::Int4Codebook::kFp4,
+                                           hquant::Int4Codebook::kIq4Nl),
+                         [](const auto& info) {
+                           return std::string(hquant::Int4CodebookName(info.param)) == "Q4_0"
+                                      ? "Q4"
+                                      : hquant::Int4CodebookName(info.param);
+                         });
+
+TEST(CodebookQuantTest, Q4PathMatchesClassicQuantizer) {
+  Rng rng(85);
+  std::vector<float> values(1024);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.NextGaussian() * 0.05);
+  }
+  const auto via_codebook =
+      hquant::CodebookQuantizeSuperblocks(values, hquant::Int4Codebook::kQ4_0);
+  const auto classic = hquant::CoalesceSuperblocks(hquant::QuantizeQ4_0(values));
+  ASSERT_EQ(via_codebook.size(), classic.size());
+  std::vector<float> a(values.size()), b(values.size());
+  hquant::CodebookDequantizeSuperblocks(via_codebook, hquant::Int4Codebook::kQ4_0, a);
+  hquant::DequantizeSuperblocks(classic, b);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-6) << i;
+  }
+}
+
+TEST(CodebookQuantTest, Nf4BestOnGaussianBulk) {
+  Rng rng(86);
+  std::vector<float> values(8192);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.NextGaussian());
+  }
+  auto err_of = [&](hquant::Int4Codebook cb) {
+    const auto sbs = hquant::CodebookQuantizeSuperblocks(values, cb);
+    std::vector<float> back(values.size());
+    hquant::CodebookDequantizeSuperblocks(sbs, cb, back);
+    return hquant::ComputeErrorStats(values, back).rel_rms;
+  };
+  EXPECT_LT(err_of(hquant::Int4Codebook::kNf4), err_of(hquant::Int4Codebook::kQ4_0));
+}
+
+// --- speculative decoding ---
+
+TEST(SpeculativeTest, ClosedFormMatchesMonteCarlo) {
+  Rng rng(87);
+  for (double beta : {0.3, 0.6, 0.85}) {
+    for (int gamma : {1, 3, 6}) {
+      double expected = 1.0;
+      double b = 1.0;
+      for (int i = 0; i < gamma; ++i) {
+        b *= beta;
+        expected += b;
+      }
+      const double mc = htts::SimulateTokensPerCycle(beta, gamma, 60000, rng);
+      EXPECT_NEAR(mc, expected, 0.03) << beta << "/" << gamma;
+    }
+  }
+}
+
+TEST(SpeculativeTest, AcceptanceFallsWithSkillGap) {
+  const htts::CapabilityModel cap;
+  const double to_15 =
+      htts::SpeculativeAcceptanceRate(cap, hllm::Qwen25_0_5B(), hllm::Qwen25_1_5B());
+  const double to_3 =
+      htts::SpeculativeAcceptanceRate(cap, hllm::Qwen25_0_5B(), hllm::Qwen25_3B());
+  const double to_7 =
+      htts::SpeculativeAcceptanceRate(cap, hllm::Qwen25_0_5B(), hllm::Qwen25_7B());
+  EXPECT_GT(to_15, to_3);
+  EXPECT_GT(to_3, to_7);
+  EXPECT_GT(to_15, 0.5);
+  EXPECT_LT(to_15, 0.9);
+}
+
+TEST(SpeculativeTest, ModestGammaSpeedsUpDecoding) {
+  const htts::CapabilityModel cap;
+  hrt::EngineOptions dro;
+  dro.model = &hllm::Qwen25_0_5B();
+  dro.device = &hexsim::OnePlus12();
+  const hrt::Engine draft(dro);
+  hrt::EngineOptions to;
+  to.model = &hllm::Qwen25_1_5B();
+  to.device = &hexsim::OnePlus12();
+  const hrt::Engine target(to);
+  const double beta =
+      htts::SpeculativeAcceptanceRate(cap, hllm::Qwen25_0_5B(), hllm::Qwen25_1_5B());
+  const auto r2 = htts::EvaluateSpeculative(target, draft, beta, 2, 1024);
+  EXPECT_GT(r2.speedup, 1.05);
+  // Oversized gamma drowns in draft latency.
+  const auto r8 = htts::EvaluateSpeculative(target, draft, beta, 8, 1024);
+  EXPECT_LT(r8.speedup, r2.speedup);
+}
+
+TEST(SpeculativeTest, VerifyStepRidesIdleHmxRows) {
+  // The §3.2 effect, speculative edition: verifying 5 positions costs < 1.2x one step.
+  hrt::EngineOptions to;
+  to.model = &hllm::Qwen25_1_5B();
+  to.device = &hexsim::OnePlus12();
+  const hrt::Engine target(to);
+  EXPECT_LT(target.DecodeStep(5, 1024).total_s, 1.35 * target.DecodeStep(1, 1024).total_s);
+}
+
+// --- multi-session (§8c) ---
+
+TEST(MultiSessionTest, SevenBRunsOnTwoSessionsOnV75) {
+  hrt::EngineOptions o;
+  o.model = &hllm::Qwen25_7B();
+  o.device = &hexsim::OnePlus12();
+  const hrt::Engine e(o);
+  EXPECT_TRUE(e.CanRun());
+  EXPECT_EQ(e.SessionsNeeded(), 2);
+}
+
+TEST(MultiSessionTest, V73IsSingleSessionOnly) {
+  hrt::EngineOptions o;
+  o.model = &hllm::Qwen25_3B();
+  o.device = &hexsim::OnePlusAce3();
+  const hrt::Engine e(o);
+  EXPECT_FALSE(e.CanRun());
+}
+
+TEST(MultiSessionTest, SmallModelsNeedOneSession) {
+  hrt::EngineOptions o;
+  o.model = &hllm::Qwen25_1_5B();
+  o.device = &hexsim::OnePlus12();
+  const hrt::Engine e(o);
+  EXPECT_EQ(e.SessionsNeeded(), 1);
+}
+
+}  // namespace

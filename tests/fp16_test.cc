@@ -1,0 +1,110 @@
+#include "src/base/fp16.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace hexllm {
+namespace {
+
+TEST(F16Test, BasicValues) {
+  EXPECT_EQ(F16(0.0f).bits(), 0x0000);
+  EXPECT_EQ(F16(1.0f).bits(), 0x3C00);
+  EXPECT_EQ(F16(-1.0f).bits(), 0xBC00);
+  EXPECT_EQ(F16(2.0f).bits(), 0x4000);
+  EXPECT_EQ(F16(0.5f).bits(), 0x3800);
+  EXPECT_EQ(F16(65504.0f).bits(), 0x7BFF);
+  EXPECT_EQ(F16(-65504.0f).bits(), 0xFBFF);
+}
+
+TEST(F16Test, RoundTripExactValues) {
+  // All integers in [-2048, 2048] are exactly representable.
+  for (int i = -2048; i <= 2048; ++i) {
+    const float f = static_cast<float>(i);
+    EXPECT_EQ(F16(f).ToFloat(), f) << i;
+  }
+}
+
+TEST(F16Test, Infinities) {
+  EXPECT_EQ(F16(std::numeric_limits<float>::infinity()).bits(), 0x7C00);
+  EXPECT_EQ(F16(-std::numeric_limits<float>::infinity()).bits(), 0xFC00);
+  // Overflow rounds to infinity.
+  EXPECT_EQ(F16(1e6f).bits(), 0x7C00);
+  EXPECT_EQ(F16(65520.0f).bits(), 0x7C00);  // ties-to-even at the top of the range
+  EXPECT_EQ(F16(65519.0f).bits(), 0x7BFF);
+}
+
+TEST(F16Test, NaN) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const uint16_t bits = F16(nan).bits();
+  EXPECT_EQ(bits & 0x7C00, 0x7C00);
+  EXPECT_NE(bits & 0x03FF, 0);
+  EXPECT_TRUE(std::isnan(F16BitsToF32(bits)));
+}
+
+TEST(F16Test, Subnormals) {
+  // Smallest positive subnormal: 2^-24.
+  EXPECT_EQ(F16BitsToF32(0x0001), std::ldexp(1.0f, -24));
+  // Largest subnormal: (1023/1024) * 2^-14.
+  EXPECT_EQ(F16BitsToF32(0x03FF), 1023.0f * std::ldexp(1.0f, -24));
+  // Smallest normal.
+  EXPECT_EQ(F16BitsToF32(0x0400), std::ldexp(1.0f, -14));
+  // Conversion into the subnormal range.
+  EXPECT_EQ(F16(std::ldexp(1.0f, -24)).bits(), 0x0001);
+  EXPECT_EQ(F16(std::ldexp(1.0f, -25)).bits(), 0x0000);  // ties to even -> 0
+}
+
+TEST(F16Test, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1 + 2^-10): ties to even.
+  EXPECT_EQ(F16(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3C00);
+  // Just above the halfway point rounds up.
+  EXPECT_EQ(F16(1.0f + std::ldexp(1.0f, -11) * 1.01f).bits(), 0x3C01);
+  // 1 + 3*2^-11 is halfway between 0x3C01 and 0x3C02: ties to even -> 0x3C02.
+  EXPECT_EQ(F16(1.0f + 3 * std::ldexp(1.0f, -11)).bits(), 0x3C02);
+}
+
+#if defined(__x86_64__)
+// Exhaustive equivalence against the compiler's native _Float16 for every FP16 bit pattern
+// (decode) and a dense float sweep (encode).
+TEST(F16Test, ExhaustiveDecodeMatchesNative) {
+  for (uint32_t b = 0; b < 0x10000; ++b) {
+    const uint16_t bits = static_cast<uint16_t>(b);
+    _Float16 native;
+    std::memcpy(&native, &bits, 2);
+    const float expected = static_cast<float>(native);
+    const float got = F16BitsToF32(bits);
+    if (std::isnan(expected)) {
+      EXPECT_TRUE(std::isnan(got)) << b;
+    } else {
+      EXPECT_EQ(got, expected) << b;
+    }
+  }
+}
+
+TEST(F16Test, EncodeMatchesNativeOnSweep) {
+  // Sweep a dense grid of floats (including denormal-range and overflow-range values).
+  for (int e = -30; e <= 18; ++e) {
+    for (int m = 0; m < 512; ++m) {
+      const float f = std::ldexp(1.0f + m / 512.0f, e);
+      for (const float v : {f, -f}) {
+        _Float16 native = static_cast<_Float16>(v);
+        uint16_t expected;
+        std::memcpy(&expected, &native, 2);
+        EXPECT_EQ(F32ToF16Bits(v), expected) << v;
+      }
+    }
+  }
+}
+#endif  // __x86_64__
+
+TEST(F16Test, RoundToF16IsIdempotent) {
+  for (int i = 0; i < 1000; ++i) {
+    const float v = RoundToF16(0.001f * i - 0.5f);
+    EXPECT_EQ(RoundToF16(v), v);
+  }
+}
+
+}  // namespace
+}  // namespace hexllm

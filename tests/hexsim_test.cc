@@ -1,0 +1,470 @@
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/hexsim/device_profile.h"
+#include "src/hexsim/dma.h"
+#include "src/hexsim/hmx.h"
+#include "src/hexsim/hvx.h"
+#include "src/hexsim/npu_device.h"
+#include "src/hexsim/rpcmem.h"
+#include "src/hexsim/tcm.h"
+
+namespace hexsim {
+namespace {
+
+using hexllm::F16;
+
+// --- device profiles ---
+
+TEST(DeviceProfileTest, TableThreeDevices) {
+  const auto devices = AllDevices();
+  ASSERT_EQ(devices.size(), 3u);
+  EXPECT_EQ(devices[0]->soc_name, "Snapdragon 8 Gen 2");
+  EXPECT_EQ(devices[0]->arch, NpuArch::kV73);
+  EXPECT_EQ(devices[1]->soc_name, "Snapdragon 8 Gen 3");
+  EXPECT_EQ(devices[1]->arch, NpuArch::kV75);
+  EXPECT_EQ(devices[2]->soc_name, "Snapdragon 8 Elite");
+  EXPECT_EQ(devices[2]->arch, NpuArch::kV79);
+}
+
+TEST(DeviceProfileTest, V75HmxPeakMatchesTable2) {
+  // Table 2: 12032.54 GFLOPS FP16 on the V75 HMX.
+  EXPECT_NEAR(OnePlus12().HmxPeakGflops(), 12032.0, 150.0);
+}
+
+TEST(DeviceProfileTest, OnlyV79HasNativeIeeeFp16) {
+  EXPECT_FALSE(OnePlusAce3().native_ieee_fp16);
+  EXPECT_FALSE(OnePlus12().native_ieee_fp16);
+  EXPECT_TRUE(OnePlusAce5Pro().native_ieee_fp16);
+}
+
+TEST(DeviceProfileTest, V73AddressSpaceBelow2GiB) {
+  EXPECT_LE(OnePlusAce3().npu_vaddr_limit_bytes, 2ll << 30);
+  EXPECT_GT(OnePlus12().npu_vaddr_limit_bytes, 2ll << 30);
+}
+
+// --- TCM ---
+
+TEST(TcmTest, AllocAlignAndWatermark) {
+  Tcm tcm(1 << 20);
+  uint8_t* a = tcm.Alloc(100, 128);
+  uint8_t* b = tcm.Alloc(100, 128);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 128, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 128, 0u);
+  EXPECT_EQ(tcm.OffsetOf(b), 128);
+  EXPECT_EQ(tcm.used(), 228);
+  EXPECT_EQ(tcm.high_watermark(), 228);
+  tcm.Reset();
+  EXPECT_EQ(tcm.used(), 0);
+  EXPECT_EQ(tcm.high_watermark(), 228);  // watermark survives reset
+}
+
+TEST(TcmTest, FramesNestAndRelease) {
+  Tcm tcm(1 << 20);
+  tcm.Alloc(256);
+  {
+    TcmFrame f1(tcm);
+    tcm.Alloc(1024);
+    {
+      TcmFrame f2(tcm);
+      tcm.Alloc(2048);
+      EXPECT_GE(tcm.used(), 256 + 1024 + 2048);
+    }
+    EXPECT_LT(tcm.used(), 256 + 1024 + 2048);
+  }
+  EXPECT_EQ(tcm.used(), 256);
+}
+
+TEST(TcmDeathTest, ExhaustionAborts) {
+  Tcm tcm(4096);
+  EXPECT_DEATH(tcm.Alloc(8192), "TCM exhausted");
+}
+
+TEST(TcmTest, ContainsAndOffset) {
+  Tcm tcm(4096);
+  uint8_t* p = tcm.Alloc(64);
+  EXPECT_TRUE(tcm.Contains(p));
+  EXPECT_TRUE(tcm.Contains(p + 63));
+  int unrelated = 0;
+  EXPECT_FALSE(tcm.Contains(&unrelated));
+  EXPECT_EQ(tcm.OffsetOf(p), 0);
+}
+
+// --- DMA ---
+
+TEST(DmaTest, Transfer1DMovesDataAndChargesBandwidth) {
+  const DeviceProfile& p = OnePlus12();
+  CycleLedger ledger;
+  DmaEngine dma(p, ledger);
+  std::vector<uint8_t> src(1 << 20);
+  std::vector<uint8_t> dst(1 << 20);
+  std::iota(src.begin(), src.end(), 0);
+  const double t = dma.Transfer1D(dst.data(), src.data(), 1 << 20, DmaDirection::kDdrToTcm);
+  EXPECT_EQ(src, dst);
+  // 1 MiB at 60 GB/s ~ 17.5 us (plus descriptor overhead).
+  EXPECT_NEAR(t, (1 << 20) / 60e9 + 250e-9, 1e-7);
+  EXPECT_DOUBLE_EQ(ledger.EngineSeconds(Engine::kDma), t);
+  EXPECT_EQ(ledger.dma_bytes(), 1 << 20);
+}
+
+TEST(DmaTest, SmallRows2DAreLessEfficient) {
+  const DeviceProfile& p = OnePlus12();
+  CycleLedger ledger;
+  DmaEngine dma(p, ledger);
+  const double big_rows = dma.Cost2D(4096, 256, DmaDirection::kDdrToTcm);
+  const double small_rows = dma.Cost2D(32, 256 * 128, DmaDirection::kDdrToTcm);
+  // Same total bytes; short rows must be slower.
+  EXPECT_GT(small_rows, 2.0 * big_rows);
+}
+
+TEST(DmaTest, Transfer2DStrided) {
+  const DeviceProfile& p = OnePlus12();
+  CycleLedger ledger;
+  DmaEngine dma(p, ledger);
+  std::vector<uint8_t> src(64 * 16, 7);
+  std::vector<uint8_t> dst(32 * 16, 0);
+  dma.Transfer2D(dst.data(), 32, src.data(), 64, 32, 16, DmaDirection::kDdrToTcm);
+  for (uint8_t v : dst) {
+    EXPECT_EQ(v, 7);
+  }
+}
+
+// --- HVX ---
+
+class HvxTest : public ::testing::Test {
+ protected:
+  HvxTest() : ctx_(OnePlus12()) {}
+  HvxContext ctx_;
+};
+
+TEST_F(HvxTest, SplatAndArithmeticF16) {
+  const HvxVec a = ctx_.VSplatHf(1.5f);
+  const HvxVec b = ctx_.VSplatHf(2.25f);
+  const HvxVec sum = ctx_.VAddHf(a, b);
+  const HvxVec prod = ctx_.VMpyHf(a, b);
+  for (int i = 0; i < HvxVec::kHalfwords; ++i) {
+    EXPECT_FLOAT_EQ(sum.GetHf(i), 3.75f);
+    EXPECT_FLOAT_EQ(prod.GetHf(i), 3.375f);
+  }
+}
+
+TEST_F(HvxTest, F16ArithmeticRoundsEachOp) {
+  // 1 + 2^-12 is not representable in FP16; the add must round to 1.0.
+  const HvxVec one = ctx_.VSplatHf(1.0f);
+  const HvxVec tiny = ctx_.VSplatHf(std::ldexp(1.0f, -12));
+  const HvxVec sum = ctx_.VAddHf(one, tiny);
+  EXPECT_FLOAT_EQ(sum.GetHf(0), 1.0f);
+}
+
+TEST_F(HvxTest, PacketAccounting) {
+  ctx_.ResetPackets();
+  const HvxVec a = ctx_.VSplatHf(1.0f);  // 1
+  const HvxVec b = ctx_.VAddHf(a, a);    // 1
+  (void)b;
+  EXPECT_EQ(ctx_.packets(), 2);
+  ctx_.ChargeStalls(5);
+  EXPECT_EQ(ctx_.packets(), 7);
+}
+
+TEST_F(HvxTest, QfloatConversionCostsOnV75NotV79) {
+  HvxContext v79(OnePlusAce5Pro());
+  const HvxVec a = ctx_.VSplatHf(1.0f);
+  ctx_.ResetPackets();
+  (void)ctx_.ConvertQf(a);
+  EXPECT_EQ(ctx_.packets(), 1);
+  v79.ResetPackets();
+  (void)v79.ConvertQf(a);
+  EXPECT_EQ(v79.packets(), 0);
+}
+
+TEST_F(HvxTest, VLut16LooksUp16Halfwords) {
+  HvxVec table{};
+  for (int i = 0; i < 16; ++i) {
+    table.SetU16(i, static_cast<uint16_t>(0x100 + i));
+  }
+  HvxVec idx{};
+  for (int i = 0; i < HvxVec::kBytes; ++i) {
+    idx.b[static_cast<size_t>(i)] = static_cast<uint8_t>(i % 16);
+  }
+  const HvxVecPair out = ctx_.VLut16(idx, table);
+  for (int i = 0; i < HvxVec::kBytes; ++i) {
+    const uint16_t expected = static_cast<uint16_t>(0x100 + i % 16);
+    const uint16_t got = (i < 64) ? out.lo.GetU16(i) : out.hi.GetU16(i - 64);
+    EXPECT_EQ(got, expected) << i;
+  }
+}
+
+TEST_F(HvxTest, VLut16UsesOnlyLowNibbleOfIndex) {
+  HvxVec table{};
+  table.SetU16(3, 0xABCD);
+  HvxVec idx{};
+  idx.b[0] = 0xF3;  // high nibble must be ignored
+  const HvxVecPair out = ctx_.VLut16(idx, table);
+  EXPECT_EQ(out.lo.GetU16(0), 0xABCD);
+}
+
+TEST_F(HvxTest, GatherReadsTcmAndChargesLatency) {
+  Tcm tcm(1 << 16);
+  auto* data = reinterpret_cast<uint16_t*>(tcm.Alloc(4096));
+  for (int i = 0; i < 2048; ++i) {
+    data[i] = static_cast<uint16_t>(i * 3);
+  }
+  HvxVec offsets{};
+  for (int i = 0; i < 64; ++i) {
+    offsets.SetU16(i, static_cast<uint16_t>((i * 7 % 2048) * 2));
+  }
+  ctx_.ResetPackets();
+  const HvxVec out = ctx_.VGather(tcm, tcm.OffsetOf(data), offsets);
+  EXPECT_EQ(ctx_.packets(), OnePlus12().vgather_packets);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(out.GetU16(i), static_cast<uint16_t>((i * 7 % 2048) * 3));
+  }
+}
+
+TEST_F(HvxTest, ScatterWritesTcmAndCostsMoreThanGather) {
+  Tcm tcm(1 << 16);
+  auto* data = reinterpret_cast<uint16_t*>(tcm.Alloc(4096));
+  HvxVec offsets{};
+  HvxVec values{};
+  for (int i = 0; i < 64; ++i) {
+    offsets.SetU16(i, static_cast<uint16_t>(i * 4));
+    values.SetU16(i, static_cast<uint16_t>(1000 + i));
+  }
+  ctx_.ResetPackets();
+  ctx_.VScatterH(tcm, tcm.OffsetOf(data), offsets, values);
+  EXPECT_GT(ctx_.packets(), OnePlus12().vgather_packets);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(data[i * 2], 1000 + i);
+  }
+}
+
+TEST_F(HvxTest, WidenNarrowRoundTrip) {
+  hexllm::Rng rng(7);
+  HvxVec a{};
+  for (int i = 0; i < HvxVec::kHalfwords; ++i) {
+    a.SetHf(i, static_cast<float>(rng.NextGaussian()));
+  }
+  const HvxVecPair wide = ctx_.WidenHfToSf(a);
+  const HvxVec back = ctx_.NarrowSfToHf(wide);
+  EXPECT_EQ(a, back);
+}
+
+TEST_F(HvxTest, ShuffleInterleavesHalfwords) {
+  HvxVec a{};
+  HvxVec b{};
+  for (int i = 0; i < HvxVec::kHalfwords; ++i) {
+    a.SetU16(i, static_cast<uint16_t>(i));
+    b.SetU16(i, static_cast<uint16_t>(100 + i));
+  }
+  const HvxVecPair p = ctx_.VShuffH(a, b);
+  EXPECT_EQ(p.lo.GetU16(0), 0);
+  EXPECT_EQ(p.lo.GetU16(1), 100);
+  EXPECT_EQ(p.lo.GetU16(2), 1);
+  EXPECT_EQ(p.hi.GetU16(0), 32);
+  EXPECT_EQ(p.hi.GetU16(1), 132);
+}
+
+TEST_F(HvxTest, Reductions) {
+  HvxVec a{};
+  for (int i = 0; i < HvxVec::kHalfwords; ++i) {
+    a.SetHf(i, static_cast<float>(i));
+  }
+  EXPECT_FLOAT_EQ(ctx_.ReduceMaxHf(a), 63.0f);
+  HvxVec s{};
+  for (int i = 0; i < HvxVec::kWords; ++i) {
+    s.SetF32(i, 1.5f);
+  }
+  EXPECT_FLOAT_EQ(ctx_.ReduceSumSf(s), 48.0f);
+}
+
+TEST_F(HvxTest, DdrLoadSlowerThanTcmLoad) {
+  std::vector<uint8_t> buf(128, 1);
+  ctx_.ResetPackets();
+  (void)ctx_.LoadAligned(buf.data());
+  const int64_t tcm_cost = ctx_.packets();
+  ctx_.ResetPackets();
+  (void)ctx_.LoadFromDdr(buf.data());
+  EXPECT_GT(ctx_.packets(), 3 * tcm_cost);
+}
+
+// --- HMX ---
+
+TEST(HmxTest, TileLayoutMatchesFigure4a) {
+  // "Every two rows are permuted, having the same layout as the transposed 2x32 sub-matrix":
+  // within row pair p, memory order is (2p,0),(2p+1,0),(2p,1),(2p+1,1),...
+  EXPECT_EQ(HmxEngine::TileHalfwordOffset(0, 0), 0);
+  EXPECT_EQ(HmxEngine::TileHalfwordOffset(1, 0), 1);
+  EXPECT_EQ(HmxEngine::TileHalfwordOffset(0, 1), 2);
+  EXPECT_EQ(HmxEngine::TileHalfwordOffset(1, 1), 3);
+  EXPECT_EQ(HmxEngine::TileHalfwordOffset(2, 0), 64);
+  EXPECT_EQ(HmxEngine::TileHalfwordOffset(31, 31), 1023);
+  // Bijectivity.
+  std::vector<bool> seen(1024, false);
+  for (int r = 0; r < 32; ++r) {
+    for (int c = 0; c < 32; ++c) {
+      const int off = HmxEngine::TileHalfwordOffset(r, c);
+      ASSERT_GE(off, 0);
+      ASSERT_LT(off, 1024);
+      EXPECT_FALSE(seen[static_cast<size_t>(off)]);
+      seen[static_cast<size_t>(off)] = true;
+    }
+  }
+}
+
+TEST(HmxTest, PackUnpackRoundTrip) {
+  hexllm::Rng rng(3);
+  std::vector<F16> src(32 * 32);
+  for (auto& v : src) {
+    v = F16(static_cast<float>(rng.NextGaussian()));
+  }
+  std::vector<F16> tile(1024);
+  std::vector<F16> back(32 * 32);
+  HmxEngine::PackTile(src.data(), 32, tile.data());
+  HmxEngine::UnpackTile(tile.data(), back.data(), 32);
+  for (size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(src[i].bits(), back[i].bits());
+  }
+}
+
+TEST(HmxTest, TileMaccMatchesReference) {
+  hexllm::Rng rng(11);
+  NpuDevice dev(OnePlus12());
+  std::vector<F16> a(1024);
+  std::vector<F16> b(1024);
+  for (auto& v : a) {
+    v = F16(static_cast<float>(rng.NextGaussian() * 0.3));
+  }
+  for (auto& v : b) {
+    v = F16(static_cast<float>(rng.NextGaussian() * 0.3));
+  }
+  auto* at = reinterpret_cast<F16*>(dev.tcm().Alloc(2048));
+  auto* bt = reinterpret_cast<F16*>(dev.tcm().Alloc(2048));
+  HmxEngine::PackTile(a.data(), 32, at);
+  HmxEngine::PackTile(b.data(), 32, bt);
+  std::vector<float> acc(1024, 0.0f);
+  dev.hmx().TileMacc(dev.tcm(), at, bt, acc.data());
+  EXPECT_EQ(dev.hmx().tile_ops(), 1);
+  // FP32 reference on the FP16-rounded inputs.
+  for (int r = 0; r < 32; ++r) {
+    for (int c = 0; c < 32; ++c) {
+      float expected = 0.0f;
+      for (int k = 0; k < 32; ++k) {
+        expected += a[static_cast<size_t>(r * 32 + k)].ToFloat() *
+                    b[static_cast<size_t>(k * 32 + c)].ToFloat();
+      }
+      EXPECT_FLOAT_EQ(acc[static_cast<size_t>(r * 32 + c)], expected);
+    }
+  }
+}
+
+TEST(HmxDeathTest, OperandsMustBeInTcm) {
+  NpuDevice dev(OnePlus12());
+  std::vector<F16> host_tile(1024);
+  std::vector<float> acc(1024);
+  auto* tcm_tile = reinterpret_cast<F16*>(dev.tcm().Alloc(2048));
+  EXPECT_DEATH(dev.hmx().TileMacc(dev.tcm(), host_tile.data(), tcm_tile, acc.data()),
+               "must reside in TCM");
+}
+
+TEST(HmxTest, StoreAccAppliesColumnScaleAndBias) {
+  NpuDevice dev(OnePlus12());
+  std::vector<float> acc(1024);
+  for (int r = 0; r < 32; ++r) {
+    for (int c = 0; c < 32; ++c) {
+      acc[static_cast<size_t>(r * 32 + c)] = static_cast<float>(r + c);
+    }
+  }
+  std::vector<float> scale(32, 2.0f);
+  std::vector<float> bias(32, 1.0f);
+  std::vector<F16> tile(1024);
+  dev.hmx().StoreAcc(acc.data(), tile.data(), scale.data(), bias.data());
+  EXPECT_FLOAT_EQ(tile[static_cast<size_t>(HmxEngine::TileHalfwordOffset(3, 5))].ToFloat(),
+                  (3 + 5) * 2.0f + 1.0f);
+}
+
+// --- rpcmem / session ---
+
+TEST(RpcmemTest, PoolTracksDmabufBytes) {
+  RpcmemPool pool;
+  auto a = pool.Alloc(1 << 20, "weights");
+  auto b = pool.Alloc(1 << 10, "activations");
+  EXPECT_EQ(pool.total_bytes(), (1 << 20) + (1 << 10));
+  pool.Free(a);
+  EXPECT_EQ(pool.total_bytes(), 1 << 10);
+}
+
+TEST(RpcmemDeathTest, NpuReadOfDirtyBufferAborts) {
+  RpcmemPool pool;
+  auto buf = pool.Alloc(64, "msg");
+  buf->CpuView()[0] = 42;  // CPU write, no flush
+  EXPECT_DEATH(buf->NpuView(), "cache maintenance");
+}
+
+TEST(RpcmemTest, FlushMakesBufferNpuVisible) {
+  RpcmemPool pool;
+  auto buf = pool.Alloc(64, "msg");
+  buf->CpuView()[0] = 42;
+  buf->FlushForNpu();
+  EXPECT_EQ(buf->NpuView()[0], 42);
+  // NPU writes are coherent toward the CPU without maintenance.
+  buf->NpuWriteView()[1] = 7;
+  EXPECT_EQ(buf->CpuReadView()[1], 7);
+}
+
+TEST(NpuSessionTest, V73RejectsLargeModels) {
+  RpcmemPool pool;
+  NpuSession session(OnePlusAce3());
+  auto w1 = pool.Alloc(1536ll << 20, "3B weights part 1");
+  auto w2 = pool.Alloc(900ll << 20, "3B weights part 2");
+  EXPECT_TRUE(session.MapBuffer(w1));
+  EXPECT_FALSE(session.MapBuffer(w2));  // would exceed the ~2 GiB window
+  // The same model maps fine on the 8 Gen 3.
+  NpuSession v75(OnePlus12());
+  EXPECT_TRUE(v75.MapBuffer(w1));
+  EXPECT_TRUE(v75.MapBuffer(w2));
+}
+
+TEST(NpuSessionTest, UnmapFreesAddressSpace) {
+  RpcmemPool pool;
+  NpuSession session(OnePlusAce3());
+  auto w = pool.Alloc(1800ll << 20, "weights");
+  EXPECT_TRUE(session.MapBuffer(w));
+  auto w2 = pool.Alloc(1800ll << 20, "other");
+  EXPECT_FALSE(session.MapBuffer(w2));
+  session.UnmapBuffer(w);
+  EXPECT_TRUE(session.MapBuffer(w2));
+}
+
+TEST(NpuSessionTest, MailboxDeliversRequests) {
+  NpuSession session(OnePlus12());
+  std::vector<std::string> received;
+  session.SetHandler([&](const OpRequest& req) { received.push_back(req.op_name); });
+  const double latency = session.Submit({"matmul", {1, 2}, {64, 64}});
+  session.Submit({"softmax", {3}, {}});
+  EXPECT_EQ(received, (std::vector<std::string>{"matmul", "softmax"}));
+  EXPECT_EQ(session.submitted_ops(), 2);
+  EXPECT_GT(latency, 0.0);
+  EXPECT_LT(latency, 100e-6);  // shared-memory polling beats default FastRPC latency
+}
+
+// --- ledger ---
+
+TEST(CycleLedgerTest, TagsAndMerge) {
+  CycleLedger a;
+  a.AddSeconds(Engine::kHvx, 1.0, "softmax");
+  a.AddSeconds(Engine::kHmx, 2.0, "gemm");
+  CycleLedger b;
+  b.AddSeconds(Engine::kHvx, 0.5, "softmax");
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.EngineSeconds(Engine::kHvx), 1.5);
+  EXPECT_DOUBLE_EQ(a.TagSeconds("softmax"), 1.5);
+  EXPECT_DOUBLE_EQ(a.TagSeconds("gemm"), 2.0);
+  EXPECT_DOUBLE_EQ(a.TagSeconds("absent"), 0.0);
+}
+
+}  // namespace
+}  // namespace hexsim

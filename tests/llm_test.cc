@@ -1,0 +1,383 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/hexsim/npu_device.h"
+#include "src/llm/model_config.h"
+#include "src/llm/sampling.h"
+#include "src/llm/transformer.h"
+#include "src/llm/weights.h"
+#include "src/quant/error_stats.h"
+
+namespace hllm {
+namespace {
+
+using hexllm::F16;
+using hexllm::Rng;
+
+// --- model configs ---
+
+TEST(ModelConfigTest, ParameterCountsMatchPublishedSizes) {
+  for (const auto* m : EvaluationModels()) {
+    double params = 0.0;
+    for (const auto& mat : m->LayerMatrices()) {
+      params += static_cast<double>(mat.k) * mat.n;
+    }
+    params *= m->layers;
+    params += static_cast<double>(m->vocab) * m->hidden;  // embedding (tied lm_head)
+    EXPECT_NEAR(params / 1e9, m->params_b, 0.12 * m->params_b) << m->name;
+  }
+}
+
+TEST(ModelConfigTest, DmabufMatchesFigure16) {
+  // §7.5: pmap reports 1056 MiB (1.5B) and 2090 MiB (3B) of dmabuf under a 4096-token
+  // context budget.
+  const int64_t mib = 1 << 20;
+  EXPECT_NEAR(static_cast<double>(Qwen25_1_5B().DmabufBytes(4096, 16)) / mib, 1056.0, 80.0);
+  EXPECT_NEAR(static_cast<double>(Qwen25_3B().DmabufBytes(4096, 16)) / mib, 2090.0, 150.0);
+}
+
+TEST(ModelConfigTest, GqaShapes) {
+  const auto& q = Qwen25_1_5B();
+  EXPECT_EQ(q.q_dim(), 1536);
+  EXPECT_EQ(q.kv_dim(), 256);
+  EXPECT_EQ(q.heads % q.kv_heads, 0);
+  const auto& l = Llama32_1B();
+  EXPECT_EQ(l.q_dim(), 2048);
+  EXPECT_EQ(l.kv_dim(), 512);
+}
+
+TEST(ModelConfigTest, FfnDownUsesQ8) {
+  // §7.1: FFN down matrices use Q8_0 to protect accuracy.
+  for (const auto* m : EvaluationModels()) {
+    for (const auto& mat : m->LayerMatrices()) {
+      if (std::string(mat.name) == "w_down") {
+        EXPECT_EQ(mat.scheme, hquant::WeightScheme::kQ8_0);
+      } else {
+        EXPECT_EQ(mat.scheme, hquant::WeightScheme::kQ4_0);
+      }
+    }
+  }
+}
+
+// --- quantized linear ---
+
+TEST(QuantizedLinearTest, DequantizeReconstructsWithinQ4Error) {
+  Rng rng(3);
+  const int64_t k = 64, n = 64;
+  std::vector<float> w(static_cast<size_t>(k * n));
+  for (auto& v : w) {
+    v = static_cast<float>(rng.NextGaussian() * 0.05);
+  }
+  const auto lin = QuantizedLinear::Create(w, k, n, hquant::WeightScheme::kQ4_0);
+  const auto back = lin.Dequantize();
+  const auto err = hquant::ComputeErrorStats(w, back);
+  EXPECT_LT(err.rel_rms, 0.12);
+  EXPECT_GT(err.cosine, 0.99);
+}
+
+TEST(QuantizedLinearTest, ForwardMatchesDequantizedMatmul) {
+  Rng rng(4);
+  hexsim::NpuDevice dev(hexsim::OnePlus12());
+  const int64_t k = 64, n = 96;
+  const int m = 3;
+  std::vector<float> w(static_cast<size_t>(k * n));
+  for (auto& v : w) {
+    v = static_cast<float>(rng.NextGaussian() * 0.05);
+  }
+  for (const auto scheme : {hquant::WeightScheme::kQ4_0, hquant::WeightScheme::kQ8_0}) {
+    const auto lin = QuantizedLinear::Create(w, k, n, scheme);
+    const auto wd = lin.Dequantize();
+    std::vector<F16> x(static_cast<size_t>(m) * k);
+    for (auto& v : x) {
+      v = F16(static_cast<float>(rng.NextGaussian() * 0.3));
+    }
+    std::vector<F16> y(static_cast<size_t>(m) * n);
+    lin.Forward(dev, x.data(), y.data(), m);
+    for (int mi = 0; mi < m; ++mi) {
+      for (int64_t ni = 0; ni < n; ++ni) {
+        float expected = 0.0f;
+        for (int64_t ki = 0; ki < k; ++ki) {
+          expected += x[static_cast<size_t>(mi) * k + ki].ToFloat() *
+                      hexllm::RoundToF16(wd[static_cast<size_t>(ni * k + ki)]);
+        }
+        EXPECT_NEAR(y[static_cast<size_t>(mi) * n + ni].ToFloat(), expected,
+                    std::fabs(expected) * 3e-3 + 2e-2);
+      }
+    }
+  }
+}
+
+TEST(QuantizedLinearTest, QuantizedBytesMatchBpw) {
+  Rng rng(5);
+  const int64_t k = 128, n = 128;
+  std::vector<float> w(static_cast<size_t>(k * n), 0.01f);
+  const auto q4 = QuantizedLinear::Create(w, k, n, hquant::WeightScheme::kQ4_0);
+  const auto q8 = QuantizedLinear::Create(w, k, n, hquant::WeightScheme::kQ8_0);
+  EXPECT_EQ(q4.quantized_bytes(), k * n * 18 / 32);  // 4.5 bpw
+  EXPECT_EQ(q8.quantized_bytes(), k * n * 34 / 32);  // 8.5 bpw
+}
+
+// --- KV cache ---
+
+TEST(KvCacheTest, IndexingAndAdvance) {
+  const ModelConfig c = ToyConfig();
+  KvCache kv(c, /*max_batch=*/2, /*max_context=*/8);
+  EXPECT_EQ(kv.length(0), 0);
+  F16* k0 = kv.KeyRow(0, 0, 0);
+  k0[0] = F16(1.5f);
+  kv.Advance(0);
+  EXPECT_EQ(kv.length(0), 1);
+  EXPECT_EQ(kv.length(1), 0);
+  EXPECT_FLOAT_EQ(kv.Keys(0, 0)[0].ToFloat(), 1.5f);
+  // Distinct (layer, seq, k/v) slots do not alias.
+  kv.ValueRow(0, 0, 0)[0] = F16(2.0f);
+  kv.KeyRow(1, 0, 0)[0] = F16(3.0f);
+  kv.KeyRow(0, 1, 0)[0] = F16(4.0f);
+  EXPECT_FLOAT_EQ(kv.Keys(0, 0)[0].ToFloat(), 1.5f);
+  EXPECT_FLOAT_EQ(kv.Values(0, 0)[0].ToFloat(), 2.0f);
+  EXPECT_FLOAT_EQ(kv.Keys(1, 0)[0].ToFloat(), 3.0f);
+  EXPECT_FLOAT_EQ(kv.Keys(0, 1)[0].ToFloat(), 4.0f);
+  kv.ResetSeq(0);
+  EXPECT_EQ(kv.length(0), 0);
+}
+
+TEST(KvCacheTest, ByteSizeMatchesConfig) {
+  const ModelConfig c = ToyConfig();
+  KvCache kv(c, 1, 128);
+  EXPECT_EQ(kv.byte_size(), c.KvCacheBytes(128));
+}
+
+// --- functional transformer on the simulator ---
+
+class TransformerTest : public ::testing::Test {
+ protected:
+  TransformerTest()
+      : config_(ToyConfig()),
+        weights_(ModelWeights::Random(config_, 42)),
+        dev_(hexsim::OnePlus12()) {}
+
+  ModelConfig config_;
+  ModelWeights weights_;
+  hexsim::NpuDevice dev_;
+};
+
+TEST_F(TransformerTest, StepProducesFiniteLogits) {
+  Transformer tf(dev_, weights_, /*max_batch=*/2, /*max_context=*/16);
+  std::vector<int> tokens{1, 2};
+  std::vector<float> logits(2 * static_cast<size_t>(config_.vocab));
+  tf.Step(tokens, logits);
+  for (const float v : logits) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  // Logits are non-degenerate (some spread).
+  float mn = logits[0], mx = logits[0];
+  for (const float v : logits) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_GT(mx - mn, 0.01f);
+  EXPECT_EQ(tf.kv().length(0), 1);
+  EXPECT_EQ(tf.kv().length(1), 1);
+}
+
+TEST_F(TransformerTest, DecodeIsDeterministic) {
+  std::vector<int> out1;
+  std::vector<int> out2;
+  for (auto* out : {&out1, &out2}) {
+    hexsim::NpuDevice dev(hexsim::OnePlus12());
+    Transformer tf(dev, weights_, 1, 16);
+    std::vector<float> logits(static_cast<size_t>(config_.vocab));
+    int tok = 7;
+    for (int i = 0; i < 6; ++i) {
+      tf.Step({&tok, 1}, logits);
+      tok = ArgmaxToken(logits);
+      out->push_back(tok);
+    }
+  }
+  EXPECT_EQ(out1, out2);
+}
+
+TEST_F(TransformerTest, BatchedStepMatchesSingleSequence) {
+  // Two independent sequences decoded as a batch must produce the same logits as decoding
+  // each alone (row independence of every kernel).
+  std::vector<float> logits_batch(2 * static_cast<size_t>(config_.vocab));
+  {
+    Transformer tf(dev_, weights_, 2, 16);
+    std::vector<int> tokens{5, 9};
+    tf.Step(tokens, logits_batch);
+  }
+  for (int seq = 0; seq < 2; ++seq) {
+    hexsim::NpuDevice dev(hexsim::OnePlus12());
+    Transformer tf(dev, weights_, 1, 16);
+    std::vector<float> logits(static_cast<size_t>(config_.vocab));
+    const int tok = (seq == 0) ? 5 : 9;
+    tf.Step({&tok, 1}, logits);
+    for (int64_t v = 0; v < config_.vocab; ++v) {
+      EXPECT_NEAR(logits[static_cast<size_t>(v)],
+                  logits_batch[static_cast<size_t>(seq * config_.vocab + v)], 1e-3)
+          << "seq " << seq << " vocab " << v;
+    }
+  }
+}
+
+TEST_F(TransformerTest, PrefillAdvancesContext) {
+  Transformer tf(dev_, weights_, 1, 16);
+  std::vector<int> prompt{1, 2, 3, 4};
+  tf.Prefill(0, prompt);
+  EXPECT_EQ(tf.kv().length(0), 4);
+}
+
+TEST_F(TransformerTest, ChunkedPrefillMatchesTokenByToken) {
+  // Causal chunked prefill must leave the model in the same state as decoding the prompt
+  // token by token: the next-step logits agree.
+  const std::vector<int> prompt{11, 402, 3, 77, 250, 9, 18};
+  std::vector<float> logits_chunked(static_cast<size_t>(config_.vocab));
+  std::vector<float> logits_stepwise(static_cast<size_t>(config_.vocab));
+  {
+    hexsim::NpuDevice dev(hexsim::OnePlus12());
+    Transformer tf(dev, weights_, 1, 64);
+    tf.Prefill(0, prompt);
+    const int tok = 5;
+    tf.Step({&tok, 1}, logits_chunked);
+  }
+  {
+    hexsim::NpuDevice dev(hexsim::OnePlus12());
+    Transformer tf(dev, weights_, 1, 64);
+    std::vector<float> scratch(static_cast<size_t>(config_.vocab));
+    for (const int t : prompt) {
+      tf.Step({&t, 1}, scratch);
+    }
+    const int tok = 5;
+    tf.Step({&tok, 1}, logits_stepwise);
+  }
+  for (int64_t v = 0; v < config_.vocab; ++v) {
+    EXPECT_NEAR(logits_chunked[static_cast<size_t>(v)],
+                logits_stepwise[static_cast<size_t>(v)], 0.02)
+        << v;
+  }
+}
+
+TEST_F(TransformerTest, MultiChunkPrefillCrossesChunkBoundary) {
+  // Prompts longer than one 32-token chunk must still produce coherent state.
+  std::vector<int> prompt(40);
+  for (size_t i = 0; i < prompt.size(); ++i) {
+    prompt[i] = static_cast<int>((i * 13 + 7) % 512);
+  }
+  Transformer tf(dev_, weights_, 1, 64);
+  tf.Prefill(0, prompt);
+  EXPECT_EQ(tf.kv().length(0), 40);
+  std::vector<float> logits(static_cast<size_t>(config_.vocab));
+  const int tok = 2;
+  tf.Step({&tok, 1}, logits);
+  for (const float v : logits) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_F(TransformerTest, ContextChangesPrediction) {
+  // The same input token after different prefixes must yield different logits (attention
+  // actually reads the KV cache).
+  std::vector<float> a(static_cast<size_t>(config_.vocab));
+  std::vector<float> b(static_cast<size_t>(config_.vocab));
+  {
+    hexsim::NpuDevice dev(hexsim::OnePlus12());
+    Transformer tf(dev, weights_, 1, 16);
+    std::vector<int> prompt{1, 2, 3};
+    tf.Prefill(0, prompt);
+    const int tok = 8;
+    tf.Step({&tok, 1}, a);
+  }
+  {
+    hexsim::NpuDevice dev(hexsim::OnePlus12());
+    Transformer tf(dev, weights_, 1, 16);
+    std::vector<int> prompt{400, 301, 77};
+    tf.Prefill(0, prompt);
+    const int tok = 8;
+    tf.Step({&tok, 1}, b);
+  }
+  double diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff += std::fabs(a[i] - b[i]);
+  }
+  EXPECT_GT(diff, 0.01);
+}
+
+TEST_F(TransformerTest, ChargesAllEngineCategories) {
+  Transformer tf(dev_, weights_, 1, 16);
+  std::vector<float> logits(static_cast<size_t>(config_.vocab));
+  const int tok = 3;
+  tf.Step({&tok, 1}, logits);
+  const auto& ledger = dev_.ledger();
+  EXPECT_GT(ledger.TagSeconds("linear.dequant"), 0.0);
+  EXPECT_GT(ledger.TagSeconds("gemm.hmx"), 0.0);
+  EXPECT_GT(ledger.TagSeconds("attn.softmax"), 0.0);
+  EXPECT_GT(ledger.TagSeconds("misc.rmsnorm"), 0.0);
+  EXPECT_GT(ledger.TagSeconds("misc.silu"), 0.0);
+}
+
+// --- sampling ---
+
+TEST(SamplingTest, GreedyPicksArgmax) {
+  std::vector<float> logits{0.1f, 2.0f, -1.0f, 1.9f};
+  EXPECT_EQ(ArgmaxToken(logits), 1);
+  Rng rng(1);
+  SamplerOptions opts;
+  opts.temperature = 0.0f;
+  EXPECT_EQ(SampleToken(logits, opts, rng), 1);
+}
+
+TEST(SamplingTest, TemperatureSamplingFollowsDistribution) {
+  std::vector<float> logits{std::log(0.7f), std::log(0.2f), std::log(0.1f)};
+  Rng rng(2);
+  SamplerOptions opts;
+  opts.temperature = 1.0f;
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[SampleToken(logits, opts, rng)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.7, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(SamplingTest, TopKRestrictsSupport) {
+  std::vector<float> logits{5.0f, 4.0f, -10.0f, 3.0f};
+  Rng rng(3);
+  SamplerOptions opts;
+  opts.temperature = 2.0f;
+  opts.top_k = 2;
+  for (int i = 0; i < 500; ++i) {
+    const int t = SampleToken(logits, opts, rng);
+    EXPECT_TRUE(t == 0 || t == 1) << t;
+  }
+}
+
+TEST(SamplingTest, TopPRestrictsTail) {
+  std::vector<float> logits{std::log(0.6f), std::log(0.3f), std::log(0.05f),
+                            std::log(0.05f)};
+  Rng rng(4);
+  SamplerOptions opts;
+  opts.temperature = 1.0f;
+  opts.top_p = 0.85f;
+  for (int i = 0; i < 500; ++i) {
+    const int t = SampleToken(logits, opts, rng);
+    EXPECT_TRUE(t == 0 || t == 1) << t;
+  }
+}
+
+TEST(SamplingTest, TokenLogProbIsConsistent) {
+  std::vector<float> logits{1.0f, 2.0f, 3.0f};
+  double total = 0.0;
+  for (int t = 0; t < 3; ++t) {
+    total += std::exp(TokenLogProb(logits, t, 1.0f));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(TokenLogProb(logits, 2, 1.0f), TokenLogProb(logits, 0, 1.0f));
+}
+
+}  // namespace
+}  // namespace hllm

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/runtime/scheduler.h"
+
+namespace hrt {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() {
+    options_.model = &hllm::Qwen25_1_5B();
+    options_.device = &hexsim::OnePlus12();
+    engine_ = std::make_unique<Engine>(options_);
+  }
+  EngineOptions options_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(SchedulerTest, JobGeneratorRespectsBounds) {
+  hexllm::Rng rng(1);
+  const auto jobs = MakeSampleJobs(10, 8, 256, rng);
+  EXPECT_EQ(jobs.size(), 80u);
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.total_tokens, 16);
+    EXPECT_LE(j.total_tokens, 1024);
+  }
+  // Lengths are dispersed, not constant.
+  int min_len = 1 << 30, max_len = 0;
+  for (const auto& j : jobs) {
+    min_len = std::min(min_len, j.total_tokens);
+    max_len = std::max(max_len, j.total_tokens);
+  }
+  EXPECT_GT(max_len, min_len + 50);
+}
+
+TEST_F(SchedulerTest, ContinuousNeverSlowerThanStatic) {
+  hexllm::Rng rng(2);
+  const auto jobs = MakeSampleJobs(6, 8, 200, rng);
+  for (int max_batch : {4, 8, 16}) {
+    const auto st = RunStaticBatching(jobs, max_batch, *engine_, 512);
+    const auto ct = RunContinuousBatching(jobs, max_batch, *engine_, 512);
+    EXPECT_LE(ct.makespan_s, st.makespan_s * 1.0001) << max_batch;
+    EXPECT_GE(ct.tokens_per_second, st.tokens_per_second * 0.9999) << max_batch;
+  }
+}
+
+TEST_F(SchedulerTest, ContinuousBeatsStaticWithDispersedLengths) {
+  hexllm::Rng rng(3);
+  const auto jobs = MakeSampleJobs(8, 8, 300, rng);
+  const auto st = RunStaticBatching(jobs, 8, *engine_, 512);
+  const auto ct = RunContinuousBatching(jobs, 8, *engine_, 512);
+  EXPECT_GT(ct.tokens_per_second, st.tokens_per_second * 1.05);
+  EXPECT_LT(st.slot_utilization, 0.95);
+  EXPECT_DOUBLE_EQ(ct.slot_utilization, 1.0);
+}
+
+TEST_F(SchedulerTest, UniformLengthsMakeSchedulersEquivalent) {
+  // With identical job lengths there is no padding to reclaim.
+  std::vector<SampleJob> jobs(16);
+  for (int i = 0; i < 16; ++i) {
+    jobs[static_cast<size_t>(i)] = {i, 100};
+  }
+  const auto st = RunStaticBatching(jobs, 8, *engine_, 512);
+  const auto ct = RunContinuousBatching(jobs, 8, *engine_, 512);
+  EXPECT_NEAR(ct.makespan_s, st.makespan_s, st.makespan_s * 1e-9);
+  EXPECT_NEAR(st.slot_utilization, 1.0, 1e-12);
+}
+
+TEST_F(SchedulerTest, StepCountsAreConsistent) {
+  hexllm::Rng rng(4);
+  const auto jobs = MakeSampleJobs(4, 4, 128, rng);
+  const auto ct = RunContinuousBatching(jobs, 4, *engine_, 256);
+  int64_t total_tokens = 0;
+  int longest = 0;
+  for (const auto& j : jobs) {
+    total_tokens += j.total_tokens;
+    longest = std::max(longest, j.total_tokens);
+  }
+  // Steps at least ceil(total/maxbatch) and at least the longest single job.
+  EXPECT_GE(ct.steps, (total_tokens + 3) / 4);
+  EXPECT_GE(ct.steps, longest);
+  EXPECT_LE(ct.avg_active_batch, 4.0);
+}
+
+}  // namespace
+}  // namespace hrt
