@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_awq"
+  "../bench/bench_ext_awq.pdb"
+  "CMakeFiles/bench_ext_awq.dir/bench_ext_awq.cc.o"
+  "CMakeFiles/bench_ext_awq.dir/bench_ext_awq.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_awq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

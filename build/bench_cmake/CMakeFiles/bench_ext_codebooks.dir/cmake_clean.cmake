@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_codebooks"
+  "../bench/bench_ext_codebooks.pdb"
+  "CMakeFiles/bench_ext_codebooks.dir/bench_ext_codebooks.cc.o"
+  "CMakeFiles/bench_ext_codebooks.dir/bench_ext_codebooks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_codebooks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_scheduler"
+  "../bench/bench_ext_scheduler.pdb"
+  "CMakeFiles/bench_ext_scheduler.dir/bench_ext_scheduler.cc.o"
+  "CMakeFiles/bench_ext_scheduler.dir/bench_ext_scheduler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_tmac_gemv"
+  "../bench/bench_ext_tmac_gemv.pdb"
+  "CMakeFiles/bench_ext_tmac_gemv.dir/bench_ext_tmac_gemv.cc.o"
+  "CMakeFiles/bench_ext_tmac_gemv.dir/bench_ext_tmac_gemv.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tmac_gemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_power_energy.cc" "bench_cmake/CMakeFiles/bench_fig12_power_energy.dir/bench_fig12_power_energy.cc.o" "gcc" "bench_cmake/CMakeFiles/bench_fig12_power_energy.dir/bench_fig12_power_energy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tts/CMakeFiles/hexllm_tts.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hexllm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/hexllm_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/hexllm_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/hexllm_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/hexsim/CMakeFiles/hexllm_hexsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hexllm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_backend_comparison"
+  "../bench/bench_fig13_backend_comparison.pdb"
+  "CMakeFiles/bench_fig13_backend_comparison.dir/bench_fig13_backend_comparison.cc.o"
+  "CMakeFiles/bench_fig13_backend_comparison.dir/bench_fig13_backend_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_backend_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_unit_peaks"
+  "../bench/bench_table2_unit_peaks.pdb"
+  "CMakeFiles/bench_table2_unit_peaks.dir/bench_table2_unit_peaks.cc.o"
+  "CMakeFiles/bench_table2_unit_peaks.dir/bench_table2_unit_peaks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_unit_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_search_budget.dir/beam_search_budget.cpp.o"
+  "CMakeFiles/beam_search_budget.dir/beam_search_budget.cpp.o.d"
+  "beam_search_budget"
+  "beam_search_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_search_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

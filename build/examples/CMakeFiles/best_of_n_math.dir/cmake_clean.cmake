@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/best_of_n_math.dir/best_of_n_math.cpp.o"
+  "CMakeFiles/best_of_n_math.dir/best_of_n_math.cpp.o.d"
+  "best_of_n_math"
+  "best_of_n_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_of_n_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hexllm_cli.dir/hexllm_cli.cpp.o"
+  "CMakeFiles/hexllm_cli.dir/hexllm_cli.cpp.o.d"
+  "hexllm_cli"
+  "hexllm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hexllm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npu_kernels_tour.dir/npu_kernels_tour.cpp.o"
+  "CMakeFiles/npu_kernels_tour.dir/npu_kernels_tour.cpp.o.d"
+  "npu_kernels_tour"
+  "npu_kernels_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npu_kernels_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

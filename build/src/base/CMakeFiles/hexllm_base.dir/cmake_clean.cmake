@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hexllm_base.dir/fp16.cc.o"
+  "CMakeFiles/hexllm_base.dir/fp16.cc.o.d"
+  "CMakeFiles/hexllm_base.dir/tensor.cc.o"
+  "CMakeFiles/hexllm_base.dir/tensor.cc.o.d"
+  "libhexllm_base.a"
+  "libhexllm_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hexllm_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hexsim/device_profile.cc" "src/hexsim/CMakeFiles/hexllm_hexsim.dir/device_profile.cc.o" "gcc" "src/hexsim/CMakeFiles/hexllm_hexsim.dir/device_profile.cc.o.d"
+  "/root/repo/src/hexsim/dma.cc" "src/hexsim/CMakeFiles/hexllm_hexsim.dir/dma.cc.o" "gcc" "src/hexsim/CMakeFiles/hexllm_hexsim.dir/dma.cc.o.d"
+  "/root/repo/src/hexsim/hmx.cc" "src/hexsim/CMakeFiles/hexllm_hexsim.dir/hmx.cc.o" "gcc" "src/hexsim/CMakeFiles/hexllm_hexsim.dir/hmx.cc.o.d"
+  "/root/repo/src/hexsim/hvx.cc" "src/hexsim/CMakeFiles/hexllm_hexsim.dir/hvx.cc.o" "gcc" "src/hexsim/CMakeFiles/hexllm_hexsim.dir/hvx.cc.o.d"
+  "/root/repo/src/hexsim/rpcmem.cc" "src/hexsim/CMakeFiles/hexllm_hexsim.dir/rpcmem.cc.o" "gcc" "src/hexsim/CMakeFiles/hexllm_hexsim.dir/rpcmem.cc.o.d"
+  "/root/repo/src/hexsim/tcm.cc" "src/hexsim/CMakeFiles/hexllm_hexsim.dir/tcm.cc.o" "gcc" "src/hexsim/CMakeFiles/hexllm_hexsim.dir/tcm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hexllm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

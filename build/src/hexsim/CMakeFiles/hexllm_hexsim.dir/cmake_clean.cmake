@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hexllm_hexsim.dir/device_profile.cc.o"
+  "CMakeFiles/hexllm_hexsim.dir/device_profile.cc.o.d"
+  "CMakeFiles/hexllm_hexsim.dir/dma.cc.o"
+  "CMakeFiles/hexllm_hexsim.dir/dma.cc.o.d"
+  "CMakeFiles/hexllm_hexsim.dir/hmx.cc.o"
+  "CMakeFiles/hexllm_hexsim.dir/hmx.cc.o.d"
+  "CMakeFiles/hexllm_hexsim.dir/hvx.cc.o"
+  "CMakeFiles/hexllm_hexsim.dir/hvx.cc.o.d"
+  "CMakeFiles/hexllm_hexsim.dir/rpcmem.cc.o"
+  "CMakeFiles/hexllm_hexsim.dir/rpcmem.cc.o.d"
+  "CMakeFiles/hexllm_hexsim.dir/tcm.cc.o"
+  "CMakeFiles/hexllm_hexsim.dir/tcm.cc.o.d"
+  "libhexllm_hexsim.a"
+  "libhexllm_hexsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hexllm_hexsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

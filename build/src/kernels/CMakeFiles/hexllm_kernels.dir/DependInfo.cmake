@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/attention.cc" "src/kernels/CMakeFiles/hexllm_kernels.dir/attention.cc.o" "gcc" "src/kernels/CMakeFiles/hexllm_kernels.dir/attention.cc.o.d"
+  "/root/repo/src/kernels/exp_lut.cc" "src/kernels/CMakeFiles/hexllm_kernels.dir/exp_lut.cc.o" "gcc" "src/kernels/CMakeFiles/hexllm_kernels.dir/exp_lut.cc.o.d"
+  "/root/repo/src/kernels/gemm.cc" "src/kernels/CMakeFiles/hexllm_kernels.dir/gemm.cc.o" "gcc" "src/kernels/CMakeFiles/hexllm_kernels.dir/gemm.cc.o.d"
+  "/root/repo/src/kernels/lm_head.cc" "src/kernels/CMakeFiles/hexllm_kernels.dir/lm_head.cc.o" "gcc" "src/kernels/CMakeFiles/hexllm_kernels.dir/lm_head.cc.o.d"
+  "/root/repo/src/kernels/misc_ops.cc" "src/kernels/CMakeFiles/hexllm_kernels.dir/misc_ops.cc.o" "gcc" "src/kernels/CMakeFiles/hexllm_kernels.dir/misc_ops.cc.o.d"
+  "/root/repo/src/kernels/mixed_gemm.cc" "src/kernels/CMakeFiles/hexllm_kernels.dir/mixed_gemm.cc.o" "gcc" "src/kernels/CMakeFiles/hexllm_kernels.dir/mixed_gemm.cc.o.d"
+  "/root/repo/src/kernels/softmax.cc" "src/kernels/CMakeFiles/hexllm_kernels.dir/softmax.cc.o" "gcc" "src/kernels/CMakeFiles/hexllm_kernels.dir/softmax.cc.o.d"
+  "/root/repo/src/kernels/tmac_gemv.cc" "src/kernels/CMakeFiles/hexllm_kernels.dir/tmac_gemv.cc.o" "gcc" "src/kernels/CMakeFiles/hexllm_kernels.dir/tmac_gemv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hexllm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hexsim/CMakeFiles/hexllm_hexsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/hexllm_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hexllm_kernels.dir/attention.cc.o"
+  "CMakeFiles/hexllm_kernels.dir/attention.cc.o.d"
+  "CMakeFiles/hexllm_kernels.dir/exp_lut.cc.o"
+  "CMakeFiles/hexllm_kernels.dir/exp_lut.cc.o.d"
+  "CMakeFiles/hexllm_kernels.dir/gemm.cc.o"
+  "CMakeFiles/hexllm_kernels.dir/gemm.cc.o.d"
+  "CMakeFiles/hexllm_kernels.dir/lm_head.cc.o"
+  "CMakeFiles/hexllm_kernels.dir/lm_head.cc.o.d"
+  "CMakeFiles/hexllm_kernels.dir/misc_ops.cc.o"
+  "CMakeFiles/hexllm_kernels.dir/misc_ops.cc.o.d"
+  "CMakeFiles/hexllm_kernels.dir/mixed_gemm.cc.o"
+  "CMakeFiles/hexllm_kernels.dir/mixed_gemm.cc.o.d"
+  "CMakeFiles/hexllm_kernels.dir/softmax.cc.o"
+  "CMakeFiles/hexllm_kernels.dir/softmax.cc.o.d"
+  "CMakeFiles/hexllm_kernels.dir/tmac_gemv.cc.o"
+  "CMakeFiles/hexllm_kernels.dir/tmac_gemv.cc.o.d"
+  "libhexllm_kernels.a"
+  "libhexllm_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hexllm_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

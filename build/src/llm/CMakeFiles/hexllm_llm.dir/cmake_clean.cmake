@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hexllm_llm.dir/model_config.cc.o"
+  "CMakeFiles/hexllm_llm.dir/model_config.cc.o.d"
+  "CMakeFiles/hexllm_llm.dir/sampling.cc.o"
+  "CMakeFiles/hexllm_llm.dir/sampling.cc.o.d"
+  "CMakeFiles/hexllm_llm.dir/transformer.cc.o"
+  "CMakeFiles/hexllm_llm.dir/transformer.cc.o.d"
+  "CMakeFiles/hexllm_llm.dir/weights.cc.o"
+  "CMakeFiles/hexllm_llm.dir/weights.cc.o.d"
+  "libhexllm_llm.a"
+  "libhexllm_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hexllm_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

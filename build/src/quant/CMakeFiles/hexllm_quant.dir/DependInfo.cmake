@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/awq.cc" "src/quant/CMakeFiles/hexllm_quant.dir/awq.cc.o" "gcc" "src/quant/CMakeFiles/hexllm_quant.dir/awq.cc.o.d"
+  "/root/repo/src/quant/codebook_quant.cc" "src/quant/CMakeFiles/hexllm_quant.dir/codebook_quant.cc.o" "gcc" "src/quant/CMakeFiles/hexllm_quant.dir/codebook_quant.cc.o.d"
+  "/root/repo/src/quant/codebooks.cc" "src/quant/CMakeFiles/hexllm_quant.dir/codebooks.cc.o" "gcc" "src/quant/CMakeFiles/hexllm_quant.dir/codebooks.cc.o.d"
+  "/root/repo/src/quant/error_stats.cc" "src/quant/CMakeFiles/hexllm_quant.dir/error_stats.cc.o" "gcc" "src/quant/CMakeFiles/hexllm_quant.dir/error_stats.cc.o.d"
+  "/root/repo/src/quant/group_quant.cc" "src/quant/CMakeFiles/hexllm_quant.dir/group_quant.cc.o" "gcc" "src/quant/CMakeFiles/hexllm_quant.dir/group_quant.cc.o.d"
+  "/root/repo/src/quant/synthetic_weights.cc" "src/quant/CMakeFiles/hexllm_quant.dir/synthetic_weights.cc.o" "gcc" "src/quant/CMakeFiles/hexllm_quant.dir/synthetic_weights.cc.o.d"
+  "/root/repo/src/quant/tile_quant.cc" "src/quant/CMakeFiles/hexllm_quant.dir/tile_quant.cc.o" "gcc" "src/quant/CMakeFiles/hexllm_quant.dir/tile_quant.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hexllm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hexsim/CMakeFiles/hexllm_hexsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

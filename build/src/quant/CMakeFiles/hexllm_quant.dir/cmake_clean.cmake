@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hexllm_quant.dir/awq.cc.o"
+  "CMakeFiles/hexllm_quant.dir/awq.cc.o.d"
+  "CMakeFiles/hexllm_quant.dir/codebook_quant.cc.o"
+  "CMakeFiles/hexllm_quant.dir/codebook_quant.cc.o.d"
+  "CMakeFiles/hexllm_quant.dir/codebooks.cc.o"
+  "CMakeFiles/hexllm_quant.dir/codebooks.cc.o.d"
+  "CMakeFiles/hexllm_quant.dir/error_stats.cc.o"
+  "CMakeFiles/hexllm_quant.dir/error_stats.cc.o.d"
+  "CMakeFiles/hexllm_quant.dir/group_quant.cc.o"
+  "CMakeFiles/hexllm_quant.dir/group_quant.cc.o.d"
+  "CMakeFiles/hexllm_quant.dir/synthetic_weights.cc.o"
+  "CMakeFiles/hexllm_quant.dir/synthetic_weights.cc.o.d"
+  "CMakeFiles/hexllm_quant.dir/tile_quant.cc.o"
+  "CMakeFiles/hexllm_quant.dir/tile_quant.cc.o.d"
+  "libhexllm_quant.a"
+  "libhexllm_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hexllm_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

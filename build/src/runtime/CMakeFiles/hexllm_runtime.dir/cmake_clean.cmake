@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hexllm_runtime.dir/engine.cc.o"
+  "CMakeFiles/hexllm_runtime.dir/engine.cc.o.d"
+  "CMakeFiles/hexllm_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/hexllm_runtime.dir/scheduler.cc.o.d"
+  "CMakeFiles/hexllm_runtime.dir/trace.cc.o"
+  "CMakeFiles/hexllm_runtime.dir/trace.cc.o.d"
+  "libhexllm_runtime.a"
+  "libhexllm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hexllm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

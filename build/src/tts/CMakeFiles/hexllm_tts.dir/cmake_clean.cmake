@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hexllm_tts.dir/capability_model.cc.o"
+  "CMakeFiles/hexllm_tts.dir/capability_model.cc.o.d"
+  "CMakeFiles/hexllm_tts.dir/pareto.cc.o"
+  "CMakeFiles/hexllm_tts.dir/pareto.cc.o.d"
+  "CMakeFiles/hexllm_tts.dir/speculative.cc.o"
+  "CMakeFiles/hexllm_tts.dir/speculative.cc.o.d"
+  "CMakeFiles/hexllm_tts.dir/task.cc.o"
+  "CMakeFiles/hexllm_tts.dir/task.cc.o.d"
+  "CMakeFiles/hexllm_tts.dir/tts.cc.o"
+  "CMakeFiles/hexllm_tts.dir/tts.cc.o.d"
+  "libhexllm_tts.a"
+  "libhexllm_tts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hexllm_tts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhexllm_tts.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hexsim_test.dir/hexsim_test.cc.o"
+  "CMakeFiles/hexsim_test.dir/hexsim_test.cc.o.d"
+  "hexsim_test"
+  "hexsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hexsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tts_test.dir/tts_test.cc.o"
+  "CMakeFiles/tts_test.dir/tts_test.cc.o.d"
+  "tts_test"
+  "tts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
