@@ -66,6 +66,12 @@ void Transformer::Step(std::span<const int> tokens, std::span<float> logits,
   StepSeqSubset(tokens, seq_ids, logits, exp_variant);
 }
 
+void Transformer::StepSeqs(std::span<const int> tokens, std::span<const int> seq_ids,
+                           std::span<float> logits, hkern::SoftmaxVariant exp_variant) {
+  HEXLLM_CHECK(tokens.size() == seq_ids.size());
+  StepSeqSubset(tokens, seq_ids, logits, exp_variant);
+}
+
 void Transformer::Prefill(int seq, std::span<const int> tokens) {
   size_t done = 0;
   while (done < tokens.size()) {

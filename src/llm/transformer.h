@@ -66,6 +66,13 @@ class Transformer {
   void Step(std::span<const int> tokens, std::span<float> logits,
             hkern::SoftmaxVariant exp_variant = hkern::SoftmaxVariant::kLut);
 
+  // Decodes one step for an arbitrary subset of sequences: row i consumes tokens[i] at
+  // sequence seq_ids[i]'s current position. The serving layer uses this to step only the
+  // occupied KV slots of a continuous batch. Writes FP32 logits [tokens.size(), vocab].
+  void StepSeqs(std::span<const int> tokens, std::span<const int> seq_ids,
+                std::span<float> logits,
+                hkern::SoftmaxVariant exp_variant = hkern::SoftmaxVariant::kLut);
+
   // Prefills sequence `seq` with a prompt, processed in chunks of up to 32 tokens per
   // forward pass (causal FlashAttention handles intra-chunk masking) — the paper's chunked
   // prefill pipeline, not token-by-token decoding. Logits are discarded.

@@ -349,21 +349,26 @@ double Engine::PrefillThroughput(int prompt_len) const {
   return prompt_len / Prefill(prompt_len).total_s;
 }
 
-PowerReport Engine::DecodePower(int batch, int context) const {
-  const DeviceProfile& d = *options_.device;
-  const StepCost c = DecodeStep(batch, context);
+PowerReport StepPower(const DeviceProfile& d, const StepCost& c, int batch,
+                      bool gpu_backend) {
   PowerReport r;
   const double t = c.total_s;
+  if (t <= 0.0 || batch < 1) {
+    return r;
+  }
   const double hvx_threads_avg = std::min<double>(d.hvx_threads, c.hvx_busy_s / t);
   const double ddr_gbps = static_cast<double>(c.ddr_bytes) / t / 1e9;
-  const double gpu_w = (options_.backend == Backend::kGpuOpenCl)
-                           ? 2.6 * (c.gpu_busy_s / t)
-                           : 0.0;
+  const double gpu_w = gpu_backend ? 2.6 * (c.gpu_busy_s / t) : 0.0;
   r.watts = d.p_base_w + d.p_hmx_w * std::min(1.0, c.hmx_busy_s / t) +
             d.p_hvx_thread_w * hvx_threads_avg + d.p_ddr_per_gbps_w * ddr_gbps +
             d.p_cpu_core_w * (c.cpu_busy_s / t) + gpu_w;
   r.joules_per_token = r.watts * t / batch;
   return r;
+}
+
+PowerReport Engine::DecodePower(int batch, int context) const {
+  return StepPower(*options_.device, DecodeStep(batch, context), batch,
+                   options_.backend == Backend::kGpuOpenCl);
 }
 
 MemoryReport Engine::Memory(int batch) const {

@@ -57,6 +57,12 @@ struct PowerReport {
   double joules_per_token = 0.0;
 };
 
+// Power drawn while a step with cost `c` executes: busy-fraction model over the step's wall
+// time (c.total_s). Shared by Engine::DecodePower and the serving backends, which meter
+// their own StepCosts. Returns zero when c.total_s <= 0.
+PowerReport StepPower(const hexsim::DeviceProfile& d, const StepCost& c, int batch,
+                      bool gpu_backend = false);
+
 struct MemoryReport {
   int64_t dmabuf_bytes = 0;       // NPU-mapped shared memory (weights + KV + activations)
   int64_t cpu_resident_bytes = 0; // lm_head weights + runtime overhead

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "src/base/check.h"
 
@@ -28,94 +27,8 @@ std::vector<SampleJob> MakeSampleJobs(int tasks, int samples_per_task, int mean_
   return jobs;
 }
 
-namespace {
-
-// Step cost cache: DecodeStep is deterministic per (batch, context).
-class StepCostCache {
- public:
-  StepCostCache(const Engine& engine, int context) : engine_(engine), context_(context) {}
-
-  double Cost(int batch) {
-    auto it = cache_.find(batch);
-    if (it != cache_.end()) {
-      return it->second;
-    }
-    const double s = engine_.DecodeStep(batch, context_).total_s;
-    cache_[batch] = s;
-    return s;
-  }
-
- private:
-  const Engine& engine_;
-  int context_;
-  std::map<int, double> cache_;
-};
-
-}  // namespace
-
-ScheduleResult RunStaticBatching(const std::vector<SampleJob>& jobs, int max_batch,
-                                 const Engine& engine, int context) {
-  HEXLLM_CHECK(max_batch >= 1);
-  StepCostCache costs(engine, context);
-  ScheduleResult r;
-  double useful_tokens = 0.0;
-  double active_rows = 0.0;
-  double occupied_rows = 0.0;
-
-  for (size_t wave_start = 0; wave_start < jobs.size(); wave_start += max_batch) {
-    const size_t wave_end = std::min(jobs.size(), wave_start + max_batch);
-    const int wave_jobs = static_cast<int>(wave_end - wave_start);
-    int wave_len = 0;
-    for (size_t j = wave_start; j < wave_end; ++j) {
-      wave_len = std::max(wave_len, jobs[j].total_tokens);
-    }
-    // All wave slots stay occupied (padding included) for wave_len steps.
-    r.makespan_s += wave_len * costs.Cost(wave_jobs);
-    r.steps += wave_len;
-    for (size_t j = wave_start; j < wave_end; ++j) {
-      useful_tokens += jobs[j].total_tokens;
-      active_rows += jobs[j].total_tokens;
-    }
-    occupied_rows += static_cast<double>(wave_len) * wave_jobs;
-  }
-  r.tokens_per_second = useful_tokens / r.makespan_s;
-  r.avg_active_batch = active_rows / r.steps;
-  r.slot_utilization = active_rows / occupied_rows;
-  return r;
-}
-
-ScheduleResult RunContinuousBatching(const std::vector<SampleJob>& jobs, int max_batch,
-                                     const Engine& engine, int context) {
-  HEXLLM_CHECK(max_batch >= 1);
-  StepCostCache costs(engine, context);
-  ScheduleResult r;
-  std::vector<int> remaining;  // tokens left per active slot
-  size_t next_job = 0;
-  double useful_tokens = 0.0;
-  double active_rows = 0.0;
-
-  while (true) {
-    // Refill freed slots from the queue.
-    while (static_cast<int>(remaining.size()) < max_batch && next_job < jobs.size()) {
-      remaining.push_back(jobs[next_job++].total_tokens);
-      useful_tokens += remaining.back();
-    }
-    if (remaining.empty()) {
-      break;
-    }
-    const int active = static_cast<int>(remaining.size());
-    r.makespan_s += costs.Cost(active);
-    ++r.steps;
-    active_rows += active;
-    for (auto& t : remaining) {
-      --t;
-    }
-    remaining.erase(std::remove(remaining.begin(), remaining.end(), 0), remaining.end());
-  }
-  r.tokens_per_second = useful_tokens / r.makespan_s;
-  r.avg_active_batch = active_rows / r.steps;
-  r.slot_utilization = 1.0;  // continuous batching never decodes padding rows
-  return r;
-}
+// RunStaticBatching / RunContinuousBatching are implemented in
+// src/serving/legacy_scheduler.cc as wrappers over hserve::ContinuousBatcher (the serving
+// library depends on this one, so the wrappers cannot live here without a cycle).
 
 }  // namespace hrt

@@ -37,6 +37,12 @@ struct ScheduleResult {
   int64_t steps = 0;
 };
 
+// Legacy entry points, now thin wrappers over the serving runtime (hserve::ContinuousBatcher
+// in src/serving — link hexllm_serving). `context` seeds each slot's starting KV length;
+// unlike the original fixed-context pricing, every slot's context then GROWS as it decodes
+// and steps are priced at the batch's actual mean context. No prefill is charged (jobs carry
+// no prompts), matching the original behavior. Empty `jobs` returns a zeroed result.
+
 // Static batching: jobs run in waves of `max_batch`; a wave ends when its longest job does
 // (finished slots decode padding until then).
 ScheduleResult RunStaticBatching(const std::vector<SampleJob>& jobs, int max_batch,

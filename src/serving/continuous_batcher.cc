@@ -1,0 +1,282 @@
+#include "src/serving/continuous_batcher.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace hserve {
+
+namespace {
+
+// Lays one priced decode step onto the trace lanes: the engine busy overlays share the
+// NPU-side span, then the CPU lm_head and the mailbox round trip serialize after it.
+void TraceStep(hrt::TraceBuilder& tb, double t0, const hrt::StepCost& c, int batch,
+               int mean_context) {
+  const double npu_s = c.linear_s + c.attention_s + c.misc_s;
+  const std::string suffix =
+      " b=" + std::to_string(batch) + " ctx=" + std::to_string(mean_context);
+  if (c.dma_busy_s > 0.0) {
+    tb.Add("DMA", "weights" + suffix, t0, std::min(c.dma_busy_s, npu_s));
+  }
+  if (c.hvx_busy_s > 0.0) {
+    tb.Add("HVX", "dequant+attn" + suffix, t0, std::min(c.hvx_busy_s, npu_s));
+  }
+  if (c.hmx_busy_s > 0.0) {
+    tb.Add("HMX", "gemm" + suffix, t0, std::min(c.hmx_busy_s, npu_s));
+  }
+  if (c.lm_head_s > 0.0) {
+    tb.Add("CPU", "lm_head" + suffix, t0 + npu_s, c.lm_head_s);
+  }
+  if (c.comm_s > 0.0) {
+    tb.Add("COMM", "mailbox", t0 + npu_s + c.lm_head_s, c.comm_s);
+  }
+}
+
+}  // namespace
+
+ContinuousBatcher::ContinuousBatcher(ExecutionBackend& backend, const ServeOptions& options)
+    : backend_(backend), options_(options) {
+  HEXLLM_CHECK(options_.max_batch >= 1);
+}
+
+ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
+  ScheduleResult r;
+  if (jobs.empty()) {
+    return r;  // zeroed result — the old schedulers divided by steps/makespan here (NaN)
+  }
+  const int n = static_cast<int>(jobs.size());
+  for (const ServeJob& j : jobs) {
+    HEXLLM_CHECK(j.decode_tokens >= 1);
+    HEXLLM_CHECK(j.prompt_tokens >= 0 && j.context_tokens >= 0 && j.barrier >= 0);
+  }
+
+  // Group structure: jobs at a group's current barrier level admit freely; the next level
+  // opens only when every job of the current level has completed (expansion waves).
+  struct Group {
+    std::vector<std::pair<int, std::vector<int>>> levels;  // (barrier, job indices) ascending
+    size_t cur = 0;
+    int pending = 0;  // incomplete jobs at the current level
+  };
+  std::vector<Group> groups;
+  std::vector<int> job_group(static_cast<size_t>(n));
+  {
+    std::map<int, int> group_index;  // prompt_group id -> groups index
+    for (int j = 0; j < n; ++j) {
+      int g;
+      if (jobs[static_cast<size_t>(j)].prompt_group >= 0) {
+        auto [it, inserted] =
+            group_index.try_emplace(jobs[static_cast<size_t>(j)].prompt_group,
+                                    static_cast<int>(groups.size()));
+        if (inserted) {
+          groups.emplace_back();
+        }
+        g = it->second;
+      } else {
+        g = static_cast<int>(groups.size());
+        groups.emplace_back();
+      }
+      job_group[static_cast<size_t>(j)] = g;
+    }
+    std::vector<std::map<int, std::vector<int>>> by_barrier(groups.size());
+    for (int j = 0; j < n; ++j) {
+      by_barrier[static_cast<size_t>(job_group[static_cast<size_t>(j)])]
+                [jobs[static_cast<size_t>(j)].barrier]
+                    .push_back(j);
+    }
+    for (size_t g = 0; g < groups.size(); ++g) {
+      groups[g].levels.assign(by_barrier[g].begin(), by_barrier[g].end());
+      groups[g].pending = static_cast<int>(groups[g].levels.front().second.size());
+    }
+  }
+
+  // Ready queue seeded in input order with every group's first barrier level.
+  std::deque<int> ready;
+  for (int j = 0; j < n; ++j) {
+    const Group& g = groups[static_cast<size_t>(job_group[static_cast<size_t>(j)])];
+    if (jobs[static_cast<size_t>(j)].barrier == g.levels.front().first) {
+      ready.push_back(j);
+    }
+  }
+
+  // Slot pool. The free list is LIFO so a slot freed on step k is the first reused on step
+  // k+1 (its KV region is the hottest).
+  struct Slot {
+    int job = -1;       // job index, -1 when free
+    int context = 0;    // current KV length
+    int remaining = 0;  // useful tokens still to decode (0 => padding row in a static wave)
+  };
+  std::vector<Slot> slots(static_cast<size_t>(options_.max_batch));
+  std::vector<int> free_slots;
+  free_slots.reserve(slots.size());
+  for (int s = options_.max_batch - 1; s >= 0; --s) {
+    free_slots.push_back(s);
+  }
+  std::vector<bool> group_charged(groups.size(), false);
+
+  int occupied = 0;
+  int completed = 0;
+  int64_t step_idx = 0;
+  int64_t useful_rows = 0;
+  int64_t occupied_rows = 0;
+  int64_t context_row_sum = 0;
+  int traced_steps = 0;
+  int traced_admissions = 0;
+
+  const auto admit = [&](int j) {
+    const int slot = free_slots.back();
+    free_slots.pop_back();
+    const ServeJob& job = jobs[static_cast<size_t>(j)];
+    const int g = job_group[static_cast<size_t>(j)];
+    int charged = 0;
+    if (job.prompt_tokens > 0 && !group_charged[static_cast<size_t>(g)]) {
+      charged = job.prompt_tokens;
+      group_charged[static_cast<size_t>(g)] = true;
+    }
+    const int context = job.prompt_tokens + job.context_tokens;
+    const double t0 = r.makespan_s;
+    const double prefill_s = backend_.AdmitSlot(slot, job, context, charged);
+    r.makespan_s += prefill_s;
+    r.prefill_s += prefill_s;
+    r.prefilled_tokens += charged;
+    slots[static_cast<size_t>(slot)] = Slot{j, context, job.decode_tokens};
+    ++occupied;
+    r.admissions.push_back(Admission{job.id, slot, step_idx, r.makespan_s});
+    if (options_.record_trace && prefill_s > 0.0 &&
+        traced_admissions < options_.max_trace_steps) {
+      r.trace.Add("ADMIT", "prefill job " + std::to_string(job.id), t0, prefill_s);
+      ++traced_admissions;
+    }
+  };
+
+  std::vector<int> row_slots;
+  std::vector<int> row_contexts;
+  row_slots.reserve(slots.size());
+  row_contexts.reserve(slots.size());
+
+  while (completed < n) {
+    // Admission: continuous mode refills any free slot; static mode opens a new wave only
+    // once the previous one fully drained.
+    if (options_.policy == SchedulePolicy::kContinuous || occupied == 0) {
+      while (!free_slots.empty() && !ready.empty()) {
+        admit(ready.front());
+        ready.pop_front();
+      }
+    }
+    HEXLLM_CHECK(occupied > 0);  // barrier bookkeeping guarantees an admissible job exists
+
+    row_slots.clear();
+    row_contexts.clear();
+    int useful = 0;
+    for (int s = 0; s < options_.max_batch; ++s) {
+      const Slot& sl = slots[static_cast<size_t>(s)];
+      if (sl.job >= 0) {
+        row_slots.push_back(s);
+        row_contexts.push_back(sl.context);
+        context_row_sum += sl.context;
+        if (sl.remaining > 0) {
+          ++useful;
+        }
+      }
+    }
+
+    const double t0 = r.makespan_s;
+    const StepOutcome out = backend_.Step(row_slots, row_contexts);
+    r.makespan_s += out.cost.total_s;
+    r.decode_s += out.cost.total_s;
+    r.energy_j += out.watts * out.cost.total_s;
+    useful_rows += useful;
+    occupied_rows += static_cast<int64_t>(row_slots.size());
+    if (options_.record_steps) {
+      r.step_active.push_back(useful);
+      r.step_occupied.push_back(static_cast<int>(row_slots.size()));
+    }
+    if (options_.record_trace && traced_steps < options_.max_trace_steps) {
+      int64_t ctx_sum = 0;
+      for (int c : row_contexts) {
+        ctx_sum += c;
+      }
+      TraceStep(r.trace, t0, out.cost, static_cast<int>(row_slots.size()),
+                static_cast<int>(ctx_sum / static_cast<int64_t>(row_contexts.size())));
+      ++traced_steps;
+    }
+    if (!out.tokens.empty()) {
+      HEXLLM_CHECK(out.tokens.size() == row_slots.size());
+      if (r.job_tokens.empty()) {
+        r.job_tokens.resize(static_cast<size_t>(n));
+      }
+    }
+
+    for (size_t i = 0; i < row_slots.size(); ++i) {
+      const int s = row_slots[i];
+      Slot& sl = slots[static_cast<size_t>(s)];
+      ++sl.context;
+      if (sl.remaining <= 0) {
+        continue;  // padding row riding out a static wave
+      }
+      if (!out.tokens.empty()) {
+        r.job_tokens[static_cast<size_t>(sl.job)].push_back(out.tokens[i]);
+      }
+      --sl.remaining;
+      ++r.decoded_tokens;
+      if (sl.remaining > 0) {
+        continue;
+      }
+      ++completed;
+      r.completions.push_back(
+          Completion{jobs[static_cast<size_t>(sl.job)].id, s, step_idx, r.makespan_s});
+      Group& g = groups[static_cast<size_t>(job_group[static_cast<size_t>(sl.job)])];
+      if (--g.pending == 0 && g.cur + 1 < g.levels.size()) {
+        ++g.cur;
+        g.pending = static_cast<int>(g.levels[g.cur].second.size());
+        for (int j2 : g.levels[g.cur].second) {
+          ready.push_back(j2);
+        }
+      }
+      if (options_.policy == SchedulePolicy::kContinuous) {
+        backend_.ReleaseSlot(s);
+        sl.job = -1;
+        free_slots.push_back(s);
+        --occupied;
+      }
+    }
+    if (options_.policy == SchedulePolicy::kStaticWaves) {
+      bool wave_done = true;
+      for (int s : row_slots) {
+        if (slots[static_cast<size_t>(s)].remaining > 0) {
+          wave_done = false;
+          break;
+        }
+      }
+      if (wave_done) {
+        for (int s : row_slots) {
+          backend_.ReleaseSlot(s);
+          slots[static_cast<size_t>(s)].job = -1;
+          free_slots.push_back(s);
+          --occupied;
+        }
+      }
+    }
+    ++step_idx;
+  }
+
+  r.steps = step_idx;
+  if (r.makespan_s > 0.0) {
+    r.tokens_per_second = static_cast<double>(r.decoded_tokens) / r.makespan_s;
+  }
+  if (step_idx > 0) {
+    r.avg_active_batch = static_cast<double>(useful_rows) / static_cast<double>(step_idx);
+  }
+  if (occupied_rows > 0) {
+    r.slot_utilization =
+        static_cast<double>(useful_rows) / static_cast<double>(occupied_rows);
+    r.avg_context =
+        static_cast<double>(context_row_sum) / static_cast<double>(occupied_rows);
+  }
+  return r;
+}
+
+}  // namespace hserve

@@ -1,0 +1,91 @@
+// The request-level serving runtime: one batched decode loop that every workload flows
+// through.
+//
+// The ContinuousBatcher owns all scheduling policy on top of an ExecutionBackend:
+//   * a KV-slot pool of `max_batch` slots with free-list reclamation — a finished job's slot
+//     is reusable on the very next step (continuous batching), or held until the wave drains
+//     (static batching, for the paper's Figure 14 comparison);
+//   * an admission queue with per-prompt-group barriers: a job admits only after every
+//     same-group job with a smaller barrier completed (beam-search expansion rounds);
+//   * chunked-prefill admission cost, charged once per prompt_group (parallel TTS samples
+//     share one prompt's prefill) — previously RunContinuousBatching ignored prefill;
+//   * step pricing from each slot's ACTUAL growing context (the backend sees per-slot
+//     context lengths every step), replacing the old fixed-context simplification;
+//   * optional per-step Chrome-trace recording via hrt::TraceBuilder.
+#ifndef SRC_SERVING_CONTINUOUS_BATCHER_H_
+#define SRC_SERVING_CONTINUOUS_BATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/trace.h"
+#include "src/serving/execution_backend.h"
+
+namespace hserve {
+
+enum class SchedulePolicy : uint8_t {
+  kContinuous,   // freed slots refill from the admission queue on the next step
+  kStaticWaves,  // jobs run in waves; a finished row idles (padding) until the wave drains
+};
+
+struct ServeOptions {
+  int max_batch = 16;
+  SchedulePolicy policy = SchedulePolicy::kContinuous;
+  bool record_trace = false;  // export per-step lanes into ScheduleResult::trace
+  int max_trace_steps = 256;  // cap on traced steps/admissions (traces grow fast)
+  bool record_steps = false;  // per-step occupancy log (step_active / step_occupied)
+};
+
+// One admission record (job -> slot binding), in admission order.
+struct Admission {
+  int job_id = 0;
+  int slot = 0;
+  int64_t step = 0;    // index of the first decode step the job participates in
+  double time_s = 0.0; // makespan after the admission's prefill charge
+};
+
+struct Completion {
+  int job_id = 0;
+  int slot = 0;
+  int64_t step = 0;    // index of the decode step that produced the job's last token
+  double time_s = 0.0;
+};
+
+struct ScheduleResult {
+  double makespan_s = 0.0;
+  double prefill_s = 0.0;          // time spent in charged chunked-prefill admissions
+  double decode_s = 0.0;           // time spent in decode steps
+  double tokens_per_second = 0.0;  // useful decoded tokens / makespan
+  double avg_active_batch = 0.0;   // mean useful (non-padding) rows per step
+  double avg_context = 0.0;        // mean per-row KV length over all stepped rows
+  double slot_utilization = 0.0;   // useful rows / occupied rows (padding discounts this)
+  double energy_j = 0.0;           // sum over steps of watts x step seconds
+  int64_t steps = 0;
+  int64_t decoded_tokens = 0;      // useful tokens only (padding rows don't count)
+  int64_t prefilled_tokens = 0;    // charged prefill tokens (shared prompts charge once)
+  std::vector<Admission> admissions;
+  std::vector<Completion> completions;
+  std::vector<int> step_active;    // record_steps: useful rows per step
+  std::vector<int> step_occupied;  // record_steps: occupied rows per step
+  // Functional backends: tokens each job generated, indexed by the job's position in the
+  // input vector (empty for pricing-only backends).
+  std::vector<std::vector<int>> job_tokens;
+  hrt::TraceBuilder trace;         // record_trace: per-step lanes + admissions
+};
+
+class ContinuousBatcher {
+ public:
+  ContinuousBatcher(ExecutionBackend& backend, const ServeOptions& options);
+
+  // Runs every job to completion and returns the aggregate schedule. An empty job list
+  // yields a zeroed result (no NaNs). Jobs must each decode at least one token.
+  ScheduleResult Run(const std::vector<ServeJob>& jobs);
+
+ private:
+  ExecutionBackend& backend_;
+  ServeOptions options_;
+};
+
+}  // namespace hserve
+
+#endif  // SRC_SERVING_CONTINUOUS_BATCHER_H_

@@ -1,0 +1,161 @@
+#include "src/serving/execution_backend.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/base/check.h"
+#include "src/base/math_util.h"
+#include "src/hexsim/rpcmem.h"
+#include "src/kernels/attention.h"
+#include "src/kernels/lm_head.h"
+#include "src/llm/sampling.h"
+
+namespace hserve {
+
+namespace {
+
+// Per-row contexts are priced at their mean, rounded UP to the bucket boundary so pricing
+// never undershoots the true mean and stays monotone as contexts grow.
+int ContextBucket(std::span<const int> contexts, int bucket_tokens) {
+  int64_t sum = 0;
+  for (int c : contexts) {
+    HEXLLM_DCHECK(c >= 0);
+    sum += c;
+  }
+  const int64_t mean = hexllm::CeilDiv(sum, static_cast<int64_t>(contexts.size()));
+  return static_cast<int>(hexllm::RoundUp(std::max<int64_t>(mean, 1), bucket_tokens));
+}
+
+}  // namespace
+
+AnalyticBackend::AnalyticBackend(const hrt::Engine& engine, int context_bucket_tokens)
+    : engine_(engine), bucket_tokens_(std::max(1, context_bucket_tokens)) {}
+
+double AnalyticBackend::AdmitSlot(int /*slot*/, const ServeJob& /*job*/, int /*context_tokens*/,
+                                  int charged_prefill_tokens) {
+  if (charged_prefill_tokens <= 0) {
+    return 0.0;
+  }
+  auto [it, inserted] = prefill_cache_.try_emplace(charged_prefill_tokens, 0.0);
+  if (inserted) {
+    it->second = engine_.Prefill(charged_prefill_tokens).total_s;
+  }
+  return it->second;
+}
+
+const hrt::StepCost& AnalyticBackend::BucketedCost(int batch, int context) {
+  const int bucket =
+      static_cast<int>(hexllm::RoundUp(std::max(context, 1), bucket_tokens_));
+  const auto key = std::make_pair(batch, bucket);
+  auto it = step_cache_.find(key);
+  if (it == step_cache_.end()) {
+    const hrt::StepCost cost = engine_.DecodeStep(batch, bucket);
+    const bool gpu = engine_.options().backend == hrt::Backend::kGpuOpenCl;
+    const double watts = hrt::StepPower(*engine_.options().device, cost, batch, gpu).watts;
+    it = step_cache_.emplace(key, std::make_pair(cost, watts)).first;
+  }
+  return it->second.first;
+}
+
+StepOutcome AnalyticBackend::Step(std::span<const int> slots, std::span<const int> contexts) {
+  HEXLLM_CHECK(!slots.empty() && slots.size() == contexts.size());
+  const int batch = static_cast<int>(slots.size());
+  const int bucket = ContextBucket(contexts, bucket_tokens_);
+  StepOutcome out;
+  out.cost = BucketedCost(batch, bucket);
+  out.watts = step_cache_.at(std::make_pair(batch, bucket)).second;
+  return out;
+}
+
+FunctionalBackend::FunctionalBackend(hexsim::NpuDevice& dev, const hllm::ModelWeights& weights,
+                                     int max_batch, int max_context)
+    : dev_(dev), tf_(dev, weights, max_batch, max_context), max_context_(max_context),
+      last_token_(static_cast<size_t>(max_batch), 1),
+      logits_(static_cast<size_t>(max_batch) * weights.config.vocab) {}
+
+double FunctionalBackend::AdmitSlot(int slot, const ServeJob& job, int context_tokens,
+                                    int /*charged_prefill_tokens*/) {
+  HEXLLM_CHECK(slot >= 0 && slot < static_cast<int>(last_token_.size()));
+  HEXLLM_CHECK(context_tokens + job.decode_tokens <= max_context_);
+  tf_.kv().ResetSeq(slot);
+  const int vocab = tf_.config().vocab;
+  if (context_tokens == 0) {
+    // Nothing to prefill: decode starts from a fixed BOS-like token.
+    last_token_[static_cast<size_t>(slot)] = 1 % vocab;
+    return 0.0;
+  }
+  // Functional prefill must materialize the slot's whole KV prefix, so unlike the analytic
+  // backend it re-executes shared-group prompts per slot (KV sharing is future work). The
+  // prompt is synthetic but deterministic per job, so reruns reproduce token-for-token.
+  std::vector<int> prompt(static_cast<size_t>(context_tokens));
+  for (int i = 0; i < context_tokens; ++i) {
+    prompt[static_cast<size_t>(i)] =
+        static_cast<int>((static_cast<uint32_t>(job.id) * 2654435761u + 13u * i + 7u) %
+                         static_cast<uint32_t>(vocab));
+  }
+  const hexsim::CycleLedger mark = dev_.ledger();
+  tf_.Prefill(slot, prompt);
+  last_token_[static_cast<size_t>(slot)] = prompt.back();
+  // Prefill's critical path: overlapped engine busy time plus one mailbox round trip per
+  // 32-token chunk (mirrors Engine::Prefill's comm model). No lm_head — logits discarded.
+  hrt::StepCost cost;
+  const double npu_s = ComposeStep(mark, /*batch=*/0, &cost);
+  const int chunks = static_cast<int>(hexllm::CeilDiv(context_tokens, hkern::kAttnQTile));
+  return npu_s + chunks * (2 * hexsim::NpuSession::kMailboxLatencySeconds + 30e-6);
+}
+
+StepOutcome FunctionalBackend::Step(std::span<const int> slots, std::span<const int> contexts) {
+  HEXLLM_CHECK(!slots.empty() && slots.size() == contexts.size());
+  const int batch = static_cast<int>(slots.size());
+  const int vocab = tf_.config().vocab;
+  std::vector<int> tokens(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    const int slot = slots[static_cast<size_t>(i)];
+    HEXLLM_DCHECK(tf_.kv().length(slot) == contexts[static_cast<size_t>(i)]);
+    tokens[static_cast<size_t>(i)] = last_token_[static_cast<size_t>(slot)];
+  }
+  std::span<float> logits(logits_.data(), static_cast<size_t>(batch) * vocab);
+  const hexsim::CycleLedger mark = dev_.ledger();
+  tf_.StepSeqs(tokens, slots, logits);
+  StepOutcome out;
+  out.cost.total_s = ComposeStep(mark, batch, &out.cost);
+  out.watts = hrt::StepPower(dev_.profile(), out.cost, batch).watts;
+  out.tokens.resize(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    const int tok = hllm::ArgmaxToken(
+        std::span<const float>(logits_.data() + static_cast<size_t>(i) * vocab,
+                               static_cast<size_t>(vocab)));
+    out.tokens[static_cast<size_t>(i)] = tok;
+    last_token_[static_cast<size_t>(slots[static_cast<size_t>(i)])] = tok;
+  }
+  return out;
+}
+
+double FunctionalBackend::ComposeStep(const hexsim::CycleLedger& mark, int batch,
+                                      hrt::StepCost* cost) const {
+  const hexsim::CycleLedger& led = dev_.ledger();
+  const auto delta = [&](hexsim::Engine e) {
+    return led.EngineSeconds(e) - mark.EngineSeconds(e);
+  };
+  const hexsim::DeviceProfile& d = dev_.profile();
+  cost->hvx_busy_s = delta(hexsim::Engine::kHvx);
+  cost->hmx_busy_s = delta(hexsim::Engine::kHmx);
+  cost->dma_busy_s = delta(hexsim::Engine::kDma);
+  cost->ddr_bytes = led.dma_bytes() - mark.dma_bytes();
+  // Critical path mirrors the analytic engine's pipeline composition: DMA, HMX and the
+  // HVX thread pool overlap; the slowest engine sets the NPU-side step time.
+  const double npu_s =
+      std::max({cost->dma_busy_s, cost->hmx_busy_s, cost->hvx_busy_s / d.hvx_threads});
+  cost->linear_s = npu_s;
+  if (batch < 1) {
+    return npu_s;  // prefill: caller adds per-chunk comm; no lm_head
+  }
+  const hkern::LmHeadCost lm =
+      hkern::LmHeadCostModel(d, batch, tf_.config().hidden, tf_.config().vocab);
+  cost->lm_head_s = lm.seconds;
+  cost->cpu_busy_s = lm.cpu_busy_s;
+  cost->comm_s = 2 * hexsim::NpuSession::kMailboxLatencySeconds + 30e-6;
+  return npu_s + cost->lm_head_s + cost->comm_s;
+}
+
+}  // namespace hserve

@@ -1,0 +1,112 @@
+// The serving runtime's execution abstraction.
+//
+// The paper's end-to-end system (§6) wins because every parallel test-time-scaling sample
+// flows through ONE continuously-batched NPU decode loop. This layer gives the repo that
+// single execution abstraction: an ExecutionBackend prices (or actually performs) decode
+// steps and chunked-prefill admissions for the ContinuousBatcher, which owns all request-
+// level policy (slot pool, admission queue, barriers).
+//
+// Two implementations:
+//   * AnalyticBackend — wraps hrt::Engine. Prices a step for the given active batch and the
+//     slots' ACTUAL per-slot contexts (mean, bucketed), fixing the old scheduler's
+//     fixed-context simplification. Used for the full-size paper models.
+//   * FunctionalBackend — wraps hllm::Transformer on the hexsim NPU simulator. Actually
+//     decodes tokens (toy configs) and meters time from the simulator's cycle ledger, so
+//     the same batcher code path is exercised with real numerics in tests.
+#ifndef SRC_SERVING_EXECUTION_BACKEND_H_
+#define SRC_SERVING_EXECUTION_BACKEND_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/llm/transformer.h"
+#include "src/llm/weights.h"
+#include "src/runtime/engine.h"
+#include "src/serving/job.h"
+
+namespace hserve {
+
+// What the batcher learns from one priced/executed decode step.
+struct StepOutcome {
+  hrt::StepCost cost;       // decomposition; cost.total_s is the step's wall time
+  double watts = 0.0;       // power drawn during the step (energy = watts * total_s)
+  std::vector<int> tokens;  // FunctionalBackend: sampled token per active row; else empty
+};
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  // Prepares `slot` for a job whose KV starts at `context_tokens` (prompt + any uncharged
+  // prefix), of which `charged_prefill_tokens` are newly prefilled through the chunked
+  // pipeline. Returns the admission's wall-time cost in seconds.
+  virtual double AdmitSlot(int slot, const ServeJob& job, int context_tokens,
+                           int charged_prefill_tokens) = 0;
+
+  // Releases a finished job's slot (KV rows reclaimable).
+  virtual void ReleaseSlot(int slot) {}
+
+  // One decode step advancing every listed slot by one token. `contexts[i]` is slot
+  // `slots[i]`'s current KV length; pricing must reflect these actual contexts.
+  virtual StepOutcome Step(std::span<const int> slots, std::span<const int> contexts) = 0;
+};
+
+// Prices steps with the analytic engine. DecodeStep is deterministic per (batch, context),
+// so results are cached keyed on (batch, context bucket) — the per-slot-context successor of
+// the old scheduler's fixed-context StepCostCache.
+class AnalyticBackend : public ExecutionBackend {
+ public:
+  explicit AnalyticBackend(const hrt::Engine& engine, int context_bucket_tokens = 64);
+
+  const char* name() const override { return "analytic"; }
+  double AdmitSlot(int slot, const ServeJob& job, int context_tokens,
+                   int charged_prefill_tokens) override;
+  StepOutcome Step(std::span<const int> slots, std::span<const int> contexts) override;
+
+  // Bucketed step pricing (exposed for tests): cost of one step at `batch` rows whose mean
+  // context rounds up to the bucket containing `context`.
+  const hrt::StepCost& BucketedCost(int batch, int context);
+
+ private:
+  const hrt::Engine& engine_;
+  int bucket_tokens_;
+  std::map<std::pair<int, int>, std::pair<hrt::StepCost, double>> step_cache_;
+  std::map<int, double> prefill_cache_;
+};
+
+// Actually decodes tokens through the functional Transformer on the NPU simulator. Intended
+// for toy configs; timing comes from the hexsim cycle ledger (busy seconds composed the same
+// way the analytic engine composes its pipeline: max(DMA, HMX, HVX/threads) + CPU lm_head +
+// mailbox), so a serving run both computes real logits and advances a realistic clock.
+class FunctionalBackend : public ExecutionBackend {
+ public:
+  FunctionalBackend(hexsim::NpuDevice& dev, const hllm::ModelWeights& weights, int max_batch,
+                    int max_context);
+
+  const char* name() const override { return "functional"; }
+  double AdmitSlot(int slot, const ServeJob& job, int context_tokens,
+                   int charged_prefill_tokens) override;
+  StepOutcome Step(std::span<const int> slots, std::span<const int> contexts) override;
+
+  hllm::Transformer& transformer() { return tf_; }
+
+ private:
+  // Seconds elapsed on the critical path for the ledger activity since `mark`, plus the
+  // CPU lm_head and mailbox costs for `batch` rows; fills `cost`'s busy fields.
+  double ComposeStep(const hexsim::CycleLedger& mark, int batch, hrt::StepCost* cost) const;
+
+  hexsim::NpuDevice& dev_;
+  hllm::Transformer tf_;
+  int max_context_;
+  std::vector<int> last_token_;    // per slot: token the next step consumes
+  std::vector<float> logits_;      // [max_batch * vocab] scratch
+};
+
+}  // namespace hserve
+
+#endif  // SRC_SERVING_EXECUTION_BACKEND_H_

@@ -1,0 +1,27 @@
+// The serving runtime's request type.
+//
+// Kept dependency-free so workload producers (the TTS methods in src/tts, benches, examples)
+// can emit job streams without pulling in the execution backends.
+#ifndef SRC_SERVING_JOB_H_
+#define SRC_SERVING_JOB_H_
+
+namespace hserve {
+
+// One decode request: a sample that must generate `decode_tokens` tokens on top of a prompt.
+struct ServeJob {
+  int id = 0;
+  // Jobs sharing a prompt_group share one charged prefill (parallel TTS samples of one task
+  // decode against a common prompt). Negative means the job pays its own prompt.
+  int prompt_group = -1;
+  int prompt_tokens = 0;   // chunked-prefill charged on the group's first admission
+  int context_tokens = 0;  // pre-existing uncharged context (e.g. a beam prefix, or the
+                           // legacy scheduler API's fixed `context` parameter)
+  int decode_tokens = 0;   // tokens this job generates
+  // Admission wave within the prompt_group: a job admits only after every job of the same
+  // group with a smaller barrier has completed (beam-search expansion rounds).
+  int barrier = 0;
+};
+
+}  // namespace hserve
+
+#endif  // SRC_SERVING_JOB_H_

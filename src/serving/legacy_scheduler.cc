@@ -1,0 +1,62 @@
+// Legacy scheduler entry points (declared in src/runtime/scheduler.h), implemented here as
+// thin wrappers over the serving runtime so every schedule — old API or new — runs through
+// the one ContinuousBatcher code path.
+//
+// Mapping: each SampleJob becomes a ServeJob in its own prompt_group with the legacy fixed
+// `context` parameter as an uncharged starting context (the old API had no prompts, so no
+// prefill is charged) — but where the original priced every step at that fixed context,
+// slots now grow their context per decoded token and steps are priced at the batch's actual
+// mean context.
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/runtime/scheduler.h"
+#include "src/serving/continuous_batcher.h"
+
+namespace hrt {
+
+namespace {
+
+ScheduleResult RunLegacy(const std::vector<SampleJob>& jobs, int max_batch,
+                         const Engine& engine, int context, hserve::SchedulePolicy policy) {
+  HEXLLM_CHECK(max_batch >= 1);
+  HEXLLM_CHECK(context >= 0);
+  ScheduleResult r;
+  if (jobs.empty()) {
+    return r;  // zeroed — the old implementations divided 0/0 here
+  }
+  std::vector<hserve::ServeJob> serve_jobs;
+  serve_jobs.reserve(jobs.size());
+  for (const SampleJob& j : jobs) {
+    hserve::ServeJob sj;
+    sj.id = j.id;
+    sj.context_tokens = context;
+    sj.decode_tokens = j.total_tokens;
+    serve_jobs.push_back(sj);
+  }
+  hserve::AnalyticBackend backend(engine);
+  hserve::ServeOptions options;
+  options.max_batch = max_batch;
+  options.policy = policy;
+  const hserve::ScheduleResult s = hserve::ContinuousBatcher(backend, options).Run(serve_jobs);
+  r.makespan_s = s.makespan_s;
+  r.tokens_per_second = s.tokens_per_second;
+  r.avg_active_batch = s.avg_active_batch;
+  r.slot_utilization = s.slot_utilization;
+  r.steps = s.steps;
+  return r;
+}
+
+}  // namespace
+
+ScheduleResult RunStaticBatching(const std::vector<SampleJob>& jobs, int max_batch,
+                                 const Engine& engine, int context) {
+  return RunLegacy(jobs, max_batch, engine, context, hserve::SchedulePolicy::kStaticWaves);
+}
+
+ScheduleResult RunContinuousBatching(const std::vector<SampleJob>& jobs, int max_batch,
+                                     const Engine& engine, int context) {
+  return RunLegacy(jobs, max_batch, engine, context, hserve::SchedulePolicy::kContinuous);
+}
+
+}  // namespace hrt

@@ -1,7 +1,11 @@
 #include "src/tts/pareto.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "src/base/check.h"
 #include "src/runtime/engine.h"
+#include "src/serving/continuous_batcher.h"
 #include "src/tts/reward_model.h"
 #include "src/tts/tts.h"
 
@@ -40,7 +44,12 @@ std::vector<ParetoPoint> SweepPareto(const CapabilityModel& cap,
     hrt::Engine engine(eo);
     const bool runnable = engine.CanRun();
 
-    const auto add_point = [&](TtsMethod method, int budget, const MethodResult& r) {
+    // Cost now comes from actually serving the method's job stream through the continuous
+    // batcher at the method's sustained batch: per-slot growing contexts, shared-prompt
+    // chunked prefill, and energy integrated per step (§7.2.1's "increased context" falls
+    // out of the per-slot KV lengths instead of a hand-picked fixed context).
+    const auto add_point = [&](TtsMethod method, int budget, const MethodResult& r,
+                               const std::vector<hserve::ServeJob>& jobs) {
       ParetoPoint p;
       p.model = model->name;
       p.method = method;
@@ -48,30 +57,48 @@ std::vector<ParetoPoint> SweepPareto(const CapabilityModel& cap,
       p.accuracy = r.accuracy;
       p.runnable = runnable;
       if (runnable) {
-        // Cost: per-step decode latency at the sustained batch, at a context that accounts
-        // for the prompt plus the TTS generation depth (§7.2.1's "increased context").
-        const int context =
-            static_cast<int>(128 + r.avg_seq_tokens);
-        p.latency_per_token_s = engine.DecodeSecondsPerToken(r.batch, context);
-        const auto power = engine.DecodePower(r.batch, context);
-        p.watts = power.watts;
-        p.energy_per_token_j = power.joules_per_token;
+        hserve::AnalyticBackend backend(engine);
+        hserve::ServeOptions so;
+        so.max_batch = std::max(1, r.batch);
+        hserve::ContinuousBatcher batcher(backend, so);
+        const hserve::ScheduleResult s = batcher.Run(jobs);
+        p.makespan_s = s.makespan_s;
+        if (s.steps > 0) {
+          p.latency_per_token_s = s.makespan_s / static_cast<double>(s.steps);
+        }
+        if (s.decoded_tokens > 0) {
+          p.energy_per_token_j = s.energy_j / static_cast<double>(s.decoded_tokens);
+        }
+        if (s.decode_s > 0.0) {
+          p.watts = s.energy_j / s.decode_s;
+        }
       }
       points.push_back(p);
     };
 
     // Base point (conventional sampling).
-    add_point(TtsMethod::kBase, 1, RunSingleSample(tasks, theta, options.trials, rng));
+    {
+      std::vector<hserve::ServeJob> jobs;
+      const MethodResult r = RunSingleSample(tasks, theta, options.trials, rng, &jobs);
+      add_point(TtsMethod::kBase, 1, r, jobs);
+    }
 
     for (const int budget : options.budgets) {
       if (budget < 2) {
         continue;
       }
-      add_point(TtsMethod::kBestOfN, budget,
-                RunBestOfN(tasks, theta, orm, budget, options.trials, rng));
-      add_point(TtsMethod::kBeamSearch, budget,
-                RunBeamSearch(tasks, theta, prm, budget, /*expansion=*/4, options.trials,
-                              rng));
+      {
+        std::vector<hserve::ServeJob> jobs;
+        const MethodResult r = RunBestOfN(tasks, theta, orm, budget, options.trials, rng,
+                                          &jobs);
+        add_point(TtsMethod::kBestOfN, budget, r, jobs);
+      }
+      {
+        std::vector<hserve::ServeJob> jobs;
+        const MethodResult r = RunBeamSearch(tasks, theta, prm, budget, /*expansion=*/4,
+                                             options.trials, rng, &jobs);
+        add_point(TtsMethod::kBeamSearch, budget, r, jobs);
+      }
     }
   }
   return points;

@@ -31,6 +31,7 @@ struct ParetoPoint {
   double latency_per_token_s = 0.0;  // average decode latency per step (cost axis, Fig 10)
   double energy_per_token_j = 0.0;   // energy cost alternative (§7.2.3)
   double watts = 0.0;
+  double makespan_s = 0.0;        // serving makespan of the method's whole job stream
   bool runnable = true;           // false if the model does not fit the device NPU
 };
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/base/math_util.h"
 #include "src/tts/capability_model.h"
 
 namespace htts {
@@ -17,6 +18,35 @@ namespace htts {
 namespace {
 double TrialTheta(double theta, hexllm::Rng& rng) {
   return theta + kTrialSkillSd * rng.NextGaussian();
+}
+
+// Decode length for sample `index` of (task, trial): the same lognormal dispersion as
+// hrt::MakeSampleJobs, but drawn from a stream keyed on (task, trial, index) instead of the
+// method's rng, so emitting jobs does not perturb the accuracy statistics or any caller's
+// rng-dependent expectations.
+int SampledDecodeTokens(const ReasoningTask& t, int trial, int index) {
+  hexllm::Rng lrng(0x9E3779B97F4A7C15ull ^ (static_cast<uint64_t>(t.id) << 32) ^
+                   (static_cast<uint64_t>(trial) * 1000003ull) ^
+                   static_cast<uint64_t>(index));
+  const double len = t.gen_tokens * std::exp(0.5 * lrng.NextGaussian() - 0.125);
+  return static_cast<int>(std::clamp(len, 16.0, 4.0 * t.gen_tokens));
+}
+
+// Appends the (trial, task) attempt's `n` parallel samples as serving jobs sharing one
+// prompt_group (the batcher charges the prompt's chunked prefill once for the group).
+void EmitSampleJobs(std::vector<hserve::ServeJob>* jobs, const ReasoningTask& t, int group,
+                    int trial, int n) {
+  if (jobs == nullptr) {
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    hserve::ServeJob j;
+    j.id = static_cast<int>(jobs->size());
+    j.prompt_group = group;
+    j.prompt_tokens = t.prompt_tokens;
+    j.decode_tokens = SampledDecodeTokens(t, trial, i);
+    jobs->push_back(j);
+  }
 }
 }  // namespace
 
@@ -39,14 +69,17 @@ SamplePath SamplePolicyPath(const ReasoningTask& task, double theta, hexllm::Rng
 }
 
 MethodResult RunSingleSample(const TaskSet& tasks, double theta, int trials,
-                             hexllm::Rng& rng) {
+                             hexllm::Rng& rng, std::vector<hserve::ServeJob>* jobs) {
   MethodResult r;
   r.batch = 1;
   int64_t correct = 0;
   int64_t total = 0;
   double tokens = 0.0;
+  const int num_tasks = static_cast<int>(tasks.tasks.size());
   for (int trial = 0; trial < trials; ++trial) {
-    for (const auto& t : tasks.tasks) {
+    for (int ti = 0; ti < num_tasks; ++ti) {
+      const auto& t = tasks.tasks[static_cast<size_t>(ti)];
+      EmitSampleJobs(jobs, t, trial * num_tasks + ti, trial, 1);
       const SamplePath p = SamplePolicyPath(t, TrialTheta(theta, rng), rng);
       correct += p.correct ? 1 : 0;
       tokens += p.gen_tokens;
@@ -61,7 +94,8 @@ MethodResult RunSingleSample(const TaskSet& tasks, double theta, int trials,
 }
 
 MethodResult RunBestOfN(const TaskSet& tasks, double theta, const OutcomeRewardModel& orm,
-                        int n, int trials, hexllm::Rng& rng) {
+                        int n, int trials, hexllm::Rng& rng,
+                        std::vector<hserve::ServeJob>* jobs) {
   HEXLLM_CHECK(n >= 1);
   MethodResult r;
   r.batch = n;
@@ -69,8 +103,11 @@ MethodResult RunBestOfN(const TaskSet& tasks, double theta, const OutcomeRewardM
   int64_t oracle = 0;
   int64_t total = 0;
   double seq_tokens = 0.0;
+  const int num_tasks = static_cast<int>(tasks.tasks.size());
   for (int trial = 0; trial < trials; ++trial) {
-    for (const auto& t : tasks.tasks) {
+    for (int ti = 0; ti < num_tasks; ++ti) {
+      const auto& t = tasks.tasks[static_cast<size_t>(ti)];
+      EmitSampleJobs(jobs, t, trial * num_tasks + ti, trial, n);
       double best_score = -1e30;
       bool best_correct = false;
       bool any_correct = false;
@@ -98,7 +135,7 @@ MethodResult RunBestOfN(const TaskSet& tasks, double theta, const OutcomeRewardM
 }
 
 MethodResult RunMajorityVote(const TaskSet& tasks, double theta, int n, int trials,
-                             hexllm::Rng& rng) {
+                             hexllm::Rng& rng, std::vector<hserve::ServeJob>* jobs) {
   HEXLLM_CHECK(n >= 1);
   MethodResult r;
   r.batch = n;
@@ -106,8 +143,11 @@ MethodResult RunMajorityVote(const TaskSet& tasks, double theta, int n, int tria
   int64_t oracle = 0;
   int64_t total = 0;
   double seq_tokens = 0.0;
+  const int num_tasks = static_cast<int>(tasks.tasks.size());
   for (int trial = 0; trial < trials; ++trial) {
-    for (const auto& t : tasks.tasks) {
+    for (int ti = 0; ti < num_tasks; ++ti) {
+      const auto& t = tasks.tasks[static_cast<size_t>(ti)];
+      EmitSampleJobs(jobs, t, trial * num_tasks + ti, trial, n);
       std::map<int, int> votes;
       bool any_correct = false;
       const double trial_theta = TrialTheta(theta, rng);
@@ -138,7 +178,8 @@ MethodResult RunMajorityVote(const TaskSet& tasks, double theta, int n, int tria
 }
 
 MethodResult RunBeamSearch(const TaskSet& tasks, double theta, const ProcessRewardModel& prm,
-                           int n, int expansion, int trials, hexllm::Rng& rng) {
+                           int n, int expansion, int trials, hexllm::Rng& rng,
+                           std::vector<hserve::ServeJob>* jobs) {
   HEXLLM_CHECK(n >= 1 && expansion >= 1);
   // The budget is the maximum decode batch; clamp the expansion so width x expansion <= n.
   const int eff_expansion = std::min(expansion, n);
@@ -155,8 +196,30 @@ MethodResult RunBeamSearch(const TaskSet& tasks, double theta, const ProcessRewa
     double score = 0.0;  // cumulative PRM score
   };
 
+  const int num_tasks = static_cast<int>(tasks.tasks.size());
   for (int trial = 0; trial < trials; ++trial) {
-    for (const auto& t : tasks.tasks) {
+    for (int ti = 0; ti < num_tasks; ++ti) {
+      const auto& t = tasks.tasks[static_cast<size_t>(ti)];
+      if (jobs != nullptr) {
+        // Each expansion round decodes one reasoning-step's worth of tokens for every
+        // candidate, on top of the kept prefix (uncharged context: the KV rows survive
+        // pruning). Rounds are barriers: round r+1 admits only after round r completes.
+        const int group = trial * num_tasks + ti;
+        const int step_tokens =
+            std::max(1, static_cast<int>(hexllm::CeilDiv(t.gen_tokens, t.num_steps)));
+        for (int round = 0; round < t.num_steps; ++round) {
+          for (int c = 0; c < width * eff_expansion; ++c) {
+            hserve::ServeJob j;
+            j.id = static_cast<int>(jobs->size());
+            j.prompt_group = group;
+            j.prompt_tokens = t.prompt_tokens;
+            j.context_tokens = round * step_tokens;
+            j.decode_tokens = step_tokens;
+            j.barrier = round;
+            jobs->push_back(j);
+          }
+        }
+      }
       const double p = CapabilityModel::SolveProb(TrialTheta(theta, rng), t);
       const double q = std::pow(p, 1.0 / t.num_steps);
       std::vector<Beam> beams(static_cast<size_t>(width));

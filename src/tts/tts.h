@@ -7,8 +7,10 @@
 #define SRC_TTS_TTS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/base/rng.h"
+#include "src/serving/job.h"
 #include "src/tts/reward_model.h"
 #include "src/tts/task.h"
 
@@ -27,21 +29,33 @@ struct MethodResult {
   int batch = 1;                  // decode batch the method sustains
 };
 
+// Each method optionally emits its generation workload as a serving job stream (`jobs`,
+// appended): one ServeJob per sampled path, with per-sample decode lengths drawn from a
+// dispersion stream that is independent of `rng` (emitting jobs never perturbs accuracy
+// statistics). Samples of one (trial, task) share a prompt_group, so the batcher charges
+// that prompt's chunked prefill once. Feed the stream to hserve::ContinuousBatcher for
+// makespan / energy / trace — one run yields accuracy AND cost.
+
 // Conventional sampling (budget 1).
-MethodResult RunSingleSample(const TaskSet& tasks, double theta, int trials, hexllm::Rng& rng);
+MethodResult RunSingleSample(const TaskSet& tasks, double theta, int trials, hexllm::Rng& rng,
+                             std::vector<hserve::ServeJob>* jobs = nullptr);
 
 // Best-of-N: N parallel full generations, ORM picks the winner (§2.1).
 MethodResult RunBestOfN(const TaskSet& tasks, double theta, const OutcomeRewardModel& orm,
-                        int n, int trials, hexllm::Rng& rng);
+                        int n, int trials, hexllm::Rng& rng,
+                        std::vector<hserve::ServeJob>* jobs = nullptr);
 
 // Self-consistency / majority voting over N samples; ties broken by first occurrence.
 MethodResult RunMajorityVote(const TaskSet& tasks, double theta, int n, int trials,
-                             hexllm::Rng& rng);
+                             hexllm::Rng& rng, std::vector<hserve::ServeJob>* jobs = nullptr);
 
 // Step-level beam search (§2.1): budget n = beam_width x expansion candidates decoded in
 // parallel each step; the PRM keeps the best `beam_width` prefixes after every step.
+// Emitted jobs carry the expansion round as their barrier (round r+1 admits only after
+// round r completes) and the kept prefix as uncharged context_tokens.
 MethodResult RunBeamSearch(const TaskSet& tasks, double theta, const ProcessRewardModel& prm,
-                           int n, int expansion, int trials, hexllm::Rng& rng);
+                           int n, int expansion, int trials, hexllm::Rng& rng,
+                           std::vector<hserve::ServeJob>* jobs = nullptr);
 
 }  // namespace htts
 

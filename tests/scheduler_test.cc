@@ -34,6 +34,43 @@ TEST_F(SchedulerTest, JobGeneratorRespectsBounds) {
   EXPECT_GT(max_len, min_len + 50);
 }
 
+TEST_F(SchedulerTest, JobGeneratorIsDeterministicForFixedSeed) {
+  hexllm::Rng a(77);
+  hexllm::Rng b(77);
+  const auto ja = MakeSampleJobs(5, 6, 128, a);
+  const auto jb = MakeSampleJobs(5, 6, 128, b);
+  ASSERT_EQ(ja.size(), 30u);
+  ASSERT_EQ(jb.size(), 30u);
+  for (size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_EQ(ja[i].id, jb[i].id);
+    EXPECT_EQ(ja[i].total_tokens, jb[i].total_tokens);
+  }
+  // Different seeds draw different lengths.
+  hexllm::Rng c(78);
+  const auto jc = MakeSampleJobs(5, 6, 128, c);
+  bool any_diff = false;
+  for (size_t i = 0; i < ja.size(); ++i) {
+    any_diff |= ja[i].total_tokens != jc[i].total_tokens;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(SchedulerTest, JobGeneratorClampsAtTheMinimumMean) {
+  // mean_tokens = 16 squeezes the clamp window to [16, 64]; the lognormal tail must not
+  // escape it.
+  hexllm::Rng rng(9);
+  const auto jobs = MakeSampleJobs(25, 4, 16, rng);
+  EXPECT_EQ(jobs.size(), 100u);
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.total_tokens, 16);
+    EXPECT_LE(j.total_tokens, 64);
+  }
+  // IDs are dense and ordered.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, static_cast<int>(i));
+  }
+}
+
 TEST_F(SchedulerTest, ContinuousNeverSlowerThanStatic) {
   hexllm::Rng rng(2);
   const auto jobs = MakeSampleJobs(6, 8, 200, rng);

@@ -1,0 +1,513 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/hexsim/device_profile.h"
+#include "src/hexsim/npu_device.h"
+#include "src/llm/model_config.h"
+#include "src/llm/weights.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/scheduler.h"
+#include "src/serving/continuous_batcher.h"
+#include "src/serving/execution_backend.h"
+#include "src/tts/capability_model.h"
+#include "src/tts/reward_model.h"
+#include "src/tts/task.h"
+#include "src/tts/tts.h"
+
+namespace hserve {
+namespace {
+
+// Unit-cost test double: every decode step takes 1 ms, every charged prefill token 1 us.
+// Records the slot sets so scheduling policy (reclamation, barriers, batch bound) can be
+// asserted independent of any engine's pricing.
+class RecordingBackend : public ExecutionBackend {
+ public:
+  const char* name() const override { return "recording"; }
+
+  double AdmitSlot(int slot, const ServeJob& job, int /*context_tokens*/,
+                   int charged_prefill_tokens) override {
+    admitted_jobs.push_back(job.id);
+    admitted_slots.push_back(slot);
+    return charged_prefill_tokens * 1e-6;
+  }
+
+  void ReleaseSlot(int slot) override { released.push_back(slot); }
+
+  StepOutcome Step(std::span<const int> slots, std::span<const int> contexts) override {
+    step_slots.emplace_back(slots.begin(), slots.end());
+    step_contexts.emplace_back(contexts.begin(), contexts.end());
+    StepOutcome out;
+    out.cost.total_s = 1e-3;
+    out.watts = 2.0;
+    return out;
+  }
+
+  std::vector<int> admitted_jobs;
+  std::vector<int> admitted_slots;
+  std::vector<int> released;
+  std::vector<std::vector<int>> step_slots;
+  std::vector<std::vector<int>> step_contexts;
+};
+
+ServeJob Job(int id, int decode, int group = -1, int prompt = 0, int context = 0,
+             int barrier = 0) {
+  ServeJob j;
+  j.id = id;
+  j.prompt_group = group;
+  j.prompt_tokens = prompt;
+  j.context_tokens = context;
+  j.decode_tokens = decode;
+  j.barrier = barrier;
+  return j;
+}
+
+TEST(ContinuousBatcherTest, EmptyJobsYieldZeroedResult) {
+  RecordingBackend backend;
+  ServeOptions so;
+  const ScheduleResult r = ContinuousBatcher(backend, so).Run({});
+  EXPECT_EQ(r.steps, 0);
+  EXPECT_EQ(r.decoded_tokens, 0);
+  EXPECT_EQ(r.makespan_s, 0.0);
+  EXPECT_EQ(r.tokens_per_second, 0.0);
+  EXPECT_EQ(r.avg_active_batch, 0.0);
+  EXPECT_EQ(r.slot_utilization, 0.0);
+  EXPECT_FALSE(std::isnan(r.tokens_per_second));
+  EXPECT_FALSE(std::isnan(r.slot_utilization));
+}
+
+TEST(ContinuousBatcherTest, ActiveBatchNeverExceedsMaxBatch) {
+  RecordingBackend backend;
+  ServeOptions so;
+  so.max_batch = 4;
+  std::vector<ServeJob> jobs;
+  hexllm::Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    jobs.push_back(Job(i, 1 + static_cast<int>(rng.NextBounded(9))));
+  }
+  const ScheduleResult r = ContinuousBatcher(backend, so).Run(jobs);
+  EXPECT_EQ(static_cast<int>(r.completions.size()), 20);
+  for (const auto& slots : backend.step_slots) {
+    EXPECT_LE(static_cast<int>(slots.size()), 4);
+    EXPECT_GE(static_cast<int>(slots.size()), 1);
+  }
+  // Everything decoded, nothing double-counted.
+  int64_t want = 0;
+  for (const auto& j : jobs) {
+    want += j.decode_tokens;
+  }
+  EXPECT_EQ(r.decoded_tokens, want);
+}
+
+TEST(ContinuousBatcherTest, FreedSlotIsReusedOnTheVeryNextStep) {
+  RecordingBackend backend;
+  ServeOptions so;
+  so.max_batch = 4;
+  // Job 0 finishes after one step; job 4 is queued behind the full batch and must take
+  // job 0's slot on the immediately following step.
+  const std::vector<ServeJob> jobs = {Job(0, 1), Job(1, 5), Job(2, 5), Job(3, 5),
+                                      Job(4, 2)};
+  const ScheduleResult r = ContinuousBatcher(backend, so).Run(jobs);
+  ASSERT_EQ(r.admissions.size(), 5u);
+  const int freed_slot = r.completions.front().slot;
+  EXPECT_EQ(r.completions.front().job_id, 0);
+  EXPECT_EQ(r.completions.front().step, 0);
+  // Job 4's admission lands on step 1 and reuses job 0's slot.
+  const Admission& a4 = r.admissions.back();
+  EXPECT_EQ(a4.job_id, 4);
+  EXPECT_EQ(a4.step, 1);
+  EXPECT_EQ(a4.slot, freed_slot);
+  ASSERT_GE(backend.step_slots.size(), 2u);
+  EXPECT_NE(std::find(backend.step_slots[1].begin(), backend.step_slots[1].end(),
+                      freed_slot),
+            backend.step_slots[1].end());
+  // The reused slot's context restarted from zero, not from job 0's leftovers.
+  const size_t idx = static_cast<size_t>(
+      std::find(backend.step_slots[1].begin(), backend.step_slots[1].end(), freed_slot) -
+      backend.step_slots[1].begin());
+  EXPECT_EQ(backend.step_contexts[1][idx], 0);
+}
+
+TEST(ContinuousBatcherTest, StaticWavesHoldSlotsUntilWaveDrains) {
+  RecordingBackend backend;
+  ServeOptions so;
+  so.max_batch = 2;
+  so.policy = SchedulePolicy::kStaticWaves;
+  const std::vector<ServeJob> jobs = {Job(0, 1), Job(1, 4), Job(2, 1)};
+  const ScheduleResult r = ContinuousBatcher(backend, so).Run(jobs);
+  // Wave 1 runs 4 steps (padding job 0's row for 3 of them); wave 2 runs 1 step.
+  EXPECT_EQ(r.steps, 5);
+  EXPECT_EQ(r.decoded_tokens, 6);
+  EXPECT_LT(r.slot_utilization, 1.0);
+  // Job 2 admits only after the first wave fully drained.
+  EXPECT_EQ(r.admissions.back().job_id, 2);
+  EXPECT_EQ(r.admissions.back().step, 4);
+}
+
+TEST(ContinuousBatcherTest, BarriersGateAdmissionWaves) {
+  RecordingBackend backend;
+  ServeOptions so;
+  so.max_batch = 8;
+  // One group, two expansion rounds: round 1 must not admit until BOTH round-0 jobs done.
+  const std::vector<ServeJob> jobs = {
+      Job(0, 3, /*group=*/5, /*prompt=*/0, /*context=*/0, /*barrier=*/0),
+      Job(1, 1, 5, 0, 0, 0),
+      Job(2, 2, 5, 0, 3, 1),
+      Job(3, 2, 5, 0, 3, 1),
+  };
+  const ScheduleResult r = ContinuousBatcher(backend, so).Run(jobs);
+  std::map<int, int64_t> admit_step;
+  for (const auto& a : r.admissions) {
+    admit_step[a.job_id] = a.step;
+  }
+  std::map<int, int64_t> complete_step;
+  for (const auto& c : r.completions) {
+    complete_step[c.job_id] = c.step;
+  }
+  // Round 0's slowest job finishes on step 2; round 1 admits on step 3, not before.
+  EXPECT_EQ(complete_step[0], 2);
+  EXPECT_GT(admit_step[2], complete_step[0]);
+  EXPECT_GT(admit_step[3], complete_step[0]);
+  EXPECT_EQ(r.decoded_tokens, 8);
+}
+
+TEST(ContinuousBatcherTest, PrefillChargedOncePerPromptGroup) {
+  RecordingBackend backend;
+  ServeOptions so;
+  so.max_batch = 4;
+  // Jobs 0-2 share a prompt group (one charge); job 3 pays its own prompt.
+  const std::vector<ServeJob> jobs = {
+      Job(0, 2, /*group=*/1, /*prompt=*/128),
+      Job(1, 2, 1, 128),
+      Job(2, 2, 1, 128),
+      Job(3, 2, -1, 64),
+  };
+  const ScheduleResult r = ContinuousBatcher(backend, so).Run(jobs);
+  EXPECT_EQ(r.prefilled_tokens, 128 + 64);
+  EXPECT_NEAR(r.prefill_s, (128 + 64) * 1e-6, 1e-12);
+  EXPECT_NEAR(r.makespan_s, r.prefill_s + r.decode_s, 1e-12);
+  // Ungrouped jobs each pay: doubling the lone job's copies doubles the charge.
+  RecordingBackend backend2;
+  const std::vector<ServeJob> solo = {Job(0, 2, -1, 64), Job(1, 2, -1, 64)};
+  const ScheduleResult r2 = ContinuousBatcher(backend2, so).Run(solo);
+  EXPECT_EQ(r2.prefilled_tokens, 128);
+}
+
+class AnalyticServingTest : public ::testing::Test {
+ protected:
+  AnalyticServingTest() {
+    options_.model = &hllm::Qwen25_1_5B();
+    options_.device = &hexsim::OnePlus12();
+    engine_ = std::make_unique<hrt::Engine>(options_);
+  }
+  hrt::EngineOptions options_;
+  std::unique_ptr<hrt::Engine> engine_;
+};
+
+TEST_F(AnalyticServingTest, StepPricingIsMonotoneInPerSlotContext) {
+  AnalyticBackend backend(*engine_);
+  const double t64 = backend.BucketedCost(8, 64).total_s;
+  const double t1024 = backend.BucketedCost(8, 1024).total_s;
+  const double t4096 = backend.BucketedCost(8, 4096).total_s;
+  EXPECT_GT(t1024, t64);
+  EXPECT_GT(t4096, t1024);
+}
+
+TEST_F(AnalyticServingTest, GrowingContextRunsCostAtLeastFixedZeroContext) {
+  // The fidelity fix: pricing follows each slot's actual growing KV length, so a run whose
+  // slots start deep in context can never be cheaper than one starting from zero.
+  std::vector<ServeJob> fresh;
+  std::vector<ServeJob> deep;
+  for (int i = 0; i < 12; ++i) {
+    fresh.push_back(Job(i, 200));
+    deep.push_back(Job(i, 200, -1, 0, /*context=*/2048));
+  }
+  ServeOptions so;
+  so.max_batch = 8;
+  AnalyticBackend b1(*engine_);
+  AnalyticBackend b2(*engine_);
+  const ScheduleResult rf = ContinuousBatcher(b1, so).Run(fresh);
+  const ScheduleResult rd = ContinuousBatcher(b2, so).Run(deep);
+  EXPECT_EQ(rf.steps, rd.steps);
+  EXPECT_GT(rd.makespan_s, rf.makespan_s);
+  EXPECT_GT(rd.avg_context, rf.avg_context + 2000);
+  // Both integrate energy step by step.
+  EXPECT_GT(rd.energy_j, rf.energy_j);
+  EXPECT_GT(rf.energy_j, 0.0);
+}
+
+TEST_F(AnalyticServingTest, ChunkedPrefillAdmissionExtendsMakespan) {
+  std::vector<ServeJob> no_prompt;
+  std::vector<ServeJob> with_prompt;
+  for (int i = 0; i < 8; ++i) {
+    no_prompt.push_back(Job(i, 100));
+    with_prompt.push_back(Job(i, 100, /*group=*/-1, /*prompt=*/256));
+  }
+  ServeOptions so;
+  so.max_batch = 8;
+  AnalyticBackend b1(*engine_);
+  AnalyticBackend b2(*engine_);
+  const ScheduleResult r0 = ContinuousBatcher(b1, so).Run(no_prompt);
+  const ScheduleResult rp = ContinuousBatcher(b2, so).Run(with_prompt);
+  EXPECT_EQ(r0.prefill_s, 0.0);
+  EXPECT_GT(rp.prefill_s, 0.0);
+  EXPECT_EQ(rp.prefilled_tokens, 8 * 256);
+  // Prefill cost plus the deeper starting context both push the makespan up.
+  EXPECT_GT(rp.makespan_s, r0.makespan_s + rp.prefill_s * 0.99);
+}
+
+TEST_F(AnalyticServingTest, LegacyWrappersStillZeroOnEmptyJobs) {
+  const std::vector<hrt::SampleJob> empty;
+  const auto st = hrt::RunStaticBatching(empty, 8, *engine_, 512);
+  const auto ct = hrt::RunContinuousBatching(empty, 8, *engine_, 512);
+  for (const auto* r : {&st, &ct}) {
+    EXPECT_EQ(r->steps, 0);
+    EXPECT_EQ(r->makespan_s, 0.0);
+    EXPECT_FALSE(std::isnan(r->tokens_per_second));
+    EXPECT_FALSE(std::isnan(r->avg_active_batch));
+    EXPECT_FALSE(std::isnan(r->slot_utilization));
+  }
+}
+
+TEST_F(AnalyticServingTest, TraceRecordsStepsAndAdmissions) {
+  std::vector<ServeJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(Job(i, 20, /*group=*/0, /*prompt=*/128));
+  }
+  ServeOptions so;
+  so.max_batch = 4;
+  so.record_trace = true;
+  so.max_trace_steps = 8;
+  AnalyticBackend backend(*engine_);
+  const ScheduleResult r = ContinuousBatcher(backend, so).Run(jobs);
+  EXPECT_FALSE(r.trace.events().empty());
+  const std::string json = r.trace.ToChromeJson();
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  EXPECT_NE(json.find("lm_head"), std::string::npos);
+  // The cap limits traced steps; the run itself is unaffected.
+  EXPECT_EQ(r.steps, 20);
+  std::set<std::string> lanes;
+  for (const auto& e : r.trace.events()) {
+    lanes.insert(e.lane);
+  }
+  EXPECT_TRUE(lanes.count("ADMIT"));
+  EXPECT_TRUE(lanes.count("CPU"));
+}
+
+// --- the acceptance-criteria centerpiece: both backends, one batcher code path ---
+
+class BackendParityTest : public ::testing::Test {
+ protected:
+  BackendParityTest()
+      : config_(hllm::ToyConfig()),
+        weights_(hllm::ModelWeights::Random(config_, 42)),
+        dev_(hexsim::OnePlus12()) {
+    toy_options_.model = &config_;
+    toy_options_.device = &hexsim::OnePlus12();
+    toy_engine_ = std::make_unique<hrt::Engine>(toy_options_);
+  }
+
+  hllm::ModelConfig config_;
+  hllm::ModelWeights weights_;
+  hexsim::NpuDevice dev_;
+  hrt::EngineOptions toy_options_;
+  std::unique_ptr<hrt::Engine> toy_engine_;
+};
+
+TEST_F(BackendParityTest, BackendsScheduleIdenticalJobStreamsIdentically) {
+  // The same job stream through the same ContinuousBatcher code path, once priced
+  // analytically and once actually decoded on the functional toy model: scheduling
+  // decisions (admissions, completions, step counts) must agree exactly; only the
+  // clock differs.
+  const std::vector<ServeJob> jobs = {
+      Job(0, 6, /*group=*/0, /*prompt=*/5), Job(1, 3, 0, 5),
+      Job(2, 9, 0, 5),                      Job(3, 4, -1, 3),
+      Job(4, 5, -1, 0, /*context=*/4),
+  };
+  ServeOptions so;
+  so.max_batch = 3;
+  so.record_steps = true;
+
+  AnalyticBackend analytic(*toy_engine_);
+  const ScheduleResult ra = ContinuousBatcher(analytic, so).Run(jobs);
+
+  FunctionalBackend functional(dev_, weights_, so.max_batch, /*max_context=*/64);
+  const ScheduleResult rf = ContinuousBatcher(functional, so).Run(jobs);
+
+  EXPECT_EQ(ra.steps, rf.steps);
+  EXPECT_EQ(ra.decoded_tokens, rf.decoded_tokens);
+  EXPECT_EQ(ra.prefilled_tokens, rf.prefilled_tokens);
+  EXPECT_EQ(ra.step_active, rf.step_active);
+  EXPECT_EQ(ra.step_occupied, rf.step_occupied);
+  ASSERT_EQ(ra.admissions.size(), rf.admissions.size());
+  for (size_t i = 0; i < ra.admissions.size(); ++i) {
+    EXPECT_EQ(ra.admissions[i].job_id, rf.admissions[i].job_id) << i;
+    EXPECT_EQ(ra.admissions[i].slot, rf.admissions[i].slot) << i;
+    EXPECT_EQ(ra.admissions[i].step, rf.admissions[i].step) << i;
+  }
+  ASSERT_EQ(ra.completions.size(), rf.completions.size());
+  for (size_t i = 0; i < ra.completions.size(); ++i) {
+    EXPECT_EQ(ra.completions[i].job_id, rf.completions[i].job_id) << i;
+    EXPECT_EQ(ra.completions[i].step, rf.completions[i].step) << i;
+  }
+  // Both clocks advance; the analytic one prices the full-pipeline cost model.
+  EXPECT_GT(ra.makespan_s, 0.0);
+  EXPECT_GT(rf.makespan_s, 0.0);
+  EXPECT_GT(ra.energy_j, 0.0);
+  EXPECT_GT(rf.energy_j, 0.0);
+  // Only the functional backend emits real tokens: one per decoded position.
+  EXPECT_TRUE(ra.job_tokens.empty());
+  ASSERT_EQ(rf.job_tokens.size(), jobs.size());
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_EQ(static_cast<int>(rf.job_tokens[j].size()), jobs[j].decode_tokens) << j;
+    for (const int tok : rf.job_tokens[j]) {
+      EXPECT_GE(tok, 0);
+      EXPECT_LT(tok, config_.vocab);
+    }
+  }
+}
+
+TEST_F(BackendParityTest, FunctionalDecodeIsDeterministicAcrossRuns) {
+  const std::vector<ServeJob> jobs = {Job(0, 5, -1, 4), Job(1, 7, -1, 2), Job(2, 3)};
+  ServeOptions so;
+  so.max_batch = 2;
+  std::vector<std::vector<std::vector<int>>> outs;
+  for (int run = 0; run < 2; ++run) {
+    hexsim::NpuDevice dev(hexsim::OnePlus12());
+    FunctionalBackend backend(dev, weights_, so.max_batch, 64);
+    outs.push_back(ContinuousBatcher(backend, so).Run(jobs).job_tokens);
+  }
+  EXPECT_EQ(outs[0], outs[1]);
+}
+
+// --- TTS methods served through the batcher ---
+
+TEST(TtsServingTest, BestOfNJobStreamYieldsAccuracyMakespanAndTrace) {
+  const htts::TaskSet tasks = htts::GenerateTaskSet(htts::Dataset::kMath500, 20, 3);
+  const htts::CapabilityModel cap;
+  const double theta = cap.ThetaF16(hllm::Qwen25_1_5B(), htts::Dataset::kMath500);
+  const htts::OutcomeRewardModel orm;
+  hexllm::Rng rng(11);
+  std::vector<ServeJob> jobs;
+  const htts::MethodResult res = htts::RunBestOfN(tasks, theta, orm, 8, 2, rng, &jobs);
+  // 2 trials x 20 tasks x 8 samples.
+  ASSERT_EQ(jobs.size(), 320u);
+  std::set<int> groups;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.decode_tokens, 16);
+    EXPECT_LE(j.decode_tokens, 4 * 1024);
+    EXPECT_GT(j.prompt_tokens, 0);
+    groups.insert(j.prompt_group);
+  }
+  EXPECT_EQ(groups.size(), 40u);  // one prompt group per (trial, task)
+
+  hrt::EngineOptions eo;
+  eo.model = &hllm::Qwen25_1_5B();
+  eo.device = &hexsim::OnePlus12();
+  hrt::Engine engine(eo);
+  AnalyticBackend backend(engine);
+  ServeOptions so;
+  so.max_batch = 8;
+  so.record_trace = true;
+  const ScheduleResult r = ContinuousBatcher(backend, so).Run(jobs);
+  // One run: accuracy from the method, latency/energy/trace from the batcher.
+  EXPECT_GT(res.accuracy, 0.0);
+  EXPECT_LT(res.accuracy, 1.0);
+  EXPECT_GT(r.makespan_s, 0.0);
+  EXPECT_GT(r.energy_j, 0.0);
+  int64_t want = 0;
+  for (const auto& j : jobs) {
+    want += j.decode_tokens;
+  }
+  EXPECT_EQ(r.decoded_tokens, want);
+  // Shared prompts charged once per group.
+  int64_t group_prompt = 0;
+  std::set<int> seen;
+  for (const auto& j : jobs) {
+    if (seen.insert(j.prompt_group).second) {
+      group_prompt += j.prompt_tokens;
+    }
+  }
+  EXPECT_EQ(r.prefilled_tokens, group_prompt);
+  EXPECT_NE(r.trace.ToChromeJson().find("traceEvents"), std::string::npos);
+}
+
+TEST(TtsServingTest, EmittingJobsDoesNotPerturbAccuracy) {
+  const htts::TaskSet tasks = htts::GenerateTaskSet(htts::Dataset::kMath500, 50, 4);
+  const htts::OutcomeRewardModel orm;
+  hexllm::Rng rng1(5);
+  hexllm::Rng rng2(5);
+  std::vector<ServeJob> jobs;
+  const htts::MethodResult with_jobs = htts::RunBestOfN(tasks, 0.2, orm, 4, 3, rng1, &jobs);
+  const htts::MethodResult without = htts::RunBestOfN(tasks, 0.2, orm, 4, 3, rng2);
+  EXPECT_EQ(with_jobs.accuracy, without.accuracy);
+  EXPECT_EQ(with_jobs.avg_total_tokens, without.avg_total_tokens);
+  EXPECT_FALSE(jobs.empty());
+}
+
+TEST(TtsServingTest, BeamSearchRoundsBecomeBarrierWaves) {
+  const htts::TaskSet tasks = htts::GenerateTaskSet(htts::Dataset::kGsm8k, 4, 9);
+  const htts::ProcessRewardModel prm;
+  hexllm::Rng rng(3);
+  std::vector<ServeJob> jobs;
+  htts::RunBeamSearch(tasks, 0.3, prm, 8, 4, 1, rng, &jobs);
+  ASSERT_FALSE(jobs.empty());
+  // Jobs arrive grouped per task; within a group, barriers cover 0..num_steps-1 with
+  // width x expansion jobs per round and context advancing by the round's decode length.
+  std::map<int, std::vector<const ServeJob*>> by_group;
+  for (const auto& j : jobs) {
+    by_group[j.prompt_group].push_back(&j);
+  }
+  EXPECT_EQ(by_group.size(), tasks.tasks.size());
+  for (const auto& [group, gjobs] : by_group) {
+    std::map<int, int> per_barrier;
+    for (const auto* j : gjobs) {
+      per_barrier[j->barrier] += 1;
+      EXPECT_EQ(j->context_tokens, j->barrier * j->decode_tokens);
+    }
+    const int rounds = static_cast<int>(per_barrier.size());
+    EXPECT_GE(rounds, 2);
+    int count = -1;
+    for (int b = 0; b < rounds; ++b) {
+      ASSERT_TRUE(per_barrier.count(b)) << "missing round " << b;
+      if (count < 0) {
+        count = per_barrier[b];
+      }
+      EXPECT_EQ(per_barrier[b], count);  // same expansion width every round
+    }
+    EXPECT_EQ(count, 8);  // width x eff_expansion = budget
+  }
+  // Serve one group's stream: expansion waves must serialize (steps >= rounds x per-round
+  // decode), unlike an unconstrained batch.
+  hrt::EngineOptions eo;
+  eo.model = &hllm::Qwen25_1_5B();
+  eo.device = &hexsim::OnePlus12();
+  hrt::Engine engine(eo);
+  AnalyticBackend backend(engine);
+  ServeOptions so;
+  so.max_batch = 8;
+  const auto& first_group = *by_group.begin()->second.front();
+  std::vector<ServeJob> one_group;
+  for (const auto& j : jobs) {
+    if (j.prompt_group == first_group.prompt_group) {
+      one_group.push_back(j);
+    }
+  }
+  const ScheduleResult r = ContinuousBatcher(backend, so).Run(one_group);
+  std::map<int, int> per_barrier;
+  for (const auto& j : one_group) {
+    per_barrier[j.barrier] += 1;
+  }
+  const int rounds = static_cast<int>(per_barrier.size());
+  const int per_round_decode = one_group.front().decode_tokens;
+  EXPECT_GE(r.steps, static_cast<int64_t>(rounds) * per_round_decode);
+}
+
+}  // namespace
+}  // namespace hserve
