@@ -1,0 +1,64 @@
+#include "src/kvcache/block_pool.h"
+
+#include <limits>
+
+#include "src/base/check.h"
+
+namespace hkv {
+
+BlockPool::BlockPool(int64_t capacity) : capacity_(capacity) {
+  if (capacity_ > 0) {
+    refs_.reserve(static_cast<size_t>(capacity_));
+  }
+}
+
+int BlockPool::Alloc() {
+  int id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else if (capacity_ <= 0 || static_cast<int64_t>(refs_.size()) < capacity_) {
+    id = static_cast<int>(refs_.size());
+    refs_.push_back(0);
+  } else {
+    return -1;  // bounded pool exhausted
+  }
+  HEXLLM_DCHECK(refs_[static_cast<size_t>(id)] == 0);
+  refs_[static_cast<size_t>(id)] = 1;
+  ++used_;
+  if (used_ > peak_used_) {
+    peak_used_ = used_;
+  }
+  return id;
+}
+
+void BlockPool::AddRef(int block) {
+  HEXLLM_CHECK(block >= 0 && block < static_cast<int>(refs_.size()));
+  HEXLLM_CHECK(refs_[static_cast<size_t>(block)] > 0);
+  ++refs_[static_cast<size_t>(block)];
+}
+
+bool BlockPool::Unref(int block) {
+  HEXLLM_CHECK(block >= 0 && block < static_cast<int>(refs_.size()));
+  HEXLLM_CHECK_MSG(refs_[static_cast<size_t>(block)] > 0, "double free of KV block");
+  if (--refs_[static_cast<size_t>(block)] > 0) {
+    return false;
+  }
+  free_list_.push_back(block);
+  --used_;
+  return true;
+}
+
+int BlockPool::ref_count(int block) const {
+  HEXLLM_CHECK(block >= 0 && block < static_cast<int>(refs_.size()));
+  return refs_[static_cast<size_t>(block)];
+}
+
+int64_t BlockPool::free_blocks() const {
+  if (capacity_ <= 0) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return capacity_ - used_;
+}
+
+}  // namespace hkv

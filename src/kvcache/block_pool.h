@@ -1,0 +1,50 @@
+// Fixed-size-block pool with reference counting: the physical half of the paged KV cache.
+//
+// A block is an opaque id; what it stores (KV rows, nothing at all for the analytic
+// accountant) is the caller's business. The pool only manages the free list and per-block
+// reference counts. Sharing a prompt prefix or forking a beam stem is AddRef on the blocks
+// involved; a block returns to the free list when its last reference drops. The free list is
+// LIFO so the most recently freed block (hottest KV region) is the first reused.
+//
+// Capacity can be bounded (a real storage-backed pool, or a DRAM-budgeted accountant) or
+// unbounded (capacity <= 0: ids grow on demand — pure accounting).
+#ifndef SRC_KVCACHE_BLOCK_POOL_H_
+#define SRC_KVCACHE_BLOCK_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hkv {
+
+class BlockPool {
+ public:
+  // capacity <= 0 means unbounded (the pool mints new ids as needed).
+  explicit BlockPool(int64_t capacity);
+
+  // Allocates a block with refcount 1. Returns -1 when a bounded pool is exhausted.
+  int Alloc();
+
+  void AddRef(int block);
+  // Drops one reference. Returns true when this was the last reference and the block went
+  // back to the free list.
+  bool Unref(int block);
+
+  int ref_count(int block) const;
+  bool bounded() const { return capacity_ > 0; }
+  int64_t capacity() const { return capacity_; }
+  int64_t used_blocks() const { return used_; }
+  int64_t peak_used_blocks() const { return peak_used_; }
+  // Blocks still allocatable; meaningless (INT64_MAX) for unbounded pools.
+  int64_t free_blocks() const;
+
+ private:
+  int64_t capacity_;
+  int64_t used_ = 0;
+  int64_t peak_used_ = 0;
+  std::vector<int> refs_;       // per minted id; 0 = on the free list
+  std::vector<int> free_list_;  // LIFO
+};
+
+}  // namespace hkv
+
+#endif  // SRC_KVCACHE_BLOCK_POOL_H_

@@ -1,0 +1,98 @@
+#include "src/kvcache/paged_kv_cache.h"
+
+#include <cstring>
+
+#include "src/base/check.h"
+#include "src/base/math_util.h"
+
+namespace hkv {
+
+namespace {
+
+// FP16 quiet NaN: any arithmetic touching a poisoned (freed) KV row propagates NaN into the
+// attention output, so use-after-free fails loudly in tests.
+constexpr uint16_t kPoisonBits = 0x7E00;
+
+int64_t DefaultPoolBlocks(int num_seqs, int max_context, int block_tokens) {
+  const int64_t per_seq = hexllm::CeilDiv(max_context, block_tokens);
+  // Dense worst case (no sharing) plus slack: one CoW tail split per sequence and a little
+  // headroom for retained prompt/stem handles that outlive their slot.
+  return num_seqs * per_seq + num_seqs + 4;
+}
+
+}  // namespace
+
+PagedKvCache::PagedKvCache(int layers, int kv_dim, int num_seqs, int max_context,
+                           int block_tokens, int64_t num_blocks)
+    : layers_(layers),
+      kv_dim_(kv_dim),
+      max_context_(max_context),
+      num_blocks_(num_blocks > 0 ? num_blocks
+                                 : DefaultPoolBlocks(num_seqs, max_context, block_tokens)),
+      block_elems_(static_cast<int64_t>(layers) * 2 * block_tokens * kv_dim),
+      mgr_(block_tokens, num_blocks_,
+           /*bytes_per_block=*/static_cast<int64_t>(layers) * 2 * block_tokens * kv_dim * 2) {
+  HEXLLM_CHECK(layers_ >= 1 && kv_dim_ >= 1 && max_context_ >= 1);
+  storage_.resize(num_blocks_ * block_elems_);
+}
+
+int64_t PagedKvCache::RowOffset(int layer, bool value, int pos_in_block) const {
+  HEXLLM_DCHECK(layer >= 0 && layer < layers_);
+  return ((static_cast<int64_t>(layer) * 2 + (value ? 1 : 0)) * mgr_.block_tokens() +
+          pos_in_block) *
+         kv_dim_;
+}
+
+hexllm::F16* PagedKvCache::MutableRow(int layer, int seq, int pos, bool value) {
+  HEXLLM_DCHECK(pos >= 0 && pos < max_context_);
+  const KvBlockManager::WriteAccess wa = mgr_.EnsureWritable(seq, pos);
+  if (wa.copied_from >= 0) {
+    // CoW split: the new private block inherits every layer's rows of the shared block.
+    std::memcpy(BlockData(wa.block), BlockData(wa.copied_from),
+                static_cast<size_t>(block_elems_) * 2);
+  }
+  return BlockData(wa.block) + RowOffset(layer, value, pos % mgr_.block_tokens());
+}
+
+const hexllm::F16* PagedKvCache::Row(int layer, int seq, int pos, bool value) const {
+  HEXLLM_DCHECK(pos >= 0 && pos < max_context_);
+  const int idx = pos / mgr_.block_tokens();
+  const int block = mgr_.block_at(seq, idx);
+  return storage_.data() + static_cast<int64_t>(block) * block_elems_ +
+         RowOffset(layer, value, pos % mgr_.block_tokens());
+}
+
+void PagedKvCache::Advance(int seq) {
+  HEXLLM_CHECK(mgr_.length(seq) < max_context_);
+  mgr_.Advance(seq);
+}
+
+void PagedKvCache::ResetSeq(int seq) {
+  freed_scratch_.clear();
+  mgr_.Reset(seq, &freed_scratch_);
+  PoisonFreed();
+}
+
+void PagedKvCache::ShareFromHandle(int64_t handle, int dst_seq, int len) {
+  mgr_.ShareFromHandle(handle, dst_seq, len);
+}
+
+void PagedKvCache::DropHandle(int64_t handle) {
+  freed_scratch_.clear();
+  mgr_.DropHandle(handle, &freed_scratch_);
+  PoisonFreed();
+}
+
+void PagedKvCache::PoisonFreed() {
+#ifndef NDEBUG
+  for (const int b : freed_scratch_) {
+    hexllm::F16* data = BlockData(b);
+    for (int64_t i = 0; i < block_elems_; ++i) {
+      data[i] = hexllm::F16::FromBits(kPoisonBits);
+    }
+  }
+#endif
+  freed_scratch_.clear();
+}
+
+}  // namespace hkv

@@ -1,0 +1,111 @@
+// Paged, ref-counted FP16 KV cache with prefix sharing and copy-on-write forking.
+//
+// Replaces the dense [max_batch x max_context] slab: physical storage is a pool of
+// fixed-size position-blocks (default 32 positions — one HMX tile height — of K and V rows
+// for every layer), and each sequence maps its logical positions onto blocks through a block
+// table (hkv::KvBlockManager). Parallel test-time-scaling candidates admitted from one
+// prompt share the prompt's blocks physically; beam-search children fork a completed stem by
+// mapping its blocks, and the first divergent write into a shared tail block splits it
+// (copy-on-write) without touching the other owners.
+//
+// In debug builds, a block whose last reference drops is poisoned with FP16 NaNs so a stale
+// block-table entry (use-after-free of reclaimed KV rows) corrupts attention loudly instead
+// of silently reusing old rows.
+#ifndef SRC_KVCACHE_PAGED_KV_CACHE_H_
+#define SRC_KVCACHE_PAGED_KV_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/fp16.h"
+#include "src/kvcache/kv_block_manager.h"
+
+namespace hkv {
+
+// Positions per block. 32 matches the HMX tile height (hkern::kAttnQTile) so one block's
+// rows fill whole attention tiles; see DESIGN.md §3.2 for the sizing trade-off.
+inline constexpr int kDefaultBlockTokens = 32;
+
+class PagedKvCache {
+ public:
+  // Storage is `num_blocks` blocks of `block_tokens` positions; each position stores one K
+  // and one V row of width `kv_dim` for each of `layers` layers. num_blocks <= 0 sizes the
+  // pool for `num_seqs` dense sequences of `max_context` plus per-sequence slack for
+  // copy-on-write splits and retained prefixes.
+  PagedKvCache(int layers, int kv_dim, int num_seqs, int max_context,
+               int block_tokens = kDefaultBlockTokens, int64_t num_blocks = 0);
+
+  int max_context() const { return max_context_; }
+  int block_tokens() const { return mgr_.block_tokens(); }
+  int length(int seq) const { return mgr_.length(seq); }
+
+  // Write accessors for the append region (pos >= length). The first write to a position
+  // allocates its block; the first write into a shared block copy-on-write splits it.
+  hexllm::F16* KeyRow(int layer, int seq, int pos) { return MutableRow(layer, seq, pos, false); }
+  hexllm::F16* ValueRow(int layer, int seq, int pos) { return MutableRow(layer, seq, pos, true); }
+
+  // Read accessors for materialized positions (pos < length, or rows just written in the
+  // current chunk). Rows are contiguous [kv_dim] within one position; consecutive positions
+  // generally live in different blocks — gather per position.
+  const hexllm::F16* KeyRowAt(int layer, int seq, int pos) const {
+    return Row(layer, seq, pos, false);
+  }
+  const hexllm::F16* ValueRowAt(int layer, int seq, int pos) const {
+    return Row(layer, seq, pos, true);
+  }
+
+  // Advances the sequence by one position (after all layers wrote their K/V rows).
+  void Advance(int seq);
+  // Releases the sequence's block references; last-owner blocks return to the pool (and are
+  // NaN-poisoned in debug builds).
+  void ResetSeq(int seq);
+
+  // Prefix sharing / fork support (see KvBlockManager): retain the first `len` positions
+  // (-1 = all) of `seq` past its slot's lifetime, map a retained prefix into an empty
+  // sequence, drop a handle when its last consumer is admitted.
+  int64_t Retain(int seq, int len = -1) { return mgr_.Retain(seq, len); }
+  int handle_length(int64_t handle) const { return mgr_.handle_length(handle); }
+  void ShareFromHandle(int64_t handle, int dst_seq, int len);
+  void DropHandle(int64_t handle);
+
+  // Admission planning (see KvBlockManager): blocks a fresh admission will newly allocate,
+  // pool headroom, and per-sequence growth state for conservative reservation.
+  int64_t BlocksToAdmit(int total_tokens, int shared_tokens) const {
+    return mgr_.BlocksToAdmit(total_tokens, shared_tokens);
+  }
+  int64_t free_blocks() const { return mgr_.free_blocks(); }
+  int64_t table_blocks(int seq) const { return mgr_.table_blocks(seq); }
+  bool TailShared(int seq) const { return mgr_.TailShared(seq); }
+
+  KvStats stats() const { return mgr_.stats(); }
+  // Physical bytes of the whole block pool (allocated up front).
+  int64_t byte_size() const { return static_cast<int64_t>(storage_.size()) * 2; }
+  int64_t num_blocks() const { return num_blocks_; }
+
+  // Raw block storage, for tests (poison checks).
+  const hexllm::F16* BlockDataForTest(int block) const {
+    return storage_.data() + static_cast<int64_t>(block) * block_elems_;
+  }
+
+ private:
+  hexllm::F16* BlockData(int block) {
+    return storage_.data() + static_cast<int64_t>(block) * block_elems_;
+  }
+  int64_t RowOffset(int layer, bool value, int pos_in_block) const;
+  hexllm::F16* MutableRow(int layer, int seq, int pos, bool value);
+  const hexllm::F16* Row(int layer, int seq, int pos, bool value) const;
+  void PoisonFreed();
+
+  int layers_;
+  int kv_dim_;
+  int max_context_;
+  int64_t num_blocks_;
+  int64_t block_elems_;  // F16 elements per block
+  KvBlockManager mgr_;
+  std::vector<hexllm::F16> storage_;
+  std::vector<int> freed_scratch_;
+};
+
+}  // namespace hkv
+
+#endif  // SRC_KVCACHE_PAGED_KV_CACHE_H_

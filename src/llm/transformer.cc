@@ -12,49 +12,11 @@ namespace hllm {
 
 using hexllm::F16;
 
-KvCache::KvCache(const ModelConfig& config, int max_batch, int max_context)
-    : config_(config),
-      max_batch_(max_batch),
-      max_context_(max_context),
-      lengths_(static_cast<size_t>(max_batch), 0) {
-  storage_.resize(static_cast<size_t>(config.layers) * max_batch * 2 * max_context *
-                  config.kv_dim());
-}
-
-int64_t KvCache::Index(int layer, int seq, int pos, bool value) const {
-  HEXLLM_DCHECK(layer >= 0 && layer < config_.layers);
-  HEXLLM_DCHECK(seq >= 0 && seq < max_batch_);
-  HEXLLM_DCHECK(pos >= 0 && pos < max_context_);
-  const int64_t kv_dim = config_.kv_dim();
-  return (((static_cast<int64_t>(layer) * max_batch_ + seq) * 2 + (value ? 1 : 0)) *
-              max_context_ +
-          pos) *
-         kv_dim;
-}
-
-F16* KvCache::KeyRow(int layer, int seq, int pos) {
-  return storage_.data() + Index(layer, seq, pos, false);
-}
-F16* KvCache::ValueRow(int layer, int seq, int pos) {
-  return storage_.data() + Index(layer, seq, pos, true);
-}
-const F16* KvCache::Keys(int layer, int seq) const {
-  return storage_.data() + Index(layer, seq, 0, false);
-}
-const F16* KvCache::Values(int layer, int seq) const {
-  return storage_.data() + Index(layer, seq, 0, true);
-}
-
-void KvCache::Advance(int seq) {
-  HEXLLM_CHECK(lengths_[static_cast<size_t>(seq)] < max_context_);
-  ++lengths_[static_cast<size_t>(seq)];
-}
-
-void KvCache::ResetSeq(int seq) { lengths_[static_cast<size_t>(seq)] = 0; }
-
 Transformer::Transformer(hexsim::NpuDevice& dev, const ModelWeights& weights, int max_batch,
-                         int max_context)
-    : dev_(dev), weights_(weights), lut_(dev), kv_(weights.config, max_batch, max_context),
+                         int max_context, int64_t kv_pool_blocks)
+    : dev_(dev), weights_(weights), lut_(dev),
+      kv_(weights.config.layers, weights.config.kv_dim(), max_batch, max_context,
+          hkv::kDefaultBlockTokens, kv_pool_blocks),
       max_batch_(max_batch) {}
 
 void Transformer::Step(std::span<const int> tokens, std::span<float> logits,
@@ -146,16 +108,15 @@ void Transformer::PrefillChunk(int seq, std::span<const int> tokens) {
                   static_cast<size_t>(kv_dim) * 2);
     }
 
-    // Causal FlashAttention over the chunk: rows x [0, kv_len) with offset pos0.
+    // Causal FlashAttention over the chunk: rows x [0, kv_len) with offset pos0. K/V rows
+    // gather per position through the paged cache's block tables.
     for (int h = 0; h < c.heads; ++h) {
       const int kvh = h / group;
       for (int t = 0; t < kv_len; ++t) {
         std::memcpy(k_head.data() + static_cast<size_t>(t) * dh,
-                    kv_.Keys(l, seq) + static_cast<size_t>(t) * kv_dim + kvh * dh,
-                    static_cast<size_t>(dh) * 2);
+                    kv_.KeyRowAt(l, seq, t) + kvh * dh, static_cast<size_t>(dh) * 2);
         std::memcpy(v_head.data() + static_cast<size_t>(t) * dh,
-                    kv_.Values(l, seq) + static_cast<size_t>(t) * kv_dim + kvh * dh,
-                    static_cast<size_t>(dh) * 2);
+                    kv_.ValueRowAt(l, seq, t) + kvh * dh, static_cast<size_t>(dh) * 2);
       }
       for (int r = 0; r < rows; ++r) {
         std::memcpy(q_head.data() + static_cast<size_t>(r) * dh,
@@ -255,19 +216,18 @@ void Transformer::StepSeqSubset(std::span<const int> tokens, std::span<const int
     for (int b = 0; b < batch; ++b) {
       const int seq = seq_ids[static_cast<size_t>(b)];
       const int kv_len = kv_.length(seq) + 1;  // includes the row just written
-      // Strided head views copied contiguous for the attention kernel (on the phone the KV
-      // cache is stored head-major; the copy is a simulation convenience).
+      // Block-table gather: head views copied contiguous for the attention kernel (on the
+      // phone the KV cache is stored head-major per block; the copy is a simulation
+      // convenience).
       std::vector<F16> k_head(static_cast<size_t>(kv_len) * dh);
       std::vector<F16> v_head(static_cast<size_t>(kv_len) * dh);
       for (int h = 0; h < c.heads; ++h) {
         const int kvh = h / group;
         for (int t = 0; t < kv_len; ++t) {
           std::memcpy(k_head.data() + static_cast<size_t>(t) * dh,
-                      kv_.Keys(l, seq) + static_cast<size_t>(t) * kv_dim + kvh * dh,
-                      static_cast<size_t>(dh) * 2);
+                      kv_.KeyRowAt(l, seq, t) + kvh * dh, static_cast<size_t>(dh) * 2);
           std::memcpy(v_head.data() + static_cast<size_t>(t) * dh,
-                      kv_.Values(l, seq) + static_cast<size_t>(t) * kv_dim + kvh * dh,
-                      static_cast<size_t>(dh) * 2);
+                      kv_.ValueRowAt(l, seq, t) + kvh * dh, static_cast<size_t>(dh) * 2);
         }
         hkern::FlashAttentionF16(dev_, lut_, exp_variant,
                                  q.data() + static_cast<size_t>(b) * q_dim + h * dh,

@@ -20,45 +20,23 @@
 #include "src/hexsim/npu_device.h"
 #include "src/kernels/exp_lut.h"
 #include "src/kernels/softmax.h"
+#include "src/kvcache/paged_kv_cache.h"
 #include "src/llm/weights.h"
 
 namespace hllm {
 
-// Per-layer, per-sequence FP16 KV cache.
-class KvCache {
- public:
-  KvCache(const ModelConfig& config, int max_batch, int max_context);
-
-  int max_context() const { return max_context_; }
-  int length(int seq) const { return lengths_[static_cast<size_t>(seq)]; }
-
-  // Row pointers for appending at the current length (rows are [kv_dim] wide).
-  hexllm::F16* KeyRow(int layer, int seq, int pos);
-  hexllm::F16* ValueRow(int layer, int seq, int pos);
-  const hexllm::F16* Keys(int layer, int seq) const;
-  const hexllm::F16* Values(int layer, int seq) const;
-
-  // Advances sequence `seq` by one position (call once per decoded token, after all layers
-  // wrote their K/V rows).
-  void Advance(int seq);
-  void ResetSeq(int seq);
-
-  int64_t byte_size() const { return static_cast<int64_t>(storage_.size()) * 2; }
-
- private:
-  int64_t Index(int layer, int seq, int pos, bool value) const;
-
-  ModelConfig config_;
-  int max_batch_;
-  int max_context_;
-  std::vector<int> lengths_;
-  std::vector<hexllm::F16> storage_;
-};
+// The KV cache is the paged, ref-counted block-pool manager from src/kvcache: attention
+// gathers K/V rows through per-sequence block tables, prompt prefixes admitted for parallel
+// TTS candidates are stored once, and beam-search forks share their stem copy-on-write.
+using KvCache = hkv::PagedKvCache;
 
 class Transformer {
  public:
+  // kv_pool_blocks <= 0 sizes the KV block pool for `max_batch` dense sequences of
+  // `max_context` (plus CoW/retention slack); serving backends pass an explicit pool size
+  // to model a DRAM budget.
   Transformer(hexsim::NpuDevice& dev, const ModelWeights& weights, int max_batch,
-              int max_context);
+              int max_context, int64_t kv_pool_blocks = 0);
 
   // Decodes one step for `tokens.size()` parallel sequences (sequence i consumes tokens[i]
   // at its current position). Writes FP32 logits [batch, vocab]. The softmax exp variant is
@@ -79,6 +57,7 @@ class Transformer {
   void Prefill(int seq, std::span<const int> tokens);
 
   KvCache& kv() { return kv_; }
+  const KvCache& kv() const { return kv_; }
   const ModelConfig& config() const { return weights_.config; }
   hexsim::NpuDevice& device() { return dev_; }
 

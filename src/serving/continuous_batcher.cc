@@ -49,9 +49,78 @@ ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
     return r;  // zeroed result — the old schedulers divided by steps/makespan here (NaN)
   }
   const int n = static_cast<int>(jobs.size());
+
+  // Validate the stream up front and report malformed jobs as an error result instead of
+  // CHECK-aborting: job streams come from workload producers (benches, sweeps, user input),
+  // not trusted internals. Fork edges get the full treatment — a bad parent reference would
+  // otherwise surface as silent KV corruption deep in a backend.
+  const auto reject = [&](const ServeJob& j, const std::string& why) {
+    r.error = "job " + std::to_string(j.id) + ": " + why;
+    return r;
+  };
+  bool any_fork = false;
   for (const ServeJob& j : jobs) {
-    HEXLLM_CHECK(j.decode_tokens >= 1);
-    HEXLLM_CHECK(j.prompt_tokens >= 0 && j.context_tokens >= 0 && j.barrier >= 0);
+    any_fork = any_fork || j.parent_job >= 0;
+  }
+  std::map<int, int> id_index;  // job id -> input index, only needed for fork edges
+  if (any_fork) {
+    for (int j = 0; j < n; ++j) {
+      const auto [it, inserted] = id_index.try_emplace(jobs[static_cast<size_t>(j)].id, j);
+      if (!inserted) {
+        return reject(jobs[static_cast<size_t>(j)],
+                      "duplicate job id in a stream with fork edges");
+      }
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    const ServeJob& job = jobs[static_cast<size_t>(j)];
+    if (job.decode_tokens < 1) {
+      return reject(job, "decode_tokens must be >= 1");
+    }
+    if (job.prompt_tokens < 0 || job.context_tokens < 0 || job.barrier < 0) {
+      return reject(job, "prompt_tokens, context_tokens and barrier must be non-negative");
+    }
+    const int64_t total = static_cast<int64_t>(job.prompt_tokens) + job.context_tokens +
+                          job.decode_tokens;
+    if (total > backend_.max_context()) {
+      return reject(job, "prompt + context + decode (" + std::to_string(total) +
+                             ") exceeds the backend context limit (" +
+                             std::to_string(backend_.max_context()) + ")");
+    }
+    if (job.parent_job < 0) {
+      continue;
+    }
+    const auto pit = id_index.find(job.parent_job);
+    if (pit == id_index.end()) {
+      return reject(job, "parent_job " + std::to_string(job.parent_job) +
+                             " is not in the stream");
+    }
+    if (pit->second == j) {
+      return reject(job, "job forks itself");
+    }
+    const ServeJob& parent = jobs[static_cast<size_t>(pit->second)];
+    if (job.prompt_group < 0 || parent.prompt_group != job.prompt_group) {
+      return reject(job, "fork parent must share a non-negative prompt_group");
+    }
+    if (parent.barrier >= job.barrier) {
+      return reject(job, "fork parent must complete at an earlier barrier");
+    }
+    const int parent_end = parent.prompt_tokens + parent.context_tokens + parent.decode_tokens;
+    if (job.prompt_tokens + job.context_tokens != parent_end) {
+      return reject(job, "fork context (" +
+                             std::to_string(job.prompt_tokens + job.context_tokens) +
+                             ") must equal the parent's final KV length (" +
+                             std::to_string(parent_end) + ")");
+    }
+  }
+  // Children still waiting to map each job's retained KV; the snapshot drops at zero.
+  std::vector<int> pending_children(static_cast<size_t>(n), 0);
+  if (any_fork) {
+    for (const ServeJob& j : jobs) {
+      if (j.parent_job >= 0) {
+        ++pending_children[static_cast<size_t>(id_index.at(j.parent_job))];
+      }
+    }
   }
 
   // Group structure: jobs at a group's current barrier level admit freely; the next level
@@ -59,7 +128,10 @@ ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
   struct Group {
     std::vector<std::pair<int, std::vector<int>>> levels;  // (barrier, job indices) ascending
     size_t cur = 0;
-    int pending = 0;  // incomplete jobs at the current level
+    int pending = 0;   // incomplete jobs at the current level
+    int orig_id = -1;  // prompt_group id (keys the backend's prompt anchor), -1 = singleton
+    int total = 0;
+    int done = 0;      // completed jobs; == total releases the group's prompt anchor
   };
   std::vector<Group> groups;
   std::vector<int> job_group(static_cast<size_t>(n));
@@ -73,6 +145,7 @@ ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
                                     static_cast<int>(groups.size()));
         if (inserted) {
           groups.emplace_back();
+          groups.back().orig_id = jobs[static_cast<size_t>(j)].prompt_group;
         }
         g = it->second;
       } else {
@@ -80,6 +153,7 @@ ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
         groups.emplace_back();
       }
       job_group[static_cast<size_t>(j)] = g;
+      ++groups[static_cast<size_t>(g)].total;
     }
     std::vector<std::map<int, std::vector<int>>> by_barrier(groups.size());
     for (int j = 0; j < n; ++j) {
@@ -144,6 +218,15 @@ ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
     r.prefilled_tokens += charged;
     slots[static_cast<size_t>(slot)] = Slot{j, context, job.decode_tokens};
     ++occupied;
+    if (job.parent_job >= 0) {
+      ++r.forked_admissions;
+      // Last waiting child admitted: the parent's retained KV snapshot can drop (the
+      // children's own block references keep the shared blocks alive).
+      const int pidx = id_index.at(job.parent_job);
+      if (--pending_children[static_cast<size_t>(pidx)] == 0) {
+        backend_.DropRetained(job.parent_job);
+      }
+    }
     r.admissions.push_back(Admission{job.id, slot, step_idx, r.makespan_s});
     if (options_.record_trace && prefill_s > 0.0 &&
         traced_admissions < options_.max_trace_steps) {
@@ -162,11 +245,24 @@ ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
     // once the previous one fully drained.
     if (options_.policy == SchedulePolicy::kContinuous || occupied == 0) {
       while (!free_slots.empty() && !ready.empty()) {
-        admit(ready.front());
+        const int j = ready.front();
+        const ServeJob& job = jobs[static_cast<size_t>(j)];
+        if (!backend_.CanAdmit(job, job.prompt_tokens + job.context_tokens)) {
+          break;  // KV pool/budget full: wait for running jobs to complete and free blocks
+        }
+        admit(j);
         ready.pop_front();
       }
     }
-    HEXLLM_CHECK(occupied > 0);  // barrier bookkeeping guarantees an admissible job exists
+    if (occupied == 0) {
+      // Barrier bookkeeping guarantees an admissible job exists, so an empty batch means
+      // the KV budget cannot fit the front job even alone — deferring would deadlock.
+      HEXLLM_CHECK(!ready.empty());
+      r.error = "job " + std::to_string(jobs[static_cast<size_t>(ready.front())].id) +
+                ": KV budget too small to admit into an empty batch";
+      r.kv = backend_.kv_stats();
+      return r;
+    }
 
     row_slots.clear();
     row_contexts.clear();
@@ -228,7 +324,15 @@ ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
       ++completed;
       r.completions.push_back(
           Completion{jobs[static_cast<size_t>(sl.job)].id, s, step_idx, r.makespan_s});
+      if (pending_children[static_cast<size_t>(sl.job)] > 0) {
+        // Fork children will map this job's final KV; snapshot it before the slot (and its
+        // block references) can be released or stepped further.
+        backend_.RetainKv(s, jobs[static_cast<size_t>(sl.job)].id);
+      }
       Group& g = groups[static_cast<size_t>(job_group[static_cast<size_t>(sl.job)])];
+      if (++g.done == g.total && g.orig_id >= 0) {
+        backend_.ReleaseGroup(g.orig_id);  // last group job done: drop the prompt anchor
+      }
       if (--g.pending == 0 && g.cur + 1 < g.levels.size()) {
         ++g.cur;
         g.pending = static_cast<int>(g.levels[g.cur].second.size());
@@ -264,6 +368,7 @@ ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
   }
 
   r.steps = step_idx;
+  r.kv = backend_.kv_stats();
   if (r.makespan_s > 0.0) {
     r.tokens_per_second = static_cast<double>(r.decoded_tokens) / r.makespan_s;
   }

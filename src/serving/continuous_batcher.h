@@ -16,6 +16,7 @@
 #define SRC_SERVING_CONTINUOUS_BATCHER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/runtime/trace.h"
@@ -52,6 +53,10 @@ struct Completion {
 };
 
 struct ScheduleResult {
+  // Non-empty when the job stream was rejected (invalid fields, fork graph violations, or a
+  // KV budget too small to make progress). All other fields are meaningless then — the old
+  // behavior was a CHECK-abort; malformed input now reports instead of crashing.
+  std::string error;
   double makespan_s = 0.0;
   double prefill_s = 0.0;          // time spent in charged chunked-prefill admissions
   double decode_s = 0.0;           // time spent in decode steps
@@ -63,6 +68,11 @@ struct ScheduleResult {
   int64_t steps = 0;
   int64_t decoded_tokens = 0;      // useful tokens only (padding rows don't count)
   int64_t prefilled_tokens = 0;    // charged prefill tokens (shared prompts charge once)
+  int64_t forked_admissions = 0;   // jobs admitted by mapping a parent's retained KV
+  // Physical-vs-logical KV accounting at the end of the run (peaks cover the whole run):
+  // physical bytes are what the paged pool actually held, logical bytes what a dense
+  // per-sequence layout would have held; kv.sharing_ratio() is the headline saving.
+  hkv::KvStats kv;
   std::vector<Admission> admissions;
   std::vector<Completion> completions;
   std::vector<int> step_active;    // record_steps: useful rows per step

@@ -26,13 +26,115 @@ int ContextBucket(std::span<const int> contexts, int bucket_tokens) {
   return static_cast<int>(hexllm::RoundUp(std::max<int64_t>(mean, 1), bucket_tokens));
 }
 
+// Deterministic synthetic token at absolute position `pos` of job `job_id`'s context, so a
+// job's context reproduces token-for-token however it is (re)materialized.
+int SyntheticToken(int job_id, int pos, int vocab) {
+  return static_cast<int>(
+      (static_cast<uint32_t>(job_id) * 2654435761u + 13u * static_cast<uint32_t>(pos) + 7u) %
+      static_cast<uint32_t>(vocab));
+}
+
 }  // namespace
 
-AnalyticBackend::AnalyticBackend(const hrt::Engine& engine, int context_bucket_tokens)
-    : engine_(engine), bucket_tokens_(std::max(1, context_bucket_tokens)) {}
+// ---------------------------------------------------------------------------
+// AnalyticBackend
+// ---------------------------------------------------------------------------
 
-double AnalyticBackend::AdmitSlot(int /*slot*/, const ServeJob& /*job*/, int /*context_tokens*/,
+AnalyticBackend::AnalyticBackend(const hrt::Engine& engine, const Options& options)
+    : engine_(engine),
+      bucket_tokens_(std::max(1, options.context_bucket_tokens)),
+      // Unbounded accountant: the DRAM budget gates admission (CanAdmit), it never aborts
+      // mid-decode. bytes_per_block is the model's true FP16 K+V footprint for one block.
+      kv_(options.kv_block_tokens, /*max_blocks=*/0,
+          engine.options().model->KvCacheBytes(options.kv_block_tokens)) {
+  if (options.kv_budget_bytes > 0) {
+    budget_blocks_ =
+        options.kv_budget_bytes / engine.options().model->KvCacheBytes(options.kv_block_tokens);
+  }
+}
+
+int AnalyticBackend::max_context() const { return engine_.options().context_budget; }
+
+void AnalyticBackend::TrackSlot(int slot, int end_len) {
+  HEXLLM_CHECK(slot >= 0);
+  if (slot >= static_cast<int>(end_len_.size())) {
+    end_len_.resize(static_cast<size_t>(slot) + 1, 0);
+  }
+  end_len_[static_cast<size_t>(slot)] = end_len;
+}
+
+int AnalyticBackend::SharedPrefixLen(const ServeJob& job, int context_tokens) const {
+  if (job.parent_job >= 0) {
+    const auto it = retained_.find(job.parent_job);
+    return it != retained_.end() ? std::min(it->second.len, context_tokens) : 0;
+  }
+  if (job.prompt_group >= 0 && job.prompt_tokens > 0) {
+    const auto it = anchors_.find(job.prompt_group);
+    if (it != anchors_.end()) {
+      return std::min({it->second.len, job.prompt_tokens, context_tokens});
+    }
+  }
+  return 0;
+}
+
+bool AnalyticBackend::CanAdmit(const ServeJob& job, int context_tokens) {
+  if (budget_blocks_ < 0) {
+    return true;
+  }
+  const int64_t needed = kv_.BlocksToAdmit(context_tokens + job.decode_tokens,
+                                           SharedPrefixLen(job, context_tokens));
+  // Reserve worst-case growth (plus a pending CoW tail split) for every running slot, so an
+  // admission never starves a slot that already committed to decode to its end length.
+  int64_t reserved = 0;
+  for (size_t s = 0; s < end_len_.size(); ++s) {
+    if (end_len_[s] <= 0) {
+      continue;
+    }
+    const int64_t want = hexllm::CeilDiv(end_len_[s], kv_.block_tokens());
+    reserved += std::max<int64_t>(0, want - kv_.table_blocks(static_cast<int>(s))) +
+                (kv_.TailShared(static_cast<int>(s)) ? 1 : 0);
+  }
+  const int64_t free = budget_blocks_ - kv_.stats().physical_blocks;
+  return free - reserved >= needed;
+}
+
+double AnalyticBackend::AdmitSlot(int slot, const ServeJob& job, int context_tokens,
                                   int charged_prefill_tokens) {
+  kv_.Reset(slot, nullptr);
+  TrackSlot(slot, context_tokens + job.decode_tokens);
+
+  if (job.parent_job >= 0) {
+    // Fork: map the parent's retained stem copy-on-write. Zero re-prefill, zero cost.
+    const auto it = retained_.find(job.parent_job);
+    HEXLLM_CHECK_MSG(it != retained_.end(), "fork admitted before its parent was retained");
+    HEXLLM_CHECK_MSG(it->second.len == context_tokens,
+                     "fork context must equal the parent's final KV length");
+    kv_.ShareFromHandle(it->second.handle, slot, context_tokens);
+    return 0.0;
+  }
+
+  // Map the group's shared prompt prefix when it is already resident; account the rest as
+  // freshly appended blocks (the chunked prefill the charged pricing below models).
+  int shared = 0;
+  bool make_anchor = false;
+  if (job.prompt_group >= 0 && job.prompt_tokens > 0) {
+    const auto it = anchors_.find(job.prompt_group);
+    if (it != anchors_.end()) {
+      shared = std::min({it->second.len, job.prompt_tokens, context_tokens});
+      kv_.ShareFromHandle(it->second.handle, slot, shared);
+    } else {
+      make_anchor = true;
+    }
+  }
+  for (int pos = shared; pos < context_tokens; ++pos) {
+    kv_.EnsureWritable(slot, pos);
+    kv_.Advance(slot);
+  }
+  if (make_anchor) {
+    const int len = std::min(job.prompt_tokens, context_tokens);
+    anchors_.emplace(job.prompt_group, Retained{kv_.Retain(slot, len), len});
+  }
+
   if (charged_prefill_tokens <= 0) {
     return 0.0;
   }
@@ -41,6 +143,33 @@ double AnalyticBackend::AdmitSlot(int /*slot*/, const ServeJob& /*job*/, int /*c
     it->second = engine_.Prefill(charged_prefill_tokens).total_s;
   }
   return it->second;
+}
+
+void AnalyticBackend::ReleaseSlot(int slot) {
+  kv_.Reset(slot, nullptr);
+  TrackSlot(slot, 0);
+}
+
+void AnalyticBackend::RetainKv(int slot, int job_id) {
+  const auto [it, inserted] =
+      retained_.emplace(job_id, Retained{kv_.Retain(slot, -1), kv_.length(slot)});
+  HEXLLM_CHECK_MSG(inserted, "job retained twice");
+}
+
+void AnalyticBackend::DropRetained(int job_id) {
+  const auto it = retained_.find(job_id);
+  HEXLLM_CHECK(it != retained_.end());
+  kv_.DropHandle(it->second.handle, nullptr);
+  retained_.erase(it);
+}
+
+void AnalyticBackend::ReleaseGroup(int prompt_group) {
+  const auto it = anchors_.find(prompt_group);
+  if (it == anchors_.end()) {
+    return;
+  }
+  kv_.DropHandle(it->second.handle, nullptr);
+  anchors_.erase(it);
 }
 
 const hrt::StepCost& AnalyticBackend::BucketedCost(int batch, int context) {
@@ -61,47 +190,159 @@ StepOutcome AnalyticBackend::Step(std::span<const int> slots, std::span<const in
   HEXLLM_CHECK(!slots.empty() && slots.size() == contexts.size());
   const int batch = static_cast<int>(slots.size());
   const int bucket = ContextBucket(contexts, bucket_tokens_);
+  // Mirror the functional backend's KV appends exactly (one position per row), so the two
+  // backends report bit-identical block statistics for one job stream.
+  for (size_t i = 0; i < slots.size(); ++i) {
+    HEXLLM_DCHECK(kv_.length(slots[i]) == contexts[i]);
+    kv_.EnsureWritable(slots[i], contexts[i]);
+    kv_.Advance(slots[i]);
+  }
   StepOutcome out;
   out.cost = BucketedCost(batch, bucket);
   out.watts = step_cache_.at(std::make_pair(batch, bucket)).second;
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// FunctionalBackend
+// ---------------------------------------------------------------------------
+
 FunctionalBackend::FunctionalBackend(hexsim::NpuDevice& dev, const hllm::ModelWeights& weights,
-                                     int max_batch, int max_context)
-    : dev_(dev), tf_(dev, weights, max_batch, max_context), max_context_(max_context),
+                                     int max_batch, int max_context, int64_t kv_pool_blocks)
+    : dev_(dev), tf_(dev, weights, max_batch, max_context, kv_pool_blocks),
+      max_context_(max_context),
       last_token_(static_cast<size_t>(max_batch), 1),
-      logits_(static_cast<size_t>(max_batch) * weights.config.vocab) {}
+      logits_(static_cast<size_t>(max_batch) * weights.config.vocab),
+      end_len_(static_cast<size_t>(max_batch), 0) {}
+
+int FunctionalBackend::SharedPrefixLen(const ServeJob& job, int context_tokens) const {
+  if (job.parent_job >= 0) {
+    const auto it = retained_.find(job.parent_job);
+    return it != retained_.end() ? std::min(it->second.len, context_tokens) : 0;
+  }
+  if (job.prompt_group >= 0 && job.prompt_tokens > 0) {
+    const auto it = anchors_.find(job.prompt_group);
+    if (it != anchors_.end()) {
+      return std::min({it->second.len, job.prompt_tokens, context_tokens});
+    }
+  }
+  return 0;
+}
+
+bool FunctionalBackend::CanAdmit(const ServeJob& job, int context_tokens) {
+  const hllm::KvCache& kv = tf_.kv();
+  const int64_t needed = kv.BlocksToAdmit(context_tokens + job.decode_tokens,
+                                          SharedPrefixLen(job, context_tokens));
+  int64_t reserved = 0;
+  for (size_t s = 0; s < end_len_.size(); ++s) {
+    if (end_len_[s] <= 0) {
+      continue;
+    }
+    const int64_t want = hexllm::CeilDiv(end_len_[s], kv.block_tokens());
+    reserved += std::max<int64_t>(0, want - kv.table_blocks(static_cast<int>(s))) +
+                (kv.TailShared(static_cast<int>(s)) ? 1 : 0);
+  }
+  return kv.free_blocks() - reserved >= needed;
+}
 
 double FunctionalBackend::AdmitSlot(int slot, const ServeJob& job, int context_tokens,
                                     int /*charged_prefill_tokens*/) {
   HEXLLM_CHECK(slot >= 0 && slot < static_cast<int>(last_token_.size()));
   HEXLLM_CHECK(context_tokens + job.decode_tokens <= max_context_);
-  tf_.kv().ResetSeq(slot);
+  hllm::KvCache& kv = tf_.kv();
+  kv.ResetSeq(slot);
+  end_len_[static_cast<size_t>(slot)] = context_tokens + job.decode_tokens;
   const int vocab = tf_.config().vocab;
+
+  if (job.parent_job >= 0) {
+    // Fork: the child's KV is the parent's retained stem, mapped block-for-block. The first
+    // divergent append copy-on-write splits the tail; no token is re-prefilled.
+    const auto it = retained_.find(job.parent_job);
+    HEXLLM_CHECK_MSG(it != retained_.end(), "fork admitted before its parent was retained");
+    HEXLLM_CHECK_MSG(it->second.len == context_tokens,
+                     "fork context must equal the parent's final KV length");
+    kv.ShareFromHandle(it->second.handle, slot, context_tokens);
+    last_token_[static_cast<size_t>(slot)] = it->second.last_token;
+    return 0.0;
+  }
   if (context_tokens == 0) {
     // Nothing to prefill: decode starts from a fixed BOS-like token.
     last_token_[static_cast<size_t>(slot)] = 1 % vocab;
     return 0.0;
   }
-  // Functional prefill must materialize the slot's whole KV prefix, so unlike the analytic
-  // backend it re-executes shared-group prompts per slot (KV sharing is future work). The
-  // prompt is synthetic but deterministic per job, so reruns reproduce token-for-token.
-  std::vector<int> prompt(static_cast<size_t>(context_tokens));
-  for (int i = 0; i < context_tokens; ++i) {
-    prompt[static_cast<size_t>(i)] =
-        static_cast<int>((static_cast<uint32_t>(job.id) * 2654435761u + 13u * i + 7u) %
-                         static_cast<uint32_t>(vocab));
+
+  // Map the group's prompt prefix if a previous admission materialized it — later samples
+  // of the group attend to the SAME physical prompt KV the first sample prefilled (stored
+  // once). Only the remainder (a beam prefix, or a whole prompt on the group's first
+  // admission) runs through the chunked prefill pipeline.
+  const Retained* anchor = nullptr;
+  int shared = 0;
+  if (job.prompt_group >= 0 && job.prompt_tokens > 0) {
+    const auto it = anchors_.find(job.prompt_group);
+    if (it != anchors_.end()) {
+      anchor = &it->second;
+      shared = std::min({anchor->len, job.prompt_tokens, context_tokens});
+      kv.ShareFromHandle(anchor->handle, slot, shared);
+    }
   }
-  const hexsim::CycleLedger mark = dev_.ledger();
-  tf_.Prefill(slot, prompt);
-  last_token_[static_cast<size_t>(slot)] = prompt.back();
-  // Prefill's critical path: overlapped engine busy time plus one mailbox round trip per
-  // 32-token chunk (mirrors Engine::Prefill's comm model). No lm_head — logits discarded.
-  hrt::StepCost cost;
-  const double npu_s = ComposeStep(mark, /*batch=*/0, &cost);
-  const int chunks = static_cast<int>(hexllm::CeilDiv(context_tokens, hkern::kAttnQTile));
-  return npu_s + chunks * (2 * hexsim::NpuSession::kMailboxLatencySeconds + 30e-6);
+  const int fresh = context_tokens - shared;
+  double admit_s = 0.0;
+  if (fresh > 0) {
+    // Synthetic but deterministic per (job, absolute position), so reruns reproduce
+    // token-for-token. The group's prompt positions use the first-admitted job's tokens
+    // (they are the shared prefix); positions past `shared` use this job's.
+    std::vector<int> prompt(static_cast<size_t>(fresh));
+    for (int i = 0; i < fresh; ++i) {
+      prompt[static_cast<size_t>(i)] = SyntheticToken(job.id, shared + i, vocab);
+    }
+    const hexsim::CycleLedger mark = dev_.ledger();
+    tf_.Prefill(slot, prompt);
+    last_token_[static_cast<size_t>(slot)] = prompt.back();
+    // Prefill's critical path: overlapped engine busy time plus one mailbox round trip per
+    // 32-token chunk (mirrors Engine::Prefill's comm model). No lm_head — logits discarded.
+    hrt::StepCost cost;
+    const double npu_s = ComposeStep(mark, /*batch=*/0, &cost);
+    const int chunks = static_cast<int>(hexllm::CeilDiv(fresh, hkern::kAttnQTile));
+    admit_s = npu_s + chunks * (2 * hexsim::NpuSession::kMailboxLatencySeconds + 30e-6);
+  } else {
+    last_token_[static_cast<size_t>(slot)] = anchor->last_token;
+  }
+  if (anchor == nullptr && job.prompt_group >= 0 && job.prompt_tokens > 0) {
+    // First admission of the group: retain the prompt prefix so every later sample maps it.
+    const int len = std::min(job.prompt_tokens, context_tokens);
+    anchors_.emplace(job.prompt_group,
+                     Retained{kv.Retain(slot, len), len, SyntheticToken(job.id, len - 1, vocab)});
+  }
+  return admit_s;
+}
+
+void FunctionalBackend::ReleaseSlot(int slot) {
+  tf_.kv().ResetSeq(slot);
+  end_len_[static_cast<size_t>(slot)] = 0;
+}
+
+void FunctionalBackend::RetainKv(int slot, int job_id) {
+  hllm::KvCache& kv = tf_.kv();
+  const auto [it, inserted] = retained_.emplace(
+      job_id,
+      Retained{kv.Retain(slot, -1), kv.length(slot), last_token_[static_cast<size_t>(slot)]});
+  HEXLLM_CHECK_MSG(inserted, "job retained twice");
+}
+
+void FunctionalBackend::DropRetained(int job_id) {
+  const auto it = retained_.find(job_id);
+  HEXLLM_CHECK(it != retained_.end());
+  tf_.kv().DropHandle(it->second.handle);
+  retained_.erase(it);
+}
+
+void FunctionalBackend::ReleaseGroup(int prompt_group) {
+  const auto it = anchors_.find(prompt_group);
+  if (it == anchors_.end()) {
+    return;
+  }
+  tf_.kv().DropHandle(it->second.handle);
+  anchors_.erase(it);
 }
 
 StepOutcome FunctionalBackend::Step(std::span<const int> slots, std::span<const int> contexts) {

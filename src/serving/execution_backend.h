@@ -6,22 +6,33 @@
 // steps and chunked-prefill admissions for the ContinuousBatcher, which owns all request-
 // level policy (slot pool, admission queue, barriers).
 //
+// Both implementations manage KV memory through the paged block-pool manager (src/kvcache):
+// parallel samples of one prompt_group share the prompt's blocks physically, and beam-search
+// fork jobs (ServeJob::parent_job) map a completed stem's retained blocks copy-on-write
+// instead of re-prefilling it.
+//
 // Two implementations:
 //   * AnalyticBackend — wraps hrt::Engine. Prices a step for the given active batch and the
 //     slots' ACTUAL per-slot contexts (mean, bucketed), fixing the old scheduler's
-//     fixed-context simplification. Used for the full-size paper models.
+//     fixed-context simplification. KV is tracked by a storage-free hkv::KvBlockManager
+//     (materializing full-size-model KV would cost gigabytes) and admissions can be gated
+//     on a DRAM byte budget. Used for the full-size paper models.
 //   * FunctionalBackend — wraps hllm::Transformer on the hexsim NPU simulator. Actually
-//     decodes tokens (toy configs) and meters time from the simulator's cycle ledger, so
-//     the same batcher code path is exercised with real numerics in tests.
+//     decodes tokens (toy configs) through a real hkv::PagedKvCache and meters time from
+//     the simulator's cycle ledger, so the same batcher code path is exercised with real
+//     numerics in tests. Driving both backends with one job stream must produce
+//     bit-identical block statistics — the serving tests assert exactly that.
 #ifndef SRC_SERVING_EXECUTION_BACKEND_H_
 #define SRC_SERVING_EXECUTION_BACKEND_H_
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "src/kvcache/kv_block_manager.h"
 #include "src/llm/transformer.h"
 #include "src/llm/weights.h"
 #include "src/runtime/engine.h"
@@ -44,7 +55,8 @@ class ExecutionBackend {
 
   // Prepares `slot` for a job whose KV starts at `context_tokens` (prompt + any uncharged
   // prefix), of which `charged_prefill_tokens` are newly prefilled through the chunked
-  // pipeline. Returns the admission's wall-time cost in seconds.
+  // pipeline. Fork jobs (job.parent_job >= 0) map the parent's retained KV instead of
+  // prefilling and must cost 0. Returns the admission's wall-time cost in seconds.
   virtual double AdmitSlot(int slot, const ServeJob& job, int context_tokens,
                            int charged_prefill_tokens) = 0;
 
@@ -54,6 +66,25 @@ class ExecutionBackend {
   // One decode step advancing every listed slot by one token. `contexts[i]` is slot
   // `slots[i]`'s current KV length; pricing must reflect these actual contexts.
   virtual StepOutcome Step(std::span<const int> slots, std::span<const int> contexts) = 0;
+
+  // Fork support: snapshots `slot`'s KV under the completed job's id so fork children can
+  // map it after the slot is released; drops the snapshot once the last child admitted.
+  virtual void RetainKv(int slot, int job_id) {}
+  virtual void DropRetained(int job_id) {}
+
+  // Drops the prompt-prefix anchor retained for a prompt_group once all its jobs completed.
+  virtual void ReleaseGroup(int prompt_group) {}
+
+  // Whether admitting `job` now (KV starting at `context_tokens`) fits the KV pool/budget,
+  // reserving worst-case growth for the slots already running. Backends without KV
+  // accounting always admit.
+  virtual bool CanAdmit(const ServeJob& job, int context_tokens) { return true; }
+
+  // Largest context (prompt + context + decode) a job may reach on this backend.
+  virtual int max_context() const { return std::numeric_limits<int>::max(); }
+
+  // Physical-vs-logical KV accounting snapshot (zeroed for backends without it).
+  virtual hkv::KvStats kv_stats() const { return {}; }
 };
 
 // Prices steps with the analytic engine. DecodeStep is deterministic per (batch, context),
@@ -61,22 +92,63 @@ class ExecutionBackend {
 // the old scheduler's fixed-context StepCostCache.
 class AnalyticBackend : public ExecutionBackend {
  public:
-  explicit AnalyticBackend(const hrt::Engine& engine, int context_bucket_tokens = 64);
+  struct Options {
+    int context_bucket_tokens = 64;
+    // Positions per KV block in the accountant. Must match the functional backend's block
+    // size (hkv::kDefaultBlockTokens) for stat-parity tests.
+    int kv_block_tokens = hkv::kDefaultBlockTokens;
+    // DRAM budget for KV blocks; admissions are deferred (or rejected when the batch is
+    // empty) once the worst-case block demand exceeds it. <= 0 tracks without gating.
+    int64_t kv_budget_bytes = 0;
+  };
+
+  AnalyticBackend(const hrt::Engine& engine, const Options& options);
+  explicit AnalyticBackend(const hrt::Engine& engine, int context_bucket_tokens = 64)
+      : AnalyticBackend(engine, MakeOptions(context_bucket_tokens)) {}
 
   const char* name() const override { return "analytic"; }
   double AdmitSlot(int slot, const ServeJob& job, int context_tokens,
                    int charged_prefill_tokens) override;
+  void ReleaseSlot(int slot) override;
   StepOutcome Step(std::span<const int> slots, std::span<const int> contexts) override;
+  void RetainKv(int slot, int job_id) override;
+  void DropRetained(int job_id) override;
+  void ReleaseGroup(int prompt_group) override;
+  bool CanAdmit(const ServeJob& job, int context_tokens) override;
+  int max_context() const override;
+  hkv::KvStats kv_stats() const override { return kv_.stats(); }
 
   // Bucketed step pricing (exposed for tests): cost of one step at `batch` rows whose mean
   // context rounds up to the bucket containing `context`.
   const hrt::StepCost& BucketedCost(int batch, int context);
 
  private:
+  struct Retained {
+    int64_t handle = 0;
+    int len = 0;
+  };
+
+  static Options MakeOptions(int context_bucket_tokens) {
+    Options o;
+    o.context_bucket_tokens = context_bucket_tokens;
+    return o;
+  }
+  // Shared-prefix length `job` would map on admission (fork stem or group prompt anchor).
+  int SharedPrefixLen(const ServeJob& job, int context_tokens) const;
+  void TrackSlot(int slot, int end_len);
+
   const hrt::Engine& engine_;
   int bucket_tokens_;
   std::map<std::pair<int, int>, std::pair<hrt::StepCost, double>> step_cache_;
   std::map<int, double> prefill_cache_;
+
+  // Storage-free KV accountant: same block math as the functional backend's PagedKvCache,
+  // no bytes. budget_blocks_ < 0 means unlimited.
+  hkv::KvBlockManager kv_;
+  int64_t budget_blocks_ = -1;
+  std::vector<int> end_len_;           // per slot: context+decode at admission (0 = free)
+  std::map<int, Retained> retained_;   // completed job id -> retained stem
+  std::map<int, Retained> anchors_;    // prompt_group -> retained prompt prefix
 };
 
 // Actually decodes tokens through the functional Transformer on the NPU simulator. Intended
@@ -85,26 +157,45 @@ class AnalyticBackend : public ExecutionBackend {
 // mailbox), so a serving run both computes real logits and advances a realistic clock.
 class FunctionalBackend : public ExecutionBackend {
  public:
+  // kv_pool_blocks <= 0 sizes the KV block pool for `max_batch` dense sequences (plus CoW
+  // and retention slack); tests pass a small pool to exercise admission gating.
   FunctionalBackend(hexsim::NpuDevice& dev, const hllm::ModelWeights& weights, int max_batch,
-                    int max_context);
+                    int max_context, int64_t kv_pool_blocks = 0);
 
   const char* name() const override { return "functional"; }
   double AdmitSlot(int slot, const ServeJob& job, int context_tokens,
                    int charged_prefill_tokens) override;
+  void ReleaseSlot(int slot) override;
   StepOutcome Step(std::span<const int> slots, std::span<const int> contexts) override;
+  void RetainKv(int slot, int job_id) override;
+  void DropRetained(int job_id) override;
+  void ReleaseGroup(int prompt_group) override;
+  bool CanAdmit(const ServeJob& job, int context_tokens) override;
+  int max_context() const override { return max_context_; }
+  hkv::KvStats kv_stats() const override { return tf_.kv().stats(); }
 
   hllm::Transformer& transformer() { return tf_; }
 
  private:
+  struct Retained {
+    int64_t handle = 0;
+    int len = 0;
+    int last_token = 0;  // token the forked child's first decode step consumes
+  };
+
   // Seconds elapsed on the critical path for the ledger activity since `mark`, plus the
   // CPU lm_head and mailbox costs for `batch` rows; fills `cost`'s busy fields.
   double ComposeStep(const hexsim::CycleLedger& mark, int batch, hrt::StepCost* cost) const;
+  int SharedPrefixLen(const ServeJob& job, int context_tokens) const;
 
   hexsim::NpuDevice& dev_;
   hllm::Transformer tf_;
   int max_context_;
   std::vector<int> last_token_;    // per slot: token the next step consumes
   std::vector<float> logits_;      // [max_batch * vocab] scratch
+  std::vector<int> end_len_;       // per slot: context+decode at admission (0 = free)
+  std::map<int, Retained> retained_;  // completed job id -> retained stem
+  std::map<int, Retained> anchors_;   // prompt_group -> retained prompt prefix
 };
 
 }  // namespace hserve

@@ -20,6 +20,13 @@ struct ServeJob {
   // Admission wave within the prompt_group: a job admits only after every job of the same
   // group with a smaller barrier has completed (beam-search expansion rounds).
   int barrier = 0;
+  // Fork source: id of a completed job in the same prompt_group (at a strictly smaller
+  // barrier) whose KV this job continues. The child admits by mapping the parent's retained
+  // KV blocks — zero re-prefill of the shared stem; divergence is copy-on-write. The
+  // child's starting context (prompt_tokens + context_tokens) must equal the parent's final
+  // KV length. Negative means no fork (fresh admission). When any job forks, job ids in the
+  // stream must be unique.
+  int parent_job = -1;
 };
 
 }  // namespace hserve

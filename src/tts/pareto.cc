@@ -57,12 +57,23 @@ std::vector<ParetoPoint> SweepPareto(const CapabilityModel& cap,
       p.accuracy = r.accuracy;
       p.runnable = runnable;
       if (runnable) {
-        hserve::AnalyticBackend backend(engine);
+        hserve::AnalyticBackend::Options bo;
+        bo.kv_budget_bytes = options.kv_budget_bytes;
+        hserve::AnalyticBackend backend(engine, bo);
         hserve::ServeOptions so;
         so.max_batch = std::max(1, r.batch);
         hserve::ContinuousBatcher batcher(backend, so);
         const hserve::ScheduleResult s = batcher.Run(jobs);
+        if (!s.error.empty()) {
+          p.runnable = false;  // stream rejected (KV budget / context limit)
+        }
         p.makespan_s = s.makespan_s;
+        p.kv_physical_peak_bytes = s.kv.peak_physical_bytes();
+        p.kv_logical_peak_bytes = s.kv.peak_logical_bytes();
+        if (s.kv.peak_physical_blocks > 0) {
+          p.kv_sharing_ratio = static_cast<double>(s.kv.peak_logical_blocks) /
+                               static_cast<double>(s.kv.peak_physical_blocks);
+        }
         if (s.steps > 0) {
           p.latency_per_token_s = s.makespan_s / static_cast<double>(s.steps);
         }

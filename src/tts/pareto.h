@@ -32,7 +32,13 @@ struct ParetoPoint {
   double energy_per_token_j = 0.0;   // energy cost alternative (§7.2.3)
   double watts = 0.0;
   double makespan_s = 0.0;        // serving makespan of the method's whole job stream
-  bool runnable = true;           // false if the model does not fit the device NPU
+  // Paged-KV accounting from the serving run: peak physical bytes the block pool held vs
+  // the dense per-sequence bytes it stood in for, and the end-of-run sharing ratio.
+  int64_t kv_physical_peak_bytes = 0;
+  int64_t kv_logical_peak_bytes = 0;
+  double kv_sharing_ratio = 1.0;
+  bool runnable = true;           // false if the model does not fit the device NPU, or the
+                                  // job stream exceeded the KV budget / context limit
 };
 
 struct ParetoSweepOptions {
@@ -43,6 +49,10 @@ struct ParetoSweepOptions {
   int tasks = 500;
   int trials = 8;
   uint64_t seed = 7;
+  // DRAM budget for KV blocks during serving; admissions defer once worst-case block demand
+  // exceeds it (a point whose stream cannot fit at all is marked not runnable). <= 0 tracks
+  // KV bytes without gating.
+  int64_t kv_budget_bytes = 0;
 };
 
 // Runs base + Best-of-N + Beam Search sweeps for every model/budget on one device+dataset.

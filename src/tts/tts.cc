@@ -207,7 +207,10 @@ MethodResult RunBeamSearch(const TaskSet& tasks, double theta, const ProcessRewa
         const int group = trial * num_tasks + ti;
         const int step_tokens =
             std::max(1, static_cast<int>(hexllm::CeilDiv(t.gen_tokens, t.num_steps)));
+        std::vector<int> prev_ids;  // previous round's job ids, kept-beam-major
+        std::vector<int> cur_ids;
         for (int round = 0; round < t.num_steps; ++round) {
+          cur_ids.clear();
           for (int c = 0; c < width * eff_expansion; ++c) {
             hserve::ServeJob j;
             j.id = static_cast<int>(jobs->size());
@@ -216,8 +219,16 @@ MethodResult RunBeamSearch(const TaskSet& tasks, double theta, const ProcessRewa
             j.context_tokens = round * step_tokens;
             j.decode_tokens = step_tokens;
             j.barrier = round;
+            if (round > 0) {
+              // Expansion c continues kept beam c / eff_expansion: fork the stem's KV
+              // (prompt + rounds decoded so far) instead of re-prefilling it. The serving
+              // runtime maps the parent's retained blocks copy-on-write at admission.
+              j.parent_job = prev_ids[static_cast<size_t>(c / eff_expansion)];
+            }
+            cur_ids.push_back(j.id);
             jobs->push_back(j);
           }
+          std::swap(prev_ids, cur_ids);
         }
       }
       const double p = CapabilityModel::SolveProb(TrialTheta(theta, rng), t);

@@ -1,0 +1,465 @@
+// Paged KV-cache manager tests: block-pool invariants, prefix sharing, copy-on-write
+// forking, debug poisoning, admission gating on pool/budget exhaustion, and the
+// functional-vs-analytic block-accounting parity the serving layer promises.
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/fp16.h"
+#include "src/hexsim/device_profile.h"
+#include "src/hexsim/npu_device.h"
+#include "src/kvcache/block_pool.h"
+#include "src/kvcache/kv_block_manager.h"
+#include "src/kvcache/paged_kv_cache.h"
+#include "src/llm/model_config.h"
+#include "src/llm/weights.h"
+#include "src/runtime/engine.h"
+#include "src/serving/continuous_batcher.h"
+#include "src/serving/execution_backend.h"
+
+namespace hkv {
+namespace {
+
+using hexllm::F16;
+
+// --- block pool ---
+
+TEST(BlockPoolTest, AllocRefcountAndFreeListInvariants) {
+  BlockPool pool(4);
+  EXPECT_TRUE(pool.bounded());
+  std::set<int> ids;
+  for (int i = 0; i < 4; ++i) {
+    const int b = pool.Alloc();
+    ASSERT_GE(b, 0);
+    EXPECT_EQ(pool.ref_count(b), 1);
+    ids.insert(b);
+  }
+  EXPECT_EQ(ids.size(), 4u);  // distinct ids
+  EXPECT_EQ(pool.used_blocks(), 4);
+  EXPECT_EQ(pool.free_blocks(), 0);
+  EXPECT_EQ(pool.Alloc(), -1);  // exhausted, no abort
+
+  // Shared block: refcount rises and only the LAST unref frees.
+  const int shared = *ids.begin();
+  pool.AddRef(shared);
+  EXPECT_EQ(pool.ref_count(shared), 2);
+  EXPECT_FALSE(pool.Unref(shared));
+  EXPECT_EQ(pool.used_blocks(), 4);
+  EXPECT_TRUE(pool.Unref(shared));
+  EXPECT_EQ(pool.used_blocks(), 3);
+  EXPECT_EQ(pool.free_blocks(), 1);
+
+  // LIFO reuse: the block just freed is the next allocated.
+  EXPECT_EQ(pool.Alloc(), shared);
+  EXPECT_EQ(pool.peak_used_blocks(), 4);
+}
+
+TEST(BlockPoolTest, UnboundedPoolMintsIdsOnDemand) {
+  BlockPool pool(0);
+  EXPECT_FALSE(pool.bounded());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_GE(pool.Alloc(), 0);
+  }
+  EXPECT_EQ(pool.used_blocks(), 100);
+  EXPECT_EQ(pool.peak_used_blocks(), 100);
+  EXPECT_GT(pool.free_blocks(), int64_t{1} << 60);
+}
+
+// --- block-table manager ---
+
+TEST(KvBlockManagerTest, ShareForkAndCowAccounting) {
+  KvBlockManager mgr(/*block_tokens=*/4, /*max_blocks=*/0, /*bytes_per_block=*/10);
+  // Append 6 positions to seq 0: blocks 0..1, the second half-full.
+  for (int pos = 0; pos < 6; ++pos) {
+    mgr.EnsureWritable(0, pos);
+    mgr.Advance(0);
+  }
+  EXPECT_EQ(mgr.length(0), 6);
+  EXPECT_EQ(mgr.stats().physical_blocks, 2);
+  EXPECT_EQ(mgr.stats().logical_blocks, 2);
+
+  // Retain + share the full prefix into seq 1: zero new physical blocks, logical doubles.
+  const int64_t h = mgr.Retain(0);
+  EXPECT_EQ(mgr.handle_length(h), 6);
+  mgr.ShareFromHandle(h, 1, 6);
+  EXPECT_EQ(mgr.length(1), 6);
+  EXPECT_EQ(mgr.stats().physical_blocks, 2);
+  EXPECT_EQ(mgr.stats().logical_blocks, 4);
+  EXPECT_EQ(mgr.block_at(1, 0), mgr.block_at(0, 0));
+  EXPECT_TRUE(mgr.TailShared(1));
+
+  // The partial shared tail predicts exactly one extra block for the first append...
+  EXPECT_EQ(mgr.BlocksToAdmit(/*total_tokens=*/8, /*shared_tokens=*/6), 1);
+  // ...and the append indeed CoW-splits: seq 1 gets a private tail, seq 0 keeps its block.
+  const int parent_tail = mgr.block_at(0, 1);
+  const KvBlockManager::WriteAccess wa = mgr.EnsureWritable(1, 6);
+  mgr.Advance(1);
+  EXPECT_EQ(wa.copied_from, parent_tail);
+  EXPECT_NE(mgr.block_at(1, 1), parent_tail);
+  EXPECT_EQ(mgr.block_at(0, 1), parent_tail);
+  EXPECT_EQ(mgr.stats().physical_blocks, 3);
+  EXPECT_EQ(mgr.stats().cow_splits, 1);
+  EXPECT_FALSE(mgr.TailShared(1));
+
+  // Releasing the fork frees only its private block; the handle pins the prefix even after
+  // the parent sequence resets.
+  std::vector<int> freed;
+  mgr.Reset(1, &freed);
+  EXPECT_EQ(freed.size(), 1u);
+  mgr.Reset(0, &freed);
+  EXPECT_EQ(mgr.stats().physical_blocks, 2);  // retained prefix survives
+  mgr.DropHandle(h, &freed);
+  EXPECT_EQ(mgr.stats().physical_blocks, 0);
+  EXPECT_EQ(mgr.stats().logical_blocks, 0);
+  EXPECT_EQ(mgr.stats().peak_physical_blocks, 3);
+}
+
+TEST(KvBlockManagerTest, BlocksToAdmitCoversRoundingAndAlignedTails) {
+  KvBlockManager mgr(32, 0, 1);
+  EXPECT_EQ(mgr.BlocksToAdmit(0, 0), 0);
+  EXPECT_EQ(mgr.BlocksToAdmit(1, 0), 1);
+  EXPECT_EQ(mgr.BlocksToAdmit(64, 0), 2);
+  EXPECT_EQ(mgr.BlocksToAdmit(65, 0), 3);
+  EXPECT_EQ(mgr.BlocksToAdmit(96, 64), 1);   // block-aligned shared tail: no CoW copy
+  EXPECT_EQ(mgr.BlocksToAdmit(96, 65), 1);   // the CoW-split copy also holds the appends
+  EXPECT_EQ(mgr.BlocksToAdmit(97, 65), 2);   // ...until they spill into a fourth block
+  EXPECT_EQ(mgr.BlocksToAdmit(65, 65), 0);   // fully shared, nothing appended
+}
+
+// --- storage-backed paged cache ---
+
+TEST(PagedKvCacheTest, ForkReadsSharedRowsAndCowPreservesParent) {
+  PagedKvCache kv(/*layers=*/2, /*kv_dim=*/4, /*num_seqs=*/2, /*max_context=*/64,
+                  /*block_tokens=*/4);
+  // Parent: 6 positions of distinguishable rows.
+  for (int pos = 0; pos < 6; ++pos) {
+    for (int l = 0; l < 2; ++l) {
+      kv.KeyRow(l, 0, pos)[0] = F16(static_cast<float>(100 * l + pos));
+      kv.ValueRow(l, 0, pos)[0] = F16(static_cast<float>(100 * l + pos) + 0.5f);
+    }
+    kv.Advance(0);
+  }
+  const int64_t h = kv.Retain(0);
+  kv.ShareFromHandle(h, 1, 6);
+  // The fork reads the parent's rows through its own table without any copy.
+  for (int pos = 0; pos < 6; ++pos) {
+    EXPECT_EQ(kv.KeyRowAt(1, 1, pos)[0].ToFloat(), 100.0f + pos);
+  }
+  // Divergent append: the child's write CoW-splits the tail block; the copied block carries
+  // every layer's earlier rows, and the parent's rows stay untouched.
+  kv.KeyRow(0, 1, 6)[0] = F16(-1.0f);
+  kv.KeyRow(1, 1, 6)[0] = F16(-2.0f);
+  kv.Advance(1);
+  EXPECT_EQ(kv.KeyRowAt(1, 1, 4)[0].ToFloat(), 104.0f);  // copied shared rows intact
+  EXPECT_EQ(kv.KeyRowAt(1, 1, 6)[0].ToFloat(), -2.0f);
+  // Parent appends its own position 6 independently of the child's.
+  kv.KeyRow(0, 0, 6)[0] = F16(7.0f);
+  kv.KeyRow(1, 0, 6)[0] = F16(8.0f);
+  kv.Advance(0);
+  EXPECT_EQ(kv.KeyRowAt(1, 0, 6)[0].ToFloat(), 8.0f);
+  EXPECT_EQ(kv.KeyRowAt(1, 1, 6)[0].ToFloat(), -2.0f);
+  EXPECT_EQ(kv.ValueRowAt(1, 0, 5)[0].ToFloat(), 105.5f);
+  // Two splits: the child's divergent append, and the parent's own append into its tail
+  // block, which the retained handle pins as an immutable snapshot.
+  EXPECT_EQ(kv.stats().cow_splits, 2);
+  kv.DropHandle(h);
+}
+
+#ifndef NDEBUG
+TEST(PagedKvCacheTest, FreedBlocksArePoisonedWithNanInDebug) {
+  PagedKvCache kv(1, 4, 1, 64, /*block_tokens=*/4);
+  kv.KeyRow(0, 0, 0)[0] = F16(3.0f);
+  kv.Advance(0);
+  const F16* row = kv.KeyRowAt(0, 0, 0);
+  EXPECT_EQ(row[0].ToFloat(), 3.0f);
+  kv.ResetSeq(0);
+  // The storage the stale pointer referenced is NaN-filled: a use-after-free of reclaimed
+  // KV rows corrupts attention loudly instead of silently reusing old values.
+  EXPECT_TRUE(std::isnan(row[0].ToFloat()));
+}
+#endif
+
+}  // namespace
+}  // namespace hkv
+
+namespace hserve {
+namespace {
+
+ServeJob Job(int id, int decode, int group = -1, int prompt = 0, int context = 0,
+             int barrier = 0, int parent = -1) {
+  ServeJob j;
+  j.id = id;
+  j.prompt_group = group;
+  j.prompt_tokens = prompt;
+  j.context_tokens = context;
+  j.decode_tokens = decode;
+  j.barrier = barrier;
+  j.parent_job = parent;
+  return j;
+}
+
+void ExpectStatsEqual(const hkv::KvStats& a, const hkv::KvStats& b) {
+  EXPECT_EQ(a.block_tokens, b.block_tokens);
+  EXPECT_EQ(a.bytes_per_block, b.bytes_per_block);
+  EXPECT_EQ(a.physical_blocks, b.physical_blocks);
+  EXPECT_EQ(a.peak_physical_blocks, b.peak_physical_blocks);
+  EXPECT_EQ(a.logical_blocks, b.logical_blocks);
+  EXPECT_EQ(a.peak_logical_blocks, b.peak_logical_blocks);
+  EXPECT_EQ(a.cow_splits, b.cow_splits);
+}
+
+class ServingKvTest : public ::testing::Test {
+ protected:
+  ServingKvTest()
+      : config_(hllm::ToyConfig()),
+        weights_(hllm::ModelWeights::Random(config_, 42)),
+        dev_(hexsim::OnePlus12()) {
+    toy_options_.model = &config_;
+    toy_options_.device = &hexsim::OnePlus12();
+    toy_engine_ = std::make_unique<hrt::Engine>(toy_options_);
+  }
+
+  // A beam-search-shaped fork stream: `rounds` expansion waves over one prompt group, each
+  // candidate forking a kept stem of the previous round.
+  static std::vector<ServeJob> BeamForkStream(int prompt, int rounds, int width,
+                                              int expansion, int step_tokens) {
+    std::vector<ServeJob> jobs;
+    std::vector<int> prev;
+    for (int r = 0; r < rounds; ++r) {
+      std::vector<int> cur;
+      for (int c = 0; c < width * expansion; ++c) {
+        const int id = static_cast<int>(jobs.size());
+        const int parent = r > 0 ? prev[static_cast<size_t>(c / expansion)] : -1;
+        jobs.push_back(Job(id, step_tokens, /*group=*/0, prompt,
+                           /*context=*/r * step_tokens, /*barrier=*/r, parent));
+        cur.push_back(id);
+      }
+      prev = std::move(cur);
+    }
+    return jobs;
+  }
+
+  hllm::ModelConfig config_;
+  hllm::ModelWeights weights_;
+  hexsim::NpuDevice dev_;
+  hrt::EngineOptions toy_options_;
+  std::unique_ptr<hrt::Engine> toy_engine_;
+};
+
+TEST_F(ServingKvTest, ForkContinuationMatchesUnforkedDecodeTokenForToken) {
+  // Zero re-prefill, verified on real numerics: a job that decodes 8 tokens must produce
+  // the SAME tokens as a parent decoding 4 followed by a fork child decoding 4 more off the
+  // parent's retained KV. Any re-prefill drift or CoW corruption breaks the equality.
+  ServeOptions so;
+  so.max_batch = 1;
+  const std::vector<ServeJob> whole = {Job(0, 8, /*group=*/0, /*prompt=*/8)};
+  const std::vector<ServeJob> forked = {
+      Job(0, 4, 0, 8, 0, /*barrier=*/0),
+      Job(1, 4, 0, 8, /*context=*/4, /*barrier=*/1, /*parent=*/0),
+  };
+
+  hexsim::NpuDevice dev1(hexsim::OnePlus12());
+  FunctionalBackend b1(dev1, weights_, so.max_batch, /*max_context=*/64);
+  const ScheduleResult rw = ContinuousBatcher(b1, so).Run(whole);
+  ASSERT_TRUE(rw.error.empty()) << rw.error;
+
+  hexsim::NpuDevice dev2(hexsim::OnePlus12());
+  FunctionalBackend b2(dev2, weights_, so.max_batch, /*max_context=*/64);
+  const ScheduleResult rf = ContinuousBatcher(b2, so).Run(forked);
+  ASSERT_TRUE(rf.error.empty()) << rf.error;
+
+  EXPECT_EQ(rf.forked_admissions, 1);
+  EXPECT_EQ(rf.prefilled_tokens, 8);  // the prompt, once; the fork re-prefilled nothing
+  EXPECT_EQ(rw.prefill_s, rf.prefill_s);
+  std::vector<int> stitched = rf.job_tokens.at(0);
+  stitched.insert(stitched.end(), rf.job_tokens.at(1).begin(), rf.job_tokens.at(1).end());
+  EXPECT_EQ(stitched, rw.job_tokens.at(0));
+}
+
+TEST_F(ServingKvTest, SiblingForksShareOneStemWithoutCrossCorruption) {
+  // Two children fork the same parent and decode in the same batch. Each child's first
+  // divergent append CoW-splits the shared tail; if either write leaked into the shared
+  // blocks, the siblings' (deterministic) continuations would differ from the lone-child
+  // reference computed above.
+  ServeOptions so;
+  so.max_batch = 2;
+  const std::vector<ServeJob> jobs = {
+      Job(0, 4, 0, 8, 0, 0),
+      Job(1, 4, 0, 8, 4, 1, /*parent=*/0),
+      Job(2, 4, 0, 8, 4, 1, /*parent=*/0),
+  };
+  hexsim::NpuDevice dev(hexsim::OnePlus12());
+  FunctionalBackend backend(dev, weights_, so.max_batch, 64);
+  const ScheduleResult r = ContinuousBatcher(backend, so).Run(jobs);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.forked_admissions, 2);
+  // Same stem + deterministic argmax decode => identical sibling continuations.
+  EXPECT_EQ(r.job_tokens.at(1), r.job_tokens.at(2));
+  // Both siblings CoW-split the retained stem block on their first divergent append (the
+  // whole 12-token stem fits in one 32-position block, so sharing here is sub-block).
+  EXPECT_EQ(r.kv.cow_splits, 2);
+  EXPECT_EQ(r.prefilled_tokens, 8);  // the stem's prompt was never re-prefilled
+}
+
+TEST_F(ServingKvTest, ForkHeavyBeamStreamHasBackendBlockParity) {
+  // One fork-heavy stream through both backends: scheduling must agree AND the storage-free
+  // analytic accountant must report bit-identical block statistics to the real paged cache.
+  const std::vector<ServeJob> jobs =
+      BeamForkStream(/*prompt=*/8, /*rounds=*/3, /*width=*/2, /*expansion=*/2,
+                     /*step_tokens=*/4);
+  ServeOptions so;
+  so.max_batch = 4;
+  so.record_steps = true;
+
+  AnalyticBackend analytic(*toy_engine_);
+  const ScheduleResult ra = ContinuousBatcher(analytic, so).Run(jobs);
+  ASSERT_TRUE(ra.error.empty()) << ra.error;
+
+  FunctionalBackend functional(dev_, weights_, so.max_batch, /*max_context=*/64);
+  const ScheduleResult rf = ContinuousBatcher(functional, so).Run(jobs);
+  ASSERT_TRUE(rf.error.empty()) << rf.error;
+
+  EXPECT_EQ(ra.steps, rf.steps);
+  EXPECT_EQ(ra.decoded_tokens, rf.decoded_tokens);
+  EXPECT_EQ(ra.forked_admissions, rf.forked_admissions);
+  EXPECT_EQ(ra.forked_admissions, 8);  // rounds 1..2, 4 candidates each
+  EXPECT_EQ(ra.step_active, rf.step_active);
+  ASSERT_EQ(ra.admissions.size(), rf.admissions.size());
+  for (size_t i = 0; i < ra.admissions.size(); ++i) {
+    EXPECT_EQ(ra.admissions[i].job_id, rf.admissions[i].job_id) << i;
+    EXPECT_EQ(ra.admissions[i].slot, rf.admissions[i].slot) << i;
+    EXPECT_EQ(ra.admissions[i].step, rf.admissions[i].step) << i;
+  }
+  ExpectStatsEqual(ra.kv, rf.kv);
+  // The whole group shares one prompt: charged once, and fork admissions re-prefill zero
+  // tokens in both backends (prefill time == the single prompt's chunked prefill).
+  EXPECT_EQ(ra.prefilled_tokens, 8);
+  EXPECT_EQ(rf.prefilled_tokens, 8);
+  EXPECT_GT(rf.kv.cow_splits, 0);  // stems really were shared, then diverged
+}
+
+TEST_F(ServingKvTest, SmallKvPoolDefersAdmissionInsteadOfDeadlocking) {
+  // Pool of 4 blocks (block = 32 positions); each job needs 2 blocks (decode 33 from empty
+  // context), so only two jobs fit at once. The batcher must defer the rest and still
+  // complete everything.
+  ServeOptions so;
+  so.max_batch = 4;
+  so.record_steps = true;
+  std::vector<ServeJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(Job(i, 33));
+  }
+  hexsim::NpuDevice dev(hexsim::OnePlus12());
+  FunctionalBackend backend(dev, weights_, so.max_batch, /*max_context=*/64,
+                            /*kv_pool_blocks=*/4);
+  const ScheduleResult r = ContinuousBatcher(backend, so).Run(jobs);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(static_cast<int>(r.completions.size()), 4);
+  for (const int occ : r.step_occupied) {
+    EXPECT_LE(occ, 2);  // the pool, not max_batch, bounds concurrency here
+  }
+  EXPECT_LE(r.kv.peak_physical_blocks, 4);
+}
+
+TEST_F(ServingKvTest, KvBudgetTooSmallForOneJobReportsError) {
+  AnalyticBackend::Options bo;
+  bo.kv_budget_bytes = config_.KvCacheBytes(hkv::kDefaultBlockTokens);  // exactly 1 block
+  AnalyticBackend backend(*toy_engine_, bo);
+  ServeOptions so;
+  so.max_batch = 2;
+  const ScheduleResult r =
+      ContinuousBatcher(backend, so).Run({Job(0, /*decode=*/64)});  // needs 2 blocks
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_NE(r.error.find("KV budget"), std::string::npos);
+  EXPECT_EQ(r.completions.size(), 0u);
+}
+
+TEST_F(ServingKvTest, BestOfNSharingMeetsThePaperMemoryBound) {
+  // Best-of-N N=8 over one prompt: physical KV must stay within
+  // (1 + N * decode_frac) x dense-single-sequence bytes — the prompt is stored once, only
+  // the N decode tails are private. P and D are block multiples so the bound is exact.
+  constexpr int kN = 8;
+  constexpr int kPrompt = 1024;
+  constexpr int kDecode = 256;
+  ServeOptions so;
+  so.max_batch = kN;
+  std::vector<ServeJob> shared_jobs;
+  std::vector<ServeJob> dense_jobs;
+  for (int i = 0; i < kN; ++i) {
+    shared_jobs.push_back(Job(i, kDecode, /*group=*/0, kPrompt));
+    dense_jobs.push_back(Job(i, kDecode, /*group=*/-1, kPrompt));
+  }
+  AnalyticBackend shared_backend(*toy_engine_);
+  const ScheduleResult rs = ContinuousBatcher(shared_backend, so).Run(shared_jobs);
+  ASSERT_TRUE(rs.error.empty()) << rs.error;
+  AnalyticBackend dense_backend(*toy_engine_);
+  const ScheduleResult rd = ContinuousBatcher(dense_backend, so).Run(dense_jobs);
+  ASSERT_TRUE(rd.error.empty()) << rd.error;
+
+  const double decode_frac =
+      static_cast<double>(kDecode) / static_cast<double>(kPrompt + kDecode);
+  const int64_t dense_single =
+      config_.KvCacheBytes(kPrompt + kDecode);  // one dense sequence, FP16 K+V
+  const double bound = (1.0 + kN * decode_frac) * static_cast<double>(dense_single);
+  EXPECT_LE(static_cast<double>(rs.kv.peak_physical_bytes()), bound);
+  // Sanity on both sides: without grouping every sample stores the prompt privately.
+  EXPECT_EQ(rd.kv.peak_physical_bytes(), int64_t{kN} * dense_single);
+  EXPECT_EQ(rs.kv.peak_logical_bytes(), rd.kv.peak_logical_bytes());
+  // Concretely: P + N*D blocks vs N*(P+D) blocks => >3x saving at these shapes.
+  EXPECT_LT(3 * rs.kv.peak_physical_blocks, rd.kv.peak_physical_blocks);
+}
+
+TEST_F(ServingKvTest, MalformedJobsReportErrorsInsteadOfAborting) {
+  AnalyticBackend backend(*toy_engine_);
+  ServeOptions so;
+  so.max_batch = 2;
+  ContinuousBatcher batcher(backend, so);
+
+  {  // decode must be positive
+    const ScheduleResult r = batcher.Run({Job(0, 0)});
+    EXPECT_NE(r.error.find("decode_tokens"), std::string::npos);
+  }
+  {  // negative lengths
+    ServeJob j = Job(0, 4);
+    j.prompt_tokens = -1;
+    EXPECT_FALSE(batcher.Run({j}).error.empty());
+  }
+  {  // context overflow vs the backend's limit
+    const ScheduleResult r = batcher.Run({Job(0, 8, -1, 0, /*context=*/1 << 20)});
+    EXPECT_NE(r.error.find("context limit"), std::string::npos);
+  }
+  {  // fork edges: unknown parent, self-fork via duplicate ids, same-barrier parent,
+     // context mismatch
+    EXPECT_NE(batcher.Run({Job(1, 4, 0, 0, 0, 1, /*parent=*/99)}).error.find("not in"),
+              std::string::npos);
+    EXPECT_FALSE(batcher
+                     .Run({Job(0, 4, 0, 8, 0, 0),
+                           Job(0, 4, 0, 8, 4, 1, /*parent=*/0)})  // duplicate id
+                     .error.empty());
+    EXPECT_NE(batcher
+                  .Run({Job(0, 4, 0, 8, 0, 0), Job(1, 4, 0, 8, 4, /*barrier=*/0,
+                                                   /*parent=*/0)})
+                  .error.find("earlier barrier"),
+              std::string::npos);
+    EXPECT_NE(batcher
+                  .Run({Job(0, 4, 0, 8, 0, 0), Job(1, 4, 0, 8, /*context=*/2, 1,
+                                                   /*parent=*/0)})
+                  .error.find("final KV length"),
+              std::string::npos);
+    EXPECT_NE(batcher
+                  .Run({Job(0, 4, 0, 8, 0, 0), Job(1, 4, /*group=*/-1, 8, 4, 1,
+                                                   /*parent=*/0)})
+                  .error.find("prompt_group"),
+              std::string::npos);
+  }
+  // A well-formed stream on the same batcher still runs (no poisoned state).
+  const ScheduleResult ok = batcher.Run({Job(0, 4, 0, 8, 0, 0), Job(1, 4, 0, 8, 4, 1, 0)});
+  EXPECT_TRUE(ok.error.empty()) << ok.error;
+  EXPECT_EQ(ok.completions.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hserve

@@ -124,30 +124,34 @@ TEST(QuantizedLinearTest, QuantizedBytesMatchBpw) {
 
 TEST(KvCacheTest, IndexingAndAdvance) {
   const ModelConfig c = ToyConfig();
-  KvCache kv(c, /*max_batch=*/2, /*max_context=*/8);
+  KvCache kv(c.layers, c.kv_dim(), /*num_seqs=*/2, /*max_context=*/64);
   EXPECT_EQ(kv.length(0), 0);
-  F16* k0 = kv.KeyRow(0, 0, 0);
-  k0[0] = F16(1.5f);
-  kv.Advance(0);
-  EXPECT_EQ(kv.length(0), 1);
-  EXPECT_EQ(kv.length(1), 0);
-  EXPECT_FLOAT_EQ(kv.Keys(0, 0)[0].ToFloat(), 1.5f);
-  // Distinct (layer, seq, k/v) slots do not alias.
+  // Writes target the append region: every layer stores its rows for a position, then the
+  // sequence advances. Distinct (layer, seq, k/v) rows must not alias.
+  kv.KeyRow(0, 0, 0)[0] = F16(1.5f);
   kv.ValueRow(0, 0, 0)[0] = F16(2.0f);
   kv.KeyRow(1, 0, 0)[0] = F16(3.0f);
   kv.KeyRow(0, 1, 0)[0] = F16(4.0f);
-  EXPECT_FLOAT_EQ(kv.Keys(0, 0)[0].ToFloat(), 1.5f);
-  EXPECT_FLOAT_EQ(kv.Values(0, 0)[0].ToFloat(), 2.0f);
-  EXPECT_FLOAT_EQ(kv.Keys(1, 0)[0].ToFloat(), 3.0f);
-  EXPECT_FLOAT_EQ(kv.Keys(0, 1)[0].ToFloat(), 4.0f);
+  kv.Advance(0);
+  EXPECT_EQ(kv.length(0), 1);
+  EXPECT_EQ(kv.length(1), 0);
+  EXPECT_FLOAT_EQ(kv.KeyRowAt(0, 0, 0)[0].ToFloat(), 1.5f);
+  EXPECT_FLOAT_EQ(kv.ValueRowAt(0, 0, 0)[0].ToFloat(), 2.0f);
+  EXPECT_FLOAT_EQ(kv.KeyRowAt(1, 0, 0)[0].ToFloat(), 3.0f);
+  EXPECT_FLOAT_EQ(kv.KeyRowAt(0, 1, 0)[0].ToFloat(), 4.0f);
   kv.ResetSeq(0);
   EXPECT_EQ(kv.length(0), 0);
 }
 
-TEST(KvCacheTest, ByteSizeMatchesConfig) {
+TEST(KvCacheTest, PoolSizeCoversDenseWorstCase) {
   const ModelConfig c = ToyConfig();
-  KvCache kv(c, 1, 128);
-  EXPECT_EQ(kv.byte_size(), c.KvCacheBytes(128));
+  // The default pool must hold every sequence at full context (dense worst case, no
+  // sharing), and the block-pool bytes for one block must match the dense config math.
+  KvCache kv(c.layers, c.kv_dim(), /*num_seqs=*/2, /*max_context=*/128);
+  EXPECT_GE(kv.num_blocks() * static_cast<int64_t>(kv.block_tokens()),
+            2 * static_cast<int64_t>(128));
+  EXPECT_EQ(kv.stats().bytes_per_block, c.KvCacheBytes(kv.block_tokens()));
+  EXPECT_EQ(kv.byte_size(), kv.num_blocks() * kv.stats().bytes_per_block);
 }
 
 // --- functional transformer on the simulator ---
