@@ -5,15 +5,15 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/base/rng.h"
 #include "src/quant/awq.h"
 #include "src/quant/error_stats.h"
 #include "src/quant/synthetic_weights.h"
 
 int main() {
-  bench::Title("Activation-aware scaling (AWQ-style) on the group quantizer",
-               "Table 1 baseline internals");
+  bench::Reporter rep("ext_awq", "Activation-aware scaling (AWQ-style) on the group quantizer",
+                      "Table 1 baseline internals");
 
   hexllm::Rng rng(2049);
   const int64_t k = 1024, n = 256, samples = 32;
@@ -47,10 +47,14 @@ int main() {
       mse0 = mse;
     }
     std::printf("%-8.2f %22.4f %19.3fx\n", alpha, werr.rel_rms, mse / mse0);
+    obs::Json& row = rep.AddRow("awq_alpha_sweep");
+    row.Set("alpha", alpha);
+    row.Set("weight_rel_rms", werr.rel_rms);
+    row.Set("output_mse_ratio", mse / mse0);
   }
-  bench::Note("moderate alpha cuts the output error by protecting the weights that multiply "
-              "outlier activations, at a small weight-error cost — why the AutoAWQ baseline "
-              "keeps reasoning usable in Table 1 while plain coarse quantization destroys "
-              "it. The transform is offline-only and composes with the tile layout.");
+  rep.Note("moderate alpha cuts the output error by protecting the weights that multiply "
+           "outlier activations, at a small weight-error cost — why the AutoAWQ baseline "
+           "keeps reasoning usable in Table 1 while plain coarse quantization destroys "
+           "it. The transform is offline-only and composes with the tile layout.");
   return 0;
 }

@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/base/rng.h"
 #include "src/hexsim/npu_device.h"
 #include "src/kernels/mixed_gemm.h"
@@ -14,8 +14,9 @@
 
 int main() {
   using hquant::Int4Codebook;
-  bench::Title("One dequant kernel, four 4-bit codebooks (Q4_0 / NF4 / FP4 / IQ4_NL)",
-               "§5.2.2 generality claim");
+  bench::Reporter rep("ext_codebooks",
+                      "One dequant kernel, four 4-bit codebooks (Q4_0 / NF4 / FP4 / IQ4_NL)",
+                      "§5.2.2 generality claim");
 
   hexllm::Rng rng(23);
   const int64_t k = 1024, n = 512;
@@ -38,13 +39,20 @@ int main() {
     if (reference_packets < 0) {
       reference_packets = packets;
     }
+    const double pkts_per_64 = static_cast<double>(packets) / (static_cast<double>(k) * n / 64);
     std::printf("%-10s %16.4f %16.4f %14lld %12.2f %s\n", hquant::Int4CodebookName(cb),
-                err.rel_rms, err.max_abs, static_cast<long long>(packets),
-                static_cast<double>(packets) / (static_cast<double>(k) * n / 64),
+                err.rel_rms, err.max_abs, static_cast<long long>(packets), pkts_per_64,
                 packets == reference_packets ? "" : "<- COST DIFFERS (bug!)");
+    obs::Json& row = rep.AddRow("codebook");
+    row.Set("codebook", hquant::Int4CodebookName(cb));
+    row.Set("rel_rms_error", err.rel_rms);
+    row.Set("max_abs_error", err.max_abs);
+    row.Set("hvx_packets", packets);
+    row.Set("packets_per_64_weights", pkts_per_64);
+    row.Set("cost_matches_q4_0", packets == reference_packets);
   }
-  bench::Note("identical instruction count for every codebook — supporting a new 4-bit "
-              "format is literally 16 halfwords of table contents. NF4 reconstructs "
-              "Gaussian-bulk weights best; IQ4_NL trades tails vs body like llama.cpp's.");
+  rep.Note("identical instruction count for every codebook — supporting a new 4-bit "
+           "format is literally 16 halfwords of table contents. NF4 reconstructs "
+           "Gaussian-bulk weights best; IQ4_NL trades tails vs body like llama.cpp's.");
   return 0;
 }

@@ -10,15 +10,17 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/base/rng.h"
 #include "src/runtime/scheduler.h"
 #include "src/serving/continuous_batcher.h"
 #include "src/serving/execution_backend.h"
 
 int main() {
-  bench::Title("Static vs continuous batching for Best-of-N decoding (Qwen2.5-1.5B, "
-               "OnePlus 12)", "runtime scheduling extension");
+  bench::Reporter rep("ext_scheduler",
+                      "Static vs continuous batching for Best-of-N decoding (Qwen2.5-1.5B, "
+                      "OnePlus 12)",
+                      "runtime scheduling extension");
 
   hrt::EngineOptions o;
   o.model = &hllm::Qwen25_1_5B();
@@ -39,12 +41,20 @@ int main() {
                 st.tokens_per_second, ct.tokens_per_second,
                 ct.tokens_per_second / st.tokens_per_second, 100.0 * st.slot_utilization,
                 ct.avg_active_batch);
+    obs::Json& row = rep.AddRow("scheduler_comparison");
+    row.Set("max_batch", max_batch);
+    row.Set("static_tokens_per_second", st.tokens_per_second);
+    row.Set("continuous_tokens_per_second", ct.tokens_per_second);
+    row.Set("speedup", ct.tokens_per_second / st.tokens_per_second);
+    row.Set("static_slot_utilization", st.slot_utilization);
+    row.Set("continuous_avg_active_batch", ct.avg_active_batch);
   }
-  bench::Note("the gap is the padding the static scheduler decodes while waiting for each "
-              "wave's longest sample; continuous batching keeps every decoded row useful. "
-              "The NPU kernels are unchanged — this is purely runtime policy.");
+  rep.Note("the gap is the padding the static scheduler decodes while waiting for each "
+           "wave's longest sample; continuous batching keeps every decoded row useful. "
+           "The NPU kernels are unchanged — this is purely runtime policy.");
 
   // --- serving-runtime fidelity: growing contexts + chunked-prefill admissions ---
+  rep.Section("per-slot context pricing and prefill accounting");
   std::printf("\nper-slot context pricing and prefill accounting (max_batch 8, 768-token "
               "prompts):\n");
   std::printf("%-26s %12s %12s %12s %12s\n", "pricing", "makespan s", "t/s", "avg ctx",
@@ -60,11 +70,21 @@ int main() {
   }
   hserve::ServeOptions so;
   so.max_batch = 8;
+  const auto report_pricing = [&](const char* pricing, const hserve::ScheduleResult& r) {
+    std::printf("%-26s %12.1f %12.1f %12.0f %12.1f\n", pricing, r.makespan_s,
+                r.tokens_per_second, r.avg_context, r.energy_j);
+    obs::Json& row = rep.AddRow("pricing_ablation");
+    row.Set("pricing", pricing);
+    row.Set("makespan_s", r.makespan_s);
+    row.Set("tokens_per_second", r.tokens_per_second);
+    row.Set("avg_context", r.avg_context);
+    row.Set("energy_j", r.energy_j);
+  };
   {
     hserve::AnalyticBackend backend(engine);
     const auto r = hserve::ContinuousBatcher(backend, so).Run(serve_jobs);
-    std::printf("%-26s %12.1f %12.1f %12.0f %12.1f\n", "growing ctx + prefill",
-                r.makespan_s, r.tokens_per_second, r.avg_context, r.energy_j);
+    report_pricing("growing ctx + prefill", r);
+    rep.AttachMetrics(r.metrics, "serving run, growing ctx + prefill");
   }
   {
     // Legacy wrapper semantics for contrast: slots start at the prompt's depth but the
@@ -76,8 +96,7 @@ int main() {
     }
     hserve::AnalyticBackend backend(engine);
     const auto r = hserve::ContinuousBatcher(backend, so).Run(free_prompts);
-    std::printf("%-26s %12.1f %12.1f %12.0f %12.1f\n", "growing ctx, free prompts",
-                r.makespan_s, r.tokens_per_second, r.avg_context, r.energy_j);
+    report_pricing("growing ctx, free prompts", r);
   }
   {
     // And with no prompt context at all: what pricing from a zero-depth KV would claim.
@@ -87,12 +106,11 @@ int main() {
     }
     hserve::AnalyticBackend backend(engine);
     const auto r = hserve::ContinuousBatcher(backend, so).Run(no_prompt);
-    std::printf("%-26s %12.1f %12.1f %12.0f %12.1f\n", "no prompt context",
-                r.makespan_s, r.tokens_per_second, r.avg_context, r.energy_j);
+    report_pricing("no prompt context", r);
   }
-  bench::Note("ignoring prompt depth understates the cost of every decode step, and "
-              "skipping the prefill charge hides work the device must finish before the "
-              "first token; the serving runtime prices both, which is what the Pareto "
-              "sweep now consumes.");
+  rep.Note("ignoring prompt depth understates the cost of every decode step, and "
+           "skipping the prefill charge hides work the device must finish before the "
+           "first token; the serving runtime prices both, which is what the Pareto "
+           "sweep now consumes.");
   return 0;
 }

@@ -3,14 +3,16 @@
 // 0.5B draft accelerates 1.5B/3B targets nearly for free on the matrix unit.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/base/rng.h"
 #include "src/tts/capability_model.h"
 #include "src/tts/speculative.h"
 
 int main() {
   using namespace htts;
-  bench::Title("Speculative decoding with a 0.5B draft (extension of §9)", "Related work §9");
+  bench::Reporter rep("ext_speculative",
+                      "Speculative decoding with a 0.5B draft (extension of §9)",
+                      "Related work §9");
 
   const CapabilityModel cap;
   const auto& device = hexsim::OnePlus12();
@@ -33,7 +35,7 @@ int main() {
     const hrt::Engine target_engine(to);
     const double beta = SpeculativeAcceptanceRate(cap, draft, *target);
 
-    bench::Section(std::string("draft ") + draft.name + " -> target " + target->name);
+    rep.Section(std::string("draft ") + draft.name + " -> target " + target->name);
     std::printf("acceptance rate beta = %.2f (from the capability-model skill gap)\n", beta);
     std::printf("%-8s %16s %14s %14s %10s %16s\n", "gamma", "tokens/cycle", "cycle(ms)",
                 "tokens/s", "speedup", "+T-MAC draft");
@@ -43,6 +45,14 @@ int main() {
           EvaluateSpeculative(target_engine, tmac_draft_engine, beta, gamma, 1024);
       std::printf("%-8d %16.2f %14.1f %14.1f %9.2fx %14.2fx\n", gamma, r.tokens_per_cycle,
                   r.cycle_seconds * 1e3, r.tokens_per_second, r.speedup, rt.speedup);
+      obs::Json& row = rep.AddRow("speculative");
+      row.Set("target", target->name);
+      row.Set("gamma", gamma);
+      row.Set("beta", beta);
+      row.Set("tokens_per_cycle", r.tokens_per_cycle);
+      row.Set("tokens_per_second", r.tokens_per_second);
+      row.Set("speedup", r.speedup);
+      row.Set("speedup_tmac_draft", rt.speedup);
     }
     // Monte-Carlo sanity check of the acceptance process.
     hexllm::Rng rng(9);
@@ -50,9 +60,13 @@ int main() {
     const auto closed = EvaluateSpeculative(target_engine, draft_engine, beta, 4, 1024);
     std::printf("MC check (gamma=4): simulated %.3f tokens/cycle vs closed form %.3f\n", mc,
                 closed.tokens_per_cycle);
+    obs::Json& mc_row = rep.AddRow("monte_carlo_check");
+    mc_row.Set("target", target->name);
+    mc_row.Set("simulated_tokens_per_cycle", mc);
+    mc_row.Set("closed_form_tokens_per_cycle", closed.tokens_per_cycle);
   }
-  bench::Note("verification of gamma+1 tokens costs barely more than one decode step — the "
-              "same §3.2 free-compute effect test-time scaling exploits. Speculative "
-              "decoding and parallel TTS are the two faces of generate-then-verify.");
+  rep.Note("verification of gamma+1 tokens costs barely more than one decode step — the "
+           "same §3.2 free-compute effect test-time scaling exploits. Speculative "
+           "decoding and parallel TTS are the two faces of generate-then-verify.");
   return 0;
 }

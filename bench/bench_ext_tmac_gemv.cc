@@ -5,17 +5,18 @@
 // test-time scaling lives in.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/kernels/mixed_gemm.h"
 #include "src/kernels/tmac_gemv.h"
 #include "src/runtime/engine.h"
 
 int main() {
-  bench::Title("T-MAC LUT GEMV vs dequant+HMX (extension of §8a)", "Discussion §8(a)");
+  bench::Reporter rep("ext_tmac_gemv", "T-MAC LUT GEMV vs dequant+HMX (extension of §8a)",
+                      "Discussion §8(a)");
 
   const auto& profile = hexsim::OnePlus12();
 
-  bench::Section("kernel level: Qwen1.5B FFN gate matrix 1536x8960, Q4");
+  rep.Section("kernel level: Qwen1.5B FFN gate matrix 1536x8960, Q4");
   std::printf("%-8s %16s %16s %14s\n", "batch", "dequant+HMX(us)", "T-MAC(us)", "T-MAC wins?");
   for (int m : {1, 2, 4, 8, 16}) {
     const auto ours = hkern::MixedGemmCostModel(profile, hkern::DequantKernel::kCoalescedLut,
@@ -23,9 +24,14 @@ int main() {
     const auto tmac = hkern::TmacGemvCostModel(profile, m, 1536, 8960, profile.hvx_threads);
     std::printf("%-8d %16.1f %16.1f %14s\n", m, ours.total_s * 1e6, tmac.total_s * 1e6,
                 tmac.total_s < ours.total_s ? "yes" : "no");
+    obs::Json& row = rep.AddRow("kernel_gemv");
+    row.Set("batch", m);
+    row.Set("dequant_hmx_us", ours.total_s * 1e6);
+    row.Set("tmac_us", tmac.total_s * 1e6);
+    row.Set("tmac_wins", tmac.total_s < ours.total_s);
   }
 
-  bench::Section("end-to-end decode throughput, Qwen2.5-1.5B on OnePlus 12");
+  rep.Section("end-to-end decode throughput, Qwen2.5-1.5B on OnePlus 12");
   hrt::EngineOptions base;
   base.model = &hllm::Qwen25_1_5B();
   base.device = &profile;
@@ -36,13 +42,20 @@ int main() {
 
   std::printf("%-8s %18s %16s\n", "batch", "dequant+HMX(t/s)", "T-MAC(t/s)");
   for (int b : {1, 2, 4, 8, 16}) {
-    std::printf("%-8d %18.1f %16.1f\n", b, hmx_engine.DecodeThroughput(b, 1024),
-                tmac_engine.DecodeThroughput(b, 1024));
+    const double hmx_tps = hmx_engine.DecodeThroughput(b, 1024);
+    const double tmac_tps = tmac_engine.DecodeThroughput(b, 1024);
+    std::printf("%-8d %18.1f %16.1f\n", b, hmx_tps, tmac_tps);
+    obs::Json& row = rep.AddRow("decode_throughput");
+    row.Set("batch", b);
+    row.Set("dequant_hmx_tps", hmx_tps);
+    row.Set("tmac_tps", tmac_tps);
   }
-  bench::Note("T-MAC makes batch-1 GEMV DMA-bound (the §8a prediction), but its "
-              "activation-dependent LUTs scale linearly with batch, so the HMX pipeline "
-              "dominates the test-time-scaling regime (batch >= 4). Both belong in a "
-              "production system: T-MAC for interactive chat, dequant+HMX for scaled "
-              "reasoning.");
+  rep.AddReference("qwen2.5-1.5b tmac b=1 tokens/s", tmac_engine.DecodeThroughput(1, 1024),
+                   34.0, "tokens/s");
+  rep.Note("T-MAC makes batch-1 GEMV DMA-bound (the §8a prediction), but its "
+           "activation-dependent LUTs scale linearly with batch, so the HMX pipeline "
+           "dominates the test-time-scaling regime (batch >= 4). Both belong in a "
+           "production system: T-MAC for interactive chat, dequant+HMX for scaled "
+           "reasoning.");
   return 0;
 }

@@ -6,7 +6,7 @@
 #include <map>
 #include <string>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/tts/capability_model.h"
 #include "src/tts/pareto.h"
 
@@ -26,20 +26,21 @@ std::string ShortName(const std::string& model) {
 
 int main() {
   using namespace htts;
-  bench::Title("Accuracy-latency trade-off of test-time scaling", "Figure 10");
+  bench::Reporter rep("fig10_pareto", "Accuracy-latency trade-off of test-time scaling",
+                      "Figure 10");
 
   const CapabilityModel cap;
   for (const auto* device : {&hexsim::OnePlus12(), &hexsim::OnePlusAce5Pro()}) {
     for (const Dataset dataset : {Dataset::kMath500, Dataset::kGsm8k}) {
-      bench::Section(device->soc_name + " / " + DatasetName(dataset));
+      rep.Section(device->soc_name + " / " + DatasetName(dataset));
       ParetoSweepOptions opts;
       opts.dataset = dataset;
       opts.device = device;
       opts.models = {&hllm::Qwen25_1_5B(), &hllm::Qwen25_3B(), &hllm::Qwen25_7B(),
                      &hllm::Llama32_1B(), &hllm::Llama32_3B()};
       opts.budgets = {2, 4, 8, 16};
-      opts.tasks = 400;
-      opts.trials = 5;
+      opts.tasks = bench::SmokePreset() ? 100 : 400;
+      opts.trials = bench::SmokePreset() ? 2 : 5;
       opts.seed = 10 + static_cast<uint64_t>(dataset);
       const auto points = SweepPareto(cap, opts);
 
@@ -49,12 +50,31 @@ int main() {
         if (!p.runnable) {
           std::printf("%-6s %-12s %7d   (exceeds NPU address space)\n",
                       ShortName(p.model).c_str(), TtsMethodName(p.method), p.budget);
+          obs::Json& row = rep.AddRow("pareto_point");
+          row.Set("soc", device->soc_name);
+          row.Set("dataset", DatasetName(dataset));
+          row.Set("model", ShortName(p.model));
+          row.Set("method", TtsMethodName(p.method));
+          row.Set("budget", p.budget);
+          row.Set("runnable", false);
           continue;
         }
+        const bool frontier = OnParetoFrontier(p, points);
         std::printf("%-6s %-12s %7d %9.1f%% %13.1f %9.1f %8s\n", ShortName(p.model).c_str(),
                     TtsMethodName(p.method), p.budget, 100.0 * p.accuracy,
                     p.latency_per_token_s * 1e3, p.energy_per_token_j * 1e3,
-                    OnParetoFrontier(p, points) ? "*" : "");
+                    frontier ? "*" : "");
+        obs::Json& row = rep.AddRow("pareto_point");
+        row.Set("soc", device->soc_name);
+        row.Set("dataset", DatasetName(dataset));
+        row.Set("model", ShortName(p.model));
+        row.Set("method", TtsMethodName(p.method));
+        row.Set("budget", p.budget);
+        row.Set("runnable", true);
+        row.Set("accuracy_percent", 100.0 * p.accuracy);
+        row.Set("ms_per_token", p.latency_per_token_s * 1e3);
+        row.Set("mj_per_token", p.energy_per_token_j * 1e3);
+        row.Set("on_pareto_frontier", frontier);
       }
 
       // The paper's headline comparisons for this panel.
@@ -73,20 +93,34 @@ int main() {
       const auto* q3_bon = find(hllm::Qwen25_3B().name, TtsMethod::kBestOfN, 16);
       const auto* q7_base = find(hllm::Qwen25_7B().name, TtsMethod::kBase, 1);
       if (q15_bon != nullptr && q3_base != nullptr && q3_base->runnable) {
+        const bool wins = q15_bon->accuracy > q3_base->accuracy;
         std::printf("check: Q1.5 Best-of-16 %.1f%% vs Q3 base %.1f%%  -> %s\n",
                     100 * q15_bon->accuracy, 100 * q3_base->accuracy,
-                    q15_bon->accuracy > q3_base->accuracy ? "scaling wins (paper: yes)"
-                                                          : "scaling loses");
+                    wins ? "scaling wins (paper: yes)" : "scaling loses");
+        obs::Json& row = rep.AddRow("scaling_check");
+        row.Set("soc", device->soc_name);
+        row.Set("dataset", DatasetName(dataset));
+        row.Set("comparison", "Q1.5 BoN-16 vs Q3 base");
+        row.Set("scaled_accuracy_percent", 100 * q15_bon->accuracy);
+        row.Set("base_accuracy_percent", 100 * q3_base->accuracy);
+        row.Set("scaling_wins", wins);
       }
       if (q3_bon != nullptr && q7_base != nullptr && q7_base->runnable && q3_bon->runnable) {
+        const bool wins = q3_bon->accuracy > q7_base->accuracy;
         std::printf("check: Q3 Best-of-16 %.1f%% vs Q7 base %.1f%%  -> %s\n",
                     100 * q3_bon->accuracy, 100 * q7_base->accuracy,
-                    q3_bon->accuracy > q7_base->accuracy ? "scaling wins (paper: yes)"
-                                                         : "scaling loses");
+                    wins ? "scaling wins (paper: yes)" : "scaling loses");
+        obs::Json& row = rep.AddRow("scaling_check");
+        row.Set("soc", device->soc_name);
+        row.Set("dataset", DatasetName(dataset));
+        row.Set("comparison", "Q3 BoN-16 vs Q7 base");
+        row.Set("scaled_accuracy_percent", 100 * q3_bon->accuracy);
+        row.Set("base_accuracy_percent", 100 * q7_base->accuracy);
+        row.Set("scaling_wins", wins);
       }
     }
   }
-  bench::Note("* marks the accuracy-latency Pareto frontier; scaled small models dominate "
-              "conventionally-decoded larger models on it.");
+  rep.Note("* marks the accuracy-latency Pareto frontier; scaled small models dominate "
+           "conventionally-decoded larger models on it.");
   return 0;
 }

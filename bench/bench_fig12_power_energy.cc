@@ -2,11 +2,12 @@
 // performance mode), plus §7.2.3's 1.5B-batch-8 vs 3B-batch-1 energy comparison.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/runtime/engine.h"
 
 int main() {
-  bench::Title("Power and energy during LLM decoding (OnePlus 12)", "Figure 12 / §7.2.3");
+  bench::Reporter rep("fig12_power_energy", "Power and energy during LLM decoding (OnePlus 12)",
+                      "Figure 12 / §7.2.3");
 
   const auto& device = hexsim::OnePlus12();
   double e15_b8 = 0.0;
@@ -18,7 +19,7 @@ int main() {
     o.model = model;
     o.device = &device;
     const hrt::Engine engine(o);
-    bench::Section(model->name);
+    rep.Section(model->name);
     std::printf("%-8s %10s %14s %18s\n", "batch", "power(W)", "mJ/token", "normalized energy");
     double e1 = 0.0;
     for (int b : {1, 2, 4, 8, 16}) {
@@ -28,6 +29,12 @@ int main() {
       }
       std::printf("%-8d %10.2f %14.1f %18.2f\n", b, p.watts, p.joules_per_token * 1e3,
                   p.joules_per_token / e1);
+      obs::Json& row = rep.AddRow("power_energy");
+      row.Set("model", model->name);
+      row.Set("batch", b);
+      row.Set("watts", p.watts);
+      row.Set("mj_per_token", p.joules_per_token * 1e3);
+      row.Set("normalized_energy", p.joules_per_token / e1);
       if (model == &hllm::Qwen25_1_5B() && b == 8) {
         e15_b8 = p.joules_per_token;
       }
@@ -40,7 +47,7 @@ int main() {
     }
   }
 
-  bench::Section("§7.2.3 comparison");
+  rep.Section("§7.2.3 comparison");
   std::printf("Qwen2.5-1.5B @ batch 8: %.1f mJ/token\n", e15_b8 * 1e3);
   std::printf("Qwen2.5-3B   @ batch 1: %.1f mJ/token\n", e3_b1 * 1e3);
   std::printf("-> 1.5B with test-time scaling budget 8 uses %.1fx LESS energy per token than "
@@ -48,7 +55,9 @@ int main() {
               "accuracy (see bench_fig10_pareto).\n",
               e3_b1 / e15_b8);
   std::printf("(1.5B batch-1 reference: %.1f mJ/token)\n", e15_b1 * 1e3);
-  bench::Note("total power stays within 5 W; energy per token falls with batch because the "
-              "weight-fetch/dequantization cost is shared across the whole batch.");
+  rep.AddReference("qwen2.5-1.5b b=8 mJ/token", e15_b8 * 1e3, 32.0, "mJ/token");
+  rep.AddReference("qwen2.5-3b b=1 mJ/token", e3_b1 * 1e3, 295.9, "mJ/token");
+  rep.Note("total power stays within 5 W; energy per token falls with batch because the "
+           "weight-fetch/dequantization cost is shared across the whole batch.");
   return 0;
 }

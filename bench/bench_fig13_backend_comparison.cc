@@ -2,19 +2,21 @@
 // backend, with QNN FP16 as a reference. Decode across batch sizes plus prefill throughput.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/runtime/engine.h"
 
 int main() {
-  bench::Title("Inference throughput: ours (NPU) vs GPU (OpenCL) vs QNN FP16 (OnePlus 12)",
-               "Figure 13");
+  bench::Reporter rep("fig13_backend_comparison",
+                      "Inference throughput: ours (NPU) vs GPU (OpenCL) vs QNN FP16 "
+                      "(OnePlus 12)",
+                      "Figure 13");
 
   const auto& device = hexsim::OnePlus12();
   const hrt::Backend backends[] = {hrt::Backend::kNpuOurs, hrt::Backend::kGpuOpenCl,
                                    hrt::Backend::kQnnF16};
 
   for (const auto* model : {&hllm::Qwen25_1_5B(), &hllm::Llama32_1B()}) {
-    bench::Section(model->name);
+    rep.Section(model->name);
     std::printf("%-18s", "decode batch:");
     for (int b : {1, 2, 4, 8, 16}) {
       std::printf("%9d", b);
@@ -28,13 +30,37 @@ int main() {
       const hrt::Engine engine(o);
       std::printf("%-18s", hrt::BackendName(backend));
       for (int b : {1, 2, 4, 8, 16}) {
-        std::printf("%9.1f", engine.DecodeThroughput(b, 1024));
+        const double tps = engine.DecodeThroughput(b, 1024);
+        std::printf("%9.1f", tps);
+        obs::Json& row = rep.AddRow("decode_throughput");
+        row.Set("model", model->name);
+        row.Set("backend", hrt::BackendName(backend));
+        row.Set("batch", b);
+        row.Set("tokens_per_second", tps);
       }
-      std::printf("%14.1f\n", engine.PrefillThroughput(1024));
+      const double prefill = engine.PrefillThroughput(1024);
+      std::printf("%14.1f\n", prefill);
+      obs::Json& row = rep.AddRow("prefill_throughput");
+      row.Set("model", model->name);
+      row.Set("backend", hrt::BackendName(backend));
+      row.Set("prompt_tokens", 1024);
+      row.Set("tokens_per_second", prefill);
     }
   }
-  bench::Note("the GPU decodes faster at batch 1, but the NPU system scales with batch "
-              "(test-time-scaling workloads) and consistently wins prefill; QNN's static "
-              "graphs get no batching benefit. Matches §7.2.4.");
+  {
+    hrt::EngineOptions o;
+    o.model = &hllm::Qwen25_1_5B();
+    o.device = &device;
+    const hrt::Engine ours(o);
+    o.backend = hrt::Backend::kGpuOpenCl;
+    const hrt::Engine gpu(o);
+    rep.AddReference("qwen2.5-1.5b ours b=16 tokens/s", ours.DecodeThroughput(16, 1024),
+                     198.3, "tokens/s");
+    rep.AddReference("qwen2.5-1.5b gpu b=16 tokens/s", gpu.DecodeThroughput(16, 1024), 36.8,
+                     "tokens/s");
+  }
+  rep.Note("the GPU decodes faster at batch 1, but the NPU system scales with batch "
+           "(test-time-scaling workloads) and consistently wins prefill; QNN's static "
+           "graphs get no batching benefit. Matches §7.2.4.");
   return 0;
 }

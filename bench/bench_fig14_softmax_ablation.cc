@@ -7,14 +7,16 @@
 // the cost model directly to keep the bench fast.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/base/rng.h"
 #include "src/hexsim/npu_device.h"
 #include "src/kernels/softmax.h"
 
 int main() {
   using hkern::SoftmaxVariant;
-  bench::Title("On-chip softmax ablation: exp via F32 poly / F16 poly / LUT", "Figure 14");
+  bench::Reporter rep("fig14_softmax_ablation",
+                      "On-chip softmax ablation: exp via F32 poly / F16 poly / LUT",
+                      "Figure 14");
 
   const auto& profile = hexsim::OnePlus12();
   std::printf("%-6s %-8s %12s %12s %12s %12s %12s\n", "q", "kv", "F32(us)", "F16(us)",
@@ -37,10 +39,20 @@ int main() {
       max_speedup = std::max(max_speedup, s32);
       std::printf("%-6d %-8d %12.1f %12.1f %12.1f %11.2fx %11.2fx\n", q, kv, f32 * 1e6,
                   f16 * 1e6, lut * 1e6, s32, s16);
+      obs::Json& row = rep.AddRow("softmax_ablation");
+      row.Set("q_len", q);
+      row.Set("kv_len", kv);
+      row.Set("f32_us", f32 * 1e6);
+      row.Set("f16_us", f16 * 1e6);
+      row.Set("lut_us", lut * 1e6);
+      row.Set("lut_speedup_vs_f32", s32);
+      row.Set("lut_speedup_vs_f16", s16);
     }
   }
   std::printf("\nLUT speedup over F32 exp across workloads: %.2fx - %.2fx   [paper: 1.26x - "
               "2.19x]\n", min_speedup, max_speedup);
+  rep.AddReference("lut speedup vs f32, min", min_speedup, 1.26, "x");
+  rep.AddReference("lut speedup vs f32, max", max_speedup, 2.19, "x");
 
   // Functional cross-check: run the emulated kernel at one workload and verify the packet
   // count equals the cost model.
@@ -63,9 +75,13 @@ int main() {
                 "model %lld -> %s\n",
                 static_cast<long long>(emulated), static_cast<long long>(model),
                 emulated == model ? "exact match" : "MISMATCH");
+    obs::Json& row = rep.AddRow("functional_cross_check");
+    row.Set("emulated_packets", emulated);
+    row.Set("cost_model_packets", model);
+    row.Set("exact_match", emulated == model);
   }
-  bench::Note("larger query lengths reduce the LUT advantage at short contexts (vgather bank "
-              "contention); long KV restores it. The LUT is also MORE accurate than the F16 "
-              "polynomial since its entries are precomputed in double precision (§7.4).");
+  rep.Note("larger query lengths reduce the LUT advantage at short contexts (vgather bank "
+           "contention); long KV restores it. The LUT is also MORE accurate than the F16 "
+           "polynomial since its entries are precomputed in double precision (§7.4).");
   return 0;
 }

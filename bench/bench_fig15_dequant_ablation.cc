@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/base/rng.h"
 #include "src/hexsim/npu_device.h"
 #include "src/kernels/mixed_gemm.h"
@@ -18,7 +18,8 @@
 
 int main() {
   using hkern::DequantKernel;
-  bench::Title("Mixed-precision GEMV dequantization ablation (OnePlus 12)", "Figure 15");
+  bench::Reporter rep("fig15_dequant_ablation",
+                      "Mixed-precision GEMV dequantization ablation (OnePlus 12)", "Figure 15");
 
   const auto& profile = hexsim::OnePlus12();
   struct Shape {
@@ -65,6 +66,16 @@ int main() {
     std::printf("%-30s %12.1f %13.1f %10.1f %11.1f %9.2fx %9.2fx\n", s.what,
                 base.total_s * 1e6, hmx.total_s * 1e6, ours.total_s * 1e6,
                 nodeq.total_s * 1e6, rb, rh);
+    obs::Json& row = rep.AddRow("dequant_ablation");
+    row.Set("matrix", s.what);
+    row.Set("k", s.k);
+    row.Set("n", s.n);
+    row.Set("baseline_us", base.total_s * 1e6);
+    row.Set("hmx_layout_us", hmx.total_s * 1e6);
+    row.Set("ours_us", ours.total_s * 1e6);
+    row.Set("no_dequant_us", nodeq.total_s * 1e6);
+    row.Set("speedup_vs_baseline", rb);
+    row.Set("speedup_vs_hmx_layout", rh);
   }
   std::printf("\nours vs baseline: %.2fx - %.2fx    [paper: 9.65x - 19.04x]\n", min_base,
               max_base);
@@ -72,9 +83,15 @@ int main() {
               max_hmx);
   std::printf("ours vs no-dequantization upper bound: %.0f%% slower on average    [paper: "
               "27%%]\n", 100.0 * (sum_nodeq / rows - 1.0));
+  rep.AddReference("ours vs baseline, min", min_base, 9.65, "x");
+  rep.AddReference("ours vs baseline, max", max_base, 19.04, "x");
+  rep.AddReference("ours vs hmx-layout, min", min_hmx, 1.82, "x");
+  rep.AddReference("ours vs hmx-layout, max", max_hmx, 3.45, "x");
+  rep.AddReference("overhead vs no-dequant upper bound",
+                   100.0 * (sum_nodeq / rows - 1.0), 27.0, "%");
 
   // Functional instruction-level cross-check on a real 512x512 matrix.
-  bench::Section("functional cross-check (512x512, instruction-level emulation)");
+  rep.Section("functional cross-check (512x512, instruction-level emulation)");
   {
     hexllm::Rng rng(15);
     const int64_t k = 512, n = 512;
@@ -96,9 +113,22 @@ int main() {
                 hkern::DequantPacketsPer64(profile, DequantKernel::kBaselineScatter),
                 hkern::DequantPacketsPer64(profile, DequantKernel::kHmxLayout),
                 hkern::DequantPacketsPer64(profile, DequantKernel::kCoalescedLut));
+    obs::Json& row = rep.AddRow("functional_cross_check");
+    row.Set("baseline_packets_per_64", p_base / per64);
+    row.Set("hmx_layout_packets_per_64", p_hmx / per64);
+    row.Set("ours_packets_per_64", p_ours / per64);
+    row.Set("cost_model_baseline_packets_per_64",
+            hkern::DequantPacketsPer64(profile, DequantKernel::kBaselineScatter));
+    row.Set("cost_model_hmx_layout_packets_per_64",
+            hkern::DequantPacketsPer64(profile, DequantKernel::kHmxLayout));
+    row.Set("cost_model_ours_packets_per_64",
+            hkern::DequantPacketsPer64(profile, DequantKernel::kCoalescedLut));
+    obs::Registry reg;
+    hexsim::ExportDeviceMetrics(dev, reg);
+    rep.AttachMetrics(reg.Snapshot(), "512x512 cross-check device activity");
   }
-  bench::Note("the baseline's vscatter per group dominates its cost; the HMX-order layout "
-              "removes the scatter, and super-block coalescing + vlut16 removes the unpack "
-              "chain and qfloat conversions.");
+  rep.Note("the baseline's vscatter per group dominates its cost; the HMX-order layout "
+           "removes the scatter, and super-block coalescing + vlut16 removes the unpack "
+           "chain and qfloat conversions.");
   return 0;
 }

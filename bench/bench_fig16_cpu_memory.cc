@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/runtime/engine.h"
 #include "src/serving/continuous_batcher.h"
 #include "src/serving/execution_backend.h"
@@ -34,38 +34,57 @@ hserve::ScheduleResult RunBestOfN(hrt::Engine& engine, int n, int prompt, int de
 }  // namespace
 
 int main() {
-  bench::Title("CPU and memory usage during the decoding stage (OnePlus 12)", "Figure 16");
+  bench::Reporter rep("fig16_cpu_memory",
+                      "CPU and memory usage during the decoding stage (OnePlus 12)",
+                      "Figure 16");
+
+  const std::vector<int> batches =
+      bench::SmokePreset() ? std::vector<int>{1, 16} : std::vector<int>{1, 2, 4, 8, 16};
 
   for (const auto* model : {&hllm::Qwen25_1_5B(), &hllm::Qwen25_3B()}) {
     hrt::EngineOptions o;
     o.model = model;
     o.device = &hexsim::OnePlus12();
     const hrt::Engine engine(o);
-    bench::Section(model->name);
+    rep.Section(model->name);
+    const bool small = model == &hllm::Qwen25_1_5B();
     const auto mem = engine.Memory(1);
     std::printf("dmabuf (NPU-mapped, context budget 4096): %lld MiB   %s\n",
                 static_cast<long long>(mem.dmabuf_bytes >> 20),
-                model == &hllm::Qwen25_1_5B() ? "[paper: 1056 MiB]" : "[paper: 2090 MiB]");
+                small ? "[paper: 1056 MiB]" : "[paper: 2090 MiB]");
     std::printf("CPU resident (lm_head + runtime): %lld MiB\n",
                 static_cast<long long>(mem.cpu_resident_bytes >> 20));
     std::printf("total: ~%.1f GiB   %s\n",
                 static_cast<double>(mem.dmabuf_bytes + mem.cpu_resident_bytes) / (1 << 30),
-                model == &hllm::Qwen25_1_5B() ? "[paper: ~1.3 GiB]" : "[paper: ~2.4 GiB]");
+                small ? "[paper: ~1.3 GiB]" : "[paper: ~2.4 GiB]");
+    rep.AddReference(model->name + " dmabuf MiB",
+                     static_cast<double>(mem.dmabuf_bytes) / (1 << 20),
+                     small ? 1056.0 : 2090.0, "MiB");
+    obs::Json& mrow = rep.AddRow("memory");
+    mrow.Set("model", model->name);
+    mrow.Set("dmabuf_bytes", mem.dmabuf_bytes);
+    mrow.Set("cpu_resident_bytes", mem.cpu_resident_bytes);
     std::printf("%-8s %22s\n", "batch", "busy big cores (of 4)");
-    for (int b : {1, 2, 4, 8, 16}) {
-      std::printf("%-8d %22.2f\n", b, engine.Memory(b).cpu_utilization);
+    for (int b : batches) {
+      const double util = engine.Memory(b).cpu_utilization;
+      std::printf("%-8d %22.2f\n", b, util);
+      obs::Json& row = rep.AddRow("cpu_utilization");
+      row.Set("model", model->name);
+      row.Set("batch", b);
+      row.Set("busy_big_cores", util);
     }
   }
-  bench::Note("dmabuf stays constant across batch (weights + KV budget are pre-mapped); CPU "
-              "utilization grows with batch because of the vocabulary projection, but never "
-              "exceeds 4 cores.");
+  rep.Note("dmabuf stays constant across batch (weights + KV budget are pre-mapped); CPU "
+           "utilization grows with batch because of the vocabulary projection, but never "
+           "exceeds 4 cores.");
 
   // Paged-KV extension: prompt KV residency for parallel test-time scaling. Best-of-N keeps
   // one physical copy of the shared prompt; without sharing every sample stores it again.
-  constexpr int kN = 8;
-  constexpr int kPrompt = 1024;
-  constexpr int kDecode = 256;
-  bench::Section("prompt KV bytes, Best-of-N N=8 (P=1024, D=256, paged KV, block=32)");
+  const int kN = 8;
+  const int kPrompt = bench::SmokePreset() ? 256 : 1024;
+  const int kDecode = bench::SmokePreset() ? 64 : 256;
+  rep.Section("prompt KV bytes, Best-of-N N=8 (P=" + std::to_string(kPrompt) +
+              ", D=" + std::to_string(kDecode) + ", paged KV, block=32)");
   std::printf("%-12s %18s %18s %10s\n", "model", "shared (MiB)", "unshared (MiB)", "ratio");
   for (const auto* model : {&hllm::Qwen25_1_5B(), &hllm::Qwen25_3B()}) {
     hrt::EngineOptions o;
@@ -81,6 +100,15 @@ int main() {
     const double dense_mib = static_cast<double>(dense.kv.peak_physical_bytes()) / (1 << 20);
     std::printf("%-12s %18.1f %18.1f %9.2fx\n", model->name.c_str(), shared_mib, dense_mib,
                 dense_mib / shared_mib);
+    obs::Json& row = rep.AddRow("paged_kv_sharing");
+    row.Set("model", model->name);
+    row.Set("n", kN);
+    row.Set("prompt_tokens", kPrompt);
+    row.Set("decode_tokens", kDecode);
+    row.Set("shared_peak_physical_bytes", shared.kv.peak_physical_bytes());
+    row.Set("dense_peak_physical_bytes", dense.kv.peak_physical_bytes());
+    row.Set("sharing_ratio", dense_mib / shared_mib);
+    rep.AttachMetrics(shared.metrics, model->name + " best_of_8 shared");
     // Acceptance bound: physical KV <= (1 + N * decode_frac) x one dense sequence.
     const double decode_frac =
         static_cast<double>(kDecode) / static_cast<double>(kPrompt + kDecode);
@@ -90,7 +118,7 @@ int main() {
     std::printf("  bound (1 + N*decode_frac) x dense single seq = %.1f MiB  %s\n", bound_mib,
                 shared_mib <= bound_mib ? "[ok]" : "[EXCEEDED]");
   }
-  bench::Note("sharing stores the 1024-token prompt once per group instead of once per "
-              "sample; only the 8 private decode tails grow the pool.");
+  rep.Note("sharing stores the prompt once per group instead of once per sample; only the "
+           "private decode tails grow the pool.");
   return 0;
 }

@@ -2,18 +2,20 @@
 // tokens across batch sizes for both Qwen models.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/runtime/engine.h"
 
 int main() {
-  bench::Title("Impact of prompt length on decoding throughput (OnePlus 12)", "Figure 17");
+  bench::Reporter rep("fig17_prompt_length",
+                      "Impact of prompt length on decoding throughput (OnePlus 12)",
+                      "Figure 17");
 
   for (const auto* model : {&hllm::Qwen25_1_5B(), &hllm::Qwen25_3B()}) {
     hrt::EngineOptions o;
     o.model = model;
     o.device = &hexsim::OnePlus12();
     const hrt::Engine engine(o);
-    bench::Section(model->name);
+    rep.Section(model->name);
     std::printf("%-10s", "batch \\ prompt");
     for (int len : {512, 1024, 2048, 4096}) {
       std::printf("%10d", len);
@@ -30,11 +32,21 @@ int main() {
         }
         last = t;
         std::printf("%10.1f", t);
+        obs::Json& row = rep.AddRow("decode_throughput");
+        row.Set("model", model->name);
+        row.Set("batch", b);
+        row.Set("prompt_tokens", len);
+        row.Set("tokens_per_second", t);
       }
-      std::printf("%11.1f%%\n", 100.0 * (1.0 - last / first));
+      const double drop = 100.0 * (1.0 - last / first);
+      std::printf("%11.1f%%\n", drop);
+      obs::Json& row = rep.AddRow("throughput_drop");
+      row.Set("model", model->name);
+      row.Set("batch", b);
+      row.Set("drop_512_to_4096_percent", drop);
     }
   }
-  bench::Note("throughput declines only mildly up to 4096 tokens: attention grows with "
-              "context but the dequantization-bound linear layers dominate (§7.5).");
+  rep.Note("throughput declines only mildly up to 4096 tokens: attention grows with "
+           "context but the dequantization-bound linear layers dominate (§7.5).");
   return 0;
 }

@@ -2,7 +2,7 @@
 // the motivating example for running test-time scaling on the NPU's idle compute.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/base/rng.h"
 #include "src/llm/model_config.h"
 #include "src/tts/capability_model.h"
@@ -11,10 +11,13 @@
 
 int main() {
   using namespace htts;
-  bench::Title("Test-time scaling with generation budget (Best-of-N, MATH500)", "Figure 5");
+  bench::Reporter rep("fig5_budget_scaling",
+                      "Test-time scaling with generation budget (Best-of-N, MATH500)",
+                      "Figure 5");
 
   const CapabilityModel cap;
-  const TaskSet tasks = GenerateTaskSet(Dataset::kMath500, 500, 505);
+  const int n_tasks = bench::SmokePreset() ? 100 : 500;
+  const TaskSet tasks = GenerateTaskSet(Dataset::kMath500, n_tasks, 505);
   const OutcomeRewardModel orm;
   hexllm::Rng rng(5050);
 
@@ -28,14 +31,30 @@ int main() {
     const double theta = cap.EffectiveTheta(*m, Dataset::kMath500, cap.DeployedWeightErr(*m),
                                             cap.lut_f16_attention_err());
     std::printf("%-26s", m->name.c_str());
+    double acc1 = 0.0;
+    double acc16 = 0.0;
     for (int n : {1, 2, 4, 8, 16}) {
       const MethodResult r = (n == 1) ? RunSingleSample(tasks, theta, 8, rng)
                                       : RunBestOfN(tasks, theta, orm, n, 8, rng);
       std::printf("%7.1f%%", 100.0 * r.accuracy);
+      obs::Json& row = rep.AddRow("best_of_n_accuracy");
+      row.Set("model", m->name);
+      row.Set("budget", n);
+      row.Set("accuracy_percent", 100.0 * r.accuracy);
+      if (n == 1) {
+        acc1 = 100.0 * r.accuracy;
+      }
+      if (n == 16) {
+        acc16 = 100.0 * r.accuracy;
+      }
     }
     std::printf("\n");
+    if (m == &hllm::Qwen25_1_5B()) {
+      rep.AddReference("qwen2.5-1.5b budget=1 accuracy", acc1, 23.1, "%");
+      rep.AddReference("qwen2.5-1.5b budget=16 accuracy", acc16, 46.3, "%");
+    }
   }
-  bench::Note("accuracy improves significantly as the generation budget (max decode batch) "
-              "grows — compute that would otherwise idle in the HMX unit.");
+  rep.Note("accuracy improves significantly as the generation budget (max decode batch) "
+           "grows — compute that would otherwise idle in the HMX unit.");
   return 0;
 }

@@ -4,18 +4,19 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/base/rng.h"
 #include "src/hexsim/npu_device.h"
 #include "src/kernels/attention.h"
 
 int main() {
   using hexllm::F16;
-  bench::Title("FlashAttention latency breakdown, Qwen2.5-1.5B head, KV length 4096",
-               "Figure 8");
+  bench::Reporter rep("fig8_attention_breakdown",
+                      "FlashAttention latency breakdown, Qwen2.5-1.5B head, KV length 4096",
+                      "Figure 8");
 
   const int head_dim = 128;  // Qwen2.5-1.5B
-  const int kv_len = 4096;
+  const int kv_len = bench::SmokePreset() ? 1024 : 4096;
   hexllm::Rng rng(8);
 
   std::vector<F16> k(static_cast<size_t>(kv_len) * head_dim);
@@ -49,8 +50,22 @@ int main() {
     std::printf("%-8d %9.1f%% %9.1f%% %9.1f%% %9.1f%% %12.3f %14.3f\n", q_len,
                 100 * softmax / total, 100 * matmul / total, 100 * rescale / total,
                 100 * pack / total, total * 1e3, dma * 1e3);
+    obs::Json& row = rep.AddRow("attention_breakdown");
+    row.Set("q_len", q_len);
+    row.Set("kv_len", kv_len);
+    row.Set("softmax_percent", 100 * softmax / total);
+    row.Set("matmul_percent", 100 * matmul / total);
+    row.Set("rescale_percent", 100 * rescale / total);
+    row.Set("pack_percent", 100 * pack / total);
+    row.Set("on_chip_ms", total * 1e3);
+    row.Set("dma_overlap_ms", dma * 1e3);
+    if (q_len == 16) {
+      obs::Registry reg;
+      hexsim::ExportDeviceMetrics(dev, reg);
+      rep.AttachMetrics(reg.Snapshot(), "q_len=16 device activity");
+    }
   }
-  bench::Note("matrix multiplication contributes little; Softmax dominates and its share "
-              "grows with the query length — the case for the LUT-based exp (§5.2.1).");
+  rep.Note("matrix multiplication contributes little; Softmax dominates and its share "
+           "grows with the query length — the case for the LUT-based exp (§5.2.1).");
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/reporter.h"
 #include "src/base/rng.h"
 #include "src/hexsim/npu_device.h"
 #include "src/kernels/attention.h"
@@ -125,6 +126,43 @@ void BM_FlashAttentionEmulation(benchmark::State& state) {
 }
 BENCHMARK(BM_FlashAttentionEmulation)->Arg(512)->Arg(2048);
 
+// Keeps the usual console output while also recording every run as a report row, so
+// bench_kernel_micro emits BENCH_kernel_micro.json like the other targets.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(bench::Reporter& rep) : rep_(rep) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      obs::Json& row = rep_.AddRow("micro");
+      row.Set("benchmark", run.benchmark_name());
+      row.Set("real_time", run.GetAdjustedRealTime());
+      row.Set("cpu_time", run.GetAdjustedCPUTime());
+      row.Set("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+      row.Set("iterations", static_cast<int64_t>(run.iterations));
+      for (const auto& [name, counter] : run.counters) {
+        row.Set(name, counter.value);
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::Reporter& rep_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Reporter rep("kernel_micro",
+                      "Host-side emulation micro-benchmarks (google-benchmark)",
+                      "simulator engineering (no paper figure)");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  RecordingReporter reporter(rep);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

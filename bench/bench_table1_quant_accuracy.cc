@@ -5,15 +5,16 @@
 // task accuracy. The per-channel Wikitext perplexity is a genuine prediction.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/llm/model_config.h"
 #include "src/tts/capability_model.h"
 
 int main() {
   using htts::CapabilityModel;
   using htts::Dataset;
-  bench::Title("Per-group vs per-channel W4A16 quantization, Llama3.2-1B-Instruct",
-               "Table 1");
+  bench::Reporter rep("table1_quant_accuracy",
+                      "Per-group vs per-channel W4A16 quantization, Llama3.2-1B-Instruct",
+                      "Table 1");
 
   const CapabilityModel cap;
   const auto& model = hllm::Llama32_1B();
@@ -23,24 +24,45 @@ int main() {
   std::printf("measured weight reconstruction error (rel RMS):\n");
   std::printf("  per-group (32)   : %.4f\n", group_err);
   std::printf("  per-channel      : %.4f   (%.1fx worse)\n", pc_err, pc_err / group_err);
+  obs::Json& err_row = rep.AddRow("weight_error");
+  err_row.Set("per_group_rel_rms", group_err);
+  err_row.Set("per_channel_rel_rms", pc_err);
 
-  const auto math = htts::GenerateTaskSet(Dataset::kMath500, 4000, 1001);
-  const auto gsm = htts::GenerateTaskSet(Dataset::kGsm8k, 4000, 1002);
+  const int n_tasks = bench::SmokePreset() ? 500 : 4000;
+  const auto math = htts::GenerateTaskSet(Dataset::kMath500, n_tasks, 1001);
+  const auto gsm = htts::GenerateTaskSet(Dataset::kGsm8k, n_tasks, 1002);
 
   const auto acc = [&](const htts::TaskSet& tasks, Dataset d, double err) {
     return 100.0 * CapabilityModel::MeanAccuracy(tasks, cap.EffectiveTheta(model, d, err, 0.0));
   };
 
+  const double math_awq = acc(math, Dataset::kMath500, group_err);
+  const double math_qnn = acc(math, Dataset::kMath500, pc_err);
+  const double gsm_awq = acc(gsm, Dataset::kGsm8k, group_err);
+  const double gsm_qnn = acc(gsm, Dataset::kGsm8k, pc_err);
+  const double ppl_awq = cap.WikiPerplexity(model, group_err, 0.0);
+  const double ppl_qnn = cap.WikiPerplexity(model, pc_err, 0.0);
+
   std::printf("\n%-14s %18s %18s\n", "dataset", "AutoAWQ (W4A16)", "QNN (W4A16)");
-  std::printf("%-14s %10.1f [15.9] %12.1f [2.1]\n", "MATH500 (up)",
-              acc(math, Dataset::kMath500, group_err), acc(math, Dataset::kMath500, pc_err));
-  std::printf("%-14s %10.1f [32.6] %12.1f [3.4]\n", "GSM8K (up)",
-              acc(gsm, Dataset::kGsm8k, group_err), acc(gsm, Dataset::kGsm8k, pc_err));
-  std::printf("%-14s %10.2f [19.42] %11.2f [28.99]\n", "Wiki PPL (dn)",
-              cap.WikiPerplexity(model, group_err, 0.0),
-              cap.WikiPerplexity(model, pc_err, 0.0));
+  std::printf("%-14s %10.1f [15.9] %12.1f [2.1]\n", "MATH500 (up)", math_awq, math_qnn);
+  std::printf("%-14s %10.1f [32.6] %12.1f [3.4]\n", "GSM8K (up)", gsm_awq, gsm_qnn);
+  std::printf("%-14s %10.2f [19.42] %11.2f [28.99]\n", "Wiki PPL (dn)", ppl_awq, ppl_qnn);
   std::printf("\n[bracketed] = paper-reported value.\n");
-  bench::Note("QNN's coarse per-channel quantization destroys reasoning ability while the "
-              "fine-grained groups keep it usable — the motivation for tile quantization.");
+
+  const auto record = [&](const char* dataset, double awq, double qnn, double paper_awq,
+                          double paper_qnn) {
+    obs::Json& row = rep.AddRow("accuracy");
+    row.Set("dataset", dataset);
+    row.Set("awq", awq);
+    row.Set("qnn", qnn);
+    rep.AddReference(std::string(dataset) + " AWQ", awq, paper_awq);
+    rep.AddReference(std::string(dataset) + " QNN", qnn, paper_qnn);
+  };
+  record("MATH500", math_awq, math_qnn, 15.9, 2.1);
+  record("GSM8K", gsm_awq, gsm_qnn, 32.6, 3.4);
+  record("Wiki PPL", ppl_awq, ppl_qnn, 19.42, 28.99);
+
+  rep.Note("QNN's coarse per-channel quantization destroys reasoning ability while the "
+           "fine-grained groups keep it usable — the motivation for tile quantization.");
   return 0;
 }

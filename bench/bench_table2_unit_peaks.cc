@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/base/rng.h"
 #include "src/hexsim/npu_device.h"
 #include "src/kernels/gemm.h"
@@ -16,20 +16,25 @@ int main() {
   using hexllm::F16;
   using hexsim::NpuDevice;
 
-  bench::Title("HVX vs HMX unit peaks (Hexagon V75 / OnePlus 12)", "Tables 2 and 3");
+  bench::Reporter rep("table2_unit_peaks", "HVX vs HMX unit peaks (Hexagon V75 / OnePlus 12)",
+                      "Tables 2 and 3");
 
-  bench::Section("Table 3: evaluation devices");
+  rep.Section("Table 3: evaluation devices");
   std::printf("%-18s %-22s %-10s\n", "Device", "SoC", "NPU Arch.");
   for (const auto* d : hexsim::AllDevices()) {
     std::printf("%-18s %-22s %-10s\n", d->device_name.c_str(), d->soc_name.c_str(),
                 hexsim::NpuArchName(d->arch));
+    obs::Json& row = rep.AddRow("device");
+    row.Set("device", d->device_name);
+    row.Set("soc", d->soc_name);
+    row.Set("npu_arch", hexsim::NpuArchName(d->arch));
   }
 
   const auto& profile = hexsim::OnePlus12();
   const double flops_1k = 2.0 * 1024 * 1024 * 1024;
 
   // --- HMX: functional 1024^3 GEMM, operands in TCM ---
-  bench::Section("FP16 GEMM 1024x1024x1024, operands in TCM");
+  rep.Section("FP16 GEMM 1024x1024x1024, operands in TCM");
   double hmx_gflops = 0.0;
   {
     NpuDevice dev(profile);
@@ -54,6 +59,10 @@ int main() {
     hmx_gflops = flops_1k / secs / 1e9;
     std::printf("HMX (functional run, %lld tile ops): %.2f GFLOPS   [paper: 12032.54]\n",
                 static_cast<long long>(dev.hmx().tile_ops()), hmx_gflops);
+    obs::Json& row = rep.AddRow("gemm_peak");
+    row.Set("unit", "hmx");
+    row.Set("gflops", hmx_gflops);
+    row.Set("tile_ops", dev.hmx().tile_ops());
   }
 
   // --- HVX: packet-exact cost model at 1024^3, emulation cross-check at 128^3 ---
@@ -64,6 +73,10 @@ int main() {
     hvx_gflops = flops_1k / secs / 1e9;
     std::printf("HVX, 1 thread (cost model, %lld packets): %.2f GFLOPS   [paper: 32.93]\n",
                 static_cast<long long>(packets), hvx_gflops);
+    obs::Json& row = rep.AddRow("gemm_peak");
+    row.Set("unit", "hvx");
+    row.Set("gflops", hvx_gflops);
+    row.Set("packets", packets);
 
     NpuDevice dev(profile);
     const int n = 128;
@@ -75,15 +88,23 @@ int main() {
     std::printf("HVX emulation cross-check at 128^3: %.2f GFLOPS (matches cost model by "
                 "construction)\n",
                 gflops_small);
+    obs::Json& check = rep.AddRow("gemm_peak");
+    check.Set("unit", "hvx_emulation_128");
+    check.Set("gflops", gflops_small);
   }
   std::printf("HMX / HVX ratio: %.0fx   [paper: ~365x]\n", hmx_gflops / hvx_gflops);
+  rep.AddReference("hmx fp16 gemm gflops", hmx_gflops, 12032.54, "GFLOPS");
+  rep.AddReference("hvx fp16 gemm gflops", hvx_gflops, 32.93, "GFLOPS");
+  rep.AddReference("hmx/hvx ratio", hmx_gflops / hvx_gflops, 365.0, "x");
 
-  bench::Section("memory read bandwidth");
+  rep.Section("memory read bandwidth");
   std::printf("DMA (DDR -> TCM, large 1D blocks): %.0f GB/s   [paper: 60 (DMA)]\n",
               profile.dma_read_gbps);
   std::printf("HVX core data path from DDR:       %.0f GB/s   [paper: 26, 'below 30']\n",
               profile.hvx_core_read_gbps);
-  bench::Note("the >300x matrix/vector imbalance plus the weak vector memory path is the "
-              "challenge the tile-quantization and LUT designs answer.");
+  rep.AddReference("dma read bandwidth", profile.dma_read_gbps, 60.0, "GB/s");
+  rep.AddReference("hvx core read bandwidth", profile.hvx_core_read_gbps, 26.0, "GB/s");
+  rep.Note("the >300x matrix/vector imbalance plus the weak vector memory path is the "
+           "challenge the tile-quantization and LUT designs answer.");
   return 0;
 }

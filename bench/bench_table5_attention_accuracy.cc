@@ -3,14 +3,16 @@
 // kernel against the FP32 reference; the capability model turns it into metric deltas.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "src/llm/model_config.h"
 #include "src/tts/capability_model.h"
 
 int main() {
   using htts::CapabilityModel;
   using htts::Dataset;
-  bench::Title("FP16+LUT FlashAttention vs FP32 attention accuracy, Qwen2.5-1.5B", "Table 5");
+  bench::Reporter rep("table5_attention_accuracy",
+                      "FP16+LUT FlashAttention vs FP32 attention accuracy, Qwen2.5-1.5B",
+                      "Table 5");
 
   const CapabilityModel cap;
   const auto& m = hllm::Qwen25_1_5B();
@@ -19,19 +21,42 @@ int main() {
 
   std::printf("measured attention output deviation (FP16+LUT vs FP32 reference, rel RMS): "
               "%.5f\n", aerr);
+  rep.AddRow("attention_deviation").Set("rel_rms", aerr);
+
+  struct Cell {
+    const char* label;
+    Dataset dataset;
+    double paper_lut;
+    double paper_f32;
+  };
+  const Cell cells[] = {{"WinoGrande (up)", Dataset::kWinoGrande, 62.796, 62.559},
+                        {"MMLU (up)", Dataset::kMmlu, 35.207, 35.465}};
 
   std::printf("\n%-16s %14s %16s\n", "dataset", "Our LUT16 FA", "F32 Attention");
-  std::printf("%-16s %7.3f [62.796] %9.3f [62.559]\n", "WinoGrande (up)",
-              cap.ChoiceAccuracy(Dataset::kWinoGrande, m, werr, aerr),
-              cap.ChoiceAccuracy(Dataset::kWinoGrande, m, werr, 0.0));
-  std::printf("%-16s %7.3f [35.207] %9.3f [35.465]\n", "MMLU (up)",
-              cap.ChoiceAccuracy(Dataset::kMmlu, m, werr, aerr),
-              cap.ChoiceAccuracy(Dataset::kMmlu, m, werr, 0.0));
-  std::printf("%-16s %7.3f [10.205] %9.3f [10.206]\n", "Wiki PPL (dn)",
-              cap.WikiPerplexity(m, werr, aerr), cap.WikiPerplexity(m, werr, 0.0));
+  for (const Cell& c : cells) {
+    const double lut = cap.ChoiceAccuracy(c.dataset, m, werr, aerr);
+    const double f32 = cap.ChoiceAccuracy(c.dataset, m, werr, 0.0);
+    std::printf("%-16s %7.3f [%.3f] %9.3f [%.3f]\n", c.label, lut, c.paper_lut, f32,
+                c.paper_f32);
+    obs::Json& row = rep.AddRow("choice_accuracy");
+    row.Set("dataset", c.label);
+    row.Set("lut_fa", lut);
+    row.Set("f32_attention", f32);
+    rep.AddReference(std::string(c.label) + " LUT FA", lut, c.paper_lut, "%");
+    rep.AddReference(std::string(c.label) + " F32 attention", f32, c.paper_f32, "%");
+  }
+  const double ppl_lut = cap.WikiPerplexity(m, werr, aerr);
+  const double ppl_f32 = cap.WikiPerplexity(m, werr, 0.0);
+  std::printf("%-16s %7.3f [10.205] %9.3f [10.206]\n", "Wiki PPL (dn)", ppl_lut, ppl_f32);
+  obs::Json& row = rep.AddRow("perplexity");
+  row.Set("dataset", "Wiki PPL (dn)");
+  row.Set("lut_fa", ppl_lut);
+  row.Set("f32_attention", ppl_f32);
+  rep.AddReference("Wiki PPL LUT FA", ppl_lut, 10.205, "ppl");
+  rep.AddReference("Wiki PPL F32 attention", ppl_f32, 10.206, "ppl");
   std::printf("\n[bracketed] = paper-reported value.\n");
-  bench::Note("replacing the non-accumulation parts of attention with FP16 + the 64 KiB exp "
-              "LUT has no noticeable accuracy impact — the deviation is ~100x smaller than "
-              "the weight-quantization error.");
+  rep.Note("replacing the non-accumulation parts of attention with FP16 + the 64 KiB exp "
+           "LUT has no noticeable accuracy impact — the deviation is ~100x smaller than "
+           "the weight-quantization error.");
   return 0;
 }

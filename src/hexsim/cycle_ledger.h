@@ -4,16 +4,24 @@
 // contributions (e.g. "attn.softmax") so benches can print breakdowns like the paper's
 // Figure 8. Busy seconds feed the power model: energy = sum(engine busy x engine power) +
 // base power x wall-clock.
+//
+// Beyond time, the ledger carries the simulator's generic event counters (AddCount):
+// hardware units and kernels record DMA descriptors, rpcmem coherence ops, per-op
+// invocations, etc. under `unit.metric_name` keys, and ExportTo publishes the whole ledger
+// into an obs::Registry with the `hexsim.` prefix for the observability layer
+// (DESIGN.md §3.3, docs/metrics_schema.md).
 #ifndef SRC_HEXSIM_CYCLE_LEDGER_H_
 #define SRC_HEXSIM_CYCLE_LEDGER_H_
 
 #include <array>
+#include <cctype>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
 
 namespace hexsim {
 
@@ -60,11 +68,55 @@ class CycleLedger {
   void AddDmaBytes(int64_t bytes) { dma_bytes_ += bytes; }
   int64_t dma_bytes() const { return dma_bytes_; }
 
+  // Generic monotonic event counter, keyed `unit.metric_name` (e.g. "dma.descriptors",
+  // "kernel.flash_attention.calls"). Units and kernels record through this so one snapshot
+  // of the ledger carries the full activity profile of a simulated run.
+  void AddCount(std::string_view name, int64_t n = 1) {
+    HEXLLM_DCHECK(n >= 0);
+    counts_[std::string(name)] += n;
+  }
+
+  int64_t Count(std::string_view name) const {
+    auto it = counts_.find(std::string(name));
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  const std::map<std::string, int64_t>& counts() const { return counts_; }
+
+  // Publishes the ledger into `registry`:
+  //   gauges   hexsim.<engine>.busy_seconds, hexsim.wall_seconds
+  //   counters hexsim.dma.ddr_bytes, plus every counts() key — simulator-unit counts
+  //            (dma.*) under the hexsim prefix, kernel invocation counts (kernel.*)
+  //            verbatim since kernels are their own unit (docs/metrics_schema.md)
+  //   series   hexsim.tag_seconds{<tag>}
+  void ExportTo(obs::Registry& registry) const {
+    for (size_t i = 0; i < busy_.size(); ++i) {
+      std::string name = EngineName(static_cast<Engine>(i));
+      for (auto& c : name) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      registry.Set("hexsim." + name + ".busy_seconds", busy_[i]);
+    }
+    registry.Set("hexsim.wall_seconds", wall_seconds_);
+    registry.Count("hexsim.dma.ddr_bytes", dma_bytes_);
+    for (const auto& [tag, seconds] : tags_) {
+      registry.Set("hexsim.tag_seconds", seconds, tag);
+    }
+    for (const auto& [name, n] : counts_) {
+      if (name.rfind("kernel.", 0) == 0) {
+        registry.Count(name, n);
+      } else {
+        registry.Count("hexsim." + name, n);
+      }
+    }
+  }
+
   void Clear() {
     for (auto& b : busy_) {
       b = 0.0;
     }
     tags_.clear();
+    counts_.clear();
     wall_seconds_ = 0.0;
     dma_bytes_ = 0;
   }
@@ -76,6 +128,9 @@ class CycleLedger {
     for (const auto& [k, v] : other.tags_) {
       tags_[k] += v;
     }
+    for (const auto& [k, v] : other.counts_) {
+      counts_[k] += v;
+    }
     wall_seconds_ += other.wall_seconds_;
     dma_bytes_ += other.dma_bytes_;
   }
@@ -83,6 +138,7 @@ class CycleLedger {
  private:
   std::array<double, static_cast<size_t>(Engine::kCount)> busy_{};
   std::map<std::string, double> tags_;
+  std::map<std::string, int64_t> counts_;
   double wall_seconds_ = 0.0;
   int64_t dma_bytes_ = 0;
 };

@@ -43,6 +43,7 @@ double DmaEngine::Transfer1D(void* dst, const void* src, int64_t bytes, DmaDirec
   const double t = Cost1D(bytes, dir);
   ledger_.AddSeconds(Engine::kDma, t, "dma");
   ledger_.AddDmaBytes(bytes);
+  ledger_.AddCount("dma.descriptors");
   return t;
 }
 
@@ -58,6 +59,7 @@ double DmaEngine::Transfer2D(void* dst, int64_t dst_stride, const void* src, int
   const double t = Cost2D(row_bytes, rows, dir);
   ledger_.AddSeconds(Engine::kDma, t, "dma");
   ledger_.AddDmaBytes(row_bytes * rows);
+  ledger_.AddCount("dma.descriptors");
   return t;
 }
 

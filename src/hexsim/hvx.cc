@@ -294,6 +294,7 @@ HvxVecPair HvxContext::VShuffH(const HvxVec& a, const HvxVec& b) {
 
 HvxVecPair HvxContext::VLut16(const HvxVec& idx, const HvxVec& table) {
   Charge(1);
+  ++vlut16_ops_;
   HvxVecPair p;
   for (int i = 0; i < HvxVec::kBytes; ++i) {
     const uint16_t v = table.GetU16(idx.b[static_cast<size_t>(i)] & 0x0F);
@@ -308,6 +309,7 @@ HvxVecPair HvxContext::VLut16(const HvxVec& idx, const HvxVec& table) {
 
 HvxVec HvxContext::VGather(Tcm& tcm, int64_t base_offset, const HvxVec& offsets) {
   Charge(profile_.vgather_packets);
+  ++vgather_ops_;
   HEXLLM_CHECK(base_offset >= 0 && base_offset < tcm.capacity());
   HvxVec out;
   for (int i = 0; i < HvxVec::kHalfwords; ++i) {
@@ -324,6 +326,7 @@ HvxVec HvxContext::VGather(Tcm& tcm, int64_t base_offset, const HvxVec& offsets)
 void HvxContext::VScatterH(Tcm& tcm, int64_t base_offset, const HvxVec& offsets,
                            const HvxVec& values) {
   Charge(profile_.vgather_packets + 8);
+  ++vscatter_ops_;
   HEXLLM_CHECK(base_offset >= 0 && base_offset < tcm.capacity());
   for (int i = 0; i < HvxVec::kHalfwords; ++i) {
     const uint16_t off = offsets.GetU16(i);

@@ -92,6 +92,11 @@ class HvxContext {
   // --- packet accounting ---
   int64_t packets() const { return packets_; }
   void ResetPackets() { packets_ = 0; }
+  // Per-instruction-class counters for the observability layer (the LUT instructions are
+  // the paper's headline mechanisms, so their usage is tracked explicitly).
+  int64_t vgather_ops() const { return vgather_ops_; }
+  int64_t vscatter_ops() const { return vscatter_ops_; }
+  int64_t vlut16_ops() const { return vlut16_ops_; }
   void Charge(int64_t n) {
     HEXLLM_DCHECK(n >= 0);
     packets_ += n;
@@ -215,6 +220,9 @@ class HvxContext {
  private:
   const DeviceProfile& profile_;
   int64_t packets_ = 0;
+  int64_t vgather_ops_ = 0;
+  int64_t vscatter_ops_ = 0;
+  int64_t vlut16_ops_ = 0;
 };
 
 }  // namespace hexsim

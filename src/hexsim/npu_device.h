@@ -10,6 +10,7 @@
 #include "src/hexsim/hmx.h"
 #include "src/hexsim/hvx.h"
 #include "src/hexsim/tcm.h"
+#include "src/obs/metrics.h"
 
 namespace hexsim {
 
@@ -26,9 +27,12 @@ class NpuDevice {
   CycleLedger& ledger() { return ledger_; }
   const CycleLedger& ledger() const { return ledger_; }
   Tcm& tcm() { return tcm_; }
+  const Tcm& tcm() const { return tcm_; }
   DmaEngine& dma() { return dma_; }
   HmxEngine& hmx() { return hmx_; }
+  const HmxEngine& hmx() const { return hmx_; }
   HvxContext& hvx() { return hvx_; }
+  const HvxContext& hvx() const { return hvx_; }
 
   // Converts HVX packets executed by a kernel into wall/busy seconds, given how many HVX
   // hardware threads the kernel spread its work across. Records busy time under `tag` and
@@ -55,6 +59,25 @@ class NpuDevice {
   HmxEngine hmx_;
   HvxContext hvx_;
 };
+
+// Publishes the full activity profile of a simulated device into `registry` under the
+// `hexsim.` unit prefix (docs/metrics_schema.md): the ledger (busy/wall seconds, DDR bytes,
+// tag series, generic event counters) plus per-unit instruction counters:
+//   counters hexsim.hvx.packets, hexsim.hvx.vgather_ops, hexsim.hvx.vscatter_ops,
+//            hexsim.hvx.vlut16_ops, hexsim.hmx.tile_ops, hexsim.hmx.macs
+//   gauges   hexsim.tcm.high_watermark_bytes, hexsim.tcm.capacity_bytes
+inline void ExportDeviceMetrics(const NpuDevice& dev, obs::Registry& registry) {
+  dev.ledger().ExportTo(registry);
+  registry.Count("hexsim.hvx.packets", dev.hvx().packets());
+  registry.Count("hexsim.hvx.vgather_ops", dev.hvx().vgather_ops());
+  registry.Count("hexsim.hvx.vscatter_ops", dev.hvx().vscatter_ops());
+  registry.Count("hexsim.hvx.vlut16_ops", dev.hvx().vlut16_ops());
+  registry.Count("hexsim.hmx.tile_ops", dev.hmx().tile_ops());
+  registry.Count("hexsim.hmx.macs", dev.hmx().tile_ops() * HmxEngine::kTileDim *
+                                        HmxEngine::kTileDim * HmxEngine::kTileDim);
+  registry.Set("hexsim.tcm.high_watermark_bytes", static_cast<double>(dev.tcm().high_watermark()));
+  registry.Set("hexsim.tcm.capacity_bytes", static_cast<double>(dev.tcm().capacity()));
+}
 
 }  // namespace hexsim
 

@@ -8,6 +8,7 @@ std::shared_ptr<SharedBuffer> RpcmemPool::Alloc(int64_t bytes, std::string name)
   HEXLLM_CHECK(bytes >= 0);
   auto buf = std::make_shared<SharedBuffer>(next_id_++, bytes, std::move(name));
   total_bytes_ += bytes;
+  ++alloc_count_;
   live_.push_back(buf);
   return buf;
 }
@@ -16,8 +17,21 @@ void RpcmemPool::Free(const std::shared_ptr<SharedBuffer>& buf) {
   auto it = std::find(live_.begin(), live_.end(), buf);
   if (it != live_.end()) {
     total_bytes_ -= (*it)->size();
+    ++free_count_;
     live_.erase(it);
   }
+}
+
+void RpcmemPool::ExportTo(obs::Registry& registry) const {
+  registry.Count("rpcmem.allocs", alloc_count_);
+  registry.Count("rpcmem.frees", free_count_);
+  int64_t flushes = 0;
+  for (const auto& buf : live_) {
+    flushes += buf->flush_ops();
+  }
+  registry.Count("rpcmem.coherence_flushes", flushes);
+  registry.Set("rpcmem.dmabuf_bytes", static_cast<double>(total_bytes_));
+  registry.Set("rpcmem.live_buffers", static_cast<double>(live_.size()));
 }
 
 bool NpuSession::MapBuffer(const std::shared_ptr<SharedBuffer>& buf) {
@@ -40,8 +54,17 @@ void NpuSession::UnmapBuffer(const std::shared_ptr<SharedBuffer>& buf) {
 double NpuSession::Submit(const OpRequest& req) {
   HEXLLM_CHECK_MSG(static_cast<bool>(handler_), "NpuSession has no op handler installed");
   ++submitted_ops_;
+  // CPU flush of the request slot + NPU invalidate before polling reads it (§6).
+  coherence_ops_ += 2;
   handler_(req);
   return kMailboxLatencySeconds;
+}
+
+void NpuSession::ExportTo(obs::Registry& registry) const {
+  registry.Count("session.submitted_ops", submitted_ops_);
+  registry.Count("session.coherence_ops", coherence_ops_);
+  registry.Set("session.mapped_bytes", static_cast<double>(mapped_bytes_));
+  registry.Set("session.vaddr_limit_bytes", static_cast<double>(profile_.npu_vaddr_limit_bytes));
 }
 
 }  // namespace hexsim

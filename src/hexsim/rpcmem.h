@@ -24,6 +24,7 @@
 #include "src/base/check.h"
 #include "src/base/tensor.h"
 #include "src/hexsim/device_profile.h"
+#include "src/obs/metrics.h"
 
 namespace hexsim {
 
@@ -45,7 +46,14 @@ class SharedBuffer {
 
   // CPU cache flush + NPU-side invalidate, the maintenance pair required before the NPU
   // reads CPU-written data.
-  void FlushForNpu() { cpu_dirty_ = false; }
+  void FlushForNpu() {
+    cpu_dirty_ = false;
+    ++flush_ops_;
+  }
+
+  // Coherence maintenance pairs performed on this buffer (observability: the one-way
+  // coherence traffic Figure 16's CPU cost partially consists of).
+  int64_t flush_ops() const { return flush_ops_; }
 
   // NPU-side view. Aborts if the CPU wrote the buffer and nobody flushed — on the phone this
   // is a silent stale-data bug; in the simulator it is a hard failure so tests catch it.
@@ -64,6 +72,7 @@ class SharedBuffer {
   int id_;
   std::string name_;
   bool cpu_dirty_ = false;
+  int64_t flush_ops_ = 0;
   std::vector<uint8_t> storage_;
 };
 
@@ -77,9 +86,16 @@ class RpcmemPool {
 
   void Free(const std::shared_ptr<SharedBuffer>& buf);
 
+  // Publishes pool accounting + per-buffer coherence traffic:
+  //   counters rpcmem.allocs, rpcmem.frees, rpcmem.coherence_flushes (live buffers)
+  //   gauges   rpcmem.dmabuf_bytes, rpcmem.live_buffers
+  void ExportTo(obs::Registry& registry) const;
+
  private:
   int next_id_ = 1;
   int64_t total_bytes_ = 0;
+  int64_t alloc_count_ = 0;
+  int64_t free_count_ = 0;
   std::vector<std::shared_ptr<SharedBuffer>> live_;
 };
 
@@ -116,6 +132,15 @@ class NpuSession {
 
   int64_t submitted_ops() const { return submitted_ops_; }
 
+  // Cache maintenance operations performed on the mailbox path (one CPU flush + one NPU
+  // invalidate per submitted op, the §6 one-way coherence discipline).
+  int64_t coherence_ops() const { return coherence_ops_; }
+
+  // Publishes session accounting:
+  //   counters session.submitted_ops, session.coherence_ops
+  //   gauges   session.mapped_bytes, session.vaddr_limit_bytes
+  void ExportTo(obs::Registry& registry) const;
+
   // Simulated one-way communication latency of the polling mailbox.
   static constexpr double kMailboxLatencySeconds = 12e-6;
 
@@ -124,6 +149,7 @@ class NpuSession {
   std::function<void(const OpRequest&)> handler_;
   int64_t mapped_bytes_ = 0;
   int64_t submitted_ops_ = 0;
+  int64_t coherence_ops_ = 0;
   std::vector<int> mapped_ids_;
 };
 

@@ -55,6 +55,7 @@ void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant
   const bool causal = q_pos_offset >= 0;
   HEXLLM_CHECK(head_dim % HmxEngine::kTileDim == 0);
   HEXLLM_CHECK(q_len > 0 && kv_len > 0);
+  dev.ledger().AddCount("kernel.flash_attention.calls");
   const int d_tiles = head_dim / HmxEngine::kTileDim;
   const int q_tiles = static_cast<int>(hexllm::CeilDiv(q_len, kAttnQTile));
   const int kv_chunks = static_cast<int>(hexllm::CeilDiv(kv_len, kAttnKvChunk));

@@ -23,6 +23,7 @@ int64_t GemmF16HmxTileOps(int m, int k, int n) {
 double GemmF16Hmx(hexsim::NpuDevice& dev, const F16* a, const F16* b_tiles, F16* c, int m,
                   int k, int n, bool operands_in_tcm) {
   HEXLLM_CHECK(m % 32 == 0 && k % 32 == 0 && n % 32 == 0);
+  dev.ledger().AddCount("kernel.gemm_hmx.calls");
   HmxEngine& hmx = dev.hmx();
   hexsim::Tcm& tcm = dev.tcm();
   hexsim::TcmFrame frame(tcm);
@@ -93,6 +94,7 @@ int64_t GemmF16HvxPackets(const hexsim::DeviceProfile& profile, int m, int k, in
 double GemmF16Hvx(hexsim::NpuDevice& dev, const F16* a, const F16* b, F16* c, int m, int k,
                   int n) {
   HEXLLM_CHECK(n % 64 == 0);
+  dev.ledger().AddCount("kernel.gemm_hvx.calls");
   HvxContext& ctx = dev.hvx();
   const int64_t start = ctx.packets();
 

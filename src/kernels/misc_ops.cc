@@ -15,6 +15,7 @@ using hexsim::HvxVecPair;
 void RmsNormF16(hexsim::NpuDevice& dev, const F16* x, const F16* gamma, F16* y, int rows,
                 int width, float eps) {
   HEXLLM_CHECK(width % HvxVec::kHalfwords == 0);
+  dev.ledger().AddCount("kernel.rmsnorm.calls");
   HvxContext& ctx = dev.hvx();
   const int64_t start = ctx.packets();
   const int regs = width / HvxVec::kHalfwords;
@@ -53,6 +54,7 @@ void RmsNormF16(hexsim::NpuDevice& dev, const F16* x, const F16* gamma, F16* y, 
 void RopeF16(hexsim::NpuDevice& dev, F16* x, int rows, int head_dim, int pos0,
              float theta_base) {
   HEXLLM_CHECK(head_dim % 2 == 0);
+  dev.ledger().AddCount("kernel.rope.calls");
   HvxContext& ctx = dev.hvx();
   const int64_t start = ctx.packets();
 
@@ -79,6 +81,7 @@ void RopeF16(hexsim::NpuDevice& dev, F16* x, int rows, int head_dim, int pos0,
 
 void SiluMulF16(hexsim::NpuDevice& dev, const F16* a, const F16* b, F16* y, int64_t count) {
   HEXLLM_CHECK(count % HvxVec::kHalfwords == 0);
+  dev.ledger().AddCount("kernel.silu_mul.calls");
   HvxContext& ctx = dev.hvx();
   const int64_t start = ctx.packets();
   const int64_t regs = count / HvxVec::kHalfwords;
@@ -96,6 +99,7 @@ void SiluMulF16(hexsim::NpuDevice& dev, const F16* a, const F16* b, F16* y, int6
 
 void AddF16(hexsim::NpuDevice& dev, const F16* a, const F16* b, F16* y, int64_t count) {
   HEXLLM_CHECK(count % HvxVec::kHalfwords == 0);
+  dev.ledger().AddCount("kernel.add.calls");
   HvxContext& ctx = dev.hvx();
   const int64_t start = ctx.packets();
   for (int64_t off = 0; off < count; off += HvxVec::kHalfwords) {

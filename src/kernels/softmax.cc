@@ -181,6 +181,7 @@ HvxVec ExpNonPosF16(hexsim::NpuDevice& dev, SoftmaxVariant v, const ExpLut* lut,
 void SoftmaxRowsF16(hexsim::NpuDevice& dev, SoftmaxVariant v, const ExpLut* lut, F16* s,
                     int rows, int cols) {
   HEXLLM_CHECK(cols % HvxVec::kHalfwords == 0);
+  dev.ledger().AddCount("kernel.softmax_rows.calls");
   HvxContext& ctx = dev.hvx();
   const int regs = cols / HvxVec::kHalfwords;
   const int64_t start = ctx.packets();

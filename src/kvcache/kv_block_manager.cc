@@ -185,4 +185,15 @@ KvStats KvBlockManager::stats() const {
   return s;
 }
 
+void ExportKvStats(const KvStats& stats, obs::Registry& registry) {
+  registry.Count("kv.cow_splits", stats.cow_splits);
+  registry.Set("kv.block_tokens", static_cast<double>(stats.block_tokens));
+  registry.Set("kv.bytes_per_block", static_cast<double>(stats.bytes_per_block));
+  registry.Set("kv.physical_blocks", static_cast<double>(stats.physical_blocks));
+  registry.Set("kv.peak_physical_blocks", static_cast<double>(stats.peak_physical_blocks));
+  registry.Set("kv.logical_blocks", static_cast<double>(stats.logical_blocks));
+  registry.Set("kv.peak_logical_blocks", static_cast<double>(stats.peak_logical_blocks));
+  registry.Set("kv.sharing_ratio", stats.sharing_ratio());
+}
+
 }  // namespace hkv

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/kvcache/block_pool.h"
+#include "src/obs/metrics.h"
 
 namespace hkv {
 
@@ -49,6 +50,14 @@ struct KvStats {
                : 1.0;
   }
 };
+
+// Publishes a KvStats snapshot into `registry` under the `kv.` unit prefix
+// (docs/metrics_schema.md):
+//   counters kv.cow_splits
+//   gauges   kv.block_tokens, kv.bytes_per_block, kv.physical_blocks,
+//            kv.peak_physical_blocks, kv.logical_blocks, kv.peak_logical_blocks,
+//            kv.sharing_ratio
+void ExportKvStats(const KvStats& stats, obs::Registry& registry);
 
 class KvBlockManager {
  public:

@@ -1,0 +1,186 @@
+// The unified metrics registry: counters, gauges, fixed-bucket histograms, and labeled
+// series, snapshot-able into the frozen JSON schema (docs/metrics_schema.md, schema v1).
+//
+// Every subsystem publishes through this one interface:
+//   * hexsim units export per-unit cycle/byte counters (hexsim::ExportDeviceMetrics);
+//   * the serving runtime embeds a snapshot in every ScheduleResult (serve.* / kv.*);
+//   * kernels count invocations through the cycle ledger (kernel.*);
+//   * benches attach snapshots to their BENCH_<name>.json reports (bench::Reporter).
+//
+// Naming convention: `unit.metric_name`, lowercase, dot-separated, unit first
+// (e.g. "hexsim.hvx.packets", "serve.step_seconds", "kv.cow_splits"). A *labeled series*
+// is one metric name fanned out over a small string label (e.g. "hexsim.tag_seconds"
+// labeled "attn.softmax") — the label is a data dimension, not part of the name.
+//
+// Hot-path cost: Counter::Add and Gauge::Set are single inline stores; Histogram::Observe
+// is a branchless-enough linear bucket scan over a handful of bounds. Registry lookups
+// (the map walk) happen once at wiring time — hold the returned reference. The simulator
+// is single-threaded, so there are deliberately no atomics or locks.
+//
+// Worked example — reading the KV sharing ratio out of a serving run:
+//   hserve::ScheduleResult r = batcher.Run(jobs);
+//   const obs::MetricsSnapshot& m = r.metrics;
+//   double ratio = m.GaugeValue("kv.sharing_ratio");          // logical/physical blocks
+//   int64_t cow  = m.CounterValue("kv.cow_splits");           // matches r.kv.cow_splits
+//   std::string json = m.ToJson().Dump(2);                    // schema v1 document
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/obs/json.h"
+
+namespace obs {
+
+// Bumped only when an emitted document would no longer parse under the previous schema;
+// additive fields do NOT bump it (see docs/metrics_schema.md for the policy).
+inline constexpr int kMetricsSchemaVersion = 1;
+
+// A monotonic 64-bit event counter. Decrements are a programming error.
+class Counter {
+ public:
+  void Add(int64_t n = 1) {
+    HEXLLM_DCHECK(n >= 0);
+    value_ += n;
+  }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// A point-in-time double (last write wins).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed upper-bound buckets for a histogram. Bounds must be strictly increasing; an
+// implicit overflow bucket catches everything above the last bound.
+struct HistogramBuckets {
+  std::vector<double> bounds;
+
+  // `count` buckets at start, start*factor, start*factor^2, ... (latency-style scales).
+  static HistogramBuckets Exponential(double start, double factor, int count);
+  // `count` buckets at width, 2*width, ... (occupancy-style scales).
+  static HistogramBuckets Linear(double width, int count);
+};
+
+// Fixed-bucket histogram with sum/min/max so snapshots can report a mean and range without
+// retaining samples.
+class Histogram {
+ public:
+  explicit Histogram(HistogramBuckets buckets);
+
+  void Observe(double v);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  const std::vector<double>& bounds() const { return buckets_.bounds; }
+  // counts()[i] = observations <= bounds()[i] (and > bounds()[i-1]); counts().back() is the
+  // overflow bucket, so counts().size() == bounds().size() + 1.
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+ private:
+  HistogramBuckets buckets_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// --- snapshot (plain data, detached from the registry) ---
+
+struct CounterSample {
+  std::string name;
+  std::string label;  // empty for unlabeled metrics
+  int64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string label;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string label;
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;  // bounds.size() + 1 entries (overflow last)
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;      // sorted by (name, label)
+  std::vector<GaugeSample> gauges;          // sorted by (name, label)
+  std::vector<HistogramSample> histograms;  // sorted by (name, label)
+
+  // Lookup helpers; `found` (when non-null) reports presence, the value defaults to 0.
+  int64_t CounterValue(std::string_view name, std::string_view label = {},
+                       bool* found = nullptr) const;
+  double GaugeValue(std::string_view name, std::string_view label = {},
+                    bool* found = nullptr) const;
+  const HistogramSample* FindHistogram(std::string_view name,
+                                       std::string_view label = {}) const;
+
+  // Schema v1 "metrics" object (docs/metrics_schema.md). ToJson/FromJson round-trip
+  // losslessly; FromJson returns false on any shape violation.
+  Json ToJson() const;
+  static bool FromJson(const Json& j, MetricsSnapshot* out);
+};
+
+// The registry: owns metrics, hands out stable references, snapshots on demand. A (name,
+// label) pair identifies exactly one metric of exactly one kind — re-registering the same
+// name as a different kind aborts (catching naming-convention collisions early).
+class Registry {
+ public:
+  Counter& counter(std::string_view name, std::string_view label = {});
+  Gauge& gauge(std::string_view name, std::string_view label = {});
+  // Buckets are fixed at first registration; later calls for the same (name, label) must
+  // pass identical bounds.
+  Histogram& histogram(std::string_view name, const HistogramBuckets& buckets,
+                       std::string_view label = {});
+
+  // One-shot conveniences for cold paths (registry lookup per call).
+  void Count(std::string_view name, int64_t n = 1, std::string_view label = {}) {
+    counter(name, label).Add(n);
+  }
+  void Set(std::string_view name, double v, std::string_view label = {}) {
+    gauge(name, label).Set(v);
+  }
+
+  MetricsSnapshot Snapshot() const;
+  void Clear();
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+  using Key = std::pair<std::string, std::string>;  // (name, label)
+
+  void CheckKind(const Key& key, Kind kind);
+
+  std::map<Key, Kind> kinds_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+
+#endif  // SRC_OBS_METRICS_H_

@@ -381,4 +381,30 @@ MemoryReport Engine::Memory(int batch) const {
   return r;
 }
 
+void Engine::ExportMetrics(obs::Registry& registry, int batch, int context) const {
+  const StepCost c = DecodeStep(batch, context);
+  registry.Set("engine.step.linear_seconds", c.linear_s);
+  registry.Set("engine.step.attention_seconds", c.attention_s);
+  registry.Set("engine.step.misc_seconds", c.misc_s);
+  registry.Set("engine.step.lm_head_seconds", c.lm_head_s);
+  registry.Set("engine.step.comm_seconds", c.comm_s);
+  registry.Set("engine.step.total_seconds", c.total_s);
+  registry.Set("engine.step.hvx_busy_seconds", c.hvx_busy_s);
+  registry.Set("engine.step.hmx_busy_seconds", c.hmx_busy_s);
+  registry.Set("engine.step.dma_busy_seconds", c.dma_busy_s);
+  registry.Set("engine.step.cpu_busy_seconds", c.cpu_busy_s);
+  registry.Set("engine.step.gpu_busy_seconds", c.gpu_busy_s);
+  registry.Set("engine.step.ddr_bytes", static_cast<double>(c.ddr_bytes));
+  registry.Set("engine.decode_tokens_per_second", DecodeThroughput(batch, context));
+  const PowerReport p = StepPower(*options_.device, c, batch,
+                                  options_.backend == Backend::kGpuOpenCl);
+  registry.Set("engine.power.watts", p.watts);
+  registry.Set("engine.power.joules_per_token", p.joules_per_token);
+  const MemoryReport mem = Memory(batch);
+  registry.Set("engine.memory.dmabuf_bytes", static_cast<double>(mem.dmabuf_bytes));
+  registry.Set("engine.memory.cpu_resident_bytes", static_cast<double>(mem.cpu_resident_bytes));
+  registry.Set("engine.memory.cpu_utilization", mem.cpu_utilization);
+  registry.Set("engine.sessions", static_cast<double>(SessionsNeeded()));
+}
+
 }  // namespace hrt

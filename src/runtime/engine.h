@@ -23,6 +23,7 @@
 #include "src/kernels/mixed_gemm.h"
 #include "src/kernels/softmax.h"
 #include "src/llm/model_config.h"
+#include "src/obs/metrics.h"
 
 namespace hrt {
 
@@ -113,6 +114,16 @@ class Engine {
 
   PowerReport DecodePower(int batch, int context) const;
   MemoryReport Memory(int batch) const;
+
+  // Publishes the analytic model's view of one decode operating point into `registry` under
+  // the `engine.` unit prefix (docs/metrics_schema.md):
+  //   gauges engine.step.{linear,attention,misc,lm_head,comm,total}_seconds,
+  //          engine.step.{hvx,hmx,dma,cpu,gpu}_busy_seconds, engine.step.ddr_bytes,
+  //          engine.decode_tokens_per_second, engine.power.watts,
+  //          engine.power.joules_per_token, engine.memory.dmabuf_bytes,
+  //          engine.memory.cpu_resident_bytes, engine.memory.cpu_utilization,
+  //          engine.sessions
+  void ExportMetrics(obs::Registry& registry, int batch, int context) const;
 
   const EngineOptions& options() const { return options_; }
 

@@ -45,7 +45,39 @@ ContinuousBatcher::ContinuousBatcher(ExecutionBackend& backend, const ServeOptio
 
 ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
   ScheduleResult r;
+
+  // Per-run metrics registry. The histograms fill during the step loop; everything else is
+  // published by `finalize`, which runs on every return path so even error results carry a
+  // consistent snapshot. The serve.* scalars intentionally mirror ScheduleResult's fields —
+  // tests assert the two views agree.
+  obs::Registry reg;
+  obs::Histogram& step_seconds_hist = reg.histogram(
+      "serve.step_seconds", obs::HistogramBuckets::Exponential(1e-5, 4.0, 12));
+  obs::Histogram& step_active_hist = reg.histogram(
+      "serve.step_active_rows", obs::HistogramBuckets::Linear(1.0, options_.max_batch));
+  const auto finalize = [&]() {
+    reg.Count("serve.steps", r.steps);
+    reg.Count("serve.decoded_tokens", r.decoded_tokens);
+    reg.Count("serve.prefilled_tokens", r.prefilled_tokens);
+    reg.Count("serve.forked_admissions", r.forked_admissions);
+    reg.Count("serve.admission_deferrals", r.admission_deferrals);
+    reg.Count("serve.admissions", static_cast<int64_t>(r.admissions.size()));
+    reg.Count("serve.completions", static_cast<int64_t>(r.completions.size()));
+    reg.Set("serve.makespan_seconds", r.makespan_s);
+    reg.Set("serve.prefill_seconds", r.prefill_s);
+    reg.Set("serve.decode_seconds", r.decode_s);
+    reg.Set("serve.energy_joules", r.energy_j);
+    reg.Set("serve.tokens_per_second", r.tokens_per_second);
+    reg.Set("serve.avg_active_batch", r.avg_active_batch);
+    reg.Set("serve.avg_context", r.avg_context);
+    reg.Set("serve.slot_utilization", r.slot_utilization);
+    hkv::ExportKvStats(r.kv, reg);
+    backend_.ExportMetrics(reg);
+    r.metrics = reg.Snapshot();
+  };
+
   if (jobs.empty()) {
+    finalize();
     return r;  // zeroed result — the old schedulers divided by steps/makespan here (NaN)
   }
   const int n = static_cast<int>(jobs.size());
@@ -56,6 +88,7 @@ ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
   // otherwise surface as silent KV corruption deep in a backend.
   const auto reject = [&](const ServeJob& j, const std::string& why) {
     r.error = "job " + std::to_string(j.id) + ": " + why;
+    finalize();
     return r;
   };
   bool any_fork = false;
@@ -248,6 +281,7 @@ ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
         const int j = ready.front();
         const ServeJob& job = jobs[static_cast<size_t>(j)];
         if (!backend_.CanAdmit(job, job.prompt_tokens + job.context_tokens)) {
+          ++r.admission_deferrals;
           break;  // KV pool/budget full: wait for running jobs to complete and free blocks
         }
         admit(j);
@@ -260,7 +294,9 @@ ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
       HEXLLM_CHECK(!ready.empty());
       r.error = "job " + std::to_string(jobs[static_cast<size_t>(ready.front())].id) +
                 ": KV budget too small to admit into an empty batch";
+      r.steps = step_idx;
       r.kv = backend_.kv_stats();
+      finalize();
       return r;
     }
 
@@ -284,6 +320,8 @@ ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
     r.makespan_s += out.cost.total_s;
     r.decode_s += out.cost.total_s;
     r.energy_j += out.watts * out.cost.total_s;
+    step_seconds_hist.Observe(out.cost.total_s);
+    step_active_hist.Observe(static_cast<double>(useful));
     useful_rows += useful;
     occupied_rows += static_cast<int64_t>(row_slots.size());
     if (options_.record_steps) {
@@ -381,6 +419,7 @@ ScheduleResult ContinuousBatcher::Run(const std::vector<ServeJob>& jobs) {
     r.avg_context =
         static_cast<double>(context_row_sum) / static_cast<double>(occupied_rows);
   }
+  finalize();
   return r;
 }
 

@@ -69,6 +69,7 @@ struct ScheduleResult {
   int64_t decoded_tokens = 0;      // useful tokens only (padding rows don't count)
   int64_t prefilled_tokens = 0;    // charged prefill tokens (shared prompts charge once)
   int64_t forked_admissions = 0;   // jobs admitted by mapping a parent's retained KV
+  int64_t admission_deferrals = 0; // admissions pushed back because the KV pool was full
   // Physical-vs-logical KV accounting at the end of the run (peaks cover the whole run):
   // physical bytes are what the paged pool actually held, logical bytes what a dense
   // per-sequence layout would have held; kv.sharing_ratio() is the headline saving.
@@ -81,6 +82,11 @@ struct ScheduleResult {
   // input vector (empty for pricing-only backends).
   std::vector<std::vector<int>> job_tokens;
   hrt::TraceBuilder trace;         // record_trace: per-step lanes + admissions
+  // The run's full metrics snapshot (docs/metrics_schema.md): serve.* counters/gauges that
+  // mirror the scalar fields above, serve.step_seconds / serve.step_active_rows histograms,
+  // kv.* from the KV accountant, and — for the functional backend — the simulated device's
+  // hexsim.* activity profile. Populated on every return path, including error results.
+  obs::MetricsSnapshot metrics;
 };
 
 class ContinuousBatcher {

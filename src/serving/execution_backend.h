@@ -32,9 +32,11 @@
 #include <utility>
 #include <vector>
 
+#include "src/hexsim/npu_device.h"
 #include "src/kvcache/kv_block_manager.h"
 #include "src/llm/transformer.h"
 #include "src/llm/weights.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/engine.h"
 #include "src/serving/job.h"
 
@@ -85,6 +87,11 @@ class ExecutionBackend {
 
   // Physical-vs-logical KV accounting snapshot (zeroed for backends without it).
   virtual hkv::KvStats kv_stats() const { return {}; }
+
+  // Publishes backend-specific counters into the serving run's metrics registry (called by
+  // the batcher when it snapshots a finished run). The functional backend exports the full
+  // simulated-device activity profile (hexsim.* metrics); the default exports nothing.
+  virtual void ExportMetrics(obs::Registry& registry) const {}
 };
 
 // Prices steps with the analytic engine. DecodeStep is deterministic per (batch, context),
@@ -173,6 +180,9 @@ class FunctionalBackend : public ExecutionBackend {
   bool CanAdmit(const ServeJob& job, int context_tokens) override;
   int max_context() const override { return max_context_; }
   hkv::KvStats kv_stats() const override { return tf_.kv().stats(); }
+  void ExportMetrics(obs::Registry& registry) const override {
+    hexsim::ExportDeviceMetrics(dev_, registry);
+  }
 
   hllm::Transformer& transformer() { return tf_; }
 

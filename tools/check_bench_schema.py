@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json reports against the frozen bench schema (v1).
+
+Stdlib-only so CI can run it on a bare runner:
+
+    python3 tools/check_bench_schema.py out/BENCH_*.json
+
+Exits non-zero and prints one line per violation if any file fails. The checks mirror
+docs/metrics_schema.md: required top-level fields, typed rows with a `series` tag,
+reference entries with measured + paper values, and — when a report embeds metrics
+snapshots — the metrics schema's own required shape.
+"""
+
+import json
+import sys
+
+BENCH_SCHEMA_VERSION = 1
+METRICS_SCHEMA_VERSION = 1
+
+NUMBER = (int, float)
+
+
+def fail(path, msg, errors):
+    errors.append(f"{path}: {msg}")
+
+
+def check_metrics_snapshot(path, where, snap, errors):
+    if not isinstance(snap, dict):
+        return fail(path, f"{where}: metrics snapshot must be an object", errors)
+    if snap.get("schema_version") != METRICS_SCHEMA_VERSION:
+        return fail(
+            path,
+            f"{where}: metrics schema_version must be {METRICS_SCHEMA_VERSION}, "
+            f"got {snap.get('schema_version')!r}",
+            errors,
+        )
+    for key in ("counters", "gauges", "histograms"):
+        if not isinstance(snap.get(key), list):
+            return fail(path, f"{where}: missing metrics array {key!r}", errors)
+    for c in snap["counters"]:
+        if not isinstance(c.get("name"), str) or not isinstance(c.get("value"), int):
+            fail(path, f"{where}: bad counter entry {c!r}", errors)
+    for g in snap["gauges"]:
+        if not isinstance(g.get("name"), str) or not isinstance(g.get("value"), NUMBER):
+            fail(path, f"{where}: bad gauge entry {g!r}", errors)
+    for h in snap["histograms"]:
+        if not isinstance(h.get("name"), str):
+            fail(path, f"{where}: histogram entry without a name", errors)
+            continue
+        bounds, counts = h.get("bounds"), h.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            fail(path, f"{where}: histogram {h['name']!r} missing bounds/counts", errors)
+        elif len(counts) != len(bounds) + 1:
+            fail(
+                path,
+                f"{where}: histogram {h['name']!r} needs len(counts) == len(bounds)+1",
+                errors,
+            )
+
+
+def check_report(path, errors):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}", errors)
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level must be an object", errors)
+    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+        return fail(
+            path,
+            f"schema_version must be {BENCH_SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}",
+            errors,
+        )
+    for key, typ in (
+        ("bench", str),
+        ("title", str),
+        ("paper_ref", str),
+        ("git_sha", str),
+        ("smoke", bool),
+        ("notes", list),
+        ("rows", list),
+    ):
+        if not isinstance(doc.get(key), typ):
+            fail(path, f"missing or mistyped required field {key!r} ({typ.__name__})", errors)
+    rows = doc.get("rows")
+    if isinstance(rows, list):
+        if not rows:
+            fail(path, "rows must not be empty", errors)
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict) or not isinstance(row.get("series"), str):
+                fail(path, f"rows[{i}] must be an object with a string 'series'", errors)
+    for i, note in enumerate(doc.get("notes") or []):
+        if not isinstance(note, str):
+            fail(path, f"notes[{i}] must be a string", errors)
+    for i, ref in enumerate(doc.get("references") or []):
+        if not isinstance(ref, dict):
+            fail(path, f"references[{i}] must be an object", errors)
+            continue
+        if not isinstance(ref.get("metric"), str):
+            fail(path, f"references[{i}] missing string 'metric'", errors)
+        for key in ("measured", "paper"):
+            if not isinstance(ref.get(key), NUMBER):
+                fail(path, f"references[{i}] missing numeric {key!r}", errors)
+    for i, m in enumerate(doc.get("metrics") or []):
+        if not isinstance(m, dict) or "snapshot" not in m:
+            fail(path, f"metrics[{i}] must be an object with a 'snapshot'", errors)
+            continue
+        check_metrics_snapshot(path, f"metrics[{i}]", m["snapshot"], errors)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        check_report(path, errors)
+    for e in errors:
+        print(f"SCHEMA VIOLATION  {e}")
+    if errors:
+        return 1
+    print(f"OK: {len(argv) - 1} report(s) valid under bench schema v{BENCH_SCHEMA_VERSION}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
