@@ -1,0 +1,234 @@
+#include "src/exec/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "src/base/check.h"
+
+namespace hexec {
+namespace {
+
+// Per-thread parallelism state. `tls_in_region` marks that the current thread is executing
+// a ParallelFor body (nested loops collapse to serial); `tls_override` is the
+// ParallelismOverride pin (0 = none).
+thread_local bool tls_in_region = false;
+thread_local int tls_override = 0;
+
+std::atomic<int64_t> g_parallel_for_calls{0};
+
+int DefaultLanes() {
+  if (const char* env = std::getenv("HEXLLM_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) {
+      return static_cast<int>(std::min<long>(v, 256));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(hw == 0 ? 1u : hw, 8u));
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int workers) {
+  HEXLLM_CHECK(workers >= 0);
+  queues_.resize(static_cast<size_t>(workers));
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  if (threads_.empty()) {
+    // No workers: run inline. Submit()'s packaged_task still routes any exception into the
+    // future, so callers observe identical semantics.
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[next_queue_].push_back(std::move(fn));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(int worker, std::function<void()>* out) {
+  // Caller holds mu_. Own queue first (front), then steal from the back of siblings.
+  auto& own = queues_[static_cast<size_t>(worker)];
+  if (!own.empty()) {
+    *out = std::move(own.front());
+    own.pop_front();
+    return true;
+  }
+  const size_t n = queues_.size();
+  for (size_t i = 1; i < n; ++i) {
+    auto& q = queues_[(static_cast<size_t>(worker) + i) % n];
+    if (!q.empty()) {
+      *out = std::move(q.back());
+      q.pop_back();
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || TryPop(worker, &task); });
+      if (!task) {
+        if (stop_) {
+          // Drain: on shutdown keep pulling until every queue is empty.
+          if (!TryPop(worker, &task)) {
+            return;
+          }
+        } else {
+          continue;
+        }
+      }
+    }
+    const int act = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+    int peak = peak_active_.load(std::memory_order_relaxed);
+    while (act > peak &&
+           !peak_active_.compare_exchange_weak(peak, act, std::memory_order_relaxed)) {
+    }
+    task();
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultLanes() - 1);
+  return *pool;
+}
+
+int MaxSlots() {
+  if (tls_override > 0) {
+    return tls_override;
+  }
+  return ThreadPool::Global().workers() + 1;
+}
+
+int PlannedSlots(int64_t n) {
+  if (n <= 1 || tls_in_region) {
+    return 1;
+  }
+  return static_cast<int>(std::min<int64_t>(MaxSlots(), n));
+}
+
+int ParallelFor(int64_t n, const std::function<void(int64_t, int64_t, int)>& body,
+                int max_slots) {
+  if (n <= 0) {
+    return 0;
+  }
+  g_parallel_for_calls.fetch_add(1, std::memory_order_relaxed);
+  int slots = PlannedSlots(n);
+  slots = std::min(slots, std::max(1, max_slots));
+  if (slots == 1) {
+    const bool prev = tls_in_region;
+    tls_in_region = true;
+    try {
+      body(0, n, 0);
+    } catch (...) {
+      tls_in_region = prev;
+      throw;
+    }
+    tls_in_region = prev;
+    return 1;
+  }
+
+  auto range_begin = [n, slots](int s) { return n * s / slots; };
+
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(slots - 1));
+  const bool inline_extra_slots = pool.workers() == 0;
+  if (!inline_extra_slots) {
+    for (int s = 1; s < slots; ++s) {
+      futures.push_back(pool.Submit([&body, range_begin, s] {
+        const bool prev = tls_in_region;
+        tls_in_region = true;
+        try {
+          body(range_begin(s), range_begin(s + 1), s);
+        } catch (...) {
+          tls_in_region = prev;
+          throw;
+        }
+        tls_in_region = prev;
+      }));
+    }
+  }
+
+  // Slot 0 runs on the caller; with a 0-worker pool (override > 1 under
+  // HEXLLM_NUM_THREADS=1) every slot runs here sequentially in ascending order, preserving
+  // the exact slot decomposition with zero concurrency.
+  std::exception_ptr first_error;
+  const bool prev = tls_in_region;
+  tls_in_region = true;
+  const int caller_slots = inline_extra_slots ? slots : 1;
+  for (int s = 0; s < caller_slots; ++s) {
+    try {
+      body(range_begin(s), range_begin(s + 1), s);
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  tls_in_region = prev;
+
+  // Wait for every slot (even after a failure — bodies may reference caller stack state),
+  // then rethrow the lowest-slot exception.
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+  return slots;
+}
+
+ParallelismOverride::ParallelismOverride(int slots) : prev_(tls_override) {
+  HEXLLM_CHECK(slots >= 1);
+  tls_override = slots;
+}
+
+ParallelismOverride::~ParallelismOverride() { tls_override = prev_; }
+
+void ExportPoolMetrics(obs::Registry& registry) {
+  ThreadPool& pool = ThreadPool::Global();
+  registry.Set("exec.pool.workers", static_cast<double>(pool.workers()));
+  registry.Set("exec.pool.peak_active", static_cast<double>(pool.peak_active()));
+  registry.Count("exec.tasks.executed", pool.tasks_executed());
+  registry.Count("exec.tasks.stolen", pool.tasks_stolen());
+  registry.Count("exec.parallel_for.calls",
+                 g_parallel_for_calls.load(std::memory_order_relaxed));
+}
+
+}  // namespace hexec

@@ -57,6 +57,12 @@ class HmxEngine {
 
   int64_t tile_ops() const { return tile_ops_; }
   void ResetTileOps() { tile_ops_ = 0; }
+  // Adds `other`'s tile-op counter into this engine and zeroes it in `other`; used by
+  // NpuDevice::MergeShards to fold per-lane shard accounting back into the parent.
+  void AbsorbTileOps(HmxEngine& other) {
+    tile_ops_ += other.tile_ops_;
+    other.tile_ops_ = 0;
+  }
 
   // Cycles consumed by `n` tile MAC ops.
   int64_t TileOpCycles(int64_t n) const { return n * profile_.hmx_tile_cycles; }

@@ -92,6 +92,18 @@ class HvxContext {
   // --- packet accounting ---
   int64_t packets() const { return packets_; }
   void ResetPackets() { packets_ = 0; }
+  // Adds `other`'s instruction counters into this context and zeroes them in `other`; used
+  // by NpuDevice::MergeShards to fold per-lane shard accounting back into the parent.
+  void AbsorbCounters(HvxContext& other) {
+    packets_ += other.packets_;
+    vgather_ops_ += other.vgather_ops_;
+    vscatter_ops_ += other.vscatter_ops_;
+    vlut16_ops_ += other.vlut16_ops_;
+    other.packets_ = 0;
+    other.vgather_ops_ = 0;
+    other.vscatter_ops_ = 0;
+    other.vlut16_ops_ = 0;
+  }
   // Per-instruction-class counters for the observability layer (the LUT instructions are
   // the paper's headline mechanisms, so their usage is tracked explicitly).
   int64_t vgather_ops() const { return vgather_ops_; }

@@ -1,8 +1,21 @@
 // NpuDevice: the bundle of simulation state for one Hexagon NPU — profile, time ledger, TCM
 // arena, DMA engine, HMX engine, and an HVX context. Kernels in src/kernels take an
 // NpuDevice& and charge all their costs through it.
+//
+// Parallel execution (docs/threading_model.md): an NpuDevice is thread-COMPATIBLE, not
+// thread-safe. Parallel kernels never share one device across lanes; instead the owner
+// calls EnsureShards(n) up front and each ParallelFor slot s works against ForSlot(s) — a
+// private child NpuDevice with its own ledger/TCM/engines. After the region the caller
+// invokes MergeShards(), which folds every shard's ledger and HVX/HMX instruction counters
+// back into the parent IN SLOT ORDER (deterministic floating-point summation) and zeroes
+// the shards for reuse. Shard TCM high-watermarks are intentionally not merged: the
+// parent's watermark tracks the capacity story of the real single-TCM device, while shard
+// arenas model per-lane scratch partitions.
 #ifndef SRC_HEXSIM_NPU_DEVICE_H_
 #define SRC_HEXSIM_NPU_DEVICE_H_
+
+#include <memory>
+#include <vector>
 
 #include "src/hexsim/cycle_ledger.h"
 #include "src/hexsim/device_profile.h"
@@ -51,6 +64,46 @@ class NpuDevice {
     return t;
   }
 
+  // --- per-lane shard devices for deterministic parallel kernels ---
+  //
+  // EnsureShards/MergeShards must be called from the thread that owns this device, outside
+  // any parallel region; ForSlot may be called concurrently from distinct slots.
+
+  // Lazily creates shard devices 1..n-1 (slot 0 is the parent itself). Safe to call with a
+  // smaller n later; existing shards are kept.
+  void EnsureShards(int n) {
+    while (static_cast<int>(shards_.size()) < n - 1) {
+      shards_.push_back(std::make_unique<NpuDevice>(profile_));
+    }
+  }
+
+  int shard_count() const { return static_cast<int>(shards_.size()) + 1; }
+
+  // The device a ParallelFor body running as `slot` should charge against. Slot 0 is the
+  // parent device, preserving the exact serial code path for 1-lane runs.
+  NpuDevice& ForSlot(int slot) {
+    if (slot == 0) {
+      return *this;
+    }
+    HEXLLM_CHECK(slot >= 1 && slot <= static_cast<int>(shards_.size()));
+    return *shards_[static_cast<size_t>(slot - 1)];
+  }
+
+  // Shard accessor for lut/scratch setup on the owner thread (1-based, matching ForSlot).
+  NpuDevice& Shard(int i) { return ForSlot(i); }
+
+  // Folds every shard's ledger and HVX/HMX instruction counters into the parent, in
+  // ascending slot order, then zeroes the shard accounting (shard TCM contents — e.g.
+  // per-lane exp LUTs — survive for the next region).
+  void MergeShards() {
+    for (auto& shard : shards_) {
+      ledger_.MergeFrom(shard->ledger());
+      shard->ledger().Clear();
+      hvx_.AbsorbCounters(shard->hvx());
+      hmx_.AbsorbTileOps(shard->hmx());
+    }
+  }
+
  private:
   const DeviceProfile& profile_;
   CycleLedger ledger_;
@@ -58,6 +111,7 @@ class NpuDevice {
   DmaEngine dma_;
   HmxEngine hmx_;
   HvxContext hvx_;
+  std::vector<std::unique_ptr<NpuDevice>> shards_;
 };
 
 // Publishes the full activity profile of a simulated device into `registry` under the

@@ -6,6 +6,7 @@ namespace hexsim {
 
 std::shared_ptr<SharedBuffer> RpcmemPool::Alloc(int64_t bytes, std::string name) {
   HEXLLM_CHECK(bytes >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
   auto buf = std::make_shared<SharedBuffer>(next_id_++, bytes, std::move(name));
   total_bytes_ += bytes;
   ++alloc_count_;
@@ -14,6 +15,7 @@ std::shared_ptr<SharedBuffer> RpcmemPool::Alloc(int64_t bytes, std::string name)
 }
 
 void RpcmemPool::Free(const std::shared_ptr<SharedBuffer>& buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = std::find(live_.begin(), live_.end(), buf);
   if (it != live_.end()) {
     total_bytes_ -= (*it)->size();
@@ -23,6 +25,7 @@ void RpcmemPool::Free(const std::shared_ptr<SharedBuffer>& buf) {
 }
 
 void RpcmemPool::ExportTo(obs::Registry& registry) const {
+  std::lock_guard<std::mutex> lock(mu_);
   registry.Count("rpcmem.allocs", alloc_count_);
   registry.Count("rpcmem.frees", free_count_);
   int64_t flushes = 0;
@@ -35,6 +38,7 @@ void RpcmemPool::ExportTo(obs::Registry& registry) const {
 }
 
 bool NpuSession::MapBuffer(const std::shared_ptr<SharedBuffer>& buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (mapped_bytes_ + buf->size() > profile_.npu_vaddr_limit_bytes) {
     return false;
   }
@@ -44,6 +48,7 @@ bool NpuSession::MapBuffer(const std::shared_ptr<SharedBuffer>& buf) {
 }
 
 void NpuSession::UnmapBuffer(const std::shared_ptr<SharedBuffer>& buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = std::find(mapped_ids_.begin(), mapped_ids_.end(), buf->id());
   if (it != mapped_ids_.end()) {
     mapped_ids_.erase(it);
@@ -53,17 +58,17 @@ void NpuSession::UnmapBuffer(const std::shared_ptr<SharedBuffer>& buf) {
 
 double NpuSession::Submit(const OpRequest& req) {
   HEXLLM_CHECK_MSG(static_cast<bool>(handler_), "NpuSession has no op handler installed");
-  ++submitted_ops_;
+  submitted_ops_.fetch_add(1, std::memory_order_relaxed);
   // CPU flush of the request slot + NPU invalidate before polling reads it (§6).
-  coherence_ops_ += 2;
+  coherence_ops_.fetch_add(2, std::memory_order_relaxed);
   handler_(req);
   return kMailboxLatencySeconds;
 }
 
 void NpuSession::ExportTo(obs::Registry& registry) const {
-  registry.Count("session.submitted_ops", submitted_ops_);
-  registry.Count("session.coherence_ops", coherence_ops_);
-  registry.Set("session.mapped_bytes", static_cast<double>(mapped_bytes_));
+  registry.Count("session.submitted_ops", submitted_ops());
+  registry.Count("session.coherence_ops", coherence_ops());
+  registry.Set("session.mapped_bytes", static_cast<double>(mapped_bytes()));
   registry.Set("session.vaddr_limit_bytes", static_cast<double>(profile_.npu_vaddr_limit_bytes));
 }
 

@@ -15,9 +15,11 @@
 #ifndef SRC_HEXSIM_RPCMEM_H_
 #define SRC_HEXSIM_RPCMEM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,9 @@
 
 namespace hexsim {
 
+// Thread-safe: the dirty bit and flush counter are atomics, so buffers may be viewed and
+// flushed from parallel lanes (docs/threading_model.md). The storage bytes themselves are
+// NOT synchronized — disjoint-range writes are the caller's contract, as on real dmabufs.
 class SharedBuffer {
  public:
   SharedBuffer(int id, int64_t bytes, std::string name)
@@ -39,7 +44,7 @@ class SharedBuffer {
 
   // CPU-side view; marks the buffer CPU-dirty (writes may sit in the CPU cache).
   uint8_t* CpuView() {
-    cpu_dirty_ = true;
+    cpu_dirty_.store(true, std::memory_order_release);
     return storage_.data();
   }
   const uint8_t* CpuReadView() const { return storage_.data(); }
@@ -47,18 +52,18 @@ class SharedBuffer {
   // CPU cache flush + NPU-side invalidate, the maintenance pair required before the NPU
   // reads CPU-written data.
   void FlushForNpu() {
-    cpu_dirty_ = false;
-    ++flush_ops_;
+    cpu_dirty_.store(false, std::memory_order_release);
+    flush_ops_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Coherence maintenance pairs performed on this buffer (observability: the one-way
   // coherence traffic Figure 16's CPU cost partially consists of).
-  int64_t flush_ops() const { return flush_ops_; }
+  int64_t flush_ops() const { return flush_ops_.load(std::memory_order_relaxed); }
 
   // NPU-side view. Aborts if the CPU wrote the buffer and nobody flushed — on the phone this
   // is a silent stale-data bug; in the simulator it is a hard failure so tests catch it.
   uint8_t* NpuView() {
-    HEXLLM_CHECK_MSG(!cpu_dirty_,
+    HEXLLM_CHECK_MSG(!cpu_dirty_.load(std::memory_order_acquire),
                      "NPU read of CPU-dirty shared buffer without cache maintenance");
     return storage_.data();
   }
@@ -66,23 +71,28 @@ class SharedBuffer {
   // NPU writes are visible to the CPU without maintenance (the coherent direction).
   uint8_t* NpuWriteView() { return storage_.data(); }
 
-  bool cpu_dirty() const { return cpu_dirty_; }
+  bool cpu_dirty() const { return cpu_dirty_.load(std::memory_order_acquire); }
 
  private:
   int id_;
   std::string name_;
-  bool cpu_dirty_ = false;
-  int64_t flush_ops_ = 0;
+  std::atomic<bool> cpu_dirty_{false};
+  std::atomic<int64_t> flush_ops_{0};
   std::vector<uint8_t> storage_;
 };
 
+// Thread-safe: a single mutex guards the live list and accounting, so Alloc/Free/ExportTo
+// may race from parallel lanes.
 class RpcmemPool {
  public:
   // Allocates a shared (dmabuf-backed) buffer. Name is for accounting/debugging.
   std::shared_ptr<SharedBuffer> Alloc(int64_t bytes, std::string name);
 
   // Total dmabuf bytes currently allocated (Figure 16's "memory used by NPU").
-  int64_t total_bytes() const { return total_bytes_; }
+  int64_t total_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
+  }
 
   void Free(const std::shared_ptr<SharedBuffer>& buf);
 
@@ -92,6 +102,7 @@ class RpcmemPool {
   void ExportTo(obs::Registry& registry) const;
 
  private:
+  mutable std::mutex mu_;
   int next_id_ = 1;
   int64_t total_bytes_ = 0;
   int64_t alloc_count_ = 0;
@@ -118,7 +129,10 @@ class NpuSession {
 
   void UnmapBuffer(const std::shared_ptr<SharedBuffer>& buf);
 
-  int64_t mapped_bytes() const { return mapped_bytes_; }
+  int64_t mapped_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return mapped_bytes_;
+  }
 
   // Installs the NPU-side op executor (the "thread that continuously polls").
   void SetHandler(std::function<void(const OpRequest&)> handler) {
@@ -130,11 +144,11 @@ class NpuSession {
   // than a default FastRPC invocation).
   double Submit(const OpRequest& req);
 
-  int64_t submitted_ops() const { return submitted_ops_; }
+  int64_t submitted_ops() const { return submitted_ops_.load(std::memory_order_relaxed); }
 
   // Cache maintenance operations performed on the mailbox path (one CPU flush + one NPU
   // invalidate per submitted op, the §6 one-way coherence discipline).
-  int64_t coherence_ops() const { return coherence_ops_; }
+  int64_t coherence_ops() const { return coherence_ops_.load(std::memory_order_relaxed); }
 
   // Publishes session accounting:
   //   counters session.submitted_ops, session.coherence_ops
@@ -147,9 +161,10 @@ class NpuSession {
  private:
   const DeviceProfile& profile_;
   std::function<void(const OpRequest&)> handler_;
+  mutable std::mutex mu_;  // guards mapped_bytes_ / mapped_ids_
   int64_t mapped_bytes_ = 0;
-  int64_t submitted_ops_ = 0;
-  int64_t coherence_ops_ = 0;
+  std::atomic<int64_t> submitted_ops_{0};
+  std::atomic<int64_t> coherence_ops_{0};
   std::vector<int> mapped_ids_;
 };
 

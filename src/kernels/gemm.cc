@@ -5,6 +5,7 @@
 
 #include "src/base/check.h"
 #include "src/base/math_util.h"
+#include "src/exec/thread_pool.h"
 #include "src/hexsim/hmx.h"
 
 namespace hkern {
@@ -24,56 +25,90 @@ double GemmF16Hmx(hexsim::NpuDevice& dev, const F16* a, const F16* b_tiles, F16*
                   int k, int n, bool operands_in_tcm) {
   HEXLLM_CHECK(m % 32 == 0 && k % 32 == 0 && n % 32 == 0);
   dev.ledger().AddCount("kernel.gemm_hmx.calls");
-  HmxEngine& hmx = dev.hmx();
-  hexsim::Tcm& tcm = dev.tcm();
-  hexsim::TcmFrame frame(tcm);
 
   const int mt = m / 32;
   const int kt = k / 32;
   const int nt = n / 32;
 
-  // Working tiles in TCM: one A strip (kt tiles), one B strip (kt tiles), one output tile.
-  F16* a_strip = reinterpret_cast<F16*>(tcm.Alloc(static_cast<int64_t>(kt) * HmxEngine::kTileBytes));
-  F16* b_strip = reinterpret_cast<F16*>(tcm.Alloc(static_cast<int64_t>(kt) * HmxEngine::kTileBytes));
-  F16* out_tile = reinterpret_cast<F16*>(tcm.Alloc(HmxEngine::kTileBytes));
+  // Row-strips are independent: each ParallelFor slot runs the legacy strip loop against
+  // its own shard device (private TCM scratch + counters), writing a disjoint slice of `c`.
+  // The decomposition is deterministic and every output tile sees the identical op
+  // sequence, so results and counters are bit-identical at any lane count.
+  const int slots = hexec::PlannedSlots(mt);
+  dev.EnsureShards(slots);
+  std::vector<double> dma_by_slot(static_cast<size_t>(slots), 0.0);
+  std::vector<int64_t> pack_by_slot(static_cast<size_t>(slots), 0);
+  std::vector<int64_t> tiles_by_slot(static_cast<size_t>(slots), 0);
+
+  hexec::ParallelFor(
+      mt,
+      [&](int64_t mi_begin, int64_t mi_end, int slot) {
+        hexsim::NpuDevice& d = dev.ForSlot(slot);
+        HmxEngine& hmx = d.hmx();
+        hexsim::Tcm& tcm = d.tcm();
+        hexsim::TcmFrame frame(tcm);
+
+        // Working tiles in TCM: one A strip (kt tiles), one B strip, one output tile.
+        F16* a_strip =
+            reinterpret_cast<F16*>(tcm.Alloc(static_cast<int64_t>(kt) * HmxEngine::kTileBytes));
+        F16* b_strip =
+            reinterpret_cast<F16*>(tcm.Alloc(static_cast<int64_t>(kt) * HmxEngine::kTileBytes));
+        F16* out_tile = reinterpret_cast<F16*>(tcm.Alloc(HmxEngine::kTileBytes));
+
+        double dma_s = 0.0;
+        int64_t pack_packets = 0;
+        int64_t tile_ops = 0;
+        std::vector<float> acc(HmxEngine::kTileElems);
+
+        for (int64_t mi = mi_begin; mi < mi_end; ++mi) {
+          // Pack the A row-strip into tiles (charged; skipped cost-wise if operands
+          // pre-packed in TCM — Table 2's peak setup keeps activations resident and
+          // pre-packed).
+          for (int ki = 0; ki < kt; ++ki) {
+            HmxEngine::PackTile(a + (mi * 32) * k + ki * 32, k,
+                                a_strip + ki * HmxEngine::kTileElems);
+            if (!operands_in_tcm) {
+              pack_packets += 16;
+            }
+          }
+          for (int ni = 0; ni < nt; ++ni) {
+            // B tiles for output column ni: contiguous in the tile stream (column-major
+            // tiles).
+            const F16* b_src = b_tiles + (static_cast<int64_t>(ni) * kt) * HmxEngine::kTileElems;
+            if (operands_in_tcm) {
+              std::memcpy(b_strip, b_src, static_cast<size_t>(kt) * HmxEngine::kTileBytes);
+            } else {
+              dma_s += d.dma().Transfer1D(b_strip, b_src,
+                                          static_cast<int64_t>(kt) * HmxEngine::kTileBytes,
+                                          DmaDirection::kDdrToTcm);
+            }
+            std::fill(acc.begin(), acc.end(), 0.0f);
+            for (int ki = 0; ki < kt; ++ki) {
+              hmx.TileMacc(tcm, a_strip + ki * HmxEngine::kTileElems,
+                           b_strip + ki * HmxEngine::kTileElems, acc.data());
+              ++tile_ops;
+            }
+            hmx.StoreAcc(acc.data(), out_tile, nullptr, nullptr);
+            HmxEngine::UnpackTile(out_tile, c + (mi * 32) * n + ni * 32, n);
+            if (!operands_in_tcm) {
+              pack_packets += 4;
+            }
+          }
+        }
+        dma_by_slot[static_cast<size_t>(slot)] = dma_s;
+        pack_by_slot[static_cast<size_t>(slot)] = pack_packets;
+        tiles_by_slot[static_cast<size_t>(slot)] = tile_ops;
+      },
+      slots);
+  dev.MergeShards();
 
   double dma_s = 0.0;
   int64_t pack_packets = 0;
   int64_t tile_ops = 0;
-  std::vector<float> acc(HmxEngine::kTileElems);
-
-  for (int mi = 0; mi < mt; ++mi) {
-    // Pack the A row-strip into tiles (charged; skipped cost-wise if operands pre-packed in
-    // TCM — Table 2's peak setup keeps activations resident and pre-packed).
-    for (int ki = 0; ki < kt; ++ki) {
-      HmxEngine::PackTile(a + (static_cast<int64_t>(mi) * 32) * k + ki * 32, k,
-                          a_strip + ki * HmxEngine::kTileElems);
-      if (!operands_in_tcm) {
-        pack_packets += 16;
-      }
-    }
-    for (int ni = 0; ni < nt; ++ni) {
-      // B tiles for output column ni: contiguous in the tile stream (column-major tiles).
-      const F16* b_src = b_tiles + (static_cast<int64_t>(ni) * kt) * HmxEngine::kTileElems;
-      if (operands_in_tcm) {
-        std::memcpy(b_strip, b_src, static_cast<size_t>(kt) * HmxEngine::kTileBytes);
-      } else {
-        dma_s += dev.dma().Transfer1D(b_strip, b_src,
-                                      static_cast<int64_t>(kt) * HmxEngine::kTileBytes,
-                                      DmaDirection::kDdrToTcm);
-      }
-      std::fill(acc.begin(), acc.end(), 0.0f);
-      for (int ki = 0; ki < kt; ++ki) {
-        hmx.TileMacc(tcm, a_strip + ki * HmxEngine::kTileElems,
-                     b_strip + ki * HmxEngine::kTileElems, acc.data());
-        ++tile_ops;
-      }
-      hmx.StoreAcc(acc.data(), out_tile, nullptr, nullptr);
-      HmxEngine::UnpackTile(out_tile, c + (static_cast<int64_t>(mi) * 32) * n + ni * 32, n);
-      if (!operands_in_tcm) {
-        pack_packets += 4;
-      }
-    }
+  for (int s = 0; s < slots; ++s) {
+    dma_s += dma_by_slot[static_cast<size_t>(s)];
+    pack_packets += pack_by_slot[static_cast<size_t>(s)];
+    tile_ops += tiles_by_slot[static_cast<size_t>(s)];
   }
 
   const double hmx_s = dev.CommitHmxTileOps(tile_ops, "gemm.hmx");
@@ -98,20 +133,32 @@ double GemmF16Hvx(hexsim::NpuDevice& dev, const F16* a, const F16* b, F16* c, in
   HvxContext& ctx = dev.hvx();
   const int64_t start = ctx.packets();
 
-  for (int mi = 0; mi < m; ++mi) {
-    for (int nc = 0; nc < n; nc += 64) {
-      HvxVec acc{};  // register clear, no packet
-      for (int ki = 0; ki < k; ++ki) {
-        const HvxVec av = ctx.VSplatHf(a[static_cast<int64_t>(mi) * k + ki].ToFloat());
-        const HvxVec bv = ctx.LoadAligned(b + static_cast<int64_t>(ki) * n + nc);
-        const HvxVec prod = ctx.VMpyHf(av, bv);
-        acc = ctx.VAddHf(acc, prod);
-        ctx.ChargeStalls(1);  // address update / accumulation-dependency bubble
-      }
-      acc = ctx.ConvertQf(acc);
-      ctx.Store(c + static_cast<int64_t>(mi) * n + nc, acc);
-    }
-  }
+  // Output rows are independent; each slot runs the legacy row loop on its shard context.
+  // Per-chunk packet cost is position-independent, so the merged parent packet delta equals
+  // the serial count exactly (checked below).
+  const int slots = hexec::PlannedSlots(m);
+  dev.EnsureShards(slots);
+  hexec::ParallelFor(
+      m,
+      [&](int64_t mi_begin, int64_t mi_end, int slot) {
+        HvxContext& sctx = dev.ForSlot(slot).hvx();
+        for (int64_t mi = mi_begin; mi < mi_end; ++mi) {
+          for (int nc = 0; nc < n; nc += 64) {
+            HvxVec acc{};  // register clear, no packet
+            for (int ki = 0; ki < k; ++ki) {
+              const HvxVec av = sctx.VSplatHf(a[mi * k + ki].ToFloat());
+              const HvxVec bv = sctx.LoadAligned(b + static_cast<int64_t>(ki) * n + nc);
+              const HvxVec prod = sctx.VMpyHf(av, bv);
+              acc = sctx.VAddHf(acc, prod);
+              sctx.ChargeStalls(1);  // address update / accumulation-dependency bubble
+            }
+            acc = sctx.ConvertQf(acc);
+            sctx.Store(c + mi * n + nc, acc);
+          }
+        }
+      },
+      slots);
+  dev.MergeShards();
 
   const int64_t used = ctx.packets() - start;
   HEXLLM_CHECK(used == GemmF16HvxPackets(dev.profile(), m, k, n));

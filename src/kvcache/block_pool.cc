@@ -13,6 +13,7 @@ BlockPool::BlockPool(int64_t capacity) : capacity_(capacity) {
 }
 
 int BlockPool::Alloc() {
+  std::lock_guard<std::mutex> lock(mu_);
   int id;
   if (!free_list_.empty()) {
     id = free_list_.back();
@@ -33,12 +34,14 @@ int BlockPool::Alloc() {
 }
 
 void BlockPool::AddRef(int block) {
+  std::lock_guard<std::mutex> lock(mu_);
   HEXLLM_CHECK(block >= 0 && block < static_cast<int>(refs_.size()));
   HEXLLM_CHECK(refs_[static_cast<size_t>(block)] > 0);
   ++refs_[static_cast<size_t>(block)];
 }
 
 bool BlockPool::Unref(int block) {
+  std::lock_guard<std::mutex> lock(mu_);
   HEXLLM_CHECK(block >= 0 && block < static_cast<int>(refs_.size()));
   HEXLLM_CHECK_MSG(refs_[static_cast<size_t>(block)] > 0, "double free of KV block");
   if (--refs_[static_cast<size_t>(block)] > 0) {
@@ -50,6 +53,7 @@ bool BlockPool::Unref(int block) {
 }
 
 int BlockPool::ref_count(int block) const {
+  std::lock_guard<std::mutex> lock(mu_);
   HEXLLM_CHECK(block >= 0 && block < static_cast<int>(refs_.size()));
   return refs_[static_cast<size_t>(block)];
 }
@@ -58,6 +62,7 @@ int64_t BlockPool::free_blocks() const {
   if (capacity_ <= 0) {
     return std::numeric_limits<int64_t>::max();
   }
+  std::lock_guard<std::mutex> lock(mu_);
   return capacity_ - used_;
 }
 

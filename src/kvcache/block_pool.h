@@ -1,17 +1,24 @@
-// Fixed-size-block pool with reference counting: the physical half of the paged KV cache.
-//
-// A block is an opaque id; what it stores (KV rows, nothing at all for the analytic
-// accountant) is the caller's business. The pool only manages the free list and per-block
-// reference counts. Sharing a prompt prefix or forking a beam stem is AddRef on the blocks
-// involved; a block returns to the free list when its last reference drops. The free list is
-// LIFO so the most recently freed block (hottest KV region) is the first reused.
-//
-// Capacity can be bounded (a real storage-backed pool, or a DRAM-budgeted accountant) or
-// unbounded (capacity <= 0: ids grow on demand — pure accounting).
+/// \file
+/// Fixed-size-block pool with reference counting: the physical half of the paged KV cache.
+///
+/// A block is an opaque id; what it stores (KV rows, nothing at all for the analytic
+/// accountant) is the caller's business. The pool only manages the free list and per-block
+/// reference counts. Sharing a prompt prefix or forking a beam stem is AddRef on the blocks
+/// involved; a block returns to the free list when its last reference drops. The free list
+/// is LIFO so the most recently freed block (hottest KV region) is the first reused.
+///
+/// Capacity can be bounded (a real storage-backed pool, or a DRAM-budgeted accountant) or
+/// unbounded (capacity <= 0: ids grow on demand — pure accounting).
+///
+/// Thread-safe: one mutex guards the free list, refcounts, and usage accounting, so
+/// Alloc/AddRef/Unref may be called from parallel lanes (docs/threading_model.md). The
+/// serving layer still allocates on the admission path single-threaded; the lock is what
+/// makes concurrent refcount traffic from parallel decode rows correct.
 #ifndef SRC_KVCACHE_BLOCK_POOL_H_
 #define SRC_KVCACHE_BLOCK_POOL_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace hkv {
@@ -32,12 +39,19 @@ class BlockPool {
   int ref_count(int block) const;
   bool bounded() const { return capacity_ > 0; }
   int64_t capacity() const { return capacity_; }
-  int64_t used_blocks() const { return used_; }
-  int64_t peak_used_blocks() const { return peak_used_; }
+  int64_t used_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+  }
+  int64_t peak_used_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_used_;
+  }
   // Blocks still allocatable; meaningless (INT64_MAX) for unbounded pools.
   int64_t free_blocks() const;
 
  private:
+  mutable std::mutex mu_;
   int64_t capacity_;
   int64_t used_ = 0;
   int64_t peak_used_ = 0;

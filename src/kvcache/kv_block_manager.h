@@ -1,20 +1,25 @@
-// Per-sequence block tables with prefix sharing and copy-on-write forking — the logical
-// half of the paged KV cache, storage-free.
-//
-// A sequence's KV positions map to pool blocks through its block table:
-//   position p  ->  table[p / block_tokens], row offset p % block_tokens.
-// Sharing is block-granular: admitting N candidates of one prompt maps their prompt blocks
-// to ONE physical copy (AddRef); forking a beam stem maps the whole parent table. A shared
-// block stays read-only; the first append that lands in a shared block triggers a
-// copy-on-write split (the writer gets a private copy, the other owners keep the original).
-//
-// The manager is deliberately storage-free so it serves two masters:
-//   * hkv::PagedKvCache embeds it and applies the returned WriteAccess/freed-block events to
-//     real F16 storage (copying on CoW splits, poisoning freed blocks in debug builds);
-//   * hserve::AnalyticBackend drives one directly as a DRAM accountant for full-size models
-//     where materializing KV would cost gigabytes — same block math, no bytes.
-// Driving both with the same operation stream yields bit-identical block statistics, which
-// the serving tests assert.
+/// \file
+/// Per-sequence block tables with prefix sharing and copy-on-write forking — the logical
+/// half of the paged KV cache, storage-free.
+///
+/// A sequence's KV positions map to pool blocks through its block table:
+///   position p  ->  table[p / block_tokens], row offset p % block_tokens.
+/// Sharing is block-granular: admitting N candidates of one prompt maps their prompt blocks
+/// to ONE physical copy (AddRef); forking a beam stem maps the whole parent table. A shared
+/// block stays read-only; the first append that lands in a shared block triggers a
+/// copy-on-write split (the writer gets a private copy, the other owners keep the original).
+///
+/// The manager is deliberately storage-free so it serves two masters:
+///   * hkv::PagedKvCache embeds it and applies the returned WriteAccess/freed-block events
+///     to real F16 storage (copying on CoW splits, poisoning freed blocks in debug builds);
+///   * hserve::AnalyticBackend drives one directly as a DRAM accountant for full-size
+///     models where materializing KV would cost gigabytes — same block math, no bytes.
+/// Driving both with the same operation stream yields bit-identical block statistics, which
+/// the serving tests assert.
+///
+/// Thread-compatible, not thread-safe: the serving layer mutates block tables only from the
+/// admission/step bookkeeping thread. Parallel decode lanes touch the underlying BlockPool
+/// (which is mutexed), never the tables (docs/threading_model.md).
 #ifndef SRC_KVCACHE_KV_BLOCK_MANAGER_H_
 #define SRC_KVCACHE_KV_BLOCK_MANAGER_H_
 

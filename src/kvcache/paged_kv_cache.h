@@ -1,16 +1,22 @@
-// Paged, ref-counted FP16 KV cache with prefix sharing and copy-on-write forking.
-//
-// Replaces the dense [max_batch x max_context] slab: physical storage is a pool of
-// fixed-size position-blocks (default 32 positions — one HMX tile height — of K and V rows
-// for every layer), and each sequence maps its logical positions onto blocks through a block
-// table (hkv::KvBlockManager). Parallel test-time-scaling candidates admitted from one
-// prompt share the prompt's blocks physically; beam-search children fork a completed stem by
-// mapping its blocks, and the first divergent write into a shared tail block splits it
-// (copy-on-write) without touching the other owners.
-//
-// In debug builds, a block whose last reference drops is poisoned with FP16 NaNs so a stale
-// block-table entry (use-after-free of reclaimed KV rows) corrupts attention loudly instead
-// of silently reusing old rows.
+/// \file
+/// Paged, ref-counted FP16 KV cache with prefix sharing and copy-on-write forking.
+///
+/// Replaces the dense [max_batch x max_context] slab: physical storage is a pool of
+/// fixed-size position-blocks (default 32 positions — one HMX tile height — of K and V rows
+/// for every layer), and each sequence maps its logical positions onto blocks through a
+/// block table (hkv::KvBlockManager). Parallel test-time-scaling candidates admitted from
+/// one prompt share the prompt's blocks physically; beam-search children fork a completed
+/// stem by mapping its blocks, and the first divergent write into a shared tail block
+/// splits it (copy-on-write) without touching the other owners.
+///
+/// In debug builds, a block whose last reference drops is poisoned with FP16 NaNs so a
+/// stale block-table entry (use-after-free of reclaimed KV rows) corrupts attention loudly
+/// instead of silently reusing old rows.
+///
+/// Thread-compatible: appends/resets run on the bookkeeping thread; parallel attention
+/// lanes only READ rows through KeyRowAt/ValueRowAt during a step, which is safe because
+/// every append for the step completes before the parallel region starts
+/// (docs/threading_model.md).
 #ifndef SRC_KVCACHE_PAGED_KV_CACHE_H_
 #define SRC_KVCACHE_PAGED_KV_CACHE_H_
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/base/check.h"
+#include "src/exec/thread_pool.h"
 #include "src/kernels/attention.h"
 #include "src/kernels/lm_head.h"
 #include "src/kernels/misc_ops.h"
@@ -18,6 +19,20 @@ Transformer::Transformer(hexsim::NpuDevice& dev, const ModelWeights& weights, in
       kv_(weights.config.layers, weights.config.kv_dim(), max_batch, max_context,
           hkv::kDefaultBlockTokens, kv_pool_blocks),
       max_batch_(max_batch) {}
+
+std::span<const hkern::ExpLut* const> Transformer::EnsureShardLuts(int slots) {
+  dev_.EnsureShards(slots);
+  if (slot_lut_ptrs_.empty()) {
+    slot_lut_ptrs_.push_back(&lut_);
+  }
+  while (static_cast<int>(slot_lut_ptrs_.size()) < slots) {
+    const int slot = static_cast<int>(slot_lut_ptrs_.size());
+    shard_luts_.push_back(std::make_unique<hkern::ExpLut>(dev_.Shard(slot)));
+    slot_lut_ptrs_.push_back(shard_luts_.back().get());
+  }
+  return std::span<const hkern::ExpLut* const>(slot_lut_ptrs_.data(),
+                                               static_cast<size_t>(slots));
+}
 
 void Transformer::Step(std::span<const int> tokens, std::span<float> logits,
                        hkern::SoftmaxVariant exp_variant) {
@@ -75,10 +90,8 @@ void Transformer::PrefillChunk(int seq, std::span<const int> tokens) {
   std::vector<F16> up(static_cast<size_t>(rows) * c.ffn_hidden);
   std::vector<F16> act(static_cast<size_t>(rows) * c.ffn_hidden);
   const int kv_len = pos0 + rows;
-  std::vector<F16> k_head(static_cast<size_t>(kv_len) * dh);
-  std::vector<F16> v_head(static_cast<size_t>(kv_len) * dh);
-  std::vector<F16> q_head(static_cast<size_t>(rows) * dh);
-  std::vector<F16> o_head(static_cast<size_t>(rows) * dh);
+  const auto slot_luts =
+      EnsureShardLuts(std::min(hexec::PlannedSlots(c.heads), c.heads));
 
   for (int l = 0; l < c.layers; ++l) {
     const LayerWeights& lw = weights_.layers[static_cast<size_t>(l)];
@@ -108,30 +121,26 @@ void Transformer::PrefillChunk(int seq, std::span<const int> tokens) {
                   static_cast<size_t>(kv_dim) * 2);
     }
 
-    // Causal FlashAttention over the chunk: rows x [0, kv_len) with offset pos0. K/V rows
-    // gather per position through the paged cache's block tables.
-    for (int h = 0; h < c.heads; ++h) {
-      const int kvh = h / group;
-      for (int t = 0; t < kv_len; ++t) {
-        std::memcpy(k_head.data() + static_cast<size_t>(t) * dh,
-                    kv_.KeyRowAt(l, seq, t) + kvh * dh, static_cast<size_t>(dh) * 2);
-        std::memcpy(v_head.data() + static_cast<size_t>(t) * dh,
-                    kv_.ValueRowAt(l, seq, t) + kvh * dh, static_cast<size_t>(dh) * 2);
-      }
-      for (int r = 0; r < rows; ++r) {
-        std::memcpy(q_head.data() + static_cast<size_t>(r) * dh,
-                    q.data() + static_cast<size_t>(r) * q_dim + h * dh,
-                    static_cast<size_t>(dh) * 2);
-      }
-      hkern::FlashAttentionF16(dev_, lut_, hkern::SoftmaxVariant::kLut, q_head.data(),
-                               k_head.data(), v_head.data(), o_head.data(), rows, kv_len, dh,
-                               scale, /*q_pos_offset=*/pos0);
-      for (int r = 0; r < rows; ++r) {
-        std::memcpy(attn_out.data() + static_cast<size_t>(r) * q_dim + h * dh,
-                    o_head.data() + static_cast<size_t>(r) * dh,
-                    static_cast<size_t>(dh) * 2);
-      }
-    }
+    // Causal FlashAttention over the chunk: rows x [0, kv_len) with offset pos0, heads in
+    // parallel across slots. K/V rows gather per position through the paged cache's block
+    // tables (read-only here — the append loop above already ran).
+    hkern::FlashAttentionHeadsF16(
+        dev_, slot_luts, hkern::SoftmaxVariant::kLut, c.heads,
+        [&](int h, F16* k_dst, F16* v_dst, F16* q_dst) {
+          const int kvh = h / group;
+          for (int t = 0; t < kv_len; ++t) {
+            std::memcpy(k_dst + static_cast<size_t>(t) * dh,
+                        kv_.KeyRowAt(l, seq, t) + kvh * dh, static_cast<size_t>(dh) * 2);
+            std::memcpy(v_dst + static_cast<size_t>(t) * dh,
+                        kv_.ValueRowAt(l, seq, t) + kvh * dh, static_cast<size_t>(dh) * 2);
+          }
+          for (int r = 0; r < rows; ++r) {
+            std::memcpy(q_dst + static_cast<size_t>(r) * dh,
+                        q.data() + static_cast<size_t>(r) * q_dim + h * dh,
+                        static_cast<size_t>(dh) * 2);
+          }
+        },
+        attn_out.data(), q_dim, rows, kv_len, dh, scale, /*q_pos_offset=*/pos0);
 
     lw.wo.Forward(dev_, attn_out.data(), proj.data(), rows);
     hkern::AddF16(dev_, x.data(), proj.data(), x.data(), static_cast<int64_t>(rows) * hidden);
@@ -213,28 +222,47 @@ void Transformer::StepSeqSubset(std::span<const int> tokens, std::span<const int
                   static_cast<size_t>(kv_dim) * 2);
     }
 
-    for (int b = 0; b < batch; ++b) {
-      const int seq = seq_ids[static_cast<size_t>(b)];
-      const int kv_len = kv_.length(seq) + 1;  // includes the row just written
-      // Block-table gather: head views copied contiguous for the attention kernel (on the
-      // phone the KV cache is stored head-major per block; the copy is a simulation
-      // convenience).
-      std::vector<F16> k_head(static_cast<size_t>(kv_len) * dh);
-      std::vector<F16> v_head(static_cast<size_t>(kv_len) * dh);
-      for (int h = 0; h < c.heads; ++h) {
-        const int kvh = h / group;
-        for (int t = 0; t < kv_len; ++t) {
-          std::memcpy(k_head.data() + static_cast<size_t>(t) * dh,
-                      kv_.KeyRowAt(l, seq, t) + kvh * dh, static_cast<size_t>(dh) * 2);
-          std::memcpy(v_head.data() + static_cast<size_t>(t) * dh,
-                      kv_.ValueRowAt(l, seq, t) + kvh * dh, static_cast<size_t>(dh) * 2);
-        }
-        hkern::FlashAttentionF16(dev_, lut_, exp_variant,
-                                 q.data() + static_cast<size_t>(b) * q_dim + h * dh,
-                                 k_head.data(), v_head.data(),
-                                 attn_out.data() + static_cast<size_t>(b) * q_dim + h * dh,
-                                 /*q_len=*/1, kv_len, dh, scale);
-      }
+    // Per-row parallel attention: each batch row is an independent query against its own
+    // sequence's KV, so rows fan out across slots, each charging its slot's shard device
+    // (per-slot exp LUT included). The KV cache is read-only in this region — the append
+    // loop above already ran — and attn_out rows are disjoint, so results are bit-identical
+    // at any lane count. Shard accounting merges back right after the loop.
+    {
+      const int slots = hexec::PlannedSlots(batch);
+      const auto slot_luts = EnsureShardLuts(slots);
+      hexec::ParallelFor(
+          batch,
+          [&](int64_t b_begin, int64_t b_end, int slot) {
+            hexsim::NpuDevice& d = dev_.ForSlot(slot);
+            const hkern::ExpLut& lut = *slot_luts[static_cast<size_t>(slot)];
+            for (int64_t b = b_begin; b < b_end; ++b) {
+              const int seq = seq_ids[static_cast<size_t>(b)];
+              const int kv_len = kv_.length(seq) + 1;  // includes the row just written
+              // Block-table gather: head views copied contiguous for the attention kernel
+              // (on the phone the KV cache is stored head-major per block; the copy is a
+              // simulation convenience).
+              std::vector<F16> k_head(static_cast<size_t>(kv_len) * dh);
+              std::vector<F16> v_head(static_cast<size_t>(kv_len) * dh);
+              for (int h = 0; h < c.heads; ++h) {
+                const int kvh = h / group;
+                for (int t = 0; t < kv_len; ++t) {
+                  std::memcpy(k_head.data() + static_cast<size_t>(t) * dh,
+                              kv_.KeyRowAt(l, seq, t) + kvh * dh,
+                              static_cast<size_t>(dh) * 2);
+                  std::memcpy(v_head.data() + static_cast<size_t>(t) * dh,
+                              kv_.ValueRowAt(l, seq, t) + kvh * dh,
+                              static_cast<size_t>(dh) * 2);
+                }
+                hkern::FlashAttentionF16(
+                    d, lut, exp_variant, q.data() + static_cast<size_t>(b) * q_dim + h * dh,
+                    k_head.data(), v_head.data(),
+                    attn_out.data() + static_cast<size_t>(b) * q_dim + h * dh,
+                    /*q_len=*/1, kv_len, dh, scale);
+              }
+            }
+          },
+          slots);
+      dev_.MergeShards();
     }
 
     lw.wo.Forward(dev_, attn_out.data(), proj.data(), batch);

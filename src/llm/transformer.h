@@ -13,6 +13,7 @@
 #define SRC_LLM_TRANSFORMER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -68,11 +69,20 @@ class Transformer {
   // starting at the sequence's current KV length.
   void PrefillChunk(int seq, std::span<const int> tokens);
 
+  // Parallel attention needs one exp LUT per execution slot, resident in that slot's shard
+  // TCM (the softmax vgathers the table from the device it runs on). Lazily builds shard
+  // devices + LUTs up to `slots` on the calling thread and returns the per-slot pointers
+  // (slot 0 is the parent device's lut_). LUT builds are charged on the shard ledgers and
+  // folded into the parent at the next merge.
+  std::span<const hkern::ExpLut* const> EnsureShardLuts(int slots);
+
   hexsim::NpuDevice& dev_;
   const ModelWeights& weights_;
   hkern::ExpLut lut_;
   KvCache kv_;
   int max_batch_;
+  std::vector<std::unique_ptr<hkern::ExpLut>> shard_luts_;
+  std::vector<const hkern::ExpLut*> slot_lut_ptrs_;
 };
 
 }  // namespace hllm

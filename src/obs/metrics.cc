@@ -37,6 +37,7 @@ Histogram::Histogram(HistogramBuckets buckets) : buckets_(std::move(buckets)) {
 }
 
 void Histogram::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t i = 0;
   while (i < buckets_.bounds.size() && v > buckets_.bounds[i]) {
     ++i;
@@ -61,6 +62,7 @@ void Registry::CheckKind(const Key& key, Kind kind) {
 
 Counter& Registry::counter(std::string_view name, std::string_view label) {
   Key key{std::string(name), std::string(label)};
+  std::lock_guard<std::mutex> lock(mu_);
   CheckKind(key, Kind::kCounter);
   auto& slot = counters_[key];
   if (slot == nullptr) {
@@ -71,6 +73,7 @@ Counter& Registry::counter(std::string_view name, std::string_view label) {
 
 Gauge& Registry::gauge(std::string_view name, std::string_view label) {
   Key key{std::string(name), std::string(label)};
+  std::lock_guard<std::mutex> lock(mu_);
   CheckKind(key, Kind::kGauge);
   auto& slot = gauges_[key];
   if (slot == nullptr) {
@@ -82,6 +85,7 @@ Gauge& Registry::gauge(std::string_view name, std::string_view label) {
 Histogram& Registry::histogram(std::string_view name, const HistogramBuckets& buckets,
                                std::string_view label) {
   Key key{std::string(name), std::string(label)};
+  std::lock_guard<std::mutex> lock(mu_);
   CheckKind(key, Kind::kHistogram);
   auto& slot = histograms_[key];
   if (slot == nullptr) {
@@ -94,6 +98,7 @@ Histogram& Registry::histogram(std::string_view name, const HistogramBuckets& bu
 }
 
 MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s;
   s.counters.reserve(counters_.size());
   for (const auto& [key, c] : counters_) {
@@ -113,6 +118,7 @@ MetricsSnapshot Registry::Snapshot() const {
 }
 
 void Registry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   kinds_.clear();
   counters_.clear();
   gauges_.clear();

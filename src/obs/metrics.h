@@ -12,10 +12,14 @@
 // is one metric name fanned out over a small string label (e.g. "hexsim.tag_seconds"
 // labeled "attn.softmax") — the label is a data dimension, not part of the name.
 //
-// Hot-path cost: Counter::Add and Gauge::Set are single inline stores; Histogram::Observe
-// is a branchless-enough linear bucket scan over a handful of bounds. Registry lookups
-// (the map walk) happen once at wiring time — hold the returned reference. The simulator
-// is single-threaded, so there are deliberately no atomics or locks.
+// Hot-path cost and thread safety (docs/threading_model.md): Counter::Add and Gauge::Set
+// are single relaxed atomic RMW/stores — safe to call from parallel lanes, and exactly as
+// cheap as plain stores when uncontended. Histogram::Observe and every Registry method
+// (metric registration, Snapshot, Clear) take a mutex; hold the returned Counter/Gauge
+// reference across the hot loop so the map walk happens once at wiring time. Relaxed
+// ordering means concurrent Adds never lose increments but a Snapshot taken while writers
+// are running is only guaranteed per-metric-consistent, not a cross-metric cut; every
+// caller in this repo snapshots after its parallel region joins.
 //
 // Worked example — reading the KV sharing ratio out of a serving run:
 //   hserve::ScheduleResult r = batcher.Run(jobs);
@@ -26,9 +30,11 @@
 #ifndef SRC_OBS_METRICS_H_
 #define SRC_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,27 +48,30 @@ namespace obs {
 // additive fields do NOT bump it (see docs/metrics_schema.md for the policy).
 inline constexpr int kMetricsSchemaVersion = 1;
 
-// A monotonic 64-bit event counter. Decrements are a programming error.
+// A monotonic 64-bit event counter. Decrements are a programming error. Thread-safe:
+// Add is a relaxed atomic fetch_add, so concurrent increments from parallel lanes are
+// never lost (see docs/metrics_schema.md "Atomicity and ordering").
 class Counter {
  public:
   void Add(int64_t n = 1) {
     HEXLLM_DCHECK(n >= 0);
-    value_ += n;
+    value_.fetch_add(n, std::memory_order_relaxed);
   }
-  int64_t value() const { return value_; }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
-// A point-in-time double (last write wins).
+// A point-in-time double (last write wins). Thread-safe: Set/value are relaxed atomic
+// store/load, so a concurrent reader sees some previously written value, never a torn one.
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 // Fixed upper-bound buckets for a histogram. Bounds must be strictly increasing; an
@@ -77,24 +86,42 @@ struct HistogramBuckets {
 };
 
 // Fixed-bucket histogram with sum/min/max so snapshots can report a mean and range without
-// retaining samples.
+// retaining samples. Thread-safe: Observe and the accessors share a mutex, keeping
+// (count, sum, min, max, buckets) mutually consistent under concurrent observers.
 class Histogram {
  public:
   explicit Histogram(HistogramBuckets buckets);
 
   void Observe(double v);
 
-  int64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return min_; }
-  double max() const { return max_; }
+  int64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+  double min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return min_;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_;
+  }
   const std::vector<double>& bounds() const { return buckets_.bounds; }
   // counts()[i] = observations <= bounds()[i] (and > bounds()[i-1]); counts().back() is the
-  // overflow bucket, so counts().size() == bounds().size() + 1.
-  const std::vector<int64_t>& counts() const { return counts_; }
+  // overflow bucket, so counts().size() == bounds().size() + 1. Returns a copy taken under
+  // the lock so the vector is consistent with a single point in time.
+  std::vector<int64_t> counts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_;
+  }
 
  private:
-  HistogramBuckets buckets_;
+  mutable std::mutex mu_;
+  HistogramBuckets buckets_;  // bounds are immutable after construction
   std::vector<int64_t> counts_;
   int64_t count_ = 0;
   double sum_ = 0.0;
@@ -149,6 +176,9 @@ struct MetricsSnapshot {
 // The registry: owns metrics, hands out stable references, snapshots on demand. A (name,
 // label) pair identifies exactly one metric of exactly one kind — re-registering the same
 // name as a different kind aborts (catching naming-convention collisions early).
+// Thread-safe: a single mutex guards the maps, so registration/Snapshot/Clear may race;
+// the returned references stay valid until Clear() and their hot methods don't touch the
+// registry lock.
 class Registry {
  public:
   Counter& counter(std::string_view name, std::string_view label = {});
@@ -175,6 +205,7 @@ class Registry {
 
   void CheckKind(const Key& key, Kind kind);
 
+  mutable std::mutex mu_;
   std::map<Key, Kind> kinds_;
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;

@@ -1,17 +1,23 @@
-// The request-level serving runtime: one batched decode loop that every workload flows
-// through.
-//
-// The ContinuousBatcher owns all scheduling policy on top of an ExecutionBackend:
-//   * a KV-slot pool of `max_batch` slots with free-list reclamation — a finished job's slot
-//     is reusable on the very next step (continuous batching), or held until the wave drains
-//     (static batching, for the paper's Figure 14 comparison);
-//   * an admission queue with per-prompt-group barriers: a job admits only after every
-//     same-group job with a smaller barrier completed (beam-search expansion rounds);
-//   * chunked-prefill admission cost, charged once per prompt_group (parallel TTS samples
-//     share one prompt's prefill) — previously RunContinuousBatching ignored prefill;
-//   * step pricing from each slot's ACTUAL growing context (the backend sees per-slot
-//     context lengths every step), replacing the old fixed-context simplification;
-//   * optional per-step Chrome-trace recording via hrt::TraceBuilder.
+/// \file
+/// The request-level serving runtime: one batched decode loop that every workload flows
+/// through.
+///
+/// The ContinuousBatcher owns all scheduling policy on top of an ExecutionBackend:
+///   * a KV-slot pool of `max_batch` slots with free-list reclamation — a finished job's
+///     slot is reusable on the very next step (continuous batching), or held until the wave
+///     drains (static batching, for the paper's Figure 14 comparison);
+///   * an admission queue with per-prompt-group barriers: a job admits only after every
+///     same-group job with a smaller barrier completed (beam-search expansion rounds);
+///   * chunked-prefill admission cost, charged once per prompt_group (parallel TTS samples
+///     share one prompt's prefill) — previously RunContinuousBatching ignored prefill;
+///   * step pricing from each slot's ACTUAL growing context (the backend sees per-slot
+///     context lengths every step), replacing the old fixed-context simplification;
+///   * NPU/CPU overlap accounting (ServeOptions::overlap_lm_head): the CPU lm_head of step
+///     N pipelines under the NPU time of step N+1, the paper's Figure 16 optimization;
+///   * optional per-step Chrome-trace recording via hrt::TraceBuilder.
+///
+/// The batcher itself is single-threaded; parallelism lives below it (the backends fan
+/// decode rows and kernel tiles across hexec lanes — docs/threading_model.md).
 #ifndef SRC_SERVING_CONTINUOUS_BATCHER_H_
 #define SRC_SERVING_CONTINUOUS_BATCHER_H_
 
@@ -35,6 +41,14 @@ struct ServeOptions {
   bool record_trace = false;  // export per-step lanes into ScheduleResult::trace
   int max_trace_steps = 256;  // cap on traced steps/admissions (traces grow fast)
   bool record_steps = false;  // per-step occupancy log (step_active / step_occupied)
+  // Pipeline the CPU lm_head of step N under the NPU execution of step N+1 (the paper's
+  // Figure 16 NPU/CPU overlap; the functional backend's double-buffered logits are the
+  // enabling mechanism). A step with >= 2 occupied rows is charged
+  // max(npu_s, lm_head_s) + comm_s instead of the serial sum; singleton steps — and
+  // backends whose cost carries no lm_head/NPU split — always charge serially. The charged
+  // value is applied uniformly to makespan, decode time, energy and the step-latency
+  // histogram (docs/threading_model.md has the full accounting rule).
+  bool overlap_lm_head = true;
 };
 
 // One admission record (job -> slot binding), in admission order.

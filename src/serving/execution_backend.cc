@@ -212,8 +212,11 @@ FunctionalBackend::FunctionalBackend(hexsim::NpuDevice& dev, const hllm::ModelWe
     : dev_(dev), tf_(dev, weights, max_batch, max_context, kv_pool_blocks),
       max_context_(max_context),
       last_token_(static_cast<size_t>(max_batch), 1),
-      logits_(static_cast<size_t>(max_batch) * weights.config.vocab),
-      end_len_(static_cast<size_t>(max_batch), 0) {}
+      end_len_(static_cast<size_t>(max_batch), 0) {
+  const size_t logits_elems = static_cast<size_t>(max_batch) * weights.config.vocab;
+  logits_buf_[0].resize(logits_elems);
+  logits_buf_[1].resize(logits_elems);
+}
 
 int FunctionalBackend::SharedPrefixLen(const ServeJob& job, int context_tokens) const {
   if (job.parent_job >= 0) {
@@ -355,7 +358,12 @@ StepOutcome FunctionalBackend::Step(std::span<const int> slots, std::span<const 
     HEXLLM_DCHECK(tf_.kv().length(slot) == contexts[static_cast<size_t>(i)]);
     tokens[static_cast<size_t>(i)] = last_token_[static_cast<size_t>(slot)];
   }
-  std::span<float> logits(logits_.data(), static_cast<size_t>(batch) * vocab);
+  // Flip to the buffer the PREVIOUS step did not write: its logits stay intact while the
+  // NPU fills this one, which is what lets the batcher overlap the previous step's CPU
+  // lm_head with this step's NPU time (ServeOptions::overlap_lm_head).
+  logits_cur_ ^= 1;
+  std::vector<float>& logits_vec = logits_buf_[static_cast<size_t>(logits_cur_)];
+  std::span<float> logits(logits_vec.data(), static_cast<size_t>(batch) * vocab);
   const hexsim::CycleLedger mark = dev_.ledger();
   tf_.StepSeqs(tokens, slots, logits);
   StepOutcome out;
@@ -364,7 +372,7 @@ StepOutcome FunctionalBackend::Step(std::span<const int> slots, std::span<const 
   out.tokens.resize(static_cast<size_t>(batch));
   for (int i = 0; i < batch; ++i) {
     const int tok = hllm::ArgmaxToken(
-        std::span<const float>(logits_.data() + static_cast<size_t>(i) * vocab,
+        std::span<const float>(logits_vec.data() + static_cast<size_t>(i) * vocab,
                                static_cast<size_t>(vocab)));
     out.tokens[static_cast<size_t>(i)] = tok;
     last_token_[static_cast<size_t>(slots[static_cast<size_t>(i)])] = tok;

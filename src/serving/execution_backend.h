@@ -1,30 +1,35 @@
-// The serving runtime's execution abstraction.
-//
-// The paper's end-to-end system (§6) wins because every parallel test-time-scaling sample
-// flows through ONE continuously-batched NPU decode loop. This layer gives the repo that
-// single execution abstraction: an ExecutionBackend prices (or actually performs) decode
-// steps and chunked-prefill admissions for the ContinuousBatcher, which owns all request-
-// level policy (slot pool, admission queue, barriers).
-//
-// Both implementations manage KV memory through the paged block-pool manager (src/kvcache):
-// parallel samples of one prompt_group share the prompt's blocks physically, and beam-search
-// fork jobs (ServeJob::parent_job) map a completed stem's retained blocks copy-on-write
-// instead of re-prefilling it.
-//
-// Two implementations:
-//   * AnalyticBackend — wraps hrt::Engine. Prices a step for the given active batch and the
-//     slots' ACTUAL per-slot contexts (mean, bucketed), fixing the old scheduler's
-//     fixed-context simplification. KV is tracked by a storage-free hkv::KvBlockManager
-//     (materializing full-size-model KV would cost gigabytes) and admissions can be gated
-//     on a DRAM byte budget. Used for the full-size paper models.
-//   * FunctionalBackend — wraps hllm::Transformer on the hexsim NPU simulator. Actually
-//     decodes tokens (toy configs) through a real hkv::PagedKvCache and meters time from
-//     the simulator's cycle ledger, so the same batcher code path is exercised with real
-//     numerics in tests. Driving both backends with one job stream must produce
-//     bit-identical block statistics — the serving tests assert exactly that.
+/// \file
+/// The serving runtime's execution abstraction.
+///
+/// The paper's end-to-end system (§6) wins because every parallel test-time-scaling sample
+/// flows through ONE continuously-batched NPU decode loop. This layer gives the repo that
+/// single execution abstraction: an ExecutionBackend prices (or actually performs) decode
+/// steps and chunked-prefill admissions for the ContinuousBatcher, which owns all request-
+/// level policy (slot pool, admission queue, barriers).
+///
+/// Both implementations manage KV memory through the paged block-pool manager
+/// (src/kvcache): parallel samples of one prompt_group share the prompt's blocks
+/// physically, and beam-search fork jobs (ServeJob::parent_job) map a completed stem's
+/// retained blocks copy-on-write instead of re-prefilling it.
+///
+/// Two implementations:
+///   * AnalyticBackend — wraps hrt::Engine. Prices a step for the given active batch and
+///     the slots' ACTUAL per-slot contexts (mean, bucketed), fixing the old scheduler's
+///     fixed-context simplification. KV is tracked by a storage-free hkv::KvBlockManager
+///     (materializing full-size-model KV would cost gigabytes) and admissions can be gated
+///     on a DRAM byte budget. Used for the full-size paper models.
+///   * FunctionalBackend — wraps hllm::Transformer on the hexsim NPU simulator. Actually
+///     decodes tokens (toy configs) through a real hkv::PagedKvCache and meters time from
+///     the simulator's cycle ledger, so the same batcher code path is exercised with real
+///     numerics in tests. Decode rows fan out across hexec lanes inside StepSeqs and the
+///     step's logits are double-buffered for the lm_head overlap; decoded tokens are
+///     bit-identical at any lane count (docs/threading_model.md). Driving both backends
+///     with one job stream must produce bit-identical block statistics — the serving tests
+///     assert exactly that.
 #ifndef SRC_SERVING_EXECUTION_BACKEND_H_
 #define SRC_SERVING_EXECUTION_BACKEND_H_
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -202,7 +207,13 @@ class FunctionalBackend : public ExecutionBackend {
   hllm::Transformer tf_;
   int max_context_;
   std::vector<int> last_token_;    // per slot: token the next step consumes
-  std::vector<float> logits_;      // [max_batch * vocab] scratch
+  // Double-buffered logits, [max_batch * vocab] each: step N writes buffer N % 2 and the
+  // previous step's buffer stays intact until step N+1 flips again. This is the mechanism
+  // behind ServeOptions::overlap_lm_head — the CPU lm_head (argmax consumer) of step N can
+  // run while the NPU fills the other buffer for step N+1, so the batcher may charge
+  // max(npu, lm_head) instead of their sum (docs/threading_model.md).
+  std::array<std::vector<float>, 2> logits_buf_;
+  int logits_cur_ = 0;             // buffer index the LAST step wrote
   std::vector<int> end_len_;       // per slot: context+decode at admission (0 = free)
   std::map<int, Retained> retained_;  // completed job id -> retained stem
   std::map<int, Retained> anchors_;   // prompt_group -> retained prompt prefix

@@ -1,7 +1,8 @@
-// The serving runtime's request type.
-//
-// Kept dependency-free so workload producers (the TTS methods in src/tts, benches, examples)
-// can emit job streams without pulling in the execution backends.
+/// \file
+/// The serving runtime's request type.
+///
+/// Kept dependency-free so workload producers (the TTS methods in src/tts, benches,
+/// examples) can emit job streams without pulling in the execution backends.
 #ifndef SRC_SERVING_JOB_H_
 #define SRC_SERVING_JOB_H_
 

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Assert two BENCH_fig11 reports decoded identical tokens.
+
+The functional-decode section of bench_fig11_decode_throughput feeds greedy-argmax
+tokens back into the model and reports an FNV-1a checksum of the decoded stream per
+batch size. The checksum must be bit-identical at any HEXLLM_NUM_THREADS
+(docs/threading_model.md); CI runs the bench at 1 and 4 threads and calls this script
+on the two reports. Wall-clock fields are expected to differ and are ignored.
+
+Usage: compare_bench_tokens.py A.json B.json
+Exit 0 when every (batch, steps) row pair agrees on `tokens` and `token_checksum`;
+exit 1 (with a diff listing) otherwise. Stdlib only.
+"""
+
+import json
+import sys
+
+
+def functional_rows(path):
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+    rows = {}
+    for row in report.get("rows", []):
+        if row.get("series") != "functional_decode":
+            continue
+        key = (row["batch"], row["steps"])
+        if key in rows:
+            raise SystemExit(f"{path}: duplicate functional_decode row for {key}")
+        rows[key] = (row["tokens"], row["token_checksum"])
+    if not rows:
+        raise SystemExit(f"{path}: no functional_decode rows (wrong bench or old schema?)")
+    return rows
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    a_path, b_path = argv[1], argv[2]
+    a, b = functional_rows(a_path), functional_rows(b_path)
+    ok = True
+    if a.keys() != b.keys():
+        print(f"row sets differ: {sorted(a.keys())} vs {sorted(b.keys())}")
+        ok = False
+    for key in sorted(a.keys() & b.keys()):
+        if a[key] != b[key]:
+            batch, steps = key
+            print(
+                f"batch={batch} steps={steps}: "
+                f"{a_path} -> tokens={a[key][0]} checksum={a[key][1]}  vs  "
+                f"{b_path} -> tokens={b[key][0]} checksum={b[key][1]}"
+            )
+            ok = False
+    if ok:
+        n = len(a.keys() & b.keys())
+        print(f"OK: {n} functional_decode row(s) agree on tokens and checksums")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
