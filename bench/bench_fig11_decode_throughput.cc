@@ -85,8 +85,10 @@ int main() {
   // Functional decode: real numerics through the emulated kernels, timed on the HOST
   // clock. The greedy-argmax token stream feeds back into the model, so the checksum
   // certifies bit-identical decoding at any HEXLLM_NUM_THREADS (docs/threading_model.md).
+  // Measured twice — dequant-once weight cache off, then on (the default) — so the report
+  // carries the cache's host-time win; tokens and checksums must agree between the passes
+  // (the cache replays its simulated charges, docs/performance.md).
   {
-    rep.Section("functional decode, toy config (host wall-clock)");
     const hllm::ModelConfig toy = hllm::ToyConfig();
     const hllm::ModelWeights weights = hllm::ModelWeights::Random(toy, 1234);
     std::vector<int> fbatches = {1, 2, 4, 8};
@@ -96,48 +98,70 @@ int main() {
       steps = 8;
     }
     const int threads = hexec::MaxSlots();
-    std::printf("%-8s%12s%16s%20s   (threads=%d)\n", "batch", "wall (ms)", "host tokens/s",
-                "token checksum", threads);
-    for (const int batch : fbatches) {
-      hexsim::NpuDevice dev(hexsim::OnePlus12());
-      hllm::Transformer model(dev, weights, batch, /*max_context=*/steps + 8);
-      std::vector<float> logits(static_cast<size_t>(batch) * toy.vocab);
-      std::vector<int> tokens(static_cast<size_t>(batch));
-      for (int b = 0; b < batch; ++b) {
-        tokens[static_cast<size_t>(b)] = (7 * b + 1) % toy.vocab;
-      }
-      uint64_t checksum = 14695981039346656037ull;  // FNV-1a over the decoded stream
-      const auto t0 = std::chrono::steady_clock::now();
-      for (int s = 0; s < steps; ++s) {
-        model.Step(tokens, logits);
+
+    auto run_functional = [&](const char* row_name) {
+      std::vector<double> tps;
+      std::printf("%-8s%12s%16s%20s   (threads=%d)\n", "batch", "wall (ms)",
+                  "host tokens/s", "token checksum", threads);
+      for (const int batch : fbatches) {
+        hexsim::NpuDevice dev(hexsim::OnePlus12());
+        hllm::Transformer model(dev, weights, batch, /*max_context=*/steps + 8);
+        std::vector<float> logits(static_cast<size_t>(batch) * toy.vocab);
+        std::vector<int> tokens(static_cast<size_t>(batch));
         for (int b = 0; b < batch; ++b) {
-          const int tok = hllm::ArgmaxToken(std::span<const float>(
-              logits.data() + static_cast<size_t>(b) * toy.vocab,
-              static_cast<size_t>(toy.vocab)));
-          tokens[static_cast<size_t>(b)] = tok;
-          checksum = (checksum ^ static_cast<uint64_t>(tok)) * 1099511628211ull;
+          tokens[static_cast<size_t>(b)] = (7 * b + 1) % toy.vocab;
         }
+        uint64_t checksum = 14695981039346656037ull;  // FNV-1a over the decoded stream
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int s = 0; s < steps; ++s) {
+          model.Step(tokens, logits);
+          for (int b = 0; b < batch; ++b) {
+            const int tok = hllm::ArgmaxToken(std::span<const float>(
+                logits.data() + static_cast<size_t>(b) * toy.vocab,
+                static_cast<size_t>(toy.vocab)));
+            tokens[static_cast<size_t>(b)] = tok;
+            checksum = (checksum ^ static_cast<uint64_t>(tok)) * 1099511628211ull;
+          }
+        }
+        const double wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        const int64_t produced = static_cast<int64_t>(batch) * steps;
+        char checksum_hex[20];
+        std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
+                      static_cast<unsigned long long>(checksum));
+        std::printf("%-8d%12.1f%16.1f%20s\n", batch, wall_s * 1e3,
+                    static_cast<double>(produced) / wall_s, checksum_hex);
+        obs::Json& row = rep.AddRow(row_name);
+        row.Set("batch", batch);
+        row.Set("steps", steps);
+        row.Set("threads", threads);
+        row.Set("tokens", produced);
+        row.Set("token_checksum", checksum_hex);
+        row.Set("wall_seconds", wall_s);
+        row.Set("host_tokens_per_second", static_cast<double>(produced) / wall_s);
+        tps.push_back(static_cast<double>(produced) / wall_s);
       }
-      const double wall_s =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-      const int64_t produced = static_cast<int64_t>(batch) * steps;
-      char checksum_hex[20];
-      std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
-                    static_cast<unsigned long long>(checksum));
-      std::printf("%-8d%12.1f%16.1f%20s\n", batch, wall_s * 1e3,
-                  static_cast<double>(produced) / wall_s, checksum_hex);
-      obs::Json& row = rep.AddRow("functional_decode");
-      row.Set("batch", batch);
-      row.Set("steps", steps);
-      row.Set("threads", threads);
-      row.Set("tokens", produced);
-      row.Set("token_checksum", checksum_hex);
-      row.Set("wall_seconds", wall_s);
-      row.Set("host_tokens_per_second", static_cast<double>(produced) / wall_s);
+      return tps;
+    };
+
+    const bool cache_default = hllm::WeightCacheEnabled();
+    rep.Section("functional decode, toy config, weight cache OFF (host wall-clock)");
+    hllm::SetWeightCacheEnabled(false);
+    const std::vector<double> tps_nocache = run_functional("functional_decode_nocache");
+
+    rep.Section("functional decode, toy config (host wall-clock)");
+    hllm::SetWeightCacheEnabled(cache_default);
+    const std::vector<double> tps_cached = run_functional("functional_decode");
+
+    for (size_t i = 0; i < fbatches.size(); ++i) {
+      std::printf("batch %-4d weight-cache host speedup: %.2fx\n", fbatches[i],
+                  tps_cached[i] / tps_nocache[i]);
     }
     rep.Note("functional rows time the HOST emulation wall clock (not simulated seconds); "
-             "token_checksum and tokens are bit-identical at any HEXLLM_NUM_THREADS, "
-             "wall_seconds shrinks with lanes for batch >= 4.");
+             "token_checksum and tokens are bit-identical at any HEXLLM_NUM_THREADS and "
+             "with the weight cache off (*_nocache rows), wall_seconds shrinks with lanes "
+             "for batch >= 4. tools/compare_bench_perf.py --self asserts cached >= nocache "
+             "within tolerance.");
   }
   rep.Note("throughput rises strongly with batch because the HMX tile rows were idle at "
            "batch 1; scaling is sub-linear because the CPU-resident lm_head grows with "

@@ -1,96 +1,18 @@
 #include "src/base/fp16.h"
 
-#include <bit>
-#include <cstring>
-
 namespace hexllm {
 namespace {
 
-inline uint32_t F32Bits(float f) { return std::bit_cast<uint32_t>(f); }
-inline float BitsF32(uint32_t u) { return std::bit_cast<float>(u); }
+constexpr std::array<float, 65536> BuildF16Table() {
+  std::array<float, 65536> table{};
+  for (uint32_t h = 0; h < 65536; ++h) {
+    table[h] = fp16_detail::F16BitsToF32Compute(static_cast<uint16_t>(h));
+  }
+  return table;
+}
 
 }  // namespace
 
-uint16_t F32ToF16Bits(float f) {
-  const uint32_t x = F32Bits(f);
-  const uint32_t sign = (x >> 16) & 0x8000u;
-  const uint32_t abs = x & 0x7FFFFFFFu;
-
-  if (abs >= 0x7F800000u) {
-    // Inf or NaN. Preserve NaN-ness by forcing a quiet-bit payload.
-    if (abs > 0x7F800000u) {
-      return static_cast<uint16_t>(sign | 0x7E00u);
-    }
-    return static_cast<uint16_t>(sign | 0x7C00u);
-  }
-  if (abs >= 0x47800000u) {
-    // Magnitude >= 2^16: overflows half range even before rounding.
-    return static_cast<uint16_t>(sign | 0x7C00u);
-  }
-
-  const int32_t exp = static_cast<int32_t>(abs >> 23) - 127;  // unbiased
-  if (exp < -24) {
-    // Underflows to zero even after rounding (|f| < 2^-25 rounds to 0; 2^-25 itself ties to
-    // even = 0).
-    if (exp == -25 && (abs & 0x7FFFFFu) != 0) {
-      return static_cast<uint16_t>(sign | 1u);  // just above 2^-25 rounds up to min subnormal
-    }
-    return static_cast<uint16_t>(sign);
-  }
-  if (exp < -14) {
-    // Subnormal half. Shift the (implicit-1) mantissa right; round to nearest even.
-    uint32_t mant = (abs & 0x7FFFFFu) | 0x800000u;
-    const int shift = -exp - 14 + 13;  // bits to drop from the 24-bit mantissa
-    const uint32_t kept = mant >> shift;
-    const uint32_t dropped = mant & ((1u << shift) - 1);
-    const uint32_t half = 1u << (shift - 1);
-    uint32_t result = kept;
-    if (dropped > half || (dropped == half && (kept & 1u))) {
-      result += 1;  // may carry into the normal range — the encoding handles that naturally
-    }
-    return static_cast<uint16_t>(sign | result);
-  }
-
-  // Normal half. Round the 23-bit mantissa down to 10 bits, nearest-even.
-  uint32_t half_exp = static_cast<uint32_t>(exp + 15) << 10;
-  uint32_t mant = abs & 0x7FFFFFu;
-  uint32_t kept = mant >> 13;
-  uint32_t dropped = mant & 0x1FFFu;
-  uint32_t out = sign | half_exp | kept;
-  if (dropped > 0x1000u || (dropped == 0x1000u && (kept & 1u))) {
-    out += 1;  // mantissa overflow carries into the exponent; 65504 -> inf handled above
-  }
-  return static_cast<uint16_t>(out);
-}
-
-float F16BitsToF32(uint16_t h) {
-  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
-  const uint32_t exp = (h >> 10) & 0x1Fu;
-  const uint32_t mant = h & 0x3FFu;
-
-  if (exp == 0) {
-    if (mant == 0) {
-      return BitsF32(sign);  // signed zero
-    }
-    // Subnormal: value = mant * 2^-24. Normalize into a binary32.
-    int e = -1;
-    uint32_t m = mant;
-    while ((m & 0x400u) == 0) {
-      m <<= 1;
-      ++e;
-    }
-    m &= 0x3FFu;
-    const uint32_t f32exp = static_cast<uint32_t>(127 - 15 - e) << 23;
-    return BitsF32(sign | f32exp | (m << 13));
-  }
-  if (exp == 31) {
-    if (mant == 0) {
-      return BitsF32(sign | 0x7F800000u);
-    }
-    return BitsF32(sign | 0x7F800000u | (mant << 13) | 0x400000u);  // quiet NaN
-  }
-  const uint32_t f32exp = (exp + 127 - 15) << 23;
-  return BitsF32(sign | f32exp | (mant << 13));
-}
+constexpr std::array<float, 65536> kF16ToF32Table = BuildF16Table();
 
 }  // namespace hexllm

@@ -117,6 +117,18 @@ int PlannedSlots(int64_t n);
 int ParallelFor(int64_t n, const std::function<void(int64_t, int64_t, int)>& body,
                 int max_slots = 1 << 30);
 
+/// Overload for lambdas (and any other non-std::function callable). Wraps the callable by
+/// reference (std::ref fits in std::function's small-object buffer), so calling ParallelFor
+/// with a fat-capture lambda performs NO heap allocation — load-bearing for the zero-alloc
+/// steady-state decode contract (docs/performance.md). The callable only needs to outlive
+/// the call, which ParallelFor's synchronous completion guarantees.
+template <typename F>
+  requires(!std::is_same_v<std::remove_cvref_t<F>, std::function<void(int64_t, int64_t, int)>>)
+int ParallelFor(int64_t n, F&& body, int max_slots = 1 << 30) {
+  const std::function<void(int64_t, int64_t, int)> fn(std::ref(body));
+  return ParallelFor(n, fn, max_slots);
+}
+
 /// RAII per-thread lane-count pin for tests: forces PlannedSlots/ParallelFor on this
 /// thread to use exactly `slots` lanes (1 = serial) regardless of the pool size. With a
 /// 0-worker pool, extra lanes run inline on the caller in ascending slot order, so the

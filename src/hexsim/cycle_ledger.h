@@ -42,7 +42,15 @@ class CycleLedger {
     HEXLLM_DCHECK(seconds >= 0.0);
     busy_[static_cast<size_t>(e)] += seconds;
     if (!tag.empty()) {
-      tags_[std::string(tag)] += seconds;
+      // Heterogeneous lookup: steady-state charging (the tag already exists) must not
+      // construct a temporary std::string — zero-alloc decode contract
+      // (docs/performance.md).
+      auto it = tags_.find(tag);
+      if (it != tags_.end()) {
+        it->second += seconds;
+      } else {
+        tags_.emplace(std::string(tag), seconds);
+      }
     }
   }
 
@@ -56,13 +64,13 @@ class CycleLedger {
   double EngineSeconds(Engine e) const { return busy_[static_cast<size_t>(e)]; }
 
   double TagSeconds(std::string_view tag) const {
-    auto it = tags_.find(std::string(tag));
+    auto it = tags_.find(tag);
     return it == tags_.end() ? 0.0 : it->second;
   }
 
   double wall_seconds() const { return wall_seconds_; }
 
-  const std::map<std::string, double>& tags() const { return tags_; }
+  const std::map<std::string, double, std::less<>>& tags() const { return tags_; }
 
   // Total bytes moved over DDR by the DMA engine (power model input).
   void AddDmaBytes(int64_t bytes) { dma_bytes_ += bytes; }
@@ -73,15 +81,23 @@ class CycleLedger {
   // of the ledger carries the full activity profile of a simulated run.
   void AddCount(std::string_view name, int64_t n = 1) {
     HEXLLM_DCHECK(n >= 0);
-    counts_[std::string(name)] += n;
+    // Heterogeneous lookup, same reason as AddSeconds: long keys (e.g.
+    // "kernel.dequant_coalesced_lut.calls") exceed the SSO buffer, so a std::string
+    // temporary would heap-allocate on every hot-path count.
+    auto it = counts_.find(name);
+    if (it != counts_.end()) {
+      it->second += n;
+    } else {
+      counts_.emplace(std::string(name), n);
+    }
   }
 
   int64_t Count(std::string_view name) const {
-    auto it = counts_.find(std::string(name));
+    auto it = counts_.find(name);
     return it == counts_.end() ? 0 : it->second;
   }
 
-  const std::map<std::string, int64_t>& counts() const { return counts_; }
+  const std::map<std::string, int64_t, std::less<>>& counts() const { return counts_; }
 
   // Publishes the ledger into `registry`:
   //   gauges   hexsim.<engine>.busy_seconds, hexsim.wall_seconds
@@ -137,8 +153,9 @@ class CycleLedger {
 
  private:
   std::array<double, static_cast<size_t>(Engine::kCount)> busy_{};
-  std::map<std::string, double> tags_;
-  std::map<std::string, int64_t> counts_;
+  // std::less<> enables find(string_view) without materializing a key string.
+  std::map<std::string, double, std::less<>> tags_;
+  std::map<std::string, int64_t, std::less<>> counts_;
   double wall_seconds_ = 0.0;
   int64_t dma_bytes_ = 0;
 };

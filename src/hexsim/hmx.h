@@ -41,9 +41,13 @@ class HmxEngine {
   }
 
   // Packs a row-major 32x32 FP16 block (row stride in elements) into HMX tile layout.
-  static void PackTile(const hexllm::F16* rowmajor, int64_t row_stride, hexllm::F16* tile);
-  // Inverse of PackTile.
-  static void UnpackTile(const hexllm::F16* tile, hexllm::F16* rowmajor, int64_t row_stride);
+  // Rows >= valid_rows are zero-filled without reading the source (partially occupied
+  // activation strips pack only their live rows).
+  static void PackTile(const hexllm::F16* rowmajor, int64_t row_stride, hexllm::F16* tile,
+                       int valid_rows = kTileDim);
+  // Inverse of PackTile; rows >= valid_rows of the destination are left untouched.
+  static void UnpackTile(const hexllm::F16* tile, hexllm::F16* rowmajor, int64_t row_stride,
+                         int valid_rows = kTileDim);
 
   // acc[32*32] (FP32, row-major) += A * B where A and B are HMX-layout tiles in TCM.
   // A is the activation tile (rows x k), B the weight tile (k x cols).
@@ -51,9 +55,11 @@ class HmxEngine {
                 float* acc);
 
   // Writes the FP32 accumulator to an HMX-layout FP16 output tile, applying the per-column
-  // (output-channel) scale and bias the hardware supports. scale/bias may be null.
+  // (output-channel) scale and bias the hardware supports. scale/bias may be null. Rows >=
+  // valid_rows are left untouched (callers that only consume the occupied rows skip the
+  // padding conversion — pure host-time saving, the consumed rows are bit-identical).
   void StoreAcc(const float* acc, hexllm::F16* out_tile, const float* col_scale,
-                const float* col_bias);
+                const float* col_bias, int valid_rows = kTileDim);
 
   int64_t tile_ops() const { return tile_ops_; }
   void ResetTileOps() { tile_ops_ = 0; }

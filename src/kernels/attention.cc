@@ -32,27 +32,67 @@ constexpr int kTilePackPackets = 16;
 constexpr int kTileUnpackPackets = 4;  // streaming store of an already-shuffled accumulator
 
 // Packs src[r * src_stride + c] (with transpose option) into an HMX-layout tile, zero-padding
-// rows/cols beyond the valid range.
+// rows/cols beyond the valid range. Only the occupied region is visited (one memset covers
+// the padding), so a decode-shaped tile with a single live row costs ~32 stores, not 1024.
 void PackTilePadded(const F16* src, int64_t src_stride, int valid_rows, int valid_cols,
                     bool transpose, F16* tile) {
-  for (int r = 0; r < HmxEngine::kTileDim; ++r) {
-    for (int c = 0; c < HmxEngine::kTileDim; ++c) {
-      F16 v = F16::Zero();
+  const int tile_rows = transpose ? valid_cols : valid_rows;
+  const int tile_cols = transpose ? valid_rows : valid_cols;
+  if (tile_rows < HmxEngine::kTileDim || tile_cols < HmxEngine::kTileDim) {
+    std::memset(static_cast<void*>(tile), 0, HmxEngine::kTileBytes);  // F16 zero = zero bits
+  }
+  for (int r = 0; r < tile_rows; ++r) {
+    for (int c = 0; c < tile_cols; ++c) {
       const int sr = transpose ? c : r;
       const int sc = transpose ? r : c;
-      if (sr < valid_rows && sc < valid_cols) {
-        v = src[sr * src_stride + sc];
-      }
-      tile[HmxEngine::TileHalfwordOffset(r, c)] = v;
+      tile[HmxEngine::TileHalfwordOffset(r, c)] = src[sr * src_stride + sc];
     }
   }
 }
 
-}  // namespace
+// K/V staging policies for the shared attention core. Both charge the DMA engine with one
+// descriptor of (head_dim * 2)-byte rows x n rows per call — DmaEngine::Cost2D depends only
+// on row bytes, row count and direction, so the two policies are charge-identical and the
+// paged kernel's counters match the gather-then-contiguous path bit for bit.
+struct ContigKvRows {
+  const F16* base;
+  int64_t stride;  // elements between consecutive KV positions
 
-void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant exp_variant,
-                       const F16* q, const F16* k, const F16* v, F16* o, int q_len, int kv_len,
-                       int head_dim, float scale, int q_pos_offset) {
+  void Stage(hexsim::NpuDevice& dev, F16* dst, int j0, int n, int head_dim) const {
+    dev.dma().Transfer2D(dst, head_dim * 2, base + static_cast<int64_t>(j0) * stride,
+                         stride * 2, head_dim * 2, n, DmaDirection::kDdrToTcm);
+  }
+};
+
+struct PagedKvRows {
+  const F16* const* blocks;
+  int block_tokens;
+  int64_t row_stride;
+  int64_t head_offset;
+
+  void Stage(hexsim::NpuDevice& dev, F16* dst, int j0, int n, int head_dim) const {
+    // Charge-only descriptor (null pointers move no bytes but cost the same), then copy the
+    // rows block-by-block — same bytes staged, same DMA accounting.
+    dev.dma().Transfer2D(nullptr, head_dim * 2, nullptr, head_dim * 2, head_dim * 2, n,
+                         DmaDirection::kDdrToTcm);
+    for (int r = 0; r < n; ++r) {
+      const int j = j0 + r;
+      const F16* src = blocks[j / block_tokens] +
+                       static_cast<int64_t>(j % block_tokens) * row_stride + head_offset;
+      std::memcpy(dst + static_cast<int64_t>(r) * head_dim, src,
+                  static_cast<size_t>(head_dim) * 2);
+    }
+  }
+};
+
+// Algorithm 1 core, shared by the contiguous and paged entry points. `KvRows::Stage` fills
+// the TCM staging buffer with KV positions [j0, j0 + n); Q/O rows are strided by
+// q_stride/o_stride elements so callers can point directly into packed activations.
+template <typename KvRows>
+void FlashAttentionCore(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant exp_variant,
+                        const F16* q, int64_t q_stride, const KvRows& k_rows,
+                        const KvRows& v_rows, F16* o, int64_t o_stride, int q_len,
+                        int kv_len, int head_dim, float scale, int q_pos_offset) {
   const bool causal = q_pos_offset >= 0;
   HEXLLM_CHECK(head_dim % HmxEngine::kTileDim == 0);
   HEXLLM_CHECK(q_len > 0 && kv_len > 0);
@@ -82,16 +122,18 @@ void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant
       tcm.Alloc(static_cast<int64_t>(kAttnKvChunk) * head_dim * 2));
   F16* pv_tile = reinterpret_cast<F16*>(tcm.Alloc(HmxEngine::kTileBytes));
 
-  std::vector<float> acc(HmxEngine::kTileElems);
-  std::vector<float> col_scale(HmxEngine::kTileDim, scale);
+  // Stack scratch: the decode hot path must not heap-allocate (docs/performance.md).
+  float acc[HmxEngine::kTileElems];
+  float col_scale[HmxEngine::kTileDim];
+  std::fill(col_scale, col_scale + HmxEngine::kTileDim, scale);
 
   for (int qt = 0; qt < q_tiles; ++qt) {
     const int q0 = qt * kAttnQTile;
     const int rows = std::min(kAttnQTile, q_len - q0);
 
     // Load and pack the Q tile strip.
-    dev.dma().Transfer2D(kv_stage, head_dim * 2, q + static_cast<int64_t>(q0) * head_dim,
-                         head_dim * 2, head_dim * 2, rows, DmaDirection::kDdrToTcm);
+    dev.dma().Transfer2D(kv_stage, head_dim * 2, q + static_cast<int64_t>(q0) * q_stride,
+                         q_stride * 2, head_dim * 2, rows, DmaDirection::kDdrToTcm);
     int64_t pack_packets = 0;
     for (int dt = 0; dt < d_tiles; ++dt) {
       PackTilePadded(kv_stage + dt * HmxEngine::kTileDim, head_dim, rows, HmxEngine::kTileDim,
@@ -101,9 +143,9 @@ void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant
 
     float m_run[kAttnQTile];
     float l_run[kAttnQTile];
-    std::fill(m_run, m_run + kAttnQTile, kNegInf);
-    std::fill(l_run, l_run + kAttnQTile, 0.0f);
-    std::fill(o_rows, o_rows + static_cast<int64_t>(kAttnQTile) * head_dim, F16::Zero());
+    std::fill(m_run, m_run + rows, kNegInf);
+    std::fill(l_run, l_run + rows, 0.0f);
+    std::fill(o_rows, o_rows + static_cast<int64_t>(rows) * head_dim, F16::Zero());
 
     int64_t softmax_packets = 0;
     int64_t rescale_packets = 0;
@@ -119,8 +161,7 @@ void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant
       }
 
       // Stage K rows and pack K^T tiles (weight layout: [head_dim x kv] tiles).
-      dev.dma().Transfer2D(kv_stage, head_dim * 2, k + static_cast<int64_t>(kv0) * head_dim,
-                           head_dim * 2, head_dim * 2, kvn, DmaDirection::kDdrToTcm);
+      k_rows.Stage(dev, kv_stage, kv0, kvn, head_dim);
       for (int t = 0; t < kvt; ++t) {
         const int tile_rows = std::min(HmxEngine::kTileDim, kvn - t * HmxEngine::kTileDim);
         for (int dt = 0; dt < d_tiles; ++dt) {
@@ -133,8 +174,7 @@ void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant
         }
       }
       // Stage V rows and pack V tiles ([kv x head_dim]).
-      dev.dma().Transfer2D(kv_stage, head_dim * 2, v + static_cast<int64_t>(kv0) * head_dim,
-                           head_dim * 2, head_dim * 2, kvn, DmaDirection::kDdrToTcm);
+      v_rows.Stage(dev, kv_stage, kv0, kvn, head_dim);
       for (int t = 0; t < kvt; ++t) {
         const int tile_rows = std::min(HmxEngine::kTileDim, kvn - t * HmxEngine::kTileDim);
         for (int dt = 0; dt < d_tiles; ++dt) {
@@ -147,15 +187,16 @@ void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant
 
       // S chunk = scale * (Q K^T): HMX with FP32 accumulation, written back as FP16 rows.
       for (int t = 0; t < kvt; ++t) {
-        std::fill(acc.begin(), acc.end(), 0.0f);
+        std::fill(acc, acc + HmxEngine::kTileElems, 0.0f);
         for (int dt = 0; dt < d_tiles; ++dt) {
           hmx.TileMacc(tcm, q_tiles_mem + dt * HmxEngine::kTileElems,
-                       kt_tiles_mem + (t * d_tiles + dt) * HmxEngine::kTileElems, acc.data());
+                       kt_tiles_mem + (t * d_tiles + dt) * HmxEngine::kTileElems, acc);
           ++qk_tile_ops;
         }
-        hmx.StoreAcc(acc.data(), pv_tile, col_scale.data(), nullptr);
-        // Unpack the S tile into row-major chunk columns [t*32, t*32+32).
-        for (int r = 0; r < kAttnQTile; ++r) {
+        hmx.StoreAcc(acc, pv_tile, col_scale, nullptr, rows);
+        // Unpack the S tile into row-major chunk columns [t*32, t*32+32) — live rows only,
+        // the padded rows are never read (softmax and P-packing stop at `rows`).
+        for (int r = 0; r < rows; ++r) {
           for (int c = 0; c < HmxEngine::kTileDim; ++c) {
             s_rows[r * kAttnKvChunk + t * HmxEngine::kTileDim + c] =
                 pv_tile[HmxEngine::TileHalfwordOffset(r, c)];
@@ -235,13 +276,13 @@ void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant
 
       // O += P V (HMX, FP32 accumulation), added into the FP16 O rows.
       for (int dt = 0; dt < d_tiles; ++dt) {
-        std::fill(acc.begin(), acc.end(), 0.0f);
+        std::fill(acc, acc + HmxEngine::kTileElems, 0.0f);
         for (int t = 0; t < kvt; ++t) {
           hmx.TileMacc(tcm, p_tiles_mem + t * HmxEngine::kTileElems,
-                       v_tiles_mem + (t * d_tiles + dt) * HmxEngine::kTileElems, acc.data());
+                       v_tiles_mem + (t * d_tiles + dt) * HmxEngine::kTileElems, acc);
           ++pv_tile_ops;
         }
-        hmx.StoreAcc(acc.data(), pv_tile, nullptr, nullptr);
+        hmx.StoreAcc(acc, pv_tile, nullptr, nullptr, rows);
         for (int r = 0; r < rows; ++r) {
           for (int c = 0; c < HmxEngine::kTileDim; ++c) {
             F16& dst = o_rows[r * head_dim + dt * HmxEngine::kTileDim + c];
@@ -263,7 +304,7 @@ void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant
       }
       rescale_packets += (head_dim / HvxVec::kHalfwords) * 3;
     }
-    dev.dma().Transfer2D(o + static_cast<int64_t>(q0) * head_dim, head_dim * 2, o_rows,
+    dev.dma().Transfer2D(o + static_cast<int64_t>(q0) * o_stride, o_stride * 2, o_rows,
                          head_dim * 2, head_dim * 2, rows, DmaDirection::kTcmToDdr);
 
     // Commit HVX costs with component tags (packets were counted locally above).
@@ -274,6 +315,28 @@ void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant
     dev.CommitHmxTileOps(pv_tile_ops, "attn.pv");
     ctx.ResetPackets();
   }
+}
+
+}  // namespace
+
+void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant exp_variant,
+                       const F16* q, const F16* k, const F16* v, F16* o, int q_len, int kv_len,
+                       int head_dim, float scale, int q_pos_offset) {
+  const ContigKvRows k_rows{k, head_dim};
+  const ContigKvRows v_rows{v, head_dim};
+  FlashAttentionCore(dev, lut, exp_variant, q, head_dim, k_rows, v_rows, o, head_dim, q_len,
+                     kv_len, head_dim, scale, q_pos_offset);
+}
+
+void FlashAttentionPagedF16(hexsim::NpuDevice& dev, const ExpLut& lut,
+                            SoftmaxVariant exp_variant, const F16* q, int64_t q_stride,
+                            const PagedKvHeadView& kv, F16* o, int64_t o_stride, int q_len,
+                            int kv_len, int head_dim, float scale, int q_pos_offset) {
+  HEXLLM_CHECK(kv.k_blocks != nullptr && kv.v_blocks != nullptr && kv.block_tokens >= 1);
+  const PagedKvRows k_rows{kv.k_blocks, kv.block_tokens, kv.row_stride, kv.head_offset};
+  const PagedKvRows v_rows{kv.v_blocks, kv.block_tokens, kv.row_stride, kv.head_offset};
+  FlashAttentionCore(dev, lut, exp_variant, q, q_stride, k_rows, v_rows, o, o_stride, q_len,
+                     kv_len, head_dim, scale, q_pos_offset);
 }
 
 void FlashAttentionHeadsF16(

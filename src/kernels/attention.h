@@ -44,6 +44,33 @@ void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant
                        hexllm::F16* o, int q_len, int kv_len, int head_dim, float scale,
                        int q_pos_offset = -1);
 
+// One attention head's view of a paged KV cache (hkv::PagedKvCache), consumed in place —
+// no per-step gather of K/V into contiguous scratch. k_blocks/v_blocks[i] point at the
+// position-0 K / V row of table block i for the owning (layer, sequence); KV position j
+// lives at blocks[j / block_tokens] + (j % block_tokens) * row_stride + head_offset.
+// `head_offset` selects the head's columns inside the packed kv_dim row, so GQA query
+// heads sharing one KV head use the same view with the same offset — rows are never
+// duplicated. Block staging into TCM charges the DMA engine exactly like the contiguous
+// kernel (hexsim::DmaEngine::Cost2D depends only on row bytes / rows / direction), so
+// counters are bit-identical to the gather path (docs/performance.md).
+struct PagedKvHeadView {
+  const hexllm::F16* const* k_blocks = nullptr;
+  const hexllm::F16* const* v_blocks = nullptr;
+  int block_tokens = 0;
+  int64_t row_stride = 0;  // F16 elements between consecutive positions in a block
+  int64_t head_offset = 0; // F16 elements from the row start to this head's columns
+};
+
+// FlashAttentionF16 over a paged KV view. q rows are strided by `q_stride` elements
+// (q row r = q + r * q_stride, first head_dim columns), o rows by `o_stride` — so the
+// kernel reads/writes head columns of the transformer's packed activations directly.
+// Same math, same charging as the contiguous kernel.
+void FlashAttentionPagedF16(hexsim::NpuDevice& dev, const ExpLut& lut,
+                            SoftmaxVariant exp_variant, const hexllm::F16* q,
+                            int64_t q_stride, const PagedKvHeadView& kv, hexllm::F16* o,
+                            int64_t o_stride, int q_len, int kv_len, int head_dim,
+                            float scale, int q_pos_offset = -1);
+
 // Runs `heads` independent attention heads, parallelized across hexec slots with one shard
 // device (and one exp LUT resident in that shard's TCM) per slot. `slot_luts[s]` must be
 // built in dev.ForSlot(s)'s TCM — slot_luts.size() caps the lane count, so passing a

@@ -1,5 +1,6 @@
 #include "src/kernels/gemm.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -22,8 +23,12 @@ int64_t GemmF16HmxTileOps(int m, int k, int n) {
 }
 
 double GemmF16Hmx(hexsim::NpuDevice& dev, const F16* a, const F16* b_tiles, F16* c, int m,
-                  int k, int n, bool operands_in_tcm) {
+                  int k, int n, bool operands_in_tcm, int valid_m) {
   HEXLLM_CHECK(m % 32 == 0 && k % 32 == 0 && n % 32 == 0);
+  if (valid_m < 0) {
+    valid_m = m;
+  }
+  HEXLLM_CHECK(valid_m <= m);
   dev.ledger().AddCount("kernel.gemm_hmx.calls");
 
   const int mt = m / 32;
@@ -36,9 +41,13 @@ double GemmF16Hmx(hexsim::NpuDevice& dev, const F16* a, const F16* b_tiles, F16*
   // sequence, so results and counters are bit-identical at any lane count.
   const int slots = hexec::PlannedSlots(mt);
   dev.EnsureShards(slots);
-  std::vector<double> dma_by_slot(static_cast<size_t>(slots), 0.0);
-  std::vector<int64_t> pack_by_slot(static_cast<size_t>(slots), 0);
-  std::vector<int64_t> tiles_by_slot(static_cast<size_t>(slots), 0);
+  // Per-slot accounting on the stack: steady-state decode GEMMs must not heap-allocate
+  // (docs/performance.md). kMaxSlots comfortably exceeds any PlannedSlots value.
+  constexpr int kMaxSlots = 256;
+  HEXLLM_CHECK(slots <= kMaxSlots);
+  double dma_by_slot[kMaxSlots] = {};
+  int64_t pack_by_slot[kMaxSlots] = {};
+  int64_t tiles_by_slot[kMaxSlots] = {};
 
   hexec::ParallelFor(
       mt,
@@ -58,15 +67,19 @@ double GemmF16Hmx(hexsim::NpuDevice& dev, const F16* a, const F16* b_tiles, F16*
         double dma_s = 0.0;
         int64_t pack_packets = 0;
         int64_t tile_ops = 0;
-        std::vector<float> acc(HmxEngine::kTileElems);
+        float acc[HmxEngine::kTileElems];
 
         for (int64_t mi = mi_begin; mi < mi_end; ++mi) {
+          // Rows of this strip that carry data; the rest is tile padding (zero-packed, never
+          // read back).
+          const int strip_rows = static_cast<int>(
+              std::clamp<int64_t>(valid_m - mi * 32, 0, HmxEngine::kTileDim));
           // Pack the A row-strip into tiles (charged; skipped cost-wise if operands
           // pre-packed in TCM — Table 2's peak setup keeps activations resident and
           // pre-packed).
           for (int ki = 0; ki < kt; ++ki) {
             HmxEngine::PackTile(a + (mi * 32) * k + ki * 32, k,
-                                a_strip + ki * HmxEngine::kTileElems);
+                                a_strip + ki * HmxEngine::kTileElems, strip_rows);
             if (!operands_in_tcm) {
               pack_packets += 16;
             }
@@ -82,14 +95,14 @@ double GemmF16Hmx(hexsim::NpuDevice& dev, const F16* a, const F16* b_tiles, F16*
                                           static_cast<int64_t>(kt) * HmxEngine::kTileBytes,
                                           DmaDirection::kDdrToTcm);
             }
-            std::fill(acc.begin(), acc.end(), 0.0f);
+            std::fill(acc, acc + HmxEngine::kTileElems, 0.0f);
             for (int ki = 0; ki < kt; ++ki) {
               hmx.TileMacc(tcm, a_strip + ki * HmxEngine::kTileElems,
-                           b_strip + ki * HmxEngine::kTileElems, acc.data());
+                           b_strip + ki * HmxEngine::kTileElems, acc);
               ++tile_ops;
             }
-            hmx.StoreAcc(acc.data(), out_tile, nullptr, nullptr);
-            HmxEngine::UnpackTile(out_tile, c + (mi * 32) * n + ni * 32, n);
+            hmx.StoreAcc(acc, out_tile, nullptr, nullptr, strip_rows);
+            HmxEngine::UnpackTile(out_tile, c + (mi * 32) * n + ni * 32, n, strip_rows);
             if (!operands_in_tcm) {
               pack_packets += 4;
             }

@@ -17,9 +17,14 @@ namespace hkern {
 // C[M,N] (FP16, row-major) = A[M,K] (FP16, row-major) x B (FP16, HMX tile stream order:
 // column-major 32x32 tiles, Figure 4b). M, K, N must be multiples of 32. When
 // `operands_in_tcm` is true no DMA is charged (the Table 2 peak-measurement configuration).
+// `valid_m` (default m) marks how many leading rows of A actually carry data: rows beyond
+// it are never read and the matching C rows are left unspecified — the tile/packet charges
+// are those of the full padded shape either way, so a caller padding a partial batch up to
+// a tile gets bit-identical counters and valid-row results without touching the padding.
 // Returns the simulated latency in seconds.
 double GemmF16Hmx(hexsim::NpuDevice& dev, const hexllm::F16* a, const hexllm::F16* b_tiles,
-                  hexllm::F16* c, int m, int k, int n, bool operands_in_tcm);
+                  hexllm::F16* c, int m, int k, int n, bool operands_in_tcm,
+                  int valid_m = -1);
 
 // C[M,N] = A[M,K] x B[K,N] (all FP16 row-major) on ONE HVX thread: per 64-wide output chunk,
 // a vsplat/load/multiply/accumulate inner loop over K. Returns the simulated latency.

@@ -42,4 +42,41 @@ void LmHeadForward(const hexllm::F16* h, const hexllm::F16* w, float* logits, in
                      });
 }
 
+void LmHeadForwardF32W(const float* h, const float* w, float* logits, int batch, int hidden,
+                       int64_t vocab) {
+  constexpr int64_t kVocabTile = 64;  // columns per register-blocked accumulator sweep
+  hexec::ParallelFor(
+      static_cast<int64_t>(batch) * vocab, [&](int64_t begin, int64_t end, int /*slot*/) {
+        int64_t idx = begin;
+        while (idx < end) {
+          const int64_t b = idx / vocab;
+          const int64_t v_begin = idx % vocab;
+          // Columns of row `b` covered by this range (ranges may span row boundaries).
+          const int64_t seg_end = std::min(end, (b + 1) * vocab);
+          const int64_t v_end = v_begin + (seg_end - idx);
+          const float* hb = h + b * hidden;
+          float* out = logits + b * vocab;
+          for (int64_t vt = v_begin; vt < v_end; vt += kVocabTile) {
+            const int64_t width = std::min(v_end, vt + kVocabTile) - vt;
+            // One accumulator per column, hidden index outermost: each column's sum is the
+            // plain ascending-i chain (bit-identical to a per-column dot), while the inner
+            // sweep runs over contiguous weight-row slices and vectorizes.
+            float acc[kVocabTile];
+            std::fill(acc, acc + width, 0.0f);
+            for (int i = 0; i < hidden; ++i) {
+              const float hi = hb[i];
+              const float* wrow = w + static_cast<int64_t>(i) * vocab + vt;
+              for (int64_t c = 0; c < width; ++c) {
+                acc[c] += hi * wrow[c];
+              }
+            }
+            for (int64_t c = 0; c < width; ++c) {
+              out[vt + c] = acc[c];
+            }
+          }
+          idx = seg_end;
+        }
+      });
+}
+
 }  // namespace hkern

@@ -32,6 +32,17 @@ LmHeadCost LmHeadCostModel(const hexsim::DeviceProfile& profile, int batch, int 
 void LmHeadForward(const hexllm::F16* h, const hexllm::F16* w, float* logits, int batch,
                    int hidden, int64_t vocab);
 
+// Blocked lm_head over pre-converted FP32 operands: `h` is the hidden batch converted
+// F16->float once per row (not once per vocab column), `w` the weight matrix converted once
+// at load and TRANSPOSED to row-major (w[i*vocab+v]) so the inner sweep reads contiguous
+// vocab slices. Each logit is the identical ascending-hidden-index float accumulation as
+// LmHeadForward — F16::ToFloat is exact and per-column sums keep their chain order, so
+// pre-converting and re-blocking never changes a bit — and the ParallelFor partition over
+// the flattened [batch x vocab] index space is byte-for-byte the same contract
+// (docs/performance.md).
+void LmHeadForwardF32W(const float* h, const float* w, float* logits, int batch, int hidden,
+                       int64_t vocab);
+
 }  // namespace hkern
 
 #endif  // SRC_KERNELS_LM_HEAD_H_

@@ -79,6 +79,60 @@ void RopeF16(hexsim::NpuDevice& dev, F16* x, int rows, int head_dim, int pos0,
   ctx.ResetPackets();
 }
 
+namespace {
+
+// Shared body of the RopeHeadsF16 overloads: `freq(i)` yields base^(-2i/d) for pair i.
+template <typename FreqFn>
+void RopeHeadsImpl(hexsim::NpuDevice& dev, F16* x, int heads, int head_dim, int pos,
+                   const FreqFn& freq) {
+  HEXLLM_CHECK(head_dim % 2 == 0 && heads >= 1);
+  dev.ledger().AddCount("kernel.rope.calls", heads);
+  HvxContext& ctx = dev.hvx();
+  const int64_t start = ctx.packets();
+  ctx.Charge(static_cast<int64_t>(heads) *
+             ((head_dim + HvxVec::kHalfwords - 1) / HvxVec::kHalfwords * 6));
+  for (int i = 0; i < head_dim / 2; ++i) {
+    // Same angle expression as RopeF16, evaluated once and reused across heads.
+    const double theta = pos * freq(i);
+    const float c = static_cast<float>(std::cos(theta));
+    const float s = static_cast<float>(std::sin(theta));
+    for (int h = 0; h < heads; ++h) {
+      F16* row = x + static_cast<int64_t>(h) * head_dim;
+      const float a = row[2 * i].ToFloat();
+      const float b = row[2 * i + 1].ToFloat();
+      row[2 * i] = F16(RoundToF16(a * c - b * s));
+      row[2 * i + 1] = F16(RoundToF16(a * s + b * c));
+    }
+  }
+  dev.CommitHvxPackets(ctx.packets() - start, 1, "misc.rope");
+  ctx.ResetPackets();
+}
+
+}  // namespace
+
+void RopeHeadsF16(hexsim::NpuDevice& dev, F16* x, int heads, int head_dim, int pos,
+                  float theta_base) {
+  RopeHeadsImpl(dev, x, heads, head_dim, pos, [&](int i) {
+    return std::pow(static_cast<double>(theta_base),
+                    -2.0 * i / static_cast<double>(head_dim));
+  });
+}
+
+std::vector<double> RopeInvFreq(int head_dim, float theta_base) {
+  HEXLLM_CHECK(head_dim % 2 == 0);
+  std::vector<double> inv_freq(static_cast<size_t>(head_dim / 2));
+  for (int i = 0; i < head_dim / 2; ++i) {
+    inv_freq[static_cast<size_t>(i)] =
+        std::pow(static_cast<double>(theta_base), -2.0 * i / static_cast<double>(head_dim));
+  }
+  return inv_freq;
+}
+
+void RopeHeadsF16(hexsim::NpuDevice& dev, F16* x, int heads, int head_dim, int pos,
+                  const double* inv_freq) {
+  RopeHeadsImpl(dev, x, heads, head_dim, pos, [&](int i) { return inv_freq[i]; });
+}
+
 void SiluMulF16(hexsim::NpuDevice& dev, const F16* a, const F16* b, F16* y, int64_t count) {
   HEXLLM_CHECK(count % HvxVec::kHalfwords == 0);
   dev.ledger().AddCount("kernel.silu_mul.calls");

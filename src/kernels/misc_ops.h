@@ -8,6 +8,7 @@
 #define SRC_KERNELS_MISC_OPS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/base/fp16.h"
 #include "src/hexsim/npu_device.h"
@@ -24,6 +25,25 @@ void RmsNormF16(hexsim::NpuDevice& dev, const hexllm::F16* x, const hexllm::F16*
 // Charged under "misc.rope".
 void RopeF16(hexsim::NpuDevice& dev, hexllm::F16* x, int rows, int head_dim, int pos0,
              float theta_base);
+
+// RoPE over `heads` contiguous head_dim segments of one packed activation row, all at
+// position `pos` — equivalent to calling RopeF16(head, 1 row) per head, but the rotation
+// angles (which depend only on the within-head index) are computed once and applied to
+// every head. Bit-identical outputs and charging to the per-head loop: counts
+// kernel.rope.calls once per head, charges the same per-head packet total, commits one
+// combined "misc.rope" tag (docs/performance.md).
+void RopeHeadsF16(hexsim::NpuDevice& dev, hexllm::F16* x, int heads, int head_dim, int pos,
+                  float theta_base);
+
+// Per-pair inverse frequencies base^(-2i/d) for i in [0, head_dim/2) — exactly the pow()
+// subexpression of the RoPE angle, hoisted so steady-state decode evaluates pow once per
+// model instead of once per (row, pair). theta_i = pos * inv_freq[i] in double, so the
+// rotation is bit-identical to the theta_base overloads.
+std::vector<double> RopeInvFreq(int head_dim, float theta_base);
+
+// RopeHeadsF16 with the pow() table precomputed by RopeInvFreq (same head_dim/theta_base).
+void RopeHeadsF16(hexsim::NpuDevice& dev, hexllm::F16* x, int heads, int head_dim, int pos,
+                  const double* inv_freq);
 
 // y = silu(a) * b, elementwise over `count` FP16 values (count % 64 == 0) — the SwiGLU
 // gating op. silu evaluated at FP32 internally. Charged under "misc.silu".

@@ -87,6 +87,16 @@ void KvBlockManager::Advance(int seq) {
   ++t.length;
 }
 
+void KvBlockManager::Reserve(int num_seqs, int blocks_per_seq) {
+  HEXLLM_CHECK(num_seqs >= 0 && blocks_per_seq >= 0);
+  if (num_seqs > 0) {
+    Seq(num_seqs - 1);  // materialize the table slots
+  }
+  for (auto& t : seqs_) {
+    t.blocks.reserve(static_cast<size_t>(blocks_per_seq));
+  }
+}
+
 void KvBlockManager::Reset(int seq, std::vector<int>* freed) {
   Table* t = const_cast<Table*>(SeqOrNull(seq));
   if (t == nullptr) {

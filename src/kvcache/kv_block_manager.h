@@ -92,6 +92,13 @@ class KvBlockManager {
   // Advances the sequence by one position (after all layers wrote their rows).
   void Advance(int seq);
 
+  // Pre-sizes the per-sequence tables: materializes sequences [0, num_seqs) and reserves
+  // `blocks_per_seq` table entries in each, so steady-state appends (including the
+  // block-boundary push_back every block_tokens positions) never reallocate — the
+  // zero-alloc decode contract (docs/performance.md). Purely a capacity hint; no blocks
+  // are allocated and stats are unchanged.
+  void Reserve(int num_seqs, int blocks_per_seq);
+
   // Releases every block reference the sequence holds. Blocks whose last reference dropped
   // are appended to `freed` (nullable).
   void Reset(int seq, std::vector<int>* freed);

@@ -62,6 +62,34 @@ const hexllm::F16* PagedKvCache::Row(int layer, int seq, int pos, bool value) co
          RowOffset(layer, value, pos % mgr_.block_tokens());
 }
 
+int PagedKvCache::blocks_per_seq_capacity() const {
+  // Dense worst case plus the CoW-split slack a forked sequence can accrue.
+  return static_cast<int>(hexllm::CeilDiv(max_context_, mgr_.block_tokens())) + 1;
+}
+
+void PagedKvCache::ReserveSeqs(int num_seqs) {
+  mgr_.Reserve(num_seqs, blocks_per_seq_capacity());
+  freed_scratch_.reserve(static_cast<size_t>(blocks_per_seq_capacity()));
+}
+
+int PagedKvCache::FillBlockPointers(int layer, int seq, int positions,
+                                    const hexllm::F16** k_bases,
+                                    const hexllm::F16** v_bases) const {
+  HEXLLM_DCHECK(layer >= 0 && layer < layers_);
+  HEXLLM_DCHECK(positions >= 0 && positions <= max_context_);
+  const int bt = mgr_.block_tokens();
+  const int n = static_cast<int>(hexllm::CeilDiv(positions, bt));
+  const int64_t k_off = RowOffset(layer, false, 0);
+  const int64_t v_off = RowOffset(layer, true, 0);
+  for (int i = 0; i < n; ++i) {
+    const hexllm::F16* base =
+        storage_.data() + static_cast<int64_t>(mgr_.block_at(seq, i)) * block_elems_;
+    k_bases[i] = base + k_off;
+    v_bases[i] = base + v_off;
+  }
+  return n;
+}
+
 void PagedKvCache::Advance(int seq) {
   HEXLLM_CHECK(mgr_.length(seq) < max_context_);
   mgr_.Advance(seq);

@@ -44,6 +44,24 @@ class PagedKvCache {
   int max_context() const { return max_context_; }
   int block_tokens() const { return mgr_.block_tokens(); }
   int length(int seq) const { return mgr_.length(seq); }
+  // F16 elements between consecutive positions of one layer/plane within a block (= kv_dim);
+  // the row stride for in-place paged attention (hkern::PagedKvHeadView).
+  int64_t row_stride() const { return kv_dim_; }
+  // Upper bound on table entries a sequence can hold — sizes FillBlockPointers arrays.
+  int blocks_per_seq_capacity() const;
+
+  // Pre-sizes the per-sequence block tables and internal scratch so steady-state appends
+  // never heap-allocate (docs/performance.md).
+  void ReserveSeqs(int num_seqs);
+
+  // In-place paged attention support: fills per-block base pointers for `layer` of `seq`
+  // covering the first `positions` positions. k_bases[i] / v_bases[i] point at the
+  // position-0 K / V row of table block i; position p lives at
+  // bases[p / block_tokens()] + (p % block_tokens()) * row_stride(). Returns the number of
+  // entries written (ceil(positions / block_tokens())). Read-only — safe from parallel
+  // attention lanes once the step's appends are done (docs/threading_model.md).
+  int FillBlockPointers(int layer, int seq, int positions, const hexllm::F16** k_bases,
+                        const hexllm::F16** v_bases) const;
 
   // Write accessors for the append region (pos >= length). The first write to a position
   // allocates its block; the first write into a shared block copy-on-write splits it.

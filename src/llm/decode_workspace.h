@@ -1,0 +1,95 @@
+/// \file
+/// Persistent bump arena for per-step decode scratch — the zero-alloc decode contract.
+///
+/// Every transformer step needs a dozen short-lived activation buffers (normed input, QKV
+/// rows, attention output, FFN intermediates, GEMM staging). Allocating them as
+/// std::vectors costs a malloc/free pair each per step and dominated host time at small
+/// batch. The workspace owns ONE slab sized at construction from the model dims and
+/// max_batch/max_context; Reset() at the top of a step rewinds the cursor, and Alloc<T>()
+/// bump-allocates 64-byte-aligned spans with no system allocator involvement. Nested
+/// PushFrame/PopFrame give kernel helpers (e.g. QuantizedLinear's padded GEMM staging)
+/// stack-discipline scratch inside a step.
+///
+/// CHECK-fails on exhaustion rather than growing: steady-state decode must never touch the
+/// heap, and a capacity bug should fail loudly in tests, not silently reallocate
+/// (docs/performance.md). high_watermark() is exported as the `exec.workspace.bytes` gauge.
+///
+/// Not thread-safe — one workspace per Transformer, used only from the step-serial section
+/// (parallel kernel lanes get TCM shard scratch instead; docs/threading_model.md).
+#ifndef SRC_LLM_DECODE_WORKSPACE_H_
+#define SRC_LLM_DECODE_WORKSPACE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace hllm {
+
+class DecodeWorkspace {
+ public:
+  explicit DecodeWorkspace(int64_t capacity_bytes) {
+    HEXLLM_CHECK(capacity_bytes >= 0);
+    storage_.resize(static_cast<size_t>(capacity_bytes));
+    frames_.reserve(8);
+  }
+
+  // Rewinds the whole arena (top of a decode step). Outstanding frames must be closed.
+  void Reset() {
+    HEXLLM_CHECK(frames_.empty());
+    used_ = 0;
+  }
+
+  // Nested scope markers for helpers that need scratch inside a step.
+  void PushFrame() { frames_.push_back(used_); }
+  void PopFrame() {
+    HEXLLM_CHECK(!frames_.empty());
+    used_ = frames_.back();
+    frames_.pop_back();
+  }
+
+  // Bump-allocates `count` T's, 64-byte aligned (HVX vector alignment). Contents are
+  // uninitialized — callers overwrite, matching the std::vector-per-step code this
+  // replaces only where the old code relied on zero-init (which it did not).
+  template <typename T>
+  T* Alloc(int64_t count) {
+    HEXLLM_CHECK(count >= 0);
+    const int64_t bytes = count * static_cast<int64_t>(sizeof(T));
+    const int64_t aligned = (used_ + 63) & ~int64_t{63};
+    HEXLLM_CHECK_MSG(aligned + bytes <= static_cast<int64_t>(storage_.size()),
+                     "DecodeWorkspace exhausted — capacity sizing bug");
+    used_ = aligned + bytes;
+    if (used_ > high_watermark_) {
+      high_watermark_ = used_;
+    }
+    return reinterpret_cast<T*>(storage_.data() + aligned);
+  }
+
+  int64_t capacity() const { return static_cast<int64_t>(storage_.size()); }
+  // Peak bytes ever bump-allocated — the `exec.workspace.bytes` gauge
+  // (docs/metrics_schema.md).
+  int64_t high_watermark() const { return high_watermark_; }
+
+  // RAII frame guard.
+  class Frame {
+   public:
+    explicit Frame(DecodeWorkspace& ws) : ws_(ws) { ws_.PushFrame(); }
+    ~Frame() { ws_.PopFrame(); }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    DecodeWorkspace& ws_;
+  };
+
+ private:
+  std::vector<uint8_t> storage_;
+  std::vector<int64_t> frames_;
+  int64_t used_ = 0;
+  int64_t high_watermark_ = 0;
+};
+
+}  // namespace hllm
+
+#endif  // SRC_LLM_DECODE_WORKSPACE_H_

@@ -1,9 +1,12 @@
 #include "src/llm/transformer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <numeric>
 
 #include "src/base/check.h"
+#include "src/base/math_util.h"
 #include "src/exec/thread_pool.h"
 #include "src/kernels/attention.h"
 #include "src/kernels/lm_head.h"
@@ -13,12 +16,54 @@ namespace hllm {
 
 using hexllm::F16;
 
+namespace {
+
+// Capacity of the per-step scratch arena: every step/prefill-chunk buffer (embedding rows,
+// normed rows, QKV, attention output, FFN intermediates, float hidden for the lm_head) plus
+// the worst-case padded-GEMM staging frame, with 64-byte alignment slack per allocation.
+// Sized once so steady-state decode never grows it (docs/performance.md).
+int64_t StepWorkspaceBytes(const ModelConfig& c, int max_batch) {
+  const int64_t rows = std::max<int64_t>(max_batch, hkern::kAttnQTile);
+  const int64_t f16_elems =
+      rows * (3 * static_cast<int64_t>(c.hidden) + 2 * c.q_dim() + 2 * c.kv_dim() +
+              3 * static_cast<int64_t>(c.ffn_hidden));
+  const int64_t float_elems = rows * static_cast<int64_t>(c.hidden);
+  const int64_t dim_max =
+      std::max<int64_t>({static_cast<int64_t>(c.hidden), c.q_dim(), c.kv_dim(),
+                         static_cast<int64_t>(c.ffn_hidden)});
+  const int64_t staging_elems = 2 * hexllm::RoundUp(rows, 32) * dim_max;
+  return (f16_elems + staging_elems) * 2 + float_elems * 4 + 64 * 32;
+}
+
+}  // namespace
+
 Transformer::Transformer(hexsim::NpuDevice& dev, const ModelWeights& weights, int max_batch,
                          int max_context, int64_t kv_pool_blocks)
     : dev_(dev), weights_(weights), lut_(dev),
       kv_(weights.config.layers, weights.config.kv_dim(), max_batch, max_context,
           hkv::kDefaultBlockTokens, kv_pool_blocks),
-      max_batch_(max_batch) {}
+      max_batch_(max_batch),
+      ws_(StepWorkspaceBytes(weights.config, max_batch)) {
+  kv_.ReserveSeqs(max_batch);
+  identity_seq_ids_.resize(static_cast<size_t>(max_batch));
+  std::iota(identity_seq_ids_.begin(), identity_seq_ids_.end(), 0);
+  // lm_head converted to float once and transposed to row-major [hidden x vocab]: the
+  // blocked CPU lm_head then converts each hidden row once per step and streams contiguous
+  // vocab slices. F16::ToFloat is exact and the per-logit accumulation order is unchanged,
+  // so the logits are bit-identical to the all-F16 path.
+  const ModelConfig& c = weights_.config;
+  lm_head_f32_.resize(static_cast<size_t>(c.hidden) * c.vocab);
+  for (int64_t v = 0; v < c.vocab; ++v) {
+    for (int64_t i = 0; i < c.hidden; ++i) {
+      lm_head_f32_[static_cast<size_t>(i * c.vocab + v)] =
+          weights_.lm_head[static_cast<size_t>(v * c.hidden + i)].ToFloat();
+    }
+  }
+  rope_inv_freq_ = hkern::RopeInvFreq(c.head_dim, c.rope_theta);
+  const size_t cap = static_cast<size_t>(kv_.blocks_per_seq_capacity());
+  layer_k_ptrs_.resize(cap);
+  layer_v_ptrs_.resize(cap);
+}
 
 std::span<const hkern::ExpLut* const> Transformer::EnsureShardLuts(int slots) {
   dev_.EnsureShards(slots);
@@ -34,13 +79,20 @@ std::span<const hkern::ExpLut* const> Transformer::EnsureShardLuts(int slots) {
                                                static_cast<size_t>(slots));
 }
 
+void Transformer::EnsureSlotScratch(int slots) {
+  const size_t cap = static_cast<size_t>(kv_.blocks_per_seq_capacity());
+  while (static_cast<int>(slot_k_ptrs_.size()) < slots) {
+    slot_k_ptrs_.emplace_back(cap);
+    slot_v_ptrs_.emplace_back(cap);
+  }
+}
+
 void Transformer::Step(std::span<const int> tokens, std::span<float> logits,
                        hkern::SoftmaxVariant exp_variant) {
-  std::vector<int> seq_ids(tokens.size());
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    seq_ids[i] = static_cast<int>(i);
-  }
-  StepSeqSubset(tokens, seq_ids, logits, exp_variant);
+  HEXLLM_CHECK(static_cast<int>(tokens.size()) <= max_batch_);
+  StepSeqSubset(tokens,
+                std::span<const int>(identity_seq_ids_.data(), tokens.size()), logits,
+                exp_variant);
 }
 
 void Transformer::StepSeqs(std::span<const int> tokens, std::span<const int> seq_ids,
@@ -70,87 +122,85 @@ void Transformer::PrefillChunk(int seq, std::span<const int> tokens) {
   const int group = c.heads / c.kv_heads;
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
 
-  std::vector<F16> x(static_cast<size_t>(rows) * hidden);
+  ws_.Reset();
+  F16* x = ws_.Alloc<F16>(static_cast<int64_t>(rows) * hidden);
+  F16* xn = ws_.Alloc<F16>(static_cast<int64_t>(rows) * hidden);
+  F16* q = ws_.Alloc<F16>(static_cast<int64_t>(rows) * q_dim);
+  F16* k = ws_.Alloc<F16>(static_cast<int64_t>(rows) * kv_dim);
+  F16* v = ws_.Alloc<F16>(static_cast<int64_t>(rows) * kv_dim);
+  F16* attn_out = ws_.Alloc<F16>(static_cast<int64_t>(rows) * q_dim);
+  F16* proj = ws_.Alloc<F16>(static_cast<int64_t>(rows) * hidden);
+  F16* gate = ws_.Alloc<F16>(static_cast<int64_t>(rows) * c.ffn_hidden);
+  F16* up = ws_.Alloc<F16>(static_cast<int64_t>(rows) * c.ffn_hidden);
+  F16* act = ws_.Alloc<F16>(static_cast<int64_t>(rows) * c.ffn_hidden);
+
   for (int r = 0; r < rows; ++r) {
     HEXLLM_CHECK(tokens[static_cast<size_t>(r)] >= 0 &&
                  tokens[static_cast<size_t>(r)] < c.vocab);
-    std::memcpy(x.data() + static_cast<size_t>(r) * hidden,
+    std::memcpy(x + static_cast<int64_t>(r) * hidden,
                 weights_.embedding.data() +
                     static_cast<size_t>(tokens[static_cast<size_t>(r)]) * hidden,
                 static_cast<size_t>(hidden) * 2);
   }
 
-  std::vector<F16> xn(x.size());
-  std::vector<F16> q(static_cast<size_t>(rows) * q_dim);
-  std::vector<F16> k(static_cast<size_t>(rows) * kv_dim);
-  std::vector<F16> v(static_cast<size_t>(rows) * kv_dim);
-  std::vector<F16> attn_out(static_cast<size_t>(rows) * q_dim);
-  std::vector<F16> proj(static_cast<size_t>(rows) * hidden);
-  std::vector<F16> gate(static_cast<size_t>(rows) * c.ffn_hidden);
-  std::vector<F16> up(static_cast<size_t>(rows) * c.ffn_hidden);
-  std::vector<F16> act(static_cast<size_t>(rows) * c.ffn_hidden);
   const int kv_len = pos0 + rows;
-  const auto slot_luts =
-      EnsureShardLuts(std::min(hexec::PlannedSlots(c.heads), c.heads));
+  const int slots = std::min(hexec::PlannedSlots(c.heads), c.heads);
+  const auto slot_luts = EnsureShardLuts(slots);
 
   for (int l = 0; l < c.layers; ++l) {
     const LayerWeights& lw = weights_.layers[static_cast<size_t>(l)];
-    hkern::RmsNormF16(dev_, x.data(), lw.attn_norm.data(), xn.data(), rows, hidden,
-                      c.rms_eps);
-    lw.wq.Forward(dev_, xn.data(), q.data(), rows);
-    lw.wk.Forward(dev_, xn.data(), k.data(), rows);
-    lw.wv.Forward(dev_, xn.data(), v.data(), rows);
+    hkern::RmsNormF16(dev_, x, lw.attn_norm.data(), xn, rows, hidden, c.rms_eps);
+    lw.wq.Forward(dev_, xn, q, rows, &ws_);
+    lw.wk.Forward(dev_, xn, k, rows, &ws_);
+    lw.wv.Forward(dev_, xn, v, rows, &ws_);
 
-    // RoPE per head with per-row positions, then append the chunk's K/V to the cache.
-    for (int h = 0; h < c.heads; ++h) {
-      for (int r = 0; r < rows; ++r) {
-        hkern::RopeF16(dev_, q.data() + static_cast<size_t>(r) * q_dim + h * dh, 1, dh,
-                       pos0 + r, c.rope_theta);
-      }
-    }
-    for (int h = 0; h < c.kv_heads; ++h) {
-      for (int r = 0; r < rows; ++r) {
-        hkern::RopeF16(dev_, k.data() + static_cast<size_t>(r) * kv_dim + h * dh, 1, dh,
-                       pos0 + r, c.rope_theta);
-      }
+    // RoPE with per-row positions (all heads of a row share the hoisted angles), then
+    // append the chunk's K/V rows to the cache.
+    for (int r = 0; r < rows; ++r) {
+      hkern::RopeHeadsF16(dev_, q + static_cast<int64_t>(r) * q_dim, c.heads, dh, pos0 + r,
+                          rope_inv_freq_.data());
+      hkern::RopeHeadsF16(dev_, k + static_cast<int64_t>(r) * kv_dim, c.kv_heads, dh,
+                          pos0 + r, rope_inv_freq_.data());
     }
     for (int r = 0; r < rows; ++r) {
-      std::memcpy(kv_.KeyRow(l, seq, pos0 + r), k.data() + static_cast<size_t>(r) * kv_dim,
+      std::memcpy(kv_.KeyRow(l, seq, pos0 + r), k + static_cast<int64_t>(r) * kv_dim,
                   static_cast<size_t>(kv_dim) * 2);
-      std::memcpy(kv_.ValueRow(l, seq, pos0 + r), v.data() + static_cast<size_t>(r) * kv_dim,
+      std::memcpy(kv_.ValueRow(l, seq, pos0 + r), v + static_cast<int64_t>(r) * kv_dim,
                   static_cast<size_t>(kv_dim) * 2);
     }
 
     // Causal FlashAttention over the chunk: rows x [0, kv_len) with offset pos0, heads in
-    // parallel across slots. K/V rows gather per position through the paged cache's block
-    // tables (read-only here — the append loop above already ran).
-    hkern::FlashAttentionHeadsF16(
-        dev_, slot_luts, hkern::SoftmaxVariant::kLut, c.heads,
-        [&](int h, F16* k_dst, F16* v_dst, F16* q_dst) {
-          const int kvh = h / group;
-          for (int t = 0; t < kv_len; ++t) {
-            std::memcpy(k_dst + static_cast<size_t>(t) * dh,
-                        kv_.KeyRowAt(l, seq, t) + kvh * dh, static_cast<size_t>(dh) * 2);
-            std::memcpy(v_dst + static_cast<size_t>(t) * dh,
-                        kv_.ValueRowAt(l, seq, t) + kvh * dh, static_cast<size_t>(dh) * 2);
-          }
-          for (int r = 0; r < rows; ++r) {
-            std::memcpy(q_dst + static_cast<size_t>(r) * dh,
-                        q.data() + static_cast<size_t>(r) * q_dim + h * dh,
-                        static_cast<size_t>(dh) * 2);
+    // parallel across slots, each reading K/V in place through the block table resolved
+    // once per layer (the append loop above already ran, so the table is read-only here).
+    kv_.FillBlockPointers(l, seq, kv_len, layer_k_ptrs_.data(), layer_v_ptrs_.data());
+    hexec::ParallelFor(
+        c.heads,
+        [&](int64_t h_begin, int64_t h_end, int slot) {
+          hexsim::NpuDevice& d = dev_.ForSlot(slot);
+          const hkern::ExpLut& lut = *slot_luts[static_cast<size_t>(slot)];
+          for (int64_t h = h_begin; h < h_end; ++h) {
+            hkern::PagedKvHeadView view;
+            view.k_blocks = layer_k_ptrs_.data();
+            view.v_blocks = layer_v_ptrs_.data();
+            view.block_tokens = kv_.block_tokens();
+            view.row_stride = kv_.row_stride();
+            view.head_offset = static_cast<int64_t>(h / group) * dh;
+            hkern::FlashAttentionPagedF16(d, lut, hkern::SoftmaxVariant::kLut, q + h * dh,
+                                          q_dim, view, attn_out + h * dh, q_dim, rows,
+                                          kv_len, dh, scale, /*q_pos_offset=*/pos0);
           }
         },
-        attn_out.data(), q_dim, rows, kv_len, dh, scale, /*q_pos_offset=*/pos0);
+        slots);
+    dev_.MergeShards();
 
-    lw.wo.Forward(dev_, attn_out.data(), proj.data(), rows);
-    hkern::AddF16(dev_, x.data(), proj.data(), x.data(), static_cast<int64_t>(rows) * hidden);
-    hkern::RmsNormF16(dev_, x.data(), lw.ffn_norm.data(), xn.data(), rows, hidden, c.rms_eps);
-    lw.w_gate.Forward(dev_, xn.data(), gate.data(), rows);
-    lw.w_up.Forward(dev_, xn.data(), up.data(), rows);
-    hkern::SiluMulF16(dev_, gate.data(), up.data(), act.data(),
-                      static_cast<int64_t>(rows) * c.ffn_hidden);
-    lw.w_down.Forward(dev_, act.data(), proj.data(), rows);
-    hkern::AddF16(dev_, x.data(), proj.data(), x.data(), static_cast<int64_t>(rows) * hidden);
+    lw.wo.Forward(dev_, attn_out, proj, rows, &ws_);
+    hkern::AddF16(dev_, x, proj, x, static_cast<int64_t>(rows) * hidden);
+    hkern::RmsNormF16(dev_, x, lw.ffn_norm.data(), xn, rows, hidden, c.rms_eps);
+    lw.w_gate.Forward(dev_, xn, gate, rows, &ws_);
+    lw.w_up.Forward(dev_, xn, up, rows, &ws_);
+    hkern::SiluMulF16(dev_, gate, up, act, static_cast<int64_t>(rows) * c.ffn_hidden);
+    lw.w_down.Forward(dev_, act, proj, rows, &ws_);
+    hkern::AddF16(dev_, x, proj, x, static_cast<int64_t>(rows) * hidden);
   }
 
   for (int r = 0; r < rows; ++r) {
@@ -172,121 +222,116 @@ void Transformer::StepSeqSubset(std::span<const int> tokens, std::span<const int
   const int dh = c.head_dim;
   const int group = c.heads / c.kv_heads;
 
+  // All step scratch from the persistent arena — no heap traffic in steady state.
+  ws_.Reset();
+  F16* x = ws_.Alloc<F16>(static_cast<int64_t>(batch) * hidden);
+  F16* xn = ws_.Alloc<F16>(static_cast<int64_t>(batch) * hidden);
+  F16* q = ws_.Alloc<F16>(static_cast<int64_t>(batch) * q_dim);
+  F16* k = ws_.Alloc<F16>(static_cast<int64_t>(batch) * kv_dim);
+  F16* v = ws_.Alloc<F16>(static_cast<int64_t>(batch) * kv_dim);
+  F16* attn_out = ws_.Alloc<F16>(static_cast<int64_t>(batch) * q_dim);
+  F16* proj = ws_.Alloc<F16>(static_cast<int64_t>(batch) * hidden);
+  F16* gate = ws_.Alloc<F16>(static_cast<int64_t>(batch) * c.ffn_hidden);
+  F16* up = ws_.Alloc<F16>(static_cast<int64_t>(batch) * c.ffn_hidden);
+  F16* act = ws_.Alloc<F16>(static_cast<int64_t>(batch) * c.ffn_hidden);
+
   // Embedding lookup on the CPU.
-  std::vector<F16> x(static_cast<size_t>(batch) * hidden);
   for (int b = 0; b < batch; ++b) {
     HEXLLM_CHECK(tokens[static_cast<size_t>(b)] >= 0 &&
                  tokens[static_cast<size_t>(b)] < c.vocab);
-    std::memcpy(x.data() + static_cast<size_t>(b) * hidden,
+    std::memcpy(x + static_cast<int64_t>(b) * hidden,
                 weights_.embedding.data() +
                     static_cast<size_t>(tokens[static_cast<size_t>(b)]) * hidden,
                 static_cast<size_t>(hidden) * 2);
   }
 
-  std::vector<F16> xn(x.size());
-  std::vector<F16> q(static_cast<size_t>(batch) * q_dim);
-  std::vector<F16> k(static_cast<size_t>(batch) * kv_dim);
-  std::vector<F16> v(static_cast<size_t>(batch) * kv_dim);
-  std::vector<F16> attn_out(static_cast<size_t>(batch) * q_dim);
-  std::vector<F16> proj(static_cast<size_t>(batch) * hidden);
-  std::vector<F16> gate(static_cast<size_t>(batch) * c.ffn_hidden);
-  std::vector<F16> up(static_cast<size_t>(batch) * c.ffn_hidden);
-  std::vector<F16> act(static_cast<size_t>(batch) * c.ffn_hidden);
-
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const int slots = hexec::PlannedSlots(batch);
+  const auto slot_luts = EnsureShardLuts(slots);
+  EnsureSlotScratch(slots);
 
   for (int l = 0; l < c.layers; ++l) {
     const LayerWeights& lw = weights_.layers[static_cast<size_t>(l)];
 
     // --- attention block ---
-    hkern::RmsNormF16(dev_, x.data(), lw.attn_norm.data(), xn.data(), batch, hidden,
-                      c.rms_eps);
-    lw.wq.Forward(dev_, xn.data(), q.data(), batch);
-    lw.wk.Forward(dev_, xn.data(), k.data(), batch);
-    lw.wv.Forward(dev_, xn.data(), v.data(), batch);
+    hkern::RmsNormF16(dev_, x, lw.attn_norm.data(), xn, batch, hidden, c.rms_eps);
+    lw.wq.Forward(dev_, xn, q, batch, &ws_);
+    lw.wk.Forward(dev_, xn, k, batch, &ws_);
+    lw.wv.Forward(dev_, xn, v, batch, &ws_);
 
     for (int b = 0; b < batch; ++b) {
       const int seq = seq_ids[static_cast<size_t>(b)];
       const int pos = kv_.length(seq);
-      for (int h = 0; h < c.heads; ++h) {
-        hkern::RopeF16(dev_, q.data() + static_cast<size_t>(b) * q_dim + h * dh, 1, dh, pos,
-                       c.rope_theta);
-      }
-      for (int h = 0; h < c.kv_heads; ++h) {
-        hkern::RopeF16(dev_, k.data() + static_cast<size_t>(b) * kv_dim + h * dh, 1, dh, pos,
-                       c.rope_theta);
-      }
-      std::memcpy(kv_.KeyRow(l, seq, pos), k.data() + static_cast<size_t>(b) * kv_dim,
+      hkern::RopeHeadsF16(dev_, q + static_cast<int64_t>(b) * q_dim, c.heads, dh, pos,
+                          rope_inv_freq_.data());
+      hkern::RopeHeadsF16(dev_, k + static_cast<int64_t>(b) * kv_dim, c.kv_heads, dh, pos,
+                          rope_inv_freq_.data());
+      std::memcpy(kv_.KeyRow(l, seq, pos), k + static_cast<int64_t>(b) * kv_dim,
                   static_cast<size_t>(kv_dim) * 2);
-      std::memcpy(kv_.ValueRow(l, seq, pos), v.data() + static_cast<size_t>(b) * kv_dim,
+      std::memcpy(kv_.ValueRow(l, seq, pos), v + static_cast<int64_t>(b) * kv_dim,
                   static_cast<size_t>(kv_dim) * 2);
     }
 
     // Per-row parallel attention: each batch row is an independent query against its own
     // sequence's KV, so rows fan out across slots, each charging its slot's shard device
-    // (per-slot exp LUT included). The KV cache is read-only in this region — the append
-    // loop above already ran — and attn_out rows are disjoint, so results are bit-identical
-    // at any lane count. Shard accounting merges back right after the loop.
-    {
-      const int slots = hexec::PlannedSlots(batch);
-      const auto slot_luts = EnsureShardLuts(slots);
-      hexec::ParallelFor(
-          batch,
-          [&](int64_t b_begin, int64_t b_end, int slot) {
-            hexsim::NpuDevice& d = dev_.ForSlot(slot);
-            const hkern::ExpLut& lut = *slot_luts[static_cast<size_t>(slot)];
-            for (int64_t b = b_begin; b < b_end; ++b) {
-              const int seq = seq_ids[static_cast<size_t>(b)];
-              const int kv_len = kv_.length(seq) + 1;  // includes the row just written
-              // Block-table gather: head views copied contiguous for the attention kernel
-              // (on the phone the KV cache is stored head-major per block; the copy is a
-              // simulation convenience).
-              std::vector<F16> k_head(static_cast<size_t>(kv_len) * dh);
-              std::vector<F16> v_head(static_cast<size_t>(kv_len) * dh);
-              for (int h = 0; h < c.heads; ++h) {
-                const int kvh = h / group;
-                for (int t = 0; t < kv_len; ++t) {
-                  std::memcpy(k_head.data() + static_cast<size_t>(t) * dh,
-                              kv_.KeyRowAt(l, seq, t) + kvh * dh,
-                              static_cast<size_t>(dh) * 2);
-                  std::memcpy(v_head.data() + static_cast<size_t>(t) * dh,
-                              kv_.ValueRowAt(l, seq, t) + kvh * dh,
-                              static_cast<size_t>(dh) * 2);
-                }
-                hkern::FlashAttentionF16(
-                    d, lut, exp_variant, q.data() + static_cast<size_t>(b) * q_dim + h * dh,
-                    k_head.data(), v_head.data(),
-                    attn_out.data() + static_cast<size_t>(b) * q_dim + h * dh,
-                    /*q_len=*/1, kv_len, dh, scale);
-              }
+    // (per-slot exp LUT included). Each lane resolves its sequences' block tables into its
+    // own pointer scratch and the kernel reads K/V rows in place — no gather copies. The
+    // KV cache is read-only in this region (the append loop above already ran) and
+    // attn_out rows are disjoint, so results are bit-identical at any lane count. Shard
+    // accounting merges back right after the loop.
+    hexec::ParallelFor(
+        batch,
+        [&](int64_t b_begin, int64_t b_end, int slot) {
+          hexsim::NpuDevice& d = dev_.ForSlot(slot);
+          const hkern::ExpLut& lut = *slot_luts[static_cast<size_t>(slot)];
+          const F16** k_bases = slot_k_ptrs_[static_cast<size_t>(slot)].data();
+          const F16** v_bases = slot_v_ptrs_[static_cast<size_t>(slot)].data();
+          for (int64_t b = b_begin; b < b_end; ++b) {
+            const int seq = seq_ids[static_cast<size_t>(b)];
+            const int kv_len = kv_.length(seq) + 1;  // includes the row just written
+            kv_.FillBlockPointers(l, seq, kv_len, k_bases, v_bases);
+            hkern::PagedKvHeadView view;
+            view.k_blocks = k_bases;
+            view.v_blocks = v_bases;
+            view.block_tokens = kv_.block_tokens();
+            view.row_stride = kv_.row_stride();
+            for (int h = 0; h < c.heads; ++h) {
+              view.head_offset = static_cast<int64_t>(h / group) * dh;
+              hkern::FlashAttentionPagedF16(
+                  d, lut, exp_variant, q + static_cast<int64_t>(b) * q_dim + h * dh, q_dim,
+                  view, attn_out + static_cast<int64_t>(b) * q_dim + h * dh, q_dim,
+                  /*q_len=*/1, kv_len, dh, scale);
             }
-          },
-          slots);
-      dev_.MergeShards();
-    }
+          }
+        },
+        slots);
+    dev_.MergeShards();
 
-    lw.wo.Forward(dev_, attn_out.data(), proj.data(), batch);
-    hkern::AddF16(dev_, x.data(), proj.data(), x.data(), static_cast<int64_t>(batch) * hidden);
+    lw.wo.Forward(dev_, attn_out, proj, batch, &ws_);
+    hkern::AddF16(dev_, x, proj, x, static_cast<int64_t>(batch) * hidden);
 
     // --- FFN block ---
-    hkern::RmsNormF16(dev_, x.data(), lw.ffn_norm.data(), xn.data(), batch, hidden, c.rms_eps);
-    lw.w_gate.Forward(dev_, xn.data(), gate.data(), batch);
-    lw.w_up.Forward(dev_, xn.data(), up.data(), batch);
-    hkern::SiluMulF16(dev_, gate.data(), up.data(), act.data(),
-                      static_cast<int64_t>(batch) * c.ffn_hidden);
-    lw.w_down.Forward(dev_, act.data(), proj.data(), batch);
-    hkern::AddF16(dev_, x.data(), proj.data(), x.data(), static_cast<int64_t>(batch) * hidden);
+    hkern::RmsNormF16(dev_, x, lw.ffn_norm.data(), xn, batch, hidden, c.rms_eps);
+    lw.w_gate.Forward(dev_, xn, gate, batch, &ws_);
+    lw.w_up.Forward(dev_, xn, up, batch, &ws_);
+    hkern::SiluMulF16(dev_, gate, up, act, static_cast<int64_t>(batch) * c.ffn_hidden);
+    lw.w_down.Forward(dev_, act, proj, batch, &ws_);
+    hkern::AddF16(dev_, x, proj, x, static_cast<int64_t>(batch) * hidden);
   }
 
   for (size_t i = 0; i < seq_ids.size(); ++i) {
     kv_.Advance(seq_ids[i]);
   }
 
-  // Final norm + CPU lm_head.
-  hkern::RmsNormF16(dev_, x.data(), weights_.final_norm.data(), xn.data(), batch, hidden,
-                    c.rms_eps);
-  hkern::LmHeadForward(xn.data(), weights_.lm_head.data(), logits.data(), batch, hidden,
-                       c.vocab);
+  // Final norm + blocked CPU lm_head: each hidden row converts F16->float once, and the
+  // pre-converted weight matrix streams through in vocab tiles (bit-identical logits —
+  // see LmHeadForwardF32W).
+  hkern::RmsNormF16(dev_, x, weights_.final_norm.data(), xn, batch, hidden, c.rms_eps);
+  float* xf = ws_.Alloc<float>(static_cast<int64_t>(batch) * hidden);
+  for (int64_t i = 0; i < static_cast<int64_t>(batch) * hidden; ++i) {
+    xf[i] = xn[i].ToFloat();
+  }
+  hkern::LmHeadForwardF32W(xf, lm_head_f32_.data(), logits.data(), batch, hidden, c.vocab);
 }
 
 }  // namespace hllm

@@ -9,6 +9,13 @@
 // This path is functional: it produces real numbers and charges realistic cycle costs. It is
 // intended for the toy configuration (tests, examples); full-size models use the analytic
 // timing engine in src/runtime.
+//
+// Host-performance contract (docs/performance.md): steady-state decode is zero-copy and
+// zero-alloc. Attention consumes K/V in place through the paged cache's block tables
+// (hkern::FlashAttentionPagedF16 — no per-step gather), all step scratch lives in a
+// persistent DecodeWorkspace arena, weights dequantize once and replay their charges, and
+// the lm_head runs blocked over a float-converted weight matrix. All of it is charge- and
+// bit-identical to the straightforward path it replaced.
 #ifndef SRC_LLM_TRANSFORMER_H_
 #define SRC_LLM_TRANSFORMER_H_
 
@@ -22,13 +29,15 @@
 #include "src/kernels/exp_lut.h"
 #include "src/kernels/softmax.h"
 #include "src/kvcache/paged_kv_cache.h"
+#include "src/llm/decode_workspace.h"
 #include "src/llm/weights.h"
 
 namespace hllm {
 
 // The KV cache is the paged, ref-counted block-pool manager from src/kvcache: attention
-// gathers K/V rows through per-sequence block tables, prompt prefixes admitted for parallel
-// TTS candidates are stored once, and beam-search forks share their stem copy-on-write.
+// reads K/V rows in place through per-sequence block tables, prompt prefixes admitted for
+// parallel TTS candidates are stored once, and beam-search forks share their stem
+// copy-on-write.
 using KvCache = hkv::PagedKvCache;
 
 class Transformer {
@@ -61,6 +70,9 @@ class Transformer {
   const KvCache& kv() const { return kv_; }
   const ModelConfig& config() const { return weights_.config; }
   hexsim::NpuDevice& device() { return dev_; }
+  // Step-scratch arena; its high-water mark is exported as the `exec.workspace.bytes`
+  // gauge (docs/metrics_schema.md).
+  const DecodeWorkspace& workspace() const { return ws_; }
 
  private:
   void StepSeqSubset(std::span<const int> tokens, std::span<const int> seq_ids,
@@ -76,6 +88,10 @@ class Transformer {
   // folded into the parent at the next merge.
   std::span<const hkern::ExpLut* const> EnsureShardLuts(int slots);
 
+  // Grows the per-slot block-pointer scratch (decode attention lanes each resolve their
+  // own sequences' block tables). Amortized: no growth in steady state.
+  void EnsureSlotScratch(int slots);
+
   hexsim::NpuDevice& dev_;
   const ModelWeights& weights_;
   hkern::ExpLut lut_;
@@ -83,6 +99,18 @@ class Transformer {
   int max_batch_;
   std::vector<std::unique_ptr<hkern::ExpLut>> shard_luts_;
   std::vector<const hkern::ExpLut*> slot_lut_ptrs_;
+
+  // Persistent decode state (sized once in the constructor; see docs/performance.md).
+  DecodeWorkspace ws_;
+  std::vector<float> lm_head_f32_;       // [hidden x vocab] row-major, converted once
+  std::vector<double> rope_inv_freq_;    // base^(-2i/d) per pair, pow() hoisted once
+  std::vector<int> identity_seq_ids_;    // 0..max_batch-1, for Step()
+  // Block-pointer scratch: per decode slot (parallel lanes), and one shared set for the
+  // single-sequence prefill (filled once per layer, read by all head lanes).
+  std::vector<std::vector<const hexllm::F16*>> slot_k_ptrs_;
+  std::vector<std::vector<const hexllm::F16*>> slot_v_ptrs_;
+  std::vector<const hexllm::F16*> layer_k_ptrs_;
+  std::vector<const hexllm::F16*> layer_v_ptrs_;
 };
 
 }  // namespace hllm

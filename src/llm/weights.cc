@@ -1,7 +1,10 @@
 #include "src/llm/weights.h"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 #include "src/base/check.h"
 #include "src/base/math_util.h"
@@ -15,6 +18,21 @@ namespace hllm {
 
 using hexllm::F16;
 using hexllm::RoundToF16;
+
+namespace {
+
+std::atomic<bool>& WeightCacheFlag() {
+  static std::atomic<bool> enabled(std::getenv("HEXLLM_NO_WEIGHT_CACHE") == nullptr);
+  return enabled;
+}
+
+}  // namespace
+
+void SetWeightCacheEnabled(bool enabled) {
+  WeightCacheFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool WeightCacheEnabled() { return WeightCacheFlag().load(std::memory_order_relaxed); }
 
 QuantizedLinear QuantizedLinear::Create(std::span<const float> w, int64_t k, int64_t n,
                                         hquant::WeightScheme scheme) {
@@ -37,6 +55,7 @@ QuantizedLinear QuantizedLinear::Create(std::span<const float> w, int64_t k, int
     default:
       HEXLLM_CHECK_MSG(false, "unsupported NPU weight scheme");
   }
+  q.cache_ = std::make_shared<DequantCache>();
   return q;
 }
 
@@ -45,36 +64,95 @@ int64_t QuantizedLinear::quantized_bytes() const {
                               b8_.size() * sizeof(hquant::BlockQ8_0));
 }
 
-void QuantizedLinear::Forward(hexsim::NpuDevice& dev, const F16* x, F16* y, int m) const {
+void QuantizedLinear::Forward(hexsim::NpuDevice& dev, const F16* x, F16* y, int m,
+                              DecodeWorkspace* ws) const {
   HEXLLM_CHECK(m >= 1);
   hexsim::TcmFrame frame(dev.tcm());
   // Dequantize the full weight stream into TCM (toy-model sizes fit; the production engine
-  // processes strips — see runtime/engine.cc's cost model).
+  // processes strips — see runtime/engine.cc's cost model). With a warm cache the stream is
+  // memcpy'd in and the dequant's simulated charges are replayed instead — bit-identical
+  // counters, no per-element LUT simulation (docs/performance.md).
   auto* w_tcm = reinterpret_cast<F16*>(dev.tcm().Alloc(k_ * n_ * 2));
+  const bool cache_on = WeightCacheEnabled() && cache_ != nullptr;
+  const bool cache_warm = cache_on && cache_->ready.load(std::memory_order_acquire);
   if (scheme_ == hquant::WeightScheme::kQ4_0) {
-    const int64_t packets = hkern::DequantCoalescedLut(dev, sb4_, w_tcm);
-    dev.CommitHvxPackets(packets, 1, "linear.dequant");
-    dev.hvx().ResetPackets();
+    if (cache_warm) {
+      std::memcpy(w_tcm, cache_->stream.data(), static_cast<size_t>(k_ * n_) * 2);
+      dev.ledger().AddCount("kernel.dequant_coalesced_lut.calls");
+      dev.hvx().ReplayOps(cache_->vgather, cache_->vscatter, cache_->vlut16);
+      dev.CommitHvxPackets(cache_->packets, 1, "linear.dequant");
+      dev.hvx().ResetPackets();
+    } else {
+      const int64_t vgather0 = dev.hvx().vgather_ops();
+      const int64_t vscatter0 = dev.hvx().vscatter_ops();
+      const int64_t vlut0 = dev.hvx().vlut16_ops();
+      const int64_t packets = hkern::DequantCoalescedLut(dev, sb4_, w_tcm);
+      dev.CommitHvxPackets(packets, 1, "linear.dequant");
+      dev.hvx().ResetPackets();
+      if (cache_on) {
+        std::lock_guard<std::mutex> lock(cache_->mu);
+        if (!cache_->ready.load(std::memory_order_relaxed)) {
+          cache_->stream.assign(w_tcm, w_tcm + k_ * n_);
+          cache_->packets = packets;
+          // DequantCoalescedLut merges its shards before returning, so the parent-device
+          // deltas capture the whole call at any lane count.
+          cache_->vgather = dev.hvx().vgather_ops() - vgather0;
+          cache_->vscatter = dev.hvx().vscatter_ops() - vscatter0;
+          cache_->vlut16 = dev.hvx().vlut16_ops() - vlut0;
+          cache_->ready.store(true, std::memory_order_release);
+        }
+      }
+    }
   } else {
     // Q8: conventional unpack (widen + scale), contiguous stores; ~8 packets per 64.
     const int64_t n_elems = k_ * n_;
-    for (size_t bi = 0; bi < b8_.size(); ++bi) {
-      const float d = b8_[bi].d.ToFloat();
-      for (int i = 0; i < hquant::kGroupSize; ++i) {
-        w_tcm[bi * hquant::kGroupSize + i] =
-            F16(RoundToF16(static_cast<float>(b8_[bi].qs[i]) * d));
+    if (cache_warm) {
+      std::memcpy(w_tcm, cache_->stream.data(), static_cast<size_t>(n_elems) * 2);
+    } else {
+      for (size_t bi = 0; bi < b8_.size(); ++bi) {
+        const float d = b8_[bi].d.ToFloat();
+        for (int i = 0; i < hquant::kGroupSize; ++i) {
+          w_tcm[bi * hquant::kGroupSize + i] =
+              F16(RoundToF16(static_cast<float>(b8_[bi].qs[i]) * d));
+        }
+      }
+      if (cache_on) {
+        std::lock_guard<std::mutex> lock(cache_->mu);
+        if (!cache_->ready.load(std::memory_order_relaxed)) {
+          cache_->stream.assign(w_tcm, w_tcm + n_elems);
+          cache_->ready.store(true, std::memory_order_release);
+        }
       }
     }
     dev.CommitHvxPackets(n_elems / 64 * 8, 1, "linear.dequant");
   }
 
-  // Pad the activation rows up to a full tile.
+  if (m % 32 == 0) {
+    // Already tile-aligned rows: no staging copies, the GEMM reads/writes in place.
+    hkern::GemmF16Hmx(dev, x, w_tcm, y, m, static_cast<int>(k_), static_cast<int>(n_),
+                      /*operands_in_tcm=*/true);
+    return;
+  }
+
+  // Pad the activation rows up to a full tile. valid_m = m means the GEMM never reads the
+  // padding rows (and leaves the padded output rows unspecified), so the staging buffers
+  // need no zero fill — only the live rows are copied in and out.
   const int m_pad = static_cast<int>(hexllm::RoundUp(m, 32));
+  if (ws != nullptr) {
+    DecodeWorkspace::Frame wframe(*ws);
+    F16* x_pad = ws->Alloc<F16>(static_cast<int64_t>(m_pad) * k_);
+    F16* y_pad = ws->Alloc<F16>(static_cast<int64_t>(m_pad) * n_);
+    std::memcpy(x_pad, x, static_cast<size_t>(m) * k_ * 2);
+    hkern::GemmF16Hmx(dev, x_pad, w_tcm, y_pad, m_pad, static_cast<int>(k_),
+                      static_cast<int>(n_), /*operands_in_tcm=*/true, /*valid_m=*/m);
+    std::memcpy(y, y_pad, static_cast<size_t>(m) * n_ * 2);
+    return;
+  }
   std::vector<F16> x_pad(static_cast<size_t>(m_pad) * k_, F16::Zero());
   std::memcpy(x_pad.data(), x, static_cast<size_t>(m) * k_ * 2);
   std::vector<F16> y_pad(static_cast<size_t>(m_pad) * n_);
   hkern::GemmF16Hmx(dev, x_pad.data(), w_tcm, y_pad.data(), m_pad, static_cast<int>(k_),
-                    static_cast<int>(n_), /*operands_in_tcm=*/true);
+                    static_cast<int>(n_), /*operands_in_tcm=*/true, /*valid_m=*/m);
   std::memcpy(y, y_pad.data(), static_cast<size_t>(m) * n_ * 2);
 }
 

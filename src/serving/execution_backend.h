@@ -187,6 +187,10 @@ class FunctionalBackend : public ExecutionBackend {
   hkv::KvStats kv_stats() const override { return tf_.kv().stats(); }
   void ExportMetrics(obs::Registry& registry) const override {
     hexsim::ExportDeviceMetrics(dev_, registry);
+    // Peak bytes of the transformer's persistent step-scratch arena
+    // (docs/metrics_schema.md, docs/performance.md).
+    registry.Set("exec.workspace.bytes",
+                 static_cast<double>(tf_.workspace().high_watermark()));
   }
 
   hllm::Transformer& transformer() { return tf_; }

@@ -1,15 +1,79 @@
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/base/rng.h"
+#include "src/exec/thread_pool.h"
 #include "src/hexsim/npu_device.h"
+#include "src/kernels/attention.h"
+#include "src/kernels/exp_lut.h"
+#include "src/kernels/lm_head.h"
+#include "src/kernels/misc_ops.h"
 #include "src/llm/model_config.h"
 #include "src/llm/sampling.h"
 #include "src/llm/transformer.h"
 #include "src/llm/weights.h"
+#include "src/obs/metrics.h"
 #include "src/quant/error_stats.h"
+#include "src/serving/execution_backend.h"
+
+// Global heap-allocation counter backing SteadyStateDecodeDoesNotHeapAllocate: replacing
+// the allocation functions in one TU replaces them binary-wide, so every operator new in
+// the test process funnels through the counter. malloc/free-compatible, as required of
+// replacements.
+static std::atomic<int64_t> g_heap_allocs{0};
+
+namespace {
+void* CountedAlloc(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* CountedAlignedAlloc(std::size_t n, std::size_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, n != 0 ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return CountedAlloc(n); }
+void* operator new[](std::size_t n) { return CountedAlloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return CountedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return CountedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 namespace hllm {
 namespace {
@@ -320,6 +384,284 @@ TEST_F(TransformerTest, ChargesAllEngineCategories) {
   EXPECT_GT(ledger.TagSeconds("attn.softmax"), 0.0);
   EXPECT_GT(ledger.TagSeconds("misc.rmsnorm"), 0.0);
   EXPECT_GT(ledger.TagSeconds("misc.silu"), 0.0);
+}
+
+// --- zero-copy decode hot path (docs/performance.md) ---
+
+// Per-sequence contiguous K/V history for the gather-style reference decode.
+struct GatherSeq {
+  std::vector<std::vector<F16>> k;  // [layer] -> [len * kv_dim] rows
+  std::vector<std::vector<F16>> v;
+
+  explicit GatherSeq(int layers) : k(static_cast<size_t>(layers)), v(static_cast<size_t>(layers)) {}
+};
+
+// One decode step in the pre-zero-copy style: heap scratch, per-head gather of K/V into
+// contiguous buffers consumed by the contiguous FlashAttentionF16, theta_base RoPE, and
+// the all-F16 lm_head. The production Step (in-place paged attention, persistent
+// workspace, dequant-once replay, blocked FP32 lm_head) must match this bit-for-bit in
+// logits AND in every simulated charge.
+void GatherReferenceStep(hexsim::NpuDevice& dev, const hkern::ExpLut& lut,
+                         const ModelWeights& weights, std::span<const int> tokens,
+                         std::span<GatherSeq* const> seqs, std::span<float> logits) {
+  const ModelConfig& c = weights.config;
+  const int batch = static_cast<int>(tokens.size());
+  const int hidden = c.hidden;
+  const int q_dim = static_cast<int>(c.q_dim());
+  const int kv_dim = static_cast<int>(c.kv_dim());
+  const int dh = c.head_dim;
+  const int group = c.heads / c.kv_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  std::vector<F16> x(static_cast<size_t>(batch) * hidden);
+  std::vector<F16> xn(static_cast<size_t>(batch) * hidden);
+  std::vector<F16> q(static_cast<size_t>(batch) * q_dim);
+  std::vector<F16> k(static_cast<size_t>(batch) * kv_dim);
+  std::vector<F16> v(static_cast<size_t>(batch) * kv_dim);
+  std::vector<F16> attn(static_cast<size_t>(batch) * q_dim);
+  std::vector<F16> proj(static_cast<size_t>(batch) * hidden);
+  std::vector<F16> gate(static_cast<size_t>(batch) * c.ffn_hidden);
+  std::vector<F16> up(static_cast<size_t>(batch) * c.ffn_hidden);
+  std::vector<F16> act(static_cast<size_t>(batch) * c.ffn_hidden);
+  std::vector<F16> kbuf;
+  std::vector<F16> vbuf;
+
+  for (int b = 0; b < batch; ++b) {
+    std::memcpy(x.data() + static_cast<int64_t>(b) * hidden,
+                weights.embedding.data() +
+                    static_cast<size_t>(tokens[static_cast<size_t>(b)]) * hidden,
+                static_cast<size_t>(hidden) * 2);
+  }
+
+  for (int l = 0; l < c.layers; ++l) {
+    const LayerWeights& lw = weights.layers[static_cast<size_t>(l)];
+    hkern::RmsNormF16(dev, x.data(), lw.attn_norm.data(), xn.data(), batch, hidden,
+                      c.rms_eps);
+    lw.wq.Forward(dev, xn.data(), q.data(), batch);
+    lw.wk.Forward(dev, xn.data(), k.data(), batch);
+    lw.wv.Forward(dev, xn.data(), v.data(), batch);
+
+    for (int b = 0; b < batch; ++b) {
+      GatherSeq& s = *seqs[static_cast<size_t>(b)];
+      const int pos = static_cast<int>(s.k[static_cast<size_t>(l)].size()) / kv_dim;
+      hkern::RopeHeadsF16(dev, q.data() + static_cast<int64_t>(b) * q_dim, c.heads, dh, pos,
+                          c.rope_theta);
+      hkern::RopeHeadsF16(dev, k.data() + static_cast<int64_t>(b) * kv_dim, c.kv_heads, dh,
+                          pos, c.rope_theta);
+      s.k[static_cast<size_t>(l)].insert(s.k[static_cast<size_t>(l)].end(),
+                                         k.begin() + static_cast<int64_t>(b) * kv_dim,
+                                         k.begin() + static_cast<int64_t>(b + 1) * kv_dim);
+      s.v[static_cast<size_t>(l)].insert(s.v[static_cast<size_t>(l)].end(),
+                                         v.begin() + static_cast<int64_t>(b) * kv_dim,
+                                         v.begin() + static_cast<int64_t>(b + 1) * kv_dim);
+    }
+
+    for (int b = 0; b < batch; ++b) {
+      GatherSeq& s = *seqs[static_cast<size_t>(b)];
+      const int kv_len = static_cast<int>(s.k[static_cast<size_t>(l)].size()) / kv_dim;
+      kbuf.resize(static_cast<size_t>(kv_len) * dh);
+      vbuf.resize(static_cast<size_t>(kv_len) * dh);
+      for (int h = 0; h < c.heads; ++h) {
+        const int kvh = h / group;
+        for (int p = 0; p < kv_len; ++p) {
+          std::memcpy(kbuf.data() + static_cast<int64_t>(p) * dh,
+                      s.k[static_cast<size_t>(l)].data() +
+                          static_cast<int64_t>(p) * kv_dim + static_cast<int64_t>(kvh) * dh,
+                      static_cast<size_t>(dh) * 2);
+          std::memcpy(vbuf.data() + static_cast<int64_t>(p) * dh,
+                      s.v[static_cast<size_t>(l)].data() +
+                          static_cast<int64_t>(p) * kv_dim + static_cast<int64_t>(kvh) * dh,
+                      static_cast<size_t>(dh) * 2);
+        }
+        hkern::FlashAttentionF16(dev, lut, hkern::SoftmaxVariant::kLut,
+                                 q.data() + static_cast<int64_t>(b) * q_dim + h * dh,
+                                 kbuf.data(), vbuf.data(),
+                                 attn.data() + static_cast<int64_t>(b) * q_dim + h * dh,
+                                 /*q_len=*/1, kv_len, dh, scale);
+      }
+    }
+
+    lw.wo.Forward(dev, attn.data(), proj.data(), batch);
+    hkern::AddF16(dev, x.data(), proj.data(), x.data(), static_cast<int64_t>(batch) * hidden);
+    hkern::RmsNormF16(dev, x.data(), lw.ffn_norm.data(), xn.data(), batch, hidden, c.rms_eps);
+    lw.w_gate.Forward(dev, xn.data(), gate.data(), batch);
+    lw.w_up.Forward(dev, xn.data(), up.data(), batch);
+    hkern::SiluMulF16(dev, gate.data(), up.data(), act.data(),
+                      static_cast<int64_t>(batch) * c.ffn_hidden);
+    lw.w_down.Forward(dev, act.data(), proj.data(), batch);
+    hkern::AddF16(dev, x.data(), proj.data(), x.data(), static_cast<int64_t>(batch) * hidden);
+  }
+
+  hkern::RmsNormF16(dev, x.data(), weights.final_norm.data(), xn.data(), batch, hidden,
+                    c.rms_eps);
+  hkern::LmHeadForward(xn.data(), weights.lm_head.data(), logits.data(), batch, hidden,
+                       c.vocab);
+}
+
+// Asserts the full simulated-activity profile of two devices is identical: every event
+// count, DDR byte, per-unit instruction counter, and (same charges in the same order, so
+// exactly equal) every busy-second total and tag.
+void ExpectSameCharges(const hexsim::NpuDevice& a, const hexsim::NpuDevice& b) {
+  EXPECT_EQ(a.ledger().counts(), b.ledger().counts());
+  EXPECT_EQ(a.ledger().dma_bytes(), b.ledger().dma_bytes());
+  EXPECT_EQ(a.hmx().tile_ops(), b.hmx().tile_ops());
+  EXPECT_EQ(a.hvx().packets(), b.hvx().packets());
+  EXPECT_EQ(a.hvx().vgather_ops(), b.hvx().vgather_ops());
+  EXPECT_EQ(a.hvx().vscatter_ops(), b.hvx().vscatter_ops());
+  EXPECT_EQ(a.hvx().vlut16_ops(), b.hvx().vlut16_ops());
+  for (int e = 0; e < static_cast<int>(hexsim::Engine::kCount); ++e) {
+    EXPECT_DOUBLE_EQ(a.ledger().EngineSeconds(static_cast<hexsim::Engine>(e)),
+                     b.ledger().EngineSeconds(static_cast<hexsim::Engine>(e)))
+        << hexsim::EngineName(static_cast<hexsim::Engine>(e));
+  }
+  ASSERT_EQ(a.ledger().tags().size(), b.ledger().tags().size());
+  auto ib = b.ledger().tags().begin();
+  for (const auto& [tag, seconds] : a.ledger().tags()) {
+    EXPECT_EQ(tag, ib->first);
+    EXPECT_DOUBLE_EQ(seconds, ib->second) << tag;
+    ++ib;
+  }
+}
+
+TEST_F(TransformerTest, PagedAttentionMatchesGatherReference) {
+  // Multi-layer, GQA (4 heads over 2 KV heads), with a copy-on-write fork mid-decode: the
+  // in-place paged attention path must reproduce the gather-style reference decode down to
+  // the last logit bit and the last simulated counter.
+  hexec::ParallelismOverride serial(1);
+  const int64_t vocab = config_.vocab;
+
+  hexsim::NpuDevice dev_ref(hexsim::OnePlus12());
+  hkern::ExpLut ref_lut(dev_ref);
+  GatherSeq ref0(config_.layers);
+  GatherSeq ref1(config_.layers);
+
+  Transformer tf(dev_, weights_, /*max_batch=*/2, /*max_context=*/16);
+  std::vector<float> logits(2 * static_cast<size_t>(vocab));
+  std::vector<float> ref_logits(2 * static_cast<size_t>(vocab));
+
+  // Phase 1: three steps of sequence 0 alone.
+  std::vector<int> tokens{7};
+  std::vector<int> seq_ids{0};
+  std::vector<GatherSeq*> ref_seqs{&ref0};
+  for (int step = 0; step < 3; ++step) {
+    tf.StepSeqs(tokens, seq_ids, std::span<float>(logits.data(), static_cast<size_t>(vocab)));
+    GatherReferenceStep(dev_ref, ref_lut, weights_, tokens, ref_seqs,
+                        std::span<float>(ref_logits.data(), static_cast<size_t>(vocab)));
+    ASSERT_EQ(std::memcmp(logits.data(), ref_logits.data(), sizeof(float) * vocab), 0)
+        << "phase-1 step " << step;
+    tokens[0] = ArgmaxToken(std::span<const float>(logits.data(), static_cast<size_t>(vocab)));
+  }
+
+  // Fork sequence 0 into sequence 1: paged cache shares the blocks copy-on-write, the
+  // reference duplicates the history.
+  const int64_t handle = tf.kv().Retain(0);
+  tf.kv().ShareFromHandle(handle, /*dst_seq=*/1, tf.kv().handle_length(handle));
+  tf.kv().DropHandle(handle);
+  ASSERT_EQ(tf.kv().length(1), 3);
+  ref1 = ref0;
+
+  // Phase 2: the sequences diverge — the first write into the shared tail block must
+  // CoW-split it, never perturbing sequence 0.
+  tokens = {tokens[0], (tokens[0] + 11) % static_cast<int>(vocab)};
+  seq_ids = {0, 1};
+  ref_seqs = {&ref0, &ref1};
+  for (int step = 0; step < 4; ++step) {
+    tf.StepSeqs(tokens, seq_ids, logits);
+    GatherReferenceStep(dev_ref, ref_lut, weights_, tokens, ref_seqs, ref_logits);
+    ASSERT_EQ(std::memcmp(logits.data(), ref_logits.data(), sizeof(float) * 2 * vocab), 0)
+        << "phase-2 step " << step;
+    for (int b = 0; b < 2; ++b) {
+      tokens[static_cast<size_t>(b)] = ArgmaxToken(std::span<const float>(
+          logits.data() + static_cast<int64_t>(b) * vocab, static_cast<size_t>(vocab)));
+    }
+  }
+  EXPECT_GE(tf.kv().stats().cow_splits, 1);
+
+  ExpectSameCharges(dev_, dev_ref);
+}
+
+TEST_F(TransformerTest, WeightCacheReplayParity) {
+  // Dequant-once cache replay must be invisible to the simulation: identical logits,
+  // decoded tokens, and charge profile whether every Forward re-simulates the dequant
+  // (cache off) or replays the memoized charges (cache on).
+  struct WeightCacheGuard {
+    bool prev = WeightCacheEnabled();
+    ~WeightCacheGuard() { SetWeightCacheEnabled(prev); }
+  } guard;
+  hexec::ParallelismOverride serial(1);
+  const int64_t vocab = config_.vocab;
+  const int steps = 5;
+
+  std::vector<std::vector<float>> logits_runs[2];
+  std::vector<int> token_runs[2];
+  hexsim::NpuDevice dev_off(hexsim::OnePlus12());
+  hexsim::NpuDevice dev_on(hexsim::OnePlus12());
+  for (int run = 0; run < 2; ++run) {
+    SetWeightCacheEnabled(run == 1);
+    hexsim::NpuDevice& dev = (run == 0) ? dev_off : dev_on;
+    Transformer tf(dev, weights_, 1, 16);
+    std::vector<float> logits(static_cast<size_t>(vocab));
+    int tok = 3;
+    for (int i = 0; i < steps; ++i) {
+      tf.Step({&tok, 1}, logits);
+      tok = ArgmaxToken(logits);
+      logits_runs[run].push_back(logits);
+      token_runs[run].push_back(tok);
+    }
+  }
+
+  EXPECT_EQ(token_runs[0], token_runs[1]);
+  for (int i = 0; i < steps; ++i) {
+    EXPECT_EQ(std::memcmp(logits_runs[0][static_cast<size_t>(i)].data(),
+                          logits_runs[1][static_cast<size_t>(i)].data(),
+                          sizeof(float) * vocab),
+              0)
+        << "step " << i;
+  }
+  EXPECT_GT(dev_on.ledger().Count("kernel.dequant_coalesced_lut.calls"), 0);
+  ExpectSameCharges(dev_off, dev_on);
+}
+
+TEST_F(TransformerTest, SteadyStateDecodeDoesNotHeapAllocate) {
+  // The zero-alloc contract (docs/performance.md): after warmup (workspace sized, weight
+  // caches filled, ledger tags registered), a decode step performs no heap allocation at
+  // all — counted through the binary-wide operator new replacements above.
+  hexec::ParallelismOverride serial(1);
+  Transformer tf(dev_, weights_, /*max_batch=*/2, /*max_context=*/64);
+  std::vector<int> tokens{3, 5};
+  std::vector<float> logits(2 * static_cast<size_t>(config_.vocab));
+  for (int i = 0; i < 3; ++i) {
+    tf.Step(tokens, logits);
+  }
+  const int64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 5; ++i) {
+    tf.Step(tokens, logits);
+    for (int b = 0; b < 2; ++b) {
+      tokens[static_cast<size_t>(b)] = ArgmaxToken(std::span<const float>(
+          logits.data() + static_cast<int64_t>(b) * config_.vocab,
+          static_cast<size_t>(config_.vocab)));
+    }
+  }
+  EXPECT_EQ(g_heap_allocs.load(std::memory_order_relaxed) - before, 0);
+}
+
+TEST_F(TransformerTest, WorkspaceBytesGaugeExported) {
+  // The serving backend publishes the step-arena high watermark as exec.workspace.bytes
+  // (docs/metrics_schema.md).
+  hserve::FunctionalBackend backend(dev_, weights_, /*max_batch=*/2, /*max_context=*/16);
+  std::vector<float> logits(static_cast<size_t>(config_.vocab));
+  const int tok = 3;
+  backend.transformer().Step({&tok, 1}, logits);
+
+  obs::Registry registry;
+  backend.ExportMetrics(registry);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  bool found = false;
+  const double bytes = snap.GaugeValue("exec.workspace.bytes", {}, &found);
+  EXPECT_TRUE(found);
+  EXPECT_GT(bytes, 0.0);
+  EXPECT_EQ(bytes,
+            static_cast<double>(backend.transformer().workspace().high_watermark()));
 }
 
 // --- sampling ---

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Guard the functional-decode HOST throughput in BENCH_fig11 reports.
+
+Two modes, both over the `host_tokens_per_second` field of functional rows (the host
+wall-clock of the emulation — NOT simulated seconds; see docs/performance.md for the
+distinction):
+
+  * Two-file mode: compare_bench_perf.py OLD.json NEW.json
+    Matches `functional_decode` rows on (batch, steps) and fails when NEW regresses
+    below --threshold (default 0.80, i.e. a >20% host-throughput drop) of OLD for any
+    matched row. Use it to gate a change against a baseline report.
+
+  * Self mode: compare_bench_perf.py --self REPORT.json
+    Compares the `functional_decode` (dequant-once weight cache ON) rows against the
+    `functional_decode_nocache` rows of ONE report and fails when the cached path is
+    not at least --min-ratio (default 1.2) times faster. This is the CI smoke guard
+    that the weight cache actually pays for itself.
+
+--min-batch N restricts either mode to rows with batch >= N (small-batch host timings
+are the noisiest). Exit 0 on pass, 1 on regression, 2 on usage error. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path, series):
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+    rows = {}
+    for row in report.get("rows", []):
+        if row.get("series") != series:
+            continue
+        key = (row["batch"], row["steps"])
+        if key in rows:
+            raise SystemExit(f"{path}: duplicate {series} row for {key}")
+        rows[key] = float(row["host_tokens_per_second"])
+    if not rows:
+        raise SystemExit(f"{path}: no {series} rows (wrong bench or old schema?)")
+    return rows
+
+
+def check_pairs(base, new, factor, min_batch, base_desc, new_desc):
+    """Fails rows where new < base * factor. Returns True when everything passes."""
+    ok = True
+    checked = 0
+    if base.keys() != new.keys():
+        print(f"row sets differ: {sorted(base.keys())} vs {sorted(new.keys())}")
+        ok = False
+    for key in sorted(base.keys() & new.keys()):
+        batch, steps = key
+        if batch < min_batch:
+            continue
+        checked += 1
+        ratio = new[key] / base[key] if base[key] > 0 else float("inf")
+        verdict = "ok" if ratio >= factor else "FAIL"
+        print(
+            f"batch={batch} steps={steps}: {base_desc}={base[key]:.1f} tok/s  "
+            f"{new_desc}={new[key]:.1f} tok/s  ratio={ratio:.2f} (floor {factor:.2f}) "
+            f"{verdict}"
+        )
+        if ratio < factor:
+            ok = False
+    if checked == 0:
+        print(f"no rows with batch >= {min_batch} to compare")
+        return False
+    return ok
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("reports", nargs="+", metavar="REPORT.json")
+    parser.add_argument(
+        "--self",
+        dest="self_mode",
+        action="store_true",
+        help="one report: cached functional_decode vs functional_decode_nocache",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.80,
+        help="two-file mode: NEW must reach this fraction of OLD (default 0.80)",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=1.2,
+        help="self mode: cached must be this many times nocache (default 1.2)",
+    )
+    parser.add_argument(
+        "--min-batch", type=int, default=0, help="only compare rows with batch >= N"
+    )
+    args = parser.parse_args(argv[1:])
+
+    if args.self_mode:
+        if len(args.reports) != 1:
+            parser.error("--self takes exactly one report")
+        path = args.reports[0]
+        nocache = load_rows(path, "functional_decode_nocache")
+        cached = load_rows(path, "functional_decode")
+        ok = check_pairs(nocache, cached, args.min_ratio, args.min_batch, "nocache", "cached")
+        print("OK: weight cache pays for itself" if ok else "FAIL: weight-cache speedup below floor")
+        return 0 if ok else 1
+
+    if len(args.reports) != 2:
+        parser.error("two-file mode takes OLD.json NEW.json")
+    old = load_rows(args.reports[0], "functional_decode")
+    new = load_rows(args.reports[1], "functional_decode")
+    ok = check_pairs(old, new, args.threshold, args.min_batch, "old", "new")
+    print("OK: no host-throughput regression" if ok else "FAIL: host-throughput regression")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
