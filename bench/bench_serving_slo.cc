@@ -1,0 +1,157 @@
+// Serving-frontend benchmark: a seeded bursty request trace (interactive + batch classes,
+// multi-turn sessions) served through ServingEngine -> ContinuousBatcher -> the functional
+// toy model, with SLO-aware preemptive admission enabled.
+//
+// Reports goodput (decoded tokens of SLO-meeting requests per simulated second), TTFT and
+// TPOT p50/p99, and preemption/resume counts. The trace is run TWICE on fresh backends and
+// the per-request streamed-token checksums must agree — the bench itself is the
+// determinism gate, and CI additionally runs it at HEXLLM_NUM_THREADS=1 and =4, comparing
+// the two reports with tools/compare_bench_tokens.py (docs/serving_frontend.md).
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench/reporter.h"
+#include "src/frontend/serving_engine.h"
+#include "src/frontend/traffic.h"
+#include "src/hexsim/device_profile.h"
+#include "src/hexsim/npu_device.h"
+#include "src/llm/model_config.h"
+#include "src/llm/weights.h"
+#include "src/serving/continuous_batcher.h"
+#include "src/serving/execution_backend.h"
+
+int main() {
+  bench::Reporter rep("serving_slo",
+                      "Live serving: goodput and latency SLOs under bursty traffic",
+                      "Serving frontend (ROADMAP: production serving path)");
+
+  hfront::TrafficOptions traffic;
+  traffic.arrivals = 40;
+  traffic.seed = 2026;
+  traffic.arrival_rate_hz = 400.0;
+  traffic.burst_fraction = 0.4;
+  traffic.burst_size = 5;
+  traffic.interactive_fraction = 0.35;
+  traffic.interactive_slo = {0.5, 0.2};
+  traffic.mean_prompt_tokens = 40;
+  traffic.min_prompt_tokens = 8;
+  traffic.mean_decode_tokens = 32;
+  traffic.min_decode_tokens = 8;
+  traffic.session_fraction = 0.25;
+  traffic.session_turns = 3;
+  traffic.mean_think_s = 0.5;
+  if (bench::SmokePreset()) {
+    traffic.arrivals = 12;
+    traffic.session_turns = 2;
+  }
+  const std::vector<hfront::Request> trace = hfront::GenerateTraffic(traffic);
+
+  const hllm::ModelConfig toy = hllm::ToyConfig();
+  const hllm::ModelWeights weights = hllm::ModelWeights::Random(toy, 1234);
+  hserve::ServeOptions so;
+  so.max_batch = 4;
+  so.enable_preemption = true;
+
+  const auto run = [&]() {
+    hexsim::NpuDevice dev(hexsim::OnePlus12());
+    hserve::FunctionalBackend backend(dev, weights, so.max_batch, /*max_context=*/2048);
+    hserve::ContinuousBatcher batcher(backend, so);
+    hfront::ServingEngine engine(batcher);
+    return engine.Run(trace);
+  };
+  const hfront::EngineSummary s = run();
+  if (!s.schedule.error.empty()) {
+    std::fprintf(stderr, "serving run failed: %s\n", s.schedule.error.c_str());
+    return 1;
+  }
+  // Determinism gate: the identical trace on a fresh backend must stream identical tokens
+  // per request (seeded samplers, simulated clock — nothing host-timing dependent).
+  const hfront::EngineSummary s2 = run();
+  for (size_t i = 0; i < s.requests.size(); ++i) {
+    if (s.requests[i].checksum != s2.requests[i].checksum ||
+        s.requests[i].tokens != s2.requests[i].tokens) {
+      std::fprintf(stderr, "request %d: rerun checksum mismatch (%016llx vs %016llx)\n",
+                   s.requests[i].id,
+                   static_cast<unsigned long long>(s.requests[i].checksum),
+                   static_cast<unsigned long long>(s2.requests[i].checksum));
+      return 1;
+    }
+  }
+
+  rep.Section("per-request stream (simulated clock)");
+  std::printf("%-8s%-9s%-6s%10s%10s%12s%12s%8s%8s%20s\n", "request", "session", "turn",
+              "prompt", "tokens", "ttft (ms)", "tpot (ms)", "preempt", "slo", "checksum");
+  std::vector<double> ttft;
+  std::vector<double> tpot;
+  std::vector<double> ttft_interactive;
+  for (const hfront::RequestStats& st : s.requests) {
+    ttft.push_back(st.ttft_s());
+    if (st.tokens > 1) {
+      tpot.push_back(st.tpot_s());
+    }
+    if (st.slo.ttft_s > 0.0) {
+      ttft_interactive.push_back(st.ttft_s());
+    }
+    char checksum_hex[20];
+    std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
+                  static_cast<unsigned long long>(st.checksum));
+    std::printf("%-8d%-9d%-6d%10d%10d%12.2f%12.2f%8d%8s%20s\n", st.id, st.session,
+                st.turn_index, trace[static_cast<size_t>(st.id)].prompt_tokens, st.tokens,
+                st.ttft_s() * 1e3, st.tpot_s() * 1e3, st.preemptions,
+                st.slo_ok() ? "ok" : "MISS", checksum_hex);
+    obs::Json& row = rep.AddRow("serving_request");
+    row.Set("request", st.id);
+    row.Set("session", st.session);
+    row.Set("turn", st.turn_index);
+    row.Set("priority", trace[static_cast<size_t>(st.id)].priority);
+    row.Set("prompt_tokens", trace[static_cast<size_t>(st.id)].prompt_tokens);
+    row.Set("tokens", st.tokens);
+    row.Set("token_checksum", checksum_hex);
+    row.Set("ttft_seconds", st.ttft_s());
+    row.Set("tpot_seconds", st.tpot_s());
+    row.Set("preemptions", st.preemptions);
+    row.Set("resumes", st.resumes);
+    row.Set("slo_ok", st.slo_ok());
+  }
+
+  rep.Section("aggregate");
+  const double ttft_p50 = hfront::Percentile(ttft, 0.5);
+  const double ttft_p99 = hfront::Percentile(ttft, 0.99);
+  const double tpot_p50 = hfront::Percentile(tpot, 0.5);
+  const double tpot_p99 = hfront::Percentile(tpot, 0.99);
+  std::printf("requests %zu (slo-bound %lld, met %lld)   goodput %.1f tok/s   "
+              "ttft p50/p99 %.1f/%.1f ms   tpot p50/p99 %.2f/%.2f ms   "
+              "preemptions %lld resumes %lld\n",
+              s.requests.size(), static_cast<long long>(s.slo_total),
+              static_cast<long long>(s.slo_met), s.goodput_tps, ttft_p50 * 1e3,
+              ttft_p99 * 1e3, tpot_p50 * 1e3, tpot_p99 * 1e3,
+              static_cast<long long>(s.schedule.preemptions),
+              static_cast<long long>(s.schedule.resumes));
+  obs::Json& agg = rep.AddRow("serving_aggregate");
+  agg.Set("requests", static_cast<int64_t>(s.requests.size()));
+  agg.Set("slo_total", s.slo_total);
+  agg.Set("slo_met", s.slo_met);
+  agg.Set("goodput_tokens_per_second", s.goodput_tps);
+  agg.Set("ttft_p50_seconds", ttft_p50);
+  agg.Set("ttft_p99_seconds", ttft_p99);
+  agg.Set("ttft_interactive_p99_seconds", hfront::Percentile(ttft_interactive, 0.99));
+  agg.Set("tpot_p50_seconds", tpot_p50);
+  agg.Set("tpot_p99_seconds", tpot_p99);
+  agg.Set("preemptions", s.schedule.preemptions);
+  agg.Set("resumes", s.schedule.resumes);
+  agg.Set("admission_deferrals", s.schedule.admission_deferrals);
+  agg.Set("forked_admissions", s.schedule.forked_admissions);
+  agg.Set("makespan_seconds", s.schedule.makespan_s);
+  agg.Set("idle_seconds", s.schedule.idle_s);
+  agg.Set("kv_sharing_ratio", s.schedule.kv.sharing_ratio());
+
+  rep.AttachMetrics(s.schedule.metrics, "serving run (functional toy, preemption on)");
+  rep.Note("Times are the batcher's SIMULATED clock, so the whole report is "
+           "thread-count invariant; CI compares the 1- and 4-thread reports' "
+           "serving_request rows with tools/compare_bench_tokens.py. Interactive "
+           "requests (priority 1) may pause a running batch decode; the victim resumes "
+           "bit-identically from its retained paged KV (tests/frontend_test.cc asserts "
+           "the token streams and KV block accounting match an un-preempted run).");
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// \file
+/// Deterministic traffic generation for serving experiments: seeded Poisson/bursty
+/// arrivals, lognormal prompt/output-length dispersion, an interactive (latency-critical)
+/// request class, and multi-turn dialog sessions. The same (options, seed) pair always
+/// produces the same trace, so serving benchmarks are bit-reproducible
+/// (docs/serving_frontend.md lists every knob).
+#ifndef SRC_FRONTEND_TRAFFIC_H_
+#define SRC_FRONTEND_TRAFFIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/frontend/request.h"
+
+namespace hfront {
+
+struct TrafficOptions {
+  // Number of INITIAL arrivals. Sessions append their follow-up turns on top, so the trace
+  // holds up to `arrivals * session_turns` requests.
+  int arrivals = 32;
+  uint64_t seed = 1;
+
+  // --- arrival process ---
+  double arrival_rate_hz = 4.0;   // Poisson rate of the base process
+  // Each arrival is a burst head with this probability: the next `burst_size - 1` arrivals
+  // land within `burst_spread_s` of it instead of waiting out exponential gaps (a traffic
+  // spike hitting the admission queue at once).
+  double burst_fraction = 0.0;
+  int burst_size = 4;
+  double burst_spread_s = 1e-3;
+
+  // --- length mix (lognormal with sigma 0.5 around the mean, floored) ---
+  int mean_prompt_tokens = 48;
+  int min_prompt_tokens = 8;
+  int mean_decode_tokens = 24;
+  int min_decode_tokens = 4;
+
+  // --- request classes ---
+  // Interactive requests get priority 1 and `interactive_slo`; the rest are batch
+  // (priority 0, `batch_slo`). Priority 1 preempts running batch decodes when the engine's
+  // batcher has ServeOptions::enable_preemption set.
+  double interactive_fraction = 0.25;
+  SloSpec interactive_slo{0.5, 0.1};
+  SloSpec batch_slo{0.0, 0.0};
+
+  // --- sessions ---
+  // An initial arrival starts a dialog session with this probability; the session runs
+  // `session_turns` turns total. Follow-up turns' think time is exponential with mean
+  // `mean_think_s`, and their lengths are drawn from the same distributions.
+  double session_fraction = 0.0;
+  int session_turns = 3;
+  double mean_think_s = 1.0;
+
+  // Sampling policy stamped on every request (greedy default); each request still gets its
+  // own Rng seed from the trace seed.
+  hllm::SamplerOptions sampler = hserve::GreedySampler();
+};
+
+// Generates the trace, sorted by arrival time for the initial turns (follow-up turns carry
+// relative think times and ride behind their session head). Request ids are dense from 0.
+std::vector<Request> GenerateTraffic(const TrafficOptions& options);
+
+}  // namespace hfront
+
+#endif  // SRC_FRONTEND_TRAFFIC_H_

@@ -37,11 +37,15 @@ struct ScheduleResult {
   int64_t steps = 0;
 };
 
-// Legacy entry points, now thin wrappers over the serving runtime (hserve::ContinuousBatcher
-// in src/serving — link hexllm_serving). `context` seeds each slot's starting KV length;
-// unlike the original fixed-context pricing, every slot's context then GROWS as it decodes
-// and steps are priced at the batch's actual mean context. No prefill is charged (jobs carry
-// no prompts), matching the original behavior. Empty `jobs` returns a zeroed result.
+// DEPRECATED legacy entry points, kept for the paper's Figure 14 sweep and old callers. They
+// are thin shims over the serving runtime's live API (hserve::ContinuousBatcher
+// Submit/Step/Finish in src/serving — link hexllm_serving); new code should drive that API —
+// or the request frontend (src/frontend) for timestamped traffic — directly, which also
+// exposes prompts/prefill, KV sharing, priorities, preemption and per-request sampling that
+// this signature cannot carry. `context` seeds each slot's starting KV length; unlike the
+// original fixed-context pricing, every slot's context then GROWS as it decodes and steps
+// are priced at the batch's actual mean context. No prefill is charged (jobs carry no
+// prompts), matching the original behavior. Empty `jobs` returns a zeroed result.
 
 // Static batching: jobs run in waves of `max_batch`; a wave ends when its longest job does
 // (finished slots decode padding until then).

@@ -104,13 +104,27 @@ double AnalyticBackend::AdmitSlot(int slot, const ServeJob& job, int context_tok
   TrackSlot(slot, context_tokens + job.decode_tokens);
 
   if (job.parent_job >= 0) {
-    // Fork: map the parent's retained stem copy-on-write. Zero re-prefill, zero cost.
+    // Fork: map the parent's retained stem copy-on-write — no token of it is re-prefilled.
+    // Tokens PAST the parent's length (a session's new turn) append fresh and run through
+    // the charged chunked prefill below.
     const auto it = retained_.find(job.parent_job);
     HEXLLM_CHECK_MSG(it != retained_.end(), "fork admitted before its parent was retained");
-    HEXLLM_CHECK_MSG(it->second.len == context_tokens,
-                     "fork context must equal the parent's final KV length");
-    kv_.ShareFromHandle(it->second.handle, slot, context_tokens);
-    return 0.0;
+    const int shared = it->second.len;
+    HEXLLM_CHECK_MSG(shared <= context_tokens,
+                     "fork context must cover the parent's final KV length");
+    kv_.ShareFromHandle(it->second.handle, slot, shared);
+    for (int pos = shared; pos < context_tokens; ++pos) {
+      kv_.EnsureWritable(slot, pos);
+      kv_.Advance(slot);
+    }
+    if (charged_prefill_tokens <= 0) {
+      return 0.0;
+    }
+    auto [pit, inserted] = prefill_cache_.try_emplace(charged_prefill_tokens, 0.0);
+    if (inserted) {
+      pit->second = engine_.Prefill(charged_prefill_tokens).total_s;
+    }
+    return pit->second;
   }
 
   // Map the group's shared prompt prefix when it is already resident; account the rest as
@@ -172,6 +186,52 @@ void AnalyticBackend::ReleaseGroup(int prompt_group) {
   anchors_.erase(it);
 }
 
+void AnalyticBackend::PauseSlot(int slot, int job_id) {
+  const auto [it, inserted] = paused_.emplace(
+      job_id, Paused{kv_.Retain(slot, -1), kv_.length(slot), end_len_[static_cast<size_t>(slot)]});
+  HEXLLM_CHECK_MSG(inserted, "job paused twice");
+  kv_.Reset(slot, nullptr);
+  TrackSlot(slot, 0);
+}
+
+void AnalyticBackend::ResumeSlot(int slot, int job_id, int context_tokens) {
+  const auto it = paused_.find(job_id);
+  HEXLLM_CHECK_MSG(it != paused_.end(), "resume of a job that was never paused");
+  HEXLLM_CHECK(it->second.len == context_tokens);
+  // Map the snapshot back, then drop the handle: the slot's own block references keep every
+  // page alive, and with the handle gone the tail block's refcount returns to 1 — the next
+  // append extends it in place with NO copy-on-write split, exactly as if the job had never
+  // been paused. That is what keeps block statistics identical to an un-preempted run.
+  kv_.ShareFromHandle(it->second.handle, slot, context_tokens);
+  kv_.DropHandle(it->second.handle, nullptr);
+  TrackSlot(slot, it->second.end_len);
+  paused_.erase(it);
+}
+
+bool AnalyticBackend::CanResume(int job_id) {
+  if (budget_blocks_ < 0) {
+    return true;
+  }
+  const auto it = paused_.find(job_id);
+  HEXLLM_CHECK_MSG(it != paused_.end(), "resume of a job that was never paused");
+  // The paused pages are already resident; only growth to the committed end length needs
+  // headroom (plus one block of tail slack, mirroring CanAdmit's reservation rule).
+  const int64_t needed =
+      hexllm::CeilDiv(it->second.end_len, kv_.block_tokens()) -
+      hexllm::CeilDiv(it->second.len, kv_.block_tokens()) + 1;
+  int64_t reserved = 0;
+  for (size_t s = 0; s < end_len_.size(); ++s) {
+    if (end_len_[s] <= 0) {
+      continue;
+    }
+    const int64_t want = hexllm::CeilDiv(end_len_[s], kv_.block_tokens());
+    reserved += std::max<int64_t>(0, want - kv_.table_blocks(static_cast<int>(s))) +
+                (kv_.TailShared(static_cast<int>(s)) ? 1 : 0);
+  }
+  const int64_t free = budget_blocks_ - kv_.stats().physical_blocks;
+  return free - reserved >= needed;
+}
+
 const hrt::StepCost& AnalyticBackend::BucketedCost(int batch, int context) {
   const int bucket =
       static_cast<int>(hexllm::RoundUp(std::max(context, 1), bucket_tokens_));
@@ -212,6 +272,8 @@ FunctionalBackend::FunctionalBackend(hexsim::NpuDevice& dev, const hllm::ModelWe
     : dev_(dev), tf_(dev, weights, max_batch, max_context, kv_pool_blocks),
       max_context_(max_context),
       last_token_(static_cast<size_t>(max_batch), 1),
+      sampler_opts_(static_cast<size_t>(max_batch)),
+      sampler_rng_(static_cast<size_t>(max_batch), hexllm::Rng(0)),
       end_len_(static_cast<size_t>(max_batch), 0) {
   const size_t logits_elems = static_cast<size_t>(max_batch) * weights.config.vocab;
   logits_buf_[0].resize(logits_elems);
@@ -255,18 +317,39 @@ double FunctionalBackend::AdmitSlot(int slot, const ServeJob& job, int context_t
   hllm::KvCache& kv = tf_.kv();
   kv.ResetSeq(slot);
   end_len_[static_cast<size_t>(slot)] = context_tokens + job.decode_tokens;
+  // Per-request sampling policy, seeded at admission. Sampling is consumed on the
+  // bookkeeping thread in Step, so the token stream is deterministic at any thread count.
+  sampler_opts_[static_cast<size_t>(slot)] = job.sampler;
+  sampler_rng_[static_cast<size_t>(slot)] = hexllm::Rng(job.seed);
   const int vocab = tf_.config().vocab;
 
   if (job.parent_job >= 0) {
-    // Fork: the child's KV is the parent's retained stem, mapped block-for-block. The first
-    // divergent append copy-on-write splits the tail; no token is re-prefilled.
+    // Fork: the child's KV starts as the parent's retained stem, mapped block-for-block
+    // (the first divergent append copy-on-write splits the tail; none of it is
+    // re-prefilled). Tokens PAST the parent's length — a dialog session's new turn — are
+    // fresh and run through the chunked prefill like any prompt.
     const auto it = retained_.find(job.parent_job);
     HEXLLM_CHECK_MSG(it != retained_.end(), "fork admitted before its parent was retained");
-    HEXLLM_CHECK_MSG(it->second.len == context_tokens,
-                     "fork context must equal the parent's final KV length");
-    kv.ShareFromHandle(it->second.handle, slot, context_tokens);
-    last_token_[static_cast<size_t>(slot)] = it->second.last_token;
-    return 0.0;
+    const int shared = it->second.len;
+    HEXLLM_CHECK_MSG(shared <= context_tokens,
+                     "fork context must cover the parent's final KV length");
+    kv.ShareFromHandle(it->second.handle, slot, shared);
+    const int fresh = context_tokens - shared;
+    if (fresh == 0) {
+      last_token_[static_cast<size_t>(slot)] = it->second.last_token;
+      return 0.0;
+    }
+    std::vector<int> prompt(static_cast<size_t>(fresh));
+    for (int i = 0; i < fresh; ++i) {
+      prompt[static_cast<size_t>(i)] = SyntheticToken(job.id, shared + i, vocab);
+    }
+    const hexsim::CycleLedger mark = dev_.ledger();
+    tf_.Prefill(slot, prompt);
+    last_token_[static_cast<size_t>(slot)] = prompt.back();
+    hrt::StepCost cost;
+    const double npu_s = ComposeStep(mark, /*batch=*/0, &cost);
+    const int chunks = static_cast<int>(hexllm::CeilDiv(fresh, hkern::kAttnQTile));
+    return npu_s + chunks * (2 * hexsim::NpuSession::kMailboxLatencySeconds + 30e-6);
   }
   if (context_tokens == 0) {
     // Nothing to prefill: decode starts from a fixed BOS-like token.
@@ -348,6 +431,58 @@ void FunctionalBackend::ReleaseGroup(int prompt_group) {
   anchors_.erase(it);
 }
 
+void FunctionalBackend::PauseSlot(int slot, int job_id) {
+  hllm::KvCache& kv = tf_.kv();
+  Paused p;
+  p.handle = kv.Retain(slot, -1);
+  p.len = kv.length(slot);
+  p.last_token = last_token_[static_cast<size_t>(slot)];
+  p.end_len = end_len_[static_cast<size_t>(slot)];
+  p.opts = sampler_opts_[static_cast<size_t>(slot)];
+  p.rng = sampler_rng_[static_cast<size_t>(slot)];  // exact sampler state at the pause point
+  const auto [it, inserted] = paused_.emplace(job_id, std::move(p));
+  HEXLLM_CHECK_MSG(inserted, "job paused twice");
+  kv.ResetSeq(slot);  // the handle's references keep every page resident
+  end_len_[static_cast<size_t>(slot)] = 0;
+}
+
+void FunctionalBackend::ResumeSlot(int slot, int job_id, int context_tokens) {
+  const auto it = paused_.find(job_id);
+  HEXLLM_CHECK_MSG(it != paused_.end(), "resume of a job that was never paused");
+  HEXLLM_CHECK(it->second.len == context_tokens);
+  hllm::KvCache& kv = tf_.kv();
+  // Map the snapshot back, then drop the handle: the slot's own references keep the pages
+  // alive, and the tail block's refcount returns to 1 so the next append extends in place —
+  // no copy-on-write split, block statistics identical to an un-preempted run.
+  kv.ShareFromHandle(it->second.handle, slot, context_tokens);
+  kv.DropHandle(it->second.handle);
+  last_token_[static_cast<size_t>(slot)] = it->second.last_token;
+  end_len_[static_cast<size_t>(slot)] = it->second.end_len;
+  sampler_opts_[static_cast<size_t>(slot)] = it->second.opts;
+  sampler_rng_[static_cast<size_t>(slot)] = it->second.rng;
+  paused_.erase(it);
+}
+
+bool FunctionalBackend::CanResume(int job_id) {
+  const auto it = paused_.find(job_id);
+  HEXLLM_CHECK_MSG(it != paused_.end(), "resume of a job that was never paused");
+  const hllm::KvCache& kv = tf_.kv();
+  // The paused pages are already resident; only growth to the committed end length needs
+  // headroom (plus one block of tail slack, mirroring CanAdmit's reservation rule).
+  const int64_t needed = hexllm::CeilDiv(it->second.end_len, kv.block_tokens()) -
+                         hexllm::CeilDiv(it->second.len, kv.block_tokens()) + 1;
+  int64_t reserved = 0;
+  for (size_t s = 0; s < end_len_.size(); ++s) {
+    if (end_len_[s] <= 0) {
+      continue;
+    }
+    const int64_t want = hexllm::CeilDiv(end_len_[s], kv.block_tokens());
+    reserved += std::max<int64_t>(0, want - kv.table_blocks(static_cast<int>(s))) +
+                (kv.TailShared(static_cast<int>(s)) ? 1 : 0);
+  }
+  return kv.free_blocks() - reserved >= needed;
+}
+
 StepOutcome FunctionalBackend::Step(std::span<const int> slots, std::span<const int> contexts) {
   HEXLLM_CHECK(!slots.empty() && slots.size() == contexts.size());
   const int batch = static_cast<int>(slots.size());
@@ -371,11 +506,16 @@ StepOutcome FunctionalBackend::Step(std::span<const int> slots, std::span<const 
   out.watts = hrt::StepPower(dev_.profile(), out.cost, batch).watts;
   out.tokens.resize(static_cast<size_t>(batch));
   for (int i = 0; i < batch; ++i) {
-    const int tok = hllm::ArgmaxToken(
+    // Every decode path samples through the one sampler entry point: the per-slot policy
+    // seeded at admission. The default policy is greedy (temperature 0), where SampleToken
+    // reduces to the old argmax without consuming Rng state — token checksums unchanged.
+    const int slot = slots[static_cast<size_t>(i)];
+    const int tok = hllm::SampleToken(
         std::span<const float>(logits_vec.data() + static_cast<size_t>(i) * vocab,
-                               static_cast<size_t>(vocab)));
+                               static_cast<size_t>(vocab)),
+        sampler_opts_[static_cast<size_t>(slot)], sampler_rng_[static_cast<size_t>(slot)]);
     out.tokens[static_cast<size_t>(i)] = tok;
-    last_token_[static_cast<size_t>(slots[static_cast<size_t>(i)])] = tok;
+    last_token_[static_cast<size_t>(slot)] = tok;
   }
   return out;
 }

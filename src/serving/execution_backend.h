@@ -37,8 +37,10 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/rng.h"
 #include "src/hexsim/npu_device.h"
 #include "src/kvcache/kv_block_manager.h"
+#include "src/llm/sampling.h"
 #include "src/llm/transformer.h"
 #include "src/llm/weights.h"
 #include "src/obs/metrics.h"
@@ -78,6 +80,18 @@ class ExecutionBackend {
   // map it after the slot is released; drops the snapshot once the last child admitted.
   virtual void RetainKv(int slot, int job_id) {}
   virtual void DropRetained(int job_id) {}
+
+  // Preemption support (ServeOptions::enable_preemption). PauseSlot snapshots a DECODING
+  // job's full state — KV behind a retained handle (pages stay resident, nothing is copied
+  // or evicted) plus whatever decode state a bit-identical resume needs (the functional
+  // backend: next input token, sampler options, sampler Rng state) — then frees the slot.
+  // ResumeSlot maps the snapshot back into a (different or same) free slot and restores the
+  // decode state; the covered positions allocate no new blocks and the resumed token stream
+  // is bit-identical to an un-preempted run. CanResume asks whether resuming `job_id` now
+  // fits the KV budget (its pages are already resident, so only future growth matters).
+  virtual void PauseSlot(int slot, int job_id) {}
+  virtual void ResumeSlot(int slot, int job_id, int context_tokens) {}
+  virtual bool CanResume(int job_id) { return true; }
 
   // Drops the prompt-prefix anchor retained for a prompt_group once all its jobs completed.
   virtual void ReleaseGroup(int prompt_group) {}
@@ -126,6 +140,9 @@ class AnalyticBackend : public ExecutionBackend {
   void RetainKv(int slot, int job_id) override;
   void DropRetained(int job_id) override;
   void ReleaseGroup(int prompt_group) override;
+  void PauseSlot(int slot, int job_id) override;
+  void ResumeSlot(int slot, int job_id, int context_tokens) override;
+  bool CanResume(int job_id) override;
   bool CanAdmit(const ServeJob& job, int context_tokens) override;
   int max_context() const override;
   hkv::KvStats kv_stats() const override { return kv_.stats(); }
@@ -138,6 +155,14 @@ class AnalyticBackend : public ExecutionBackend {
   struct Retained {
     int64_t handle = 0;
     int len = 0;
+  };
+
+  // A preempted job's snapshot: the retained KV plus the end length the batcher committed
+  // to at admission (so the free-block reservation survives the pause).
+  struct Paused {
+    int64_t handle = 0;
+    int len = 0;
+    int end_len = 0;
   };
 
   static Options MakeOptions(int context_bucket_tokens) {
@@ -161,6 +186,7 @@ class AnalyticBackend : public ExecutionBackend {
   std::vector<int> end_len_;           // per slot: context+decode at admission (0 = free)
   std::map<int, Retained> retained_;   // completed job id -> retained stem
   std::map<int, Retained> anchors_;    // prompt_group -> retained prompt prefix
+  std::map<int, Paused> paused_;       // preempted job id -> paused snapshot
 };
 
 // Actually decodes tokens through the functional Transformer on the NPU simulator. Intended
@@ -182,6 +208,9 @@ class FunctionalBackend : public ExecutionBackend {
   void RetainKv(int slot, int job_id) override;
   void DropRetained(int job_id) override;
   void ReleaseGroup(int prompt_group) override;
+  void PauseSlot(int slot, int job_id) override;
+  void ResumeSlot(int slot, int job_id, int context_tokens) override;
+  bool CanResume(int job_id) override;
   bool CanAdmit(const ServeJob& job, int context_tokens) override;
   int max_context() const override { return max_context_; }
   hkv::KvStats kv_stats() const override { return tf_.kv().stats(); }
@@ -202,6 +231,18 @@ class FunctionalBackend : public ExecutionBackend {
     int last_token = 0;  // token the forked child's first decode step consumes
   };
 
+  // A preempted job's full decode state. The Rng copy is the exact sampler state at the
+  // pause point (hexllm::Rng copies are state snapshots), which is what makes the resumed
+  // stream bit-identical for stochastic sampling policies, not just greedy.
+  struct Paused {
+    int64_t handle = 0;
+    int len = 0;
+    int last_token = 0;
+    int end_len = 0;
+    hllm::SamplerOptions opts;
+    hexllm::Rng rng{0};
+  };
+
   // Seconds elapsed on the critical path for the ledger activity since `mark`, plus the
   // CPU lm_head and mailbox costs for `batch` rows; fills `cost`'s busy fields.
   double ComposeStep(const hexsim::CycleLedger& mark, int batch, hrt::StepCost* cost) const;
@@ -211,6 +252,11 @@ class FunctionalBackend : public ExecutionBackend {
   hllm::Transformer tf_;
   int max_context_;
   std::vector<int> last_token_;    // per slot: token the next step consumes
+  // Per-slot sampling policy + Rng, seeded from the job at admission. Sampling runs on the
+  // batcher's bookkeeping thread (after StepSeqs returns), so decoded tokens are
+  // deterministic at any HEXLLM_NUM_THREADS.
+  std::vector<hllm::SamplerOptions> sampler_opts_;
+  std::vector<hexllm::Rng> sampler_rng_;
   // Double-buffered logits, [max_batch * vocab] each: step N writes buffer N % 2 and the
   // previous step's buffer stays intact until step N+1 flips again. This is the mechanism
   // behind ServeOptions::overlap_lm_head — the CPU lm_head (argmax consumer) of step N can
@@ -221,6 +267,7 @@ class FunctionalBackend : public ExecutionBackend {
   std::vector<int> end_len_;       // per slot: context+decode at admission (0 = free)
   std::map<int, Retained> retained_;  // completed job id -> retained stem
   std::map<int, Retained> anchors_;   // prompt_group -> retained prompt prefix
+  std::map<int, Paused> paused_;      // preempted job id -> paused snapshot
 };
 
 }  // namespace hserve

@@ -1,12 +1,26 @@
 /// \file
 /// The serving runtime's request type.
 ///
-/// Kept dependency-free so workload producers (the TTS methods in src/tts, benches,
-/// examples) can emit job streams without pulling in the execution backends.
+/// Kept dependency-light so workload producers (the TTS methods in src/tts, the request
+/// frontend in src/frontend, benches, examples) can emit job streams without pulling in the
+/// execution backends. The only dependency is hllm::SamplerOptions (src/llm/sampling.h),
+/// itself header-light, so every decode path samples through one seeded sampler.
 #ifndef SRC_SERVING_JOB_H_
 #define SRC_SERVING_JOB_H_
 
+#include <cstdint>
+
+#include "src/llm/sampling.h"
+
 namespace hserve {
+
+// A SamplerOptions whose default is greedy argmax — the serving runtime's default decode
+// policy (hllm::SamplerOptions itself defaults to temperature 1.0 for the TTS library).
+inline hllm::SamplerOptions GreedySampler() {
+  hllm::SamplerOptions o;
+  o.temperature = 0.0f;
+  return o;
+}
 
 // One decode request: a sample that must generate `decode_tokens` tokens on top of a prompt.
 struct ServeJob {
@@ -21,13 +35,31 @@ struct ServeJob {
   // Admission wave within the prompt_group: a job admits only after every job of the same
   // group with a smaller barrier has completed (beam-search expansion rounds).
   int barrier = 0;
-  // Fork source: id of a completed job in the same prompt_group (at a strictly smaller
-  // barrier) whose KV this job continues. The child admits by mapping the parent's retained
-  // KV blocks — zero re-prefill of the shared stem; divergence is copy-on-write. The
-  // child's starting context (prompt_tokens + context_tokens) must equal the parent's final
-  // KV length. Negative means no fork (fresh admission). When any job forks, job ids in the
-  // stream must be unique.
+  // Fork source: id of a completed job whose KV this job continues. The child admits by
+  // mapping the parent's retained KV blocks — zero re-prefill of the shared stem;
+  // divergence is copy-on-write. The child's starting context (prompt_tokens +
+  // context_tokens) must be at least the parent's final KV length; any EXCESS over the
+  // parent's length is fresh tokens prefilled (and charged) at admission — this is how a
+  // dialog session's follow-up turn re-prefills only the new turn (src/frontend). Negative
+  // means no fork (fresh admission). In a batched stream (ContinuousBatcher::Run) the
+  // parent must share a non-negative prompt_group at a strictly smaller barrier, and job
+  // ids must be unique; in live submission (Submit/Step) the parent must already have
+  // completed with retained KV.
   int parent_job = -1;
+  // Admission priority: higher admits first, and (with ServeOptions::enable_preemption) a
+  // higher-priority arrival may pause a running lower-priority decode to take its slot.
+  int priority = 0;
+  // Retain the job's final KV past completion under its id (a retained-handle snapshot), so
+  // later jobs can fork from it (session follow-up turns). The owner releases it via
+  // ContinuousBatcher::ReleaseRetained. Jobs with fork children in a batched stream are
+  // retained automatically regardless of this flag.
+  bool retain_kv = false;
+  // Per-request sampling policy, applied by token-producing backends. Defaults to greedy
+  // argmax, which keeps decoded streams identical to the pre-sampler runtime. Together with
+  // `seed`, decoded text is deterministic at any thread count: sampling happens on the
+  // bookkeeping thread from a per-slot Rng seeded at admission.
+  hllm::SamplerOptions sampler = GreedySampler();
+  uint64_t seed = 0;  // seeds the per-job sampler Rng at admission
 };
 
 }  // namespace hserve

@@ -25,20 +25,29 @@ ScheduleResult RunLegacy(const std::vector<SampleJob>& jobs, int max_batch,
   if (jobs.empty()) {
     return r;  // zeroed — the old implementations divided 0/0 here
   }
-  std::vector<hserve::ServeJob> serve_jobs;
-  serve_jobs.reserve(jobs.size());
-  for (const SampleJob& j : jobs) {
-    hserve::ServeJob sj;
-    sj.id = j.id;
-    sj.context_tokens = context;
-    sj.decode_tokens = j.total_tokens;
-    serve_jobs.push_back(sj);
-  }
   hserve::AnalyticBackend backend(engine);
   hserve::ServeOptions options;
   options.max_batch = max_batch;
   options.policy = policy;
-  const hserve::ScheduleResult s = hserve::ContinuousBatcher(backend, options).Run(serve_jobs);
+  // Drive the live Submit/Step/Finish API directly: the legacy stream has no fork edges or
+  // barrier waves, so whole-stream validation would add nothing. Legacy callers may reuse
+  // ids across jobs, which the live API rejects — remap to a dense private id space.
+  hserve::ContinuousBatcher batcher(backend, options);
+  batcher.Reset();
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    hserve::ServeJob sj;
+    sj.id = static_cast<int>(j);
+    sj.context_tokens = context;
+    sj.decode_tokens = jobs[j].total_tokens;
+    std::string error;
+    HEXLLM_CHECK_MSG(batcher.Submit(sj, &error), error.c_str());
+  }
+  while (batcher.HasWork()) {
+    const hserve::StepEvents ev = batcher.Step();
+    HEXLLM_CHECK_MSG(ev.stepped, "legacy schedule stalled (KV budget cannot admit)");
+  }
+  const hserve::ScheduleResult s = batcher.Finish();
+  HEXLLM_CHECK_MSG(s.error.empty(), s.error.c_str());
   r.makespan_s = s.makespan_s;
   r.tokens_per_second = s.tokens_per_second;
   r.avg_active_batch = s.avg_active_batch;

@@ -1,34 +1,47 @@
 #!/usr/bin/env python3
-"""Assert two BENCH_fig11 reports decoded identical tokens.
+"""Assert two bench reports decoded identical token streams.
 
-The functional-decode section of bench_fig11_decode_throughput feeds greedy-argmax
-tokens back into the model and reports an FNV-1a checksum of the decoded stream per
-batch size. The checksum must be bit-identical at any HEXLLM_NUM_THREADS
-(docs/threading_model.md); CI runs the bench at 1 and 4 threads and calls this script
-on the two reports. Wall-clock fields are expected to differ and are ignored.
+Two report families carry decoded-token checksums that must be bit-identical at any
+HEXLLM_NUM_THREADS (docs/threading_model.md):
+
+* BENCH_fig11_decode_throughput: `functional_decode` rows — greedy-argmax tokens fed
+  back into the functional toy model, one FNV-1a checksum per batch size.
+* BENCH_serving_slo: `serving_request` rows — per-request streamed-token checksums from
+  the request-serving frontend (sessions, preemption and per-request samplers included).
+
+CI runs each bench at 1 and 4 threads and calls this script on the two reports. Rows of
+both series are compared when present (a report must carry at least one of them);
+wall-clock and latency fields are expected to differ and are ignored.
 
 Usage: compare_bench_tokens.py A.json B.json
-Exit 0 when every (batch, steps) row pair agrees on `tokens` and `token_checksum`;
-exit 1 (with a diff listing) otherwise. Stdlib only.
+Exit 0 when every row pair agrees on `tokens` and `token_checksum`; exit 1 (with a diff
+listing) otherwise. Stdlib only.
 """
 
 import json
 import sys
 
 
-def functional_rows(path):
+def token_rows(path):
     with open(path, encoding="utf-8") as f:
         report = json.load(f)
     rows = {}
     for row in report.get("rows", []):
-        if row.get("series") != "functional_decode":
+        series = row.get("series")
+        if series == "functional_decode":
+            key = (series, row["batch"], row["steps"])
+        elif series == "serving_request":
+            key = (series, row["request"])
+        else:
             continue
-        key = (row["batch"], row["steps"])
         if key in rows:
-            raise SystemExit(f"{path}: duplicate functional_decode row for {key}")
+            raise SystemExit(f"{path}: duplicate {series} row for {key}")
         rows[key] = (row["tokens"], row["token_checksum"])
     if not rows:
-        raise SystemExit(f"{path}: no functional_decode rows (wrong bench or old schema?)")
+        raise SystemExit(
+            f"{path}: no functional_decode or serving_request rows "
+            "(wrong bench or old schema?)"
+        )
     return rows
 
 
@@ -37,23 +50,22 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
     a_path, b_path = argv[1], argv[2]
-    a, b = functional_rows(a_path), functional_rows(b_path)
+    a, b = token_rows(a_path), token_rows(b_path)
     ok = True
     if a.keys() != b.keys():
         print(f"row sets differ: {sorted(a.keys())} vs {sorted(b.keys())}")
         ok = False
     for key in sorted(a.keys() & b.keys()):
         if a[key] != b[key]:
-            batch, steps = key
             print(
-                f"batch={batch} steps={steps}: "
+                f"{key}: "
                 f"{a_path} -> tokens={a[key][0]} checksum={a[key][1]}  vs  "
                 f"{b_path} -> tokens={b[key][0]} checksum={b[key][1]}"
             )
             ok = False
     if ok:
         n = len(a.keys() & b.keys())
-        print(f"OK: {n} functional_decode row(s) agree on tokens and checksums")
+        print(f"OK: {n} row(s) agree on tokens and checksums")
         return 0
     return 1
 
