@@ -3,10 +3,10 @@
 // (CPU lm_head, attention) and removes padding decode — the scheduler a production TTS
 // runtime wants on top of the paper's kernels.
 //
-// Both policies now run through the serving runtime's ContinuousBatcher (the legacy entry
-// points are thin wrappers), so the second table can show what the old fixed-context
-// scheduler hid: per-slot contexts GROW as samples decode, and admissions charge the
-// prompt's chunked prefill (shared once per Best-of-N group).
+// Both policies run through the serving runtime's ContinuousBatcher (kStaticWaves vs
+// kContinuous), so the second table can show what the old fixed-context scheduler hid:
+// per-slot contexts GROW as samples decode, and admissions charge the prompt's chunked
+// prefill (shared once per Best-of-N group).
 #include <cstdio>
 #include <vector>
 
@@ -15,6 +15,31 @@
 #include "src/runtime/scheduler.h"
 #include "src/serving/continuous_batcher.h"
 #include "src/serving/execution_backend.h"
+
+namespace {
+
+// The legacy sample-job stream on the serving runtime: fixed uncharged starting context,
+// one slot per sample, policy-selected slot reclamation.
+hserve::ScheduleResult Schedule(const std::vector<hrt::SampleJob>& jobs, int max_batch,
+                                const hrt::Engine& engine, int context,
+                                hserve::SchedulePolicy policy) {
+  hserve::AnalyticBackend backend(engine);
+  hserve::ServeOptions so;
+  so.max_batch = max_batch;
+  so.policy = policy;
+  std::vector<hserve::ServeJob> serve_jobs;
+  serve_jobs.reserve(jobs.size());
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    hserve::ServeJob sj;
+    sj.id = static_cast<int>(j);
+    sj.context_tokens = context;
+    sj.decode_tokens = jobs[j].total_tokens;
+    serve_jobs.push_back(sj);
+  }
+  return hserve::ContinuousBatcher(backend, so).Run(serve_jobs);
+}
+
+}  // namespace
 
 int main() {
   bench::Reporter rep("ext_scheduler",
@@ -35,8 +60,10 @@ int main() {
   std::printf("%-10s %14s %14s %14s %14s %12s\n", "max_batch", "static t/s", "contin. t/s",
               "speedup", "static util", "avg active");
   for (int max_batch : {4, 8, 16}) {
-    const auto st = hrt::RunStaticBatching(jobs, max_batch, engine, 768);
-    const auto ct = hrt::RunContinuousBatching(jobs, max_batch, engine, 768);
+    const auto st =
+        Schedule(jobs, max_batch, engine, 768, hserve::SchedulePolicy::kStaticWaves);
+    const auto ct =
+        Schedule(jobs, max_batch, engine, 768, hserve::SchedulePolicy::kContinuous);
     std::printf("%-10d %14.1f %14.1f %13.2fx %13.1f%% %12.1f\n", max_batch,
                 st.tokens_per_second, ct.tokens_per_second,
                 ct.tokens_per_second / st.tokens_per_second, 100.0 * st.slot_utilization,

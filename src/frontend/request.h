@@ -31,6 +31,17 @@ struct Request {
   int prompt_tokens = 0; // THIS turn's new tokens (not the accumulated dialog)
   int decode_tokens = 0;
   int priority = 0;      // higher admits first and may preempt (ServeJob::priority)
+  // Fleet routing hint (src/fleet): a non-negative value asks the FleetRouter to place this
+  // request on that device index, overriding the policy. Ignored by the single-engine
+  // frontend.
+  int device_hint = -1;
+  // Registered shared system prompt (docs/fleet.md). A non-negative id declares that the
+  // FIRST `prefix_tokens` of `prompt_tokens` are the registered prefix: the fleet's
+  // PrefixRegistry anchors it once per device and later requests CoW-map it instead of
+  // re-prefilling. Ignored by the single-engine frontend (requests there pay their own
+  // prompts, exactly as before).
+  int prefix_id = -1;
+  int prefix_tokens = 0;
   hllm::SamplerOptions sampler = hserve::GreedySampler();
   uint64_t seed = 0;     // seeds the request's sampler Rng
   SloSpec slo;

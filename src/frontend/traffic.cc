@@ -23,7 +23,9 @@ std::vector<Request> GenerateTraffic(const TrafficOptions& o) {
   HEXLLM_CHECK(o.arrivals >= 0);
   HEXLLM_CHECK(o.arrival_rate_hz > 0.0);
   HEXLLM_CHECK(o.session_turns >= 1);
-  hexllm::Rng rng(o.seed);
+  // Stream splitting uses Rng::Fork's mixing constant without consuming a draw, so stream 0
+  // reproduces the pre-fleet generator bit for bit.
+  hexllm::Rng rng(o.stream == 0 ? o.seed : o.seed ^ (o.stream * 0xA24BAED4963EE407ull));
   std::vector<Request> out;
   out.reserve(static_cast<size_t>(o.arrivals));
 
@@ -48,16 +50,27 @@ std::vector<Request> GenerateTraffic(const TrafficOptions& o) {
     const bool interactive = rng.NextBool(o.interactive_fraction);
     const bool in_session = o.session_fraction > 0.0 && o.session_turns > 1 &&
                             rng.NextBool(o.session_fraction);
+    // Shared-system-prompt draw, gated on the prefix knobs so legacy traces are unchanged.
+    int prefix = -1;
+    if (o.prefix_count > 0 && o.prefix_tokens > 0 && rng.NextBool(o.prefix_fraction)) {
+      prefix = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(o.prefix_count)));
+    }
     const int turns = in_session ? o.session_turns : 1;
-    const int session = in_session ? session_id++ : -1;
+    const int session = in_session ? o.session_base + session_id++ : -1;
     for (int turn = 0; turn < turns; ++turn) {
       Request r;
-      r.id = id++;
+      r.id = o.id_base + id++;
       r.arrival_s = turn == 0 ? t : o.mean_think_s * rng.NextExponential();
       r.session = session;
       r.turn_index = turn;
       r.prompt_tokens = Length(o.mean_prompt_tokens, o.min_prompt_tokens, rng);
       r.decode_tokens = Length(o.mean_decode_tokens, o.min_decode_tokens, rng);
+      if (turn == 0 && prefix >= 0) {
+        // The registered prefix rides in front of the first turn's own prompt.
+        r.prefix_id = prefix;
+        r.prefix_tokens = o.prefix_tokens;
+        r.prompt_tokens += o.prefix_tokens;
+      }
       r.priority = interactive ? 1 : 0;
       r.slo = interactive ? o.interactive_slo : o.batch_slo;
       r.sampler = o.sampler;

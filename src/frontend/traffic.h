@@ -51,6 +51,26 @@ struct TrafficOptions {
   int session_turns = 3;
   double mean_think_s = 1.0;
 
+  // --- shared system prompts (fleet prefix registry, docs/fleet.md) ---
+  // With prefix_count > 0 and prefix_tokens > 0, each initial arrival uses a registered
+  // shared system prompt with probability `prefix_fraction`: its Request carries a
+  // prefix_id in [0, prefix_count) and prompt_tokens grows by prefix_tokens (the prefix
+  // rides in front of the turn's own prompt). All prefix draws are gated on these knobs, so
+  // the default (0) produces byte-identical traces to older options.
+  int prefix_count = 0;
+  int prefix_tokens = 0;
+  double prefix_fraction = 0.5;
+
+  // --- stream splitting (fleet-scale generation) ---
+  // A non-zero stream id decorrelates this trace from every other stream of the same seed
+  // (hexllm::Rng::Fork semantics), and id_base / session_base offset the generated request
+  // and session ids, so N per-device generators can emit disjoint, independently-seeded
+  // slices of one fleet workload without sharing an RNG. Stream 0 with zero bases is
+  // byte-identical to the pre-fleet generator.
+  uint64_t stream = 0;
+  int id_base = 0;
+  int session_base = 0;
+
   // Sampling policy stamped on every request (greedy default); each request still gets its
   // own Rng seed from the trace seed.
   hllm::SamplerOptions sampler = hserve::GreedySampler();

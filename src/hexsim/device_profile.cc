@@ -1,5 +1,7 @@
 #include "src/hexsim/device_profile.h"
 
+#include <algorithm>
+
 #include "src/base/check.h"
 
 namespace hexsim {
@@ -114,6 +116,23 @@ const DeviceProfile& DeviceByArch(NpuArch arch) {
       return OnePlusAce5Pro();
   }
   HEXLLM_CHECK_MSG(false, "unknown NpuArch");
+}
+
+DeviceProfile LittleVariant(const DeviceProfile& base) {
+  DeviceProfile p = base;
+  p.device_name = base.device_name + " (little)";
+  // Efficiency bin: ~2/3 clocks, fewer HVX contexts and big cores, DRAM path intact.
+  p.hvx_freq_ghz = base.hvx_freq_ghz * 0.65;
+  p.hmx_freq_ghz = base.hmx_freq_ghz * 0.65;
+  p.hvx_threads = std::max(2, base.hvx_threads - 2);
+  p.cpu_big_cores = std::max(2, base.cpu_big_cores / 2);
+  p.cpu_gflops_per_core = base.cpu_gflops_per_core * 0.7;
+  // Lower clocks at lower voltage: the dynamic-power terms shrink superlinearly.
+  p.p_base_w = base.p_base_w * 0.8;
+  p.p_hmx_w = base.p_hmx_w * 0.55;
+  p.p_hvx_thread_w = base.p_hvx_thread_w * 0.55;
+  p.p_cpu_core_w = base.p_cpu_core_w * 0.6;
+  return p;
 }
 
 }  // namespace hexsim

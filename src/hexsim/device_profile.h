@@ -91,6 +91,12 @@ std::vector<const DeviceProfile*> AllDevices();
 // Looks a device up by NPU arch.
 const DeviceProfile& DeviceByArch(NpuArch arch);
 
+// A derated "little" sibling of `base` for big/little fleet mixes (src/fleet): the same
+// microarchitecture running on an efficiency-binned part — vector/matrix clocks and CPU
+// throughput scaled down with a proportionally lower power envelope. Returned by value;
+// callers (the fleet simulator) own the storage.
+DeviceProfile LittleVariant(const DeviceProfile& base);
+
 }  // namespace hexsim
 
 #endif  // SRC_HEXSIM_DEVICE_PROFILE_H_

@@ -1,0 +1,32 @@
+#include "src/hexsim/thermal.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace hexsim {
+
+void ThermalState::AddBusy(double seconds) {
+  HEXLLM_CHECK(seconds >= 0.0);
+  temp_c_ += p_.heat_c_per_busy_s * seconds;
+  min_scale_ = std::min(min_scale_, clock_scale());
+}
+
+void ThermalState::AddIdle(double seconds) {
+  HEXLLM_CHECK(seconds >= 0.0);
+  temp_c_ = std::max(p_.ambient_c, temp_c_ - p_.cool_c_per_idle_s * seconds);
+}
+
+double ThermalState::clock_scale() const {
+  if (temp_c_ <= p_.throttle_start_c) {
+    return 1.0;
+  }
+  if (temp_c_ >= p_.throttle_full_c) {
+    return p_.min_clock_scale;
+  }
+  const double frac =
+      (temp_c_ - p_.throttle_start_c) / (p_.throttle_full_c - p_.throttle_start_c);
+  return 1.0 - frac * (1.0 - p_.min_clock_scale);
+}
+
+}  // namespace hexsim

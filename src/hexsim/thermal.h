@@ -1,0 +1,58 @@
+/// \file
+/// A first-order thermal model for sustained-load throttling (docs/fleet.md).
+///
+/// Phones have no fans: sustained NPU utilization accumulates heat and the SoC sheds clocks
+/// to stay inside its skin-temperature envelope, then recovers while idle. The fleet layer
+/// (src/fleet) wraps each simulated device's execution backend in this model so long-running
+/// serving simulations see the paper's §7.2.3 power envelope as a CLOCK effect: busy seconds
+/// raise a temperature state, idle seconds cool it toward ambient, and the instantaneous
+/// clock scale degrades linearly between a throttle-start and a throttle-full temperature.
+///
+/// The model is deliberately simple (one lumped thermal mass, linear slopes) and fully
+/// deterministic: temperature is a pure function of the accumulated busy/idle history, so
+/// fleet runs stay bit-identical across reruns and thread counts.
+#ifndef SRC_HEXSIM_THERMAL_H_
+#define SRC_HEXSIM_THERMAL_H_
+
+namespace hexsim {
+
+struct ThermalParams {
+  double ambient_c = 25.0;          // resting (and minimum) temperature
+  double heat_c_per_busy_s = 8.0;   // heating slope while the NPU is busy
+  double cool_c_per_idle_s = 3.0;   // cooling slope while idle (toward ambient)
+  double throttle_start_c = 40.0;   // clocks start dropping above this
+  double throttle_full_c = 70.0;    // clocks bottom out at min_clock_scale here
+  double min_clock_scale = 0.5;     // clock floor as a fraction of the nominal clock
+};
+
+// Accumulates busy/idle time into a temperature and exposes the implied clock scale.
+class ThermalState {
+ public:
+  ThermalState() = default;
+  explicit ThermalState(const ThermalParams& params) : p_(params), temp_c_(params.ambient_c) {}
+
+  // `seconds` of sustained NPU activity (wall-clock, i.e. already throttle-dilated).
+  void AddBusy(double seconds);
+  // `seconds` with the NPU idle; cools toward (never below) ambient.
+  void AddIdle(double seconds);
+
+  double temperature_c() const { return temp_c_; }
+
+  // 1.0 at or below throttle_start_c, falling linearly to min_clock_scale at
+  // throttle_full_c and clamped there beyond it. Monotone non-increasing in temperature.
+  double clock_scale() const;
+
+  // Lowest clock scale reached over the state's lifetime (fleet reporting).
+  double min_scale_reached() const { return min_scale_; }
+
+  const ThermalParams& params() const { return p_; }
+
+ private:
+  ThermalParams p_;
+  double temp_c_ = 25.0;
+  double min_scale_ = 1.0;
+};
+
+}  // namespace hexsim
+
+#endif  // SRC_HEXSIM_THERMAL_H_

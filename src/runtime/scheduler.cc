@@ -27,8 +27,4 @@ std::vector<SampleJob> MakeSampleJobs(int tasks, int samples_per_task, int mean_
   return jobs;
 }
 
-// RunStaticBatching / RunContinuousBatching are implemented in
-// src/serving/legacy_scheduler.cc as wrappers over hserve::ContinuousBatcher (the serving
-// library depends on this one, so the wrappers cannot live here without a cycle).
-
 }  // namespace hrt

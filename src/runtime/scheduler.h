@@ -29,32 +29,11 @@ struct SampleJob {
 std::vector<SampleJob> MakeSampleJobs(int tasks, int samples_per_task, int mean_tokens,
                                       hexllm::Rng& rng);
 
-struct ScheduleResult {
-  double makespan_s = 0.0;        // wall time to finish every job
-  double tokens_per_second = 0.0; // useful (non-padding) tokens / makespan
-  double avg_active_batch = 0.0;  // mean ACTIVE rows per step
-  double slot_utilization = 0.0;  // useful rows / (rows x steps) while any slot busy
-  int64_t steps = 0;
-};
-
-// DEPRECATED legacy entry points, kept for the paper's Figure 14 sweep and old callers. They
-// are thin shims over the serving runtime's live API (hserve::ContinuousBatcher
-// Submit/Step/Finish in src/serving — link hexllm_serving); new code should drive that API —
-// or the request frontend (src/frontend) for timestamped traffic — directly, which also
-// exposes prompts/prefill, KV sharing, priorities, preemption and per-request sampling that
-// this signature cannot carry. `context` seeds each slot's starting KV length; unlike the
-// original fixed-context pricing, every slot's context then GROWS as it decodes and steps
-// are priced at the batch's actual mean context. No prefill is charged (jobs carry no
-// prompts), matching the original behavior. Empty `jobs` returns a zeroed result.
-
-// Static batching: jobs run in waves of `max_batch`; a wave ends when its longest job does
-// (finished slots decode padding until then).
-ScheduleResult RunStaticBatching(const std::vector<SampleJob>& jobs, int max_batch,
-                                 const Engine& engine, int context);
-
-// Continuous batching: finished slots refill from the queue on the next step.
-ScheduleResult RunContinuousBatching(const std::vector<SampleJob>& jobs, int max_batch,
-                                     const Engine& engine, int context);
+// Scheduling itself lives in the serving runtime: build ServeJobs (context_tokens = the
+// sample's starting KV depth, decode_tokens = total_tokens) and drive
+// hserve::ContinuousBatcher with SchedulePolicy::kStaticWaves or kContinuous. The old
+// RunStaticBatching/RunContinuousBatching shims over that API were removed once their last
+// callers migrated.
 
 }  // namespace hrt
 

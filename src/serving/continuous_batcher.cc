@@ -77,6 +77,7 @@ void ContinuousBatcher::Reset() {
     free_slots_.push_back(s);  // LIFO: a slot freed on step k is the first reused on k+1
   }
   group_charged_.clear();
+  pinned_groups_.clear();
   pending_children_.clear();
   occupied_ = 0;
   completed_ = 0;
@@ -239,6 +240,22 @@ bool ContinuousBatcher::ResumeJob(int job_id) {
   return true;
 }
 
+void ContinuousBatcher::PinGroup(int prompt_group) {
+  HEXLLM_CHECK(prompt_group >= 0);
+  pinned_groups_.insert(prompt_group);
+}
+
+void ContinuousBatcher::EvictGroup(int prompt_group) {
+  backend_.ReleaseGroup(prompt_group);
+  pinned_groups_.erase(prompt_group);
+  // The next admission of the group must re-prefill (and re-charge) the prefix from
+  // scratch — the anchor is gone.
+  const auto it = group_index_.find(prompt_group);
+  if (it != group_index_.end()) {
+    group_charged_[static_cast<size_t>(it->second)] = false;
+  }
+}
+
 void ContinuousBatcher::AdvanceTime(double seconds) {
   HEXLLM_CHECK(seconds >= 0.0);
   r_.makespan_s += seconds;
@@ -321,9 +338,17 @@ void ContinuousBatcher::Admit(const ReadyEntry& entry, StepEvents& ev) {
     // the parent's final length (a session's new turn) prefill and charge.
     charged = job.prompt_tokens + job.context_tokens -
               JobEndLength(jobs_[static_cast<size_t>(rec.parent_index)].job);
-  } else if (job.prompt_tokens > 0 && !group_charged_[static_cast<size_t>(g)]) {
-    charged = job.prompt_tokens;
-    group_charged_[static_cast<size_t>(g)] = true;
+  } else if (job.prompt_tokens > 0) {
+    if (!group_charged_[static_cast<size_t>(g)]) {
+      // The group's first admission prefills (and charges) the whole prompt.
+      charged = job.prompt_tokens;
+      group_charged_[static_cast<size_t>(g)] = true;
+    } else {
+      // The group's shared prefix is already resident: only this job's remainder past the
+      // prefix prefills. With the default whole-prompt prefix this is 0 — the original
+      // shared-prompt accounting for parallel TTS samples.
+      charged = std::max(0, job.prompt_tokens - GroupPrefixLen(job));
+    }
   }
   const int context = job.prompt_tokens + job.context_tokens;
   const double t0 = r_.makespan_s;
@@ -431,8 +456,11 @@ void ContinuousBatcher::Complete(int slot, StepEvents& ev) {
     rec.retained = true;
   }
   Group& g = groups_[static_cast<size_t>(rec.group)];
-  if (++g.done == g.total && g.orig_id >= 0) {
+  if (++g.done == g.total && g.orig_id >= 0 && pinned_groups_.count(g.orig_id) == 0) {
     backend_.ReleaseGroup(g.orig_id);  // last group job done: drop the prompt anchor
+    // The anchor is gone, so a live-mode member submitted to this group LATER must
+    // re-prefill (and be re-charged) from scratch. Pinned groups keep both anchor and flag.
+    group_charged_[static_cast<size_t>(rec.group)] = false;
   }
   if (--g.pending == 0 && g.cur + 1 < g.levels.size()) {
     ++g.cur;

@@ -200,6 +200,20 @@ class ContinuousBatcher {
   // turn). No-op if nothing is retained under the id.
   void ReleaseRetained(int job_id);
 
+  // Pins a prompt_group's prompt anchor past its jobs' completion: Complete() skips the
+  // automatic ReleaseGroup when the group's last job finishes, so the anchored prefix stays
+  // resident for FUTURE submissions of the same group (the fleet PrefixRegistry's per-device
+  // residency — docs/fleet.md). May be called before any job of the group is submitted;
+  // cleared by Reset.
+  void PinGroup(int prompt_group);
+
+  // Evicts a (typically pinned) group's prompt anchor: drops the backend's anchor handle,
+  // unpins the group, and resets its charged flag so the NEXT admission re-prefills (and
+  // re-charges) the prefix from scratch. Jobs currently decoding against the anchor are
+  // unaffected (their own block references keep the shared pages alive). No-op for an
+  // unknown group.
+  void EvictGroup(int prompt_group);
+
   // Finalizes the run: aggregate rates, KV stats, metrics snapshot. The batcher resets on
   // the next Submit/Run.
   ScheduleResult Finish();
@@ -288,6 +302,7 @@ class ContinuousBatcher {
   std::vector<Slot> slots_;
   std::vector<int> free_slots_;
   std::vector<bool> group_charged_;           // indexed like groups_
+  std::set<int> pinned_groups_;               // prompt_group ids exempt from auto-release
   std::vector<int> pending_children_;         // batch mode: children awaiting each job's KV
   int occupied_ = 0;
   int completed_ = 0;

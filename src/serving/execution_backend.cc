@@ -68,10 +68,10 @@ int AnalyticBackend::SharedPrefixLen(const ServeJob& job, int context_tokens) co
     const auto it = retained_.find(job.parent_job);
     return it != retained_.end() ? std::min(it->second.len, context_tokens) : 0;
   }
-  if (job.prompt_group >= 0 && job.prompt_tokens > 0) {
+  if (GroupPrefixLen(job) > 0) {
     const auto it = anchors_.find(job.prompt_group);
     if (it != anchors_.end()) {
-      return std::min({it->second.len, job.prompt_tokens, context_tokens});
+      return std::min({it->second.len, GroupPrefixLen(job), context_tokens});
     }
   }
   return 0;
@@ -131,10 +131,10 @@ double AnalyticBackend::AdmitSlot(int slot, const ServeJob& job, int context_tok
   // freshly appended blocks (the chunked prefill the charged pricing below models).
   int shared = 0;
   bool make_anchor = false;
-  if (job.prompt_group >= 0 && job.prompt_tokens > 0) {
+  if (GroupPrefixLen(job) > 0) {
     const auto it = anchors_.find(job.prompt_group);
     if (it != anchors_.end()) {
-      shared = std::min({it->second.len, job.prompt_tokens, context_tokens});
+      shared = std::min({it->second.len, GroupPrefixLen(job), context_tokens});
       kv_.ShareFromHandle(it->second.handle, slot, shared);
     } else {
       make_anchor = true;
@@ -145,7 +145,7 @@ double AnalyticBackend::AdmitSlot(int slot, const ServeJob& job, int context_tok
     kv_.Advance(slot);
   }
   if (make_anchor) {
-    const int len = std::min(job.prompt_tokens, context_tokens);
+    const int len = std::min(GroupPrefixLen(job), context_tokens);
     anchors_.emplace(job.prompt_group, Retained{kv_.Retain(slot, len), len});
   }
 
@@ -285,10 +285,10 @@ int FunctionalBackend::SharedPrefixLen(const ServeJob& job, int context_tokens) 
     const auto it = retained_.find(job.parent_job);
     return it != retained_.end() ? std::min(it->second.len, context_tokens) : 0;
   }
-  if (job.prompt_group >= 0 && job.prompt_tokens > 0) {
+  if (GroupPrefixLen(job) > 0) {
     const auto it = anchors_.find(job.prompt_group);
     if (it != anchors_.end()) {
-      return std::min({it->second.len, job.prompt_tokens, context_tokens});
+      return std::min({it->second.len, GroupPrefixLen(job), context_tokens});
     }
   }
   return 0;
@@ -363,11 +363,11 @@ double FunctionalBackend::AdmitSlot(int slot, const ServeJob& job, int context_t
   // admission) runs through the chunked prefill pipeline.
   const Retained* anchor = nullptr;
   int shared = 0;
-  if (job.prompt_group >= 0 && job.prompt_tokens > 0) {
+  if (GroupPrefixLen(job) > 0) {
     const auto it = anchors_.find(job.prompt_group);
     if (it != anchors_.end()) {
       anchor = &it->second;
-      shared = std::min({anchor->len, job.prompt_tokens, context_tokens});
+      shared = std::min({anchor->len, GroupPrefixLen(job), context_tokens});
       kv.ShareFromHandle(anchor->handle, slot, shared);
     }
   }
@@ -393,9 +393,9 @@ double FunctionalBackend::AdmitSlot(int slot, const ServeJob& job, int context_t
   } else {
     last_token_[static_cast<size_t>(slot)] = anchor->last_token;
   }
-  if (anchor == nullptr && job.prompt_group >= 0 && job.prompt_tokens > 0) {
+  if (anchor == nullptr && GroupPrefixLen(job) > 0) {
     // First admission of the group: retain the prompt prefix so every later sample maps it.
-    const int len = std::min(job.prompt_tokens, context_tokens);
+    const int len = std::min(GroupPrefixLen(job), context_tokens);
     anchors_.emplace(job.prompt_group,
                      Retained{kv.Retain(slot, len), len, SyntheticToken(job.id, len - 1, vocab)});
   }

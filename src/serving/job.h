@@ -8,6 +8,7 @@
 #ifndef SRC_SERVING_JOB_H_
 #define SRC_SERVING_JOB_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "src/llm/sampling.h"
@@ -35,6 +36,15 @@ struct ServeJob {
   // Admission wave within the prompt_group: a job admits only after every job of the same
   // group with a smaller barrier has completed (beam-search expansion rounds).
   int barrier = 0;
+  // Length of the group's SHARED PROMPT PREFIX. By default (-1) the whole prompt is the
+  // shared unit — every member of a prompt_group decodes against one identical prompt, the
+  // original TTS semantics: the group's first admission prefills and anchors the full
+  // prompt, later members map it and charge nothing. A non-negative value instead declares
+  // that only the first `group_prefix_tokens` prompt positions are common to the group (a
+  // registered system prompt — src/fleet's PrefixRegistry): the anchor covers only the
+  // prefix, later members map the prefix and prefill (and charge) their remaining
+  // `prompt_tokens - group_prefix_tokens` positions. Ignored for ungrouped jobs.
+  int group_prefix_tokens = -1;
   // Fork source: id of a completed job whose KV this job continues. The child admits by
   // mapping the parent's retained KV blocks — zero re-prefill of the shared stem;
   // divergence is copy-on-write. The child's starting context (prompt_tokens +
@@ -61,6 +71,16 @@ struct ServeJob {
   hllm::SamplerOptions sampler = GreedySampler();
   uint64_t seed = 0;  // seeds the per-job sampler Rng at admission
 };
+
+// Prompt positions `job` shares with its prompt_group: the whole prompt by default, or the
+// explicit group_prefix_tokens cap. Zero for ungrouped / promptless jobs.
+inline int GroupPrefixLen(const ServeJob& job) {
+  if (job.prompt_group < 0 || job.prompt_tokens <= 0) {
+    return 0;
+  }
+  return job.group_prefix_tokens >= 0 ? std::min(job.group_prefix_tokens, job.prompt_tokens)
+                                      : job.prompt_tokens;
+}
 
 }  // namespace hserve
 

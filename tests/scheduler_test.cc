@@ -2,6 +2,7 @@
 
 #include "src/base/rng.h"
 #include "src/runtime/scheduler.h"
+#include "src/serving/continuous_batcher.h"
 
 namespace hrt {
 namespace {
@@ -13,6 +14,38 @@ class SchedulerTest : public ::testing::Test {
     options_.device = &hexsim::OnePlus12();
     engine_ = std::make_unique<Engine>(options_);
   }
+
+  // Runs a legacy sample-job stream through the serving runtime: each job decodes from a
+  // fixed uncharged starting context, under the requested slot-reclamation policy.
+  hserve::ScheduleResult Schedule(const std::vector<SampleJob>& jobs, int max_batch,
+                                  int context, hserve::SchedulePolicy policy) {
+    hserve::AnalyticBackend backend(*engine_);
+    hserve::ServeOptions so;
+    so.max_batch = max_batch;
+    so.policy = policy;
+    std::vector<hserve::ServeJob> serve_jobs;
+    serve_jobs.reserve(jobs.size());
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      hserve::ServeJob sj;
+      sj.id = static_cast<int>(j);
+      sj.context_tokens = context;
+      sj.decode_tokens = jobs[j].total_tokens;
+      serve_jobs.push_back(sj);
+    }
+    hserve::ScheduleResult r = hserve::ContinuousBatcher(backend, so).Run(serve_jobs);
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    return r;
+  }
+
+  hserve::ScheduleResult Static(const std::vector<SampleJob>& jobs, int max_batch,
+                                int context) {
+    return Schedule(jobs, max_batch, context, hserve::SchedulePolicy::kStaticWaves);
+  }
+  hserve::ScheduleResult Continuous(const std::vector<SampleJob>& jobs, int max_batch,
+                                    int context) {
+    return Schedule(jobs, max_batch, context, hserve::SchedulePolicy::kContinuous);
+  }
+
   EngineOptions options_;
   std::unique_ptr<Engine> engine_;
 };
@@ -75,8 +108,8 @@ TEST_F(SchedulerTest, ContinuousNeverSlowerThanStatic) {
   hexllm::Rng rng(2);
   const auto jobs = MakeSampleJobs(6, 8, 200, rng);
   for (int max_batch : {4, 8, 16}) {
-    const auto st = RunStaticBatching(jobs, max_batch, *engine_, 512);
-    const auto ct = RunContinuousBatching(jobs, max_batch, *engine_, 512);
+    const auto st = Static(jobs, max_batch, 512);
+    const auto ct = Continuous(jobs, max_batch, 512);
     EXPECT_LE(ct.makespan_s, st.makespan_s * 1.0001) << max_batch;
     EXPECT_GE(ct.tokens_per_second, st.tokens_per_second * 0.9999) << max_batch;
   }
@@ -85,8 +118,8 @@ TEST_F(SchedulerTest, ContinuousNeverSlowerThanStatic) {
 TEST_F(SchedulerTest, ContinuousBeatsStaticWithDispersedLengths) {
   hexllm::Rng rng(3);
   const auto jobs = MakeSampleJobs(8, 8, 300, rng);
-  const auto st = RunStaticBatching(jobs, 8, *engine_, 512);
-  const auto ct = RunContinuousBatching(jobs, 8, *engine_, 512);
+  const auto st = Static(jobs, 8, 512);
+  const auto ct = Continuous(jobs, 8, 512);
   EXPECT_GT(ct.tokens_per_second, st.tokens_per_second * 1.05);
   EXPECT_LT(st.slot_utilization, 0.95);
   EXPECT_DOUBLE_EQ(ct.slot_utilization, 1.0);
@@ -98,8 +131,8 @@ TEST_F(SchedulerTest, UniformLengthsMakeSchedulersEquivalent) {
   for (int i = 0; i < 16; ++i) {
     jobs[static_cast<size_t>(i)] = {i, 100};
   }
-  const auto st = RunStaticBatching(jobs, 8, *engine_, 512);
-  const auto ct = RunContinuousBatching(jobs, 8, *engine_, 512);
+  const auto st = Static(jobs, 8, 512);
+  const auto ct = Continuous(jobs, 8, 512);
   EXPECT_NEAR(ct.makespan_s, st.makespan_s, st.makespan_s * 1e-9);
   EXPECT_NEAR(st.slot_utilization, 1.0, 1e-12);
 }
@@ -107,7 +140,7 @@ TEST_F(SchedulerTest, UniformLengthsMakeSchedulersEquivalent) {
 TEST_F(SchedulerTest, StepCountsAreConsistent) {
   hexllm::Rng rng(4);
   const auto jobs = MakeSampleJobs(4, 4, 128, rng);
-  const auto ct = RunContinuousBatching(jobs, 4, *engine_, 256);
+  const auto ct = Continuous(jobs, 4, 256);
   int64_t total_tokens = 0;
   int longest = 0;
   for (const auto& j : jobs) {

@@ -13,7 +13,6 @@
 #include "src/llm/model_config.h"
 #include "src/llm/weights.h"
 #include "src/runtime/engine.h"
-#include "src/runtime/scheduler.h"
 #include "src/serving/continuous_batcher.h"
 #include "src/serving/execution_backend.h"
 #include "src/tts/capability_model.h"
@@ -260,19 +259,6 @@ TEST_F(AnalyticServingTest, ChunkedPrefillAdmissionExtendsMakespan) {
   EXPECT_EQ(rp.prefilled_tokens, 8 * 256);
   // Prefill cost plus the deeper starting context both push the makespan up.
   EXPECT_GT(rp.makespan_s, r0.makespan_s + rp.prefill_s * 0.99);
-}
-
-TEST_F(AnalyticServingTest, LegacyWrappersStillZeroOnEmptyJobs) {
-  const std::vector<hrt::SampleJob> empty;
-  const auto st = hrt::RunStaticBatching(empty, 8, *engine_, 512);
-  const auto ct = hrt::RunContinuousBatching(empty, 8, *engine_, 512);
-  for (const auto* r : {&st, &ct}) {
-    EXPECT_EQ(r->steps, 0);
-    EXPECT_EQ(r->makespan_s, 0.0);
-    EXPECT_FALSE(std::isnan(r->tokens_per_second));
-    EXPECT_FALSE(std::isnan(r->avg_active_batch));
-    EXPECT_FALSE(std::isnan(r->slot_utilization));
-  }
 }
 
 TEST_F(AnalyticServingTest, TraceRecordsStepsAndAdmissions) {
