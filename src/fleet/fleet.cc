@@ -196,7 +196,7 @@ void FleetSimulator::BuildDevices() {
     dev->npu = std::make_unique<hexsim::NpuDevice>(dev->profile);
     dev->functional = std::make_unique<hserve::FunctionalBackend>(
         *dev->npu, weights_, options_.serve.max_batch, options_.max_context,
-        options_.kv_pool_blocks);
+        options_.kv_pool_blocks, options_.kv_dtype, options_.kv_quant_group);
     dev->backend = std::make_unique<ThrottledBackend>(*dev->functional, spec.thermal_params,
                                                       spec.thermal);
     dev->batcher =

@@ -54,6 +54,7 @@ class ThrottledBackend : public hserve::ExecutionBackend {
   }
   int max_context() const override { return inner_.max_context(); }
   hkv::KvStats kv_stats() const override { return inner_.kv_stats(); }
+  hquant::KvDtype kv_dtype() const override { return inner_.kv_dtype(); }
   void ExportMetrics(obs::Registry& registry) const override {
     inner_.ExportMetrics(registry);
   }

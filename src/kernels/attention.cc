@@ -85,6 +85,62 @@ struct PagedKvRows {
   }
 };
 
+// Quantized paged staging: DMA is charged the *quantized* row bytes (payload + scales for
+// this head's slice) instead of the F16 bytes, then each group is dequantized into the F16
+// TCM staging buffer. The dequant work is charged as HVX packets under "attn.kv_dequant"
+// following the DequantCoalescedLut shape (mixed_gemm.cc): INT4 costs 17 packets per 256
+// elements (nibble extract via vand/vshr + 2 level VLut16 + 2 scale-broadcast VLut16 +
+// multiply/store), INT8 costs 3 packets per 64 elements (load + widen + scale-multiply, no
+// table lookups). vlut16 instruction-class counters are bumped for the INT4 lookups.
+struct PagedQuantKvRows {
+  const uint8_t* const* blocks;
+  int block_tokens;
+  int64_t row_bytes;        // bytes between consecutive KV positions in a block
+  int64_t payload_offset;   // row start -> this head's payload
+  int64_t scales_offset;    // row start -> this head's first F16 scale
+  int group;
+  hquant::KvDtype dtype;
+  int64_t staged_row_bytes;  // quantized bytes staged per row for this head
+
+  void Stage(hexsim::NpuDevice& dev, F16* dst, int j0, int n, int head_dim) const {
+    dev.dma().Transfer2D(nullptr, staged_row_bytes, nullptr, staged_row_bytes,
+                         staged_row_bytes, n, DmaDirection::kDdrToTcm);
+    const int groups = head_dim / group;
+    const int64_t group_payload = hquant::KvPayloadBytes(dtype, group);
+    for (int r = 0; r < n; ++r) {
+      const int j = j0 + r;
+      const uint8_t* row =
+          blocks[j / block_tokens] + static_cast<int64_t>(j % block_tokens) * row_bytes;
+      const uint8_t* payload = row + payload_offset;
+      const uint8_t* scales = row + scales_offset;
+      F16* out = dst + static_cast<int64_t>(r) * head_dim;
+      for (int g = 0; g < groups; ++g) {
+        uint16_t d_bits;
+        std::memcpy(&d_bits, scales + static_cast<int64_t>(g) * 2, 2);
+        const float d = hexllm::F16BitsToF32(d_bits);
+        if (dtype == hquant::KvDtype::kInt4) {
+          hquant::KvDequantGroupInt4(payload + g * group_payload, d, group, out + g * group);
+        } else {
+          hquant::KvDequantGroupInt8(
+              reinterpret_cast<const int8_t*>(payload + g * group_payload), d, group,
+              out + g * group);
+        }
+      }
+    }
+    const int64_t elems = static_cast<int64_t>(n) * head_dim;
+    int64_t packets;
+    int64_t vlut16_ops = 0;
+    if (dtype == hquant::KvDtype::kInt4) {
+      packets = (elems * 17 + 255) / 256;    // 17 packets per 256-element super-block
+      vlut16_ops = (elems * 4 + 255) / 256;  // 2 level + 2 scale lookups per super-block
+    } else {
+      packets = (elems * 3 + 63) / 64;  // load + widen + scale-multiply per register
+    }
+    dev.hvx().ReplayOps(0, 0, vlut16_ops);
+    dev.CommitHvxPackets(packets, 1, "attn.kv_dequant");
+  }
+};
+
 // Algorithm 1 core, shared by the contiguous and paged entry points. `KvRows::Stage` fills
 // the TCM staging buffer with KV positions [j0, j0 + n); Q/O rows are strided by
 // q_stride/o_stride elements so callers can point directly into packed activations.
@@ -335,6 +391,26 @@ void FlashAttentionPagedF16(hexsim::NpuDevice& dev, const ExpLut& lut,
   HEXLLM_CHECK(kv.k_blocks != nullptr && kv.v_blocks != nullptr && kv.block_tokens >= 1);
   const PagedKvRows k_rows{kv.k_blocks, kv.block_tokens, kv.row_stride, kv.head_offset};
   const PagedKvRows v_rows{kv.v_blocks, kv.block_tokens, kv.row_stride, kv.head_offset};
+  FlashAttentionCore(dev, lut, exp_variant, q, q_stride, k_rows, v_rows, o, o_stride, q_len,
+                     kv_len, head_dim, scale, q_pos_offset);
+}
+
+void FlashAttentionPagedQ(hexsim::NpuDevice& dev, const ExpLut& lut,
+                          SoftmaxVariant exp_variant, const F16* q, int64_t q_stride,
+                          const PagedQKvHeadView& kv, F16* o, int64_t o_stride, int q_len,
+                          int kv_len, int head_dim, float scale, int q_pos_offset) {
+  HEXLLM_CHECK(kv.k_blocks != nullptr && kv.v_blocks != nullptr && kv.block_tokens >= 1);
+  HEXLLM_CHECK(kv.dtype != hquant::KvDtype::kF16);
+  HEXLLM_CHECK(kv.group >= 2 && head_dim % kv.group == 0);
+  dev.ledger().AddCount("kernel.attn_kv_dequant.calls");
+  const int64_t staged_row_bytes =
+      hquant::KvPayloadBytes(kv.dtype, head_dim) + (head_dim / kv.group) * 2;
+  const PagedQuantKvRows k_rows{kv.k_blocks,       kv.block_tokens, kv.row_bytes,
+                                kv.payload_offset, kv.scales_offset, kv.group,
+                                kv.dtype,          staged_row_bytes};
+  const PagedQuantKvRows v_rows{kv.v_blocks,       kv.block_tokens, kv.row_bytes,
+                                kv.payload_offset, kv.scales_offset, kv.group,
+                                kv.dtype,          staged_row_bytes};
   FlashAttentionCore(dev, lut, exp_variant, q, q_stride, k_rows, v_rows, o, o_stride, q_len,
                      kv_len, head_dim, scale, q_pos_offset);
 }

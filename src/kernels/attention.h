@@ -23,6 +23,7 @@
 #include "src/hexsim/npu_device.h"
 #include "src/kernels/exp_lut.h"
 #include "src/kernels/softmax.h"
+#include "src/quant/quant_types.h"
 
 namespace hkern {
 
@@ -70,6 +71,37 @@ void FlashAttentionPagedF16(hexsim::NpuDevice& dev, const ExpLut& lut,
                             int64_t q_stride, const PagedKvHeadView& kv, hexllm::F16* o,
                             int64_t o_stride, int q_len, int kv_len, int head_dim,
                             float scale, int q_pos_offset = -1);
+
+// One attention head's view of a low-bit quantized paged KV cache
+// (hkv::PagedKvCache with KvDtype kInt8/kInt4; docs/kv_quantization.md). Blocks store
+// group-quantized rows — payload bytes then one F16 scale per `group` elements — and the
+// kernel dequantizes each head's slice through the vlut16 table-lookup path while staging
+// into TCM, so DMA is charged the *quantized* row bytes (the whole point: 1.9-3.6x less KV
+// traffic). KV position j's row starts at blocks[j / block_tokens] +
+// (j % block_tokens) * row_bytes; this head's payload is at +payload_offset and its scales
+// at +scales_offset. `group` must divide head_dim so head slices stay group-aligned.
+struct PagedQKvHeadView {
+  const uint8_t* const* k_blocks = nullptr;
+  const uint8_t* const* v_blocks = nullptr;
+  int block_tokens = 0;
+  int64_t row_bytes = 0;       // bytes between consecutive positions in a block
+  int64_t payload_offset = 0;  // bytes from row start to this head's quantized payload
+  int64_t scales_offset = 0;   // bytes from row start to this head's first F16 group scale
+  int group = 0;               // elements per quantization group
+  hquant::KvDtype dtype = hquant::KvDtype::kInt4;
+};
+
+// FlashAttention over a quantized paged KV view: same Algorithm 1 core and math as
+// FlashAttentionPagedF16, but K/V blocks are dequantized inside the staging step (per the
+// LUT-GEMM idiom: nibble extract + VLut16 level/scale lookups, committed under the
+// "attn.kv_dequant" ledger tag) and the DMA ledger is charged the quantized bytes only.
+// Numerics match PagedKvCache::ReadKeyRow/ReadValueRow exactly — the attention output
+// deviates from the F16 kernel only by the KV round-trip quantization error.
+void FlashAttentionPagedQ(hexsim::NpuDevice& dev, const ExpLut& lut,
+                          SoftmaxVariant exp_variant, const hexllm::F16* q, int64_t q_stride,
+                          const PagedQKvHeadView& kv, hexllm::F16* o, int64_t o_stride,
+                          int q_len, int kv_len, int head_dim, float scale,
+                          int q_pos_offset = -1);
 
 // Runs `heads` independent attention heads, parallelized across hexec slots with one shard
 // device (and one exp LUT resident in that shard's TCM) per slot. `slot_luts[s]` must be

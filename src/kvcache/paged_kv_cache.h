@@ -1,5 +1,6 @@
 /// \file
-/// Paged, ref-counted FP16 KV cache with prefix sharing and copy-on-write forking.
+/// Paged, ref-counted KV cache with prefix sharing, copy-on-write forking, and an optional
+/// low-bit (INT8/INT4) group-quantized storage mode (docs/kv_quantization.md).
 ///
 /// Replaces the dense [max_batch x max_context] slab: physical storage is a pool of
 /// fixed-size position-blocks (default 32 positions — one HMX tile height — of K and V rows
@@ -8,6 +9,15 @@
 /// one prompt share the prompt's blocks physically; beam-search children fork a completed
 /// stem by mapping its blocks, and the first divergent write into a shared tail block
 /// splits it (copy-on-write) without touching the other owners.
+///
+/// Storage dtype is selected at construction (hquant::KvDtype). The default F16 mode keeps
+/// the original 2-bytes/element layout and is bit-identical to the pre-quantization cache.
+/// INT8/INT4 modes store each K/V row as a group-quantized payload plus one F16 scale per
+/// group (Q8_0/Q4_0 scale rules); rows are written through WriteKeyRow/WriteValueRow (which
+/// quantize and accumulate a round-trip error proxy in KvQuantStats) and read back by the
+/// FlashAttentionPagedQ kernel, which dequantizes blocks through the vlut16 table-lookup
+/// path. Every byte figure reported by KvStats shrinks accordingly, so pool sizing, DRAM
+/// budgets, and admission all see the reduced footprint.
 ///
 /// In debug builds, a block whose last reference drops is poisoned with FP16 NaNs so a
 /// stale block-table entry (use-after-free of reclaimed KV rows) corrupts attention loudly
@@ -20,11 +30,13 @@
 #ifndef SRC_KVCACHE_PAGED_KV_CACHE_H_
 #define SRC_KVCACHE_PAGED_KV_CACHE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "src/base/fp16.h"
 #include "src/kvcache/kv_block_manager.h"
+#include "src/quant/quant_types.h"
 
 namespace hkv {
 
@@ -32,21 +44,59 @@ namespace hkv {
 // rows fill whole attention tiles; see DESIGN.md §3.2 for the sizing trade-off.
 inline constexpr int kDefaultBlockTokens = 32;
 
+// Round-trip accuracy proxy for the quantized KV modes: every WriteKeyRow/WriteValueRow in
+// a quantized cache dequantizes what it just stored and accumulates the deviation from the
+// F16 source row. This is the cheap, always-on half of the accuracy story; the capability
+// model measures the end-to-end attention/logit deviation (docs/kv_quantization.md).
+struct KvQuantStats {
+  int64_t rows = 0;         // quantized K/V rows written
+  int64_t elems = 0;        // elements quantized
+  double sum_abs_err = 0.0;  // sum over elements of |dequant(x) - x|
+  double max_abs_err = 0.0;
+  double sum_sq_err = 0.0;
+  double sum_sq_ref = 0.0;
+  int64_t quant_bytes = 0;  // bytes the written rows occupy quantized
+  int64_t f16_bytes = 0;    // bytes the same rows would occupy in F16
+
+  double mean_abs_err() const { return elems > 0 ? sum_abs_err / static_cast<double>(elems) : 0.0; }
+  // RMS error relative to the RMS magnitude of the source rows.
+  double rel_rms() const {
+    return sum_sq_ref > 0.0 ? std::sqrt(sum_sq_err / sum_sq_ref) : 0.0;
+  }
+  int64_t bytes_saved() const { return f16_bytes - quant_bytes; }
+};
+
+// Exports kv.dtype plus the kv.quant.* error-proxy series (docs/metrics_schema.md). Gated
+// by the caller on dtype != kF16 so F16 runs keep byte-identical metric snapshots.
+void ExportKvQuantStats(hquant::KvDtype dtype, const KvQuantStats& stats,
+                        obs::Registry& registry);
+
 class PagedKvCache {
  public:
   // Storage is `num_blocks` blocks of `block_tokens` positions; each position stores one K
   // and one V row of width `kv_dim` for each of `layers` layers. num_blocks <= 0 sizes the
   // pool for `num_seqs` dense sequences of `max_context` plus per-sequence slack for
-  // copy-on-write splits and retained prefixes.
+  // copy-on-write splits and retained prefixes. `dtype` selects F16 (default, bit-identical
+  // legacy layout) or group-quantized INT8/INT4 rows with `quant_group` elements per scale
+  // (quant_group must divide kv_dim).
   PagedKvCache(int layers, int kv_dim, int num_seqs, int max_context,
-               int block_tokens = kDefaultBlockTokens, int64_t num_blocks = 0);
+               int block_tokens = kDefaultBlockTokens, int64_t num_blocks = 0,
+               hquant::KvDtype dtype = hquant::KvDtype::kF16,
+               int quant_group = hquant::kGroupSize);
 
   int max_context() const { return max_context_; }
   int block_tokens() const { return mgr_.block_tokens(); }
   int length(int seq) const { return mgr_.length(seq); }
+  hquant::KvDtype dtype() const { return dtype_; }
+  int quant_group() const { return quant_group_; }
   // F16 elements between consecutive positions of one layer/plane within a block (= kv_dim);
-  // the row stride for in-place paged attention (hkern::PagedKvHeadView).
+  // the row stride for in-place paged attention (hkern::PagedKvHeadView). F16 mode only.
   int64_t row_stride() const { return kv_dim_; }
+  // Bytes between consecutive positions of one layer/plane within a quantized block
+  // (payload + per-group scales); the row stride for hkern::PagedQKvHeadView.
+  int64_t row_bytes() const { return row_bytes_; }
+  // Bytes from a quantized row's start to its scale array (= payload size).
+  int64_t scales_offset() const { return hquant::KvPayloadBytes(dtype_, kv_dim_); }
   // Upper bound on table entries a sequence can hold — sizes FillBlockPointers arrays.
   int blocks_per_seq_capacity() const;
 
@@ -63,14 +113,41 @@ class PagedKvCache {
   int FillBlockPointers(int layer, int seq, int positions, const hexllm::F16** k_bases,
                         const hexllm::F16** v_bases) const;
 
-  // Write accessors for the append region (pos >= length). The first write to a position
-  // allocates its block; the first write into a shared block copy-on-write splits it.
+  // Quantized-mode twin of FillBlockPointers: bases point at the position-0 K / V row bytes
+  // of each table block; position p lives at bases[p / block_tokens()] +
+  // (p % block_tokens()) * row_bytes().
+  int FillQuantBlockPointers(int layer, int seq, int positions, const uint8_t** k_bases,
+                             const uint8_t** v_bases) const;
+
+  // Dtype-agnostic row writes for the append region (pos >= length). The first write to a
+  // position allocates its block; the first write into a shared block copy-on-write splits
+  // it. `src` is one F16 row of kv_dim elements; quantized modes quantize it in place and
+  // accumulate the round-trip error in quant_stats(). In F16 mode this is exactly the
+  // legacy memcpy-into-KeyRow/ValueRow path (bit-identical).
+  void WriteKeyRow(int layer, int seq, int pos, const hexllm::F16* src) {
+    WriteRow(layer, seq, pos, false, src);
+  }
+  void WriteValueRow(int layer, int seq, int pos, const hexllm::F16* src) {
+    WriteRow(layer, seq, pos, true, src);
+  }
+
+  // Dtype-agnostic row reads: dequantizes (or copies) one full row into `dst` (kv_dim F16
+  // elements). Works for any dtype; the F16 fast path is a memcpy.
+  void ReadKeyRow(int layer, int seq, int pos, hexllm::F16* dst) const {
+    ReadRow(layer, seq, pos, false, dst);
+  }
+  void ReadValueRow(int layer, int seq, int pos, hexllm::F16* dst) const {
+    ReadRow(layer, seq, pos, true, dst);
+  }
+
+  // Direct F16 write accessors (F16 mode only — quantized rows are written whole through
+  // WriteKeyRow/WriteValueRow).
   hexllm::F16* KeyRow(int layer, int seq, int pos) { return MutableRow(layer, seq, pos, false); }
   hexllm::F16* ValueRow(int layer, int seq, int pos) { return MutableRow(layer, seq, pos, true); }
 
   // Read accessors for materialized positions (pos < length, or rows just written in the
   // current chunk). Rows are contiguous [kv_dim] within one position; consecutive positions
-  // generally live in different blocks — gather per position.
+  // generally live in different blocks — gather per position. F16 mode only.
   const hexllm::F16* KeyRowAt(int layer, int seq, int pos) const {
     return Row(layer, seq, pos, false);
   }
@@ -102,32 +179,56 @@ class PagedKvCache {
   bool TailShared(int seq) const { return mgr_.TailShared(seq); }
 
   KvStats stats() const { return mgr_.stats(); }
+  const KvQuantStats& quant_stats() const { return quant_stats_; }
   // Physical bytes of the whole block pool (allocated up front).
-  int64_t byte_size() const { return static_cast<int64_t>(storage_.size()) * 2; }
+  int64_t byte_size() const {
+    return dtype_ == hquant::KvDtype::kF16 ? static_cast<int64_t>(storage_.size()) * 2
+                                           : static_cast<int64_t>(qstorage_.size());
+  }
   int64_t num_blocks() const { return num_blocks_; }
 
-  // Raw block storage, for tests (poison checks).
+  // Raw block storage, for tests (poison checks). F16 mode.
   const hexllm::F16* BlockDataForTest(int block) const {
     return storage_.data() + static_cast<int64_t>(block) * block_elems_;
+  }
+  // Raw quantized block storage, for tests (poison checks). Quantized modes.
+  const uint8_t* QuantBlockDataForTest(int block) const {
+    return qstorage_.data() + static_cast<int64_t>(block) * block_bytes_;
   }
 
  private:
   hexllm::F16* BlockData(int block) {
     return storage_.data() + static_cast<int64_t>(block) * block_elems_;
   }
+  uint8_t* QuantBlockData(int block) {
+    return qstorage_.data() + static_cast<int64_t>(block) * block_bytes_;
+  }
   int64_t RowOffset(int layer, bool value, int pos_in_block) const;
+  int64_t QuantRowOffset(int layer, bool value, int pos_in_block) const;
   hexllm::F16* MutableRow(int layer, int seq, int pos, bool value);
   const hexllm::F16* Row(int layer, int seq, int pos, bool value) const;
+  void WriteRow(int layer, int seq, int pos, bool value, const hexllm::F16* src);
+  void ReadRow(int layer, int seq, int pos, bool value, hexllm::F16* dst) const;
+  void QuantizeRowInto(const hexllm::F16* src, uint8_t* row);
+  void DequantRowInto(const uint8_t* row, hexllm::F16* dst) const;
   void PoisonFreed();
 
   int layers_;
   int kv_dim_;
   int max_context_;
+  hquant::KvDtype dtype_;
+  int quant_group_;
   int64_t num_blocks_;
-  int64_t block_elems_;  // F16 elements per block
+  int64_t block_elems_;  // F16 elements per block (F16 mode)
+  int64_t row_bytes_;    // bytes per quantized K or V row (payload + scales)
+  int64_t block_bytes_;  // bytes per block in the active dtype
   KvBlockManager mgr_;
-  std::vector<hexllm::F16> storage_;
+  std::vector<hexllm::F16> storage_;   // F16 mode backing store
+  std::vector<uint8_t> qstorage_;      // quantized-mode backing store
   std::vector<int> freed_scratch_;
+  std::vector<float> quant_src_scratch_;  // one group of floats (writer-thread only)
+  std::vector<hexllm::F16> quant_rt_scratch_;  // round-trip dequant for error accounting
+  KvQuantStats quant_stats_;
 };
 
 }  // namespace hkv

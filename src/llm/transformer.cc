@@ -38,12 +38,19 @@ int64_t StepWorkspaceBytes(const ModelConfig& c, int max_batch) {
 }  // namespace
 
 Transformer::Transformer(hexsim::NpuDevice& dev, const ModelWeights& weights, int max_batch,
-                         int max_context, int64_t kv_pool_blocks)
+                         int max_context, int64_t kv_pool_blocks, hquant::KvDtype kv_dtype,
+                         int kv_quant_group)
     : dev_(dev), weights_(weights), lut_(dev),
       kv_(weights.config.layers, weights.config.kv_dim(), max_batch, max_context,
-          hkv::kDefaultBlockTokens, kv_pool_blocks),
+          hkv::kDefaultBlockTokens, kv_pool_blocks, hquant::KvDtypeFromEnv(kv_dtype),
+          kv_quant_group),
       max_batch_(max_batch),
       ws_(StepWorkspaceBytes(weights.config, max_batch)) {
+  if (kv_.dtype() != hquant::KvDtype::kF16) {
+    // Per-kv-head attention views slice rows at head boundaries, so quant groups must not
+    // straddle heads.
+    HEXLLM_CHECK(weights.config.head_dim % kv_.quant_group() == 0);
+  }
   kv_.ReserveSeqs(max_batch);
   identity_seq_ids_.resize(static_cast<size_t>(max_batch));
   std::iota(identity_seq_ids_.begin(), identity_seq_ids_.end(), 0);
@@ -61,8 +68,30 @@ Transformer::Transformer(hexsim::NpuDevice& dev, const ModelWeights& weights, in
   }
   rope_inv_freq_ = hkern::RopeInvFreq(c.head_dim, c.rope_theta);
   const size_t cap = static_cast<size_t>(kv_.blocks_per_seq_capacity());
-  layer_k_ptrs_.resize(cap);
-  layer_v_ptrs_.resize(cap);
+  if (kv_.dtype() == hquant::KvDtype::kF16) {
+    layer_k_ptrs_.resize(cap);
+    layer_v_ptrs_.resize(cap);
+  } else {
+    layer_kq_ptrs_.resize(cap);
+    layer_vq_ptrs_.resize(cap);
+  }
+}
+
+hkern::PagedQKvHeadView Transformer::QuantHeadView(const uint8_t* const* k_bases,
+                                                   const uint8_t* const* v_bases,
+                                                   int kv_head) const {
+  const int dh = weights_.config.head_dim;
+  const int64_t head_start = static_cast<int64_t>(kv_head) * dh;
+  hkern::PagedQKvHeadView view;
+  view.k_blocks = k_bases;
+  view.v_blocks = v_bases;
+  view.block_tokens = kv_.block_tokens();
+  view.row_bytes = kv_.row_bytes();
+  view.payload_offset = hquant::KvPayloadBytes(kv_.dtype(), head_start);
+  view.scales_offset = kv_.scales_offset() + (head_start / kv_.quant_group()) * 2;
+  view.group = kv_.quant_group();
+  view.dtype = kv_.dtype();
+  return view;
 }
 
 std::span<const hkern::ExpLut* const> Transformer::EnsureShardLuts(int slots) {
@@ -81,9 +110,16 @@ std::span<const hkern::ExpLut* const> Transformer::EnsureShardLuts(int slots) {
 
 void Transformer::EnsureSlotScratch(int slots) {
   const size_t cap = static_cast<size_t>(kv_.blocks_per_seq_capacity());
-  while (static_cast<int>(slot_k_ptrs_.size()) < slots) {
-    slot_k_ptrs_.emplace_back(cap);
-    slot_v_ptrs_.emplace_back(cap);
+  if (kv_.dtype() == hquant::KvDtype::kF16) {
+    while (static_cast<int>(slot_k_ptrs_.size()) < slots) {
+      slot_k_ptrs_.emplace_back(cap);
+      slot_v_ptrs_.emplace_back(cap);
+    }
+  } else {
+    while (static_cast<int>(slot_kq_ptrs_.size()) < slots) {
+      slot_kq_ptrs_.emplace_back(cap);
+      slot_vq_ptrs_.emplace_back(cap);
+    }
   }
 }
 
@@ -163,22 +199,34 @@ void Transformer::PrefillChunk(int seq, std::span<const int> tokens) {
                           pos0 + r, rope_inv_freq_.data());
     }
     for (int r = 0; r < rows; ++r) {
-      std::memcpy(kv_.KeyRow(l, seq, pos0 + r), k + static_cast<int64_t>(r) * kv_dim,
-                  static_cast<size_t>(kv_dim) * 2);
-      std::memcpy(kv_.ValueRow(l, seq, pos0 + r), v + static_cast<int64_t>(r) * kv_dim,
-                  static_cast<size_t>(kv_dim) * 2);
+      kv_.WriteKeyRow(l, seq, pos0 + r, k + static_cast<int64_t>(r) * kv_dim);
+      kv_.WriteValueRow(l, seq, pos0 + r, v + static_cast<int64_t>(r) * kv_dim);
     }
 
     // Causal FlashAttention over the chunk: rows x [0, kv_len) with offset pos0, heads in
     // parallel across slots, each reading K/V in place through the block table resolved
     // once per layer (the append loop above already ran, so the table is read-only here).
-    kv_.FillBlockPointers(l, seq, kv_len, layer_k_ptrs_.data(), layer_v_ptrs_.data());
+    const bool kv_quant = kv_.dtype() != hquant::KvDtype::kF16;
+    if (kv_quant) {
+      kv_.FillQuantBlockPointers(l, seq, kv_len, layer_kq_ptrs_.data(),
+                                 layer_vq_ptrs_.data());
+    } else {
+      kv_.FillBlockPointers(l, seq, kv_len, layer_k_ptrs_.data(), layer_v_ptrs_.data());
+    }
     hexec::ParallelFor(
         c.heads,
         [&](int64_t h_begin, int64_t h_end, int slot) {
           hexsim::NpuDevice& d = dev_.ForSlot(slot);
           const hkern::ExpLut& lut = *slot_luts[static_cast<size_t>(slot)];
           for (int64_t h = h_begin; h < h_end; ++h) {
+            if (kv_quant) {
+              const hkern::PagedQKvHeadView view = QuantHeadView(
+                  layer_kq_ptrs_.data(), layer_vq_ptrs_.data(), static_cast<int>(h / group));
+              hkern::FlashAttentionPagedQ(d, lut, hkern::SoftmaxVariant::kLut, q + h * dh,
+                                          q_dim, view, attn_out + h * dh, q_dim, rows,
+                                          kv_len, dh, scale, /*q_pos_offset=*/pos0);
+              continue;
+            }
             hkern::PagedKvHeadView view;
             view.k_blocks = layer_k_ptrs_.data();
             view.v_blocks = layer_v_ptrs_.data();
@@ -266,10 +314,8 @@ void Transformer::StepSeqSubset(std::span<const int> tokens, std::span<const int
                           rope_inv_freq_.data());
       hkern::RopeHeadsF16(dev_, k + static_cast<int64_t>(b) * kv_dim, c.kv_heads, dh, pos,
                           rope_inv_freq_.data());
-      std::memcpy(kv_.KeyRow(l, seq, pos), k + static_cast<int64_t>(b) * kv_dim,
-                  static_cast<size_t>(kv_dim) * 2);
-      std::memcpy(kv_.ValueRow(l, seq, pos), v + static_cast<int64_t>(b) * kv_dim,
-                  static_cast<size_t>(kv_dim) * 2);
+      kv_.WriteKeyRow(l, seq, pos, k + static_cast<int64_t>(b) * kv_dim);
+      kv_.WriteValueRow(l, seq, pos, v + static_cast<int64_t>(b) * kv_dim);
     }
 
     // Per-row parallel attention: each batch row is an independent query against its own
@@ -279,11 +325,30 @@ void Transformer::StepSeqSubset(std::span<const int> tokens, std::span<const int
     // KV cache is read-only in this region (the append loop above already ran) and
     // attn_out rows are disjoint, so results are bit-identical at any lane count. Shard
     // accounting merges back right after the loop.
+    const bool kv_quant = kv_.dtype() != hquant::KvDtype::kF16;
     hexec::ParallelFor(
         batch,
         [&](int64_t b_begin, int64_t b_end, int slot) {
           hexsim::NpuDevice& d = dev_.ForSlot(slot);
           const hkern::ExpLut& lut = *slot_luts[static_cast<size_t>(slot)];
+          if (kv_quant) {
+            const uint8_t** k_bases = slot_kq_ptrs_[static_cast<size_t>(slot)].data();
+            const uint8_t** v_bases = slot_vq_ptrs_[static_cast<size_t>(slot)].data();
+            for (int64_t b = b_begin; b < b_end; ++b) {
+              const int seq = seq_ids[static_cast<size_t>(b)];
+              const int kv_len = kv_.length(seq) + 1;  // includes the row just written
+              kv_.FillQuantBlockPointers(l, seq, kv_len, k_bases, v_bases);
+              for (int h = 0; h < c.heads; ++h) {
+                const hkern::PagedQKvHeadView view =
+                    QuantHeadView(k_bases, v_bases, h / group);
+                hkern::FlashAttentionPagedQ(
+                    d, lut, exp_variant, q + static_cast<int64_t>(b) * q_dim + h * dh, q_dim,
+                    view, attn_out + static_cast<int64_t>(b) * q_dim + h * dh, q_dim,
+                    /*q_len=*/1, kv_len, dh, scale);
+              }
+            }
+            return;
+          }
           const F16** k_bases = slot_k_ptrs_[static_cast<size_t>(slot)].data();
           const F16** v_bases = slot_v_ptrs_[static_cast<size_t>(slot)].data();
           for (int64_t b = b_begin; b < b_end; ++b) {

@@ -26,6 +26,7 @@
 
 #include "src/base/fp16.h"
 #include "src/hexsim/npu_device.h"
+#include "src/kernels/attention.h"
 #include "src/kernels/exp_lut.h"
 #include "src/kernels/softmax.h"
 #include "src/kvcache/paged_kv_cache.h"
@@ -44,9 +45,15 @@ class Transformer {
  public:
   // kv_pool_blocks <= 0 sizes the KV block pool for `max_batch` dense sequences of
   // `max_context` (plus CoW/retention slack); serving backends pass an explicit pool size
-  // to model a DRAM budget.
+  // to model a DRAM budget. `kv_dtype` selects the KV storage mode (F16 default — bit- and
+  // charge-identical to the pre-quant path; INT8/INT4 group-quantize K/V rows at append and
+  // route attention through hkern::FlashAttentionPagedQ). The HEXLLM_KV_DTYPE env var
+  // overrides the configured dtype (docs/kv_quantization.md). `kv_quant_group` elements
+  // share one scale and must divide head_dim.
   Transformer(hexsim::NpuDevice& dev, const ModelWeights& weights, int max_batch,
-              int max_context, int64_t kv_pool_blocks = 0);
+              int max_context, int64_t kv_pool_blocks = 0,
+              hquant::KvDtype kv_dtype = hquant::KvDtype::kF16,
+              int kv_quant_group = hquant::kGroupSize);
 
   // Decodes one step for `tokens.size()` parallel sequences (sequence i consumes tokens[i]
   // at its current position). Writes FP32 logits [batch, vocab]. The softmax exp variant is
@@ -92,6 +99,11 @@ class Transformer {
   // own sequences' block tables). Amortized: no growth in steady state.
   void EnsureSlotScratch(int slots);
 
+  // Builds the quantized attention view for one KV head over the given block bases
+  // (quantized modes only).
+  hkern::PagedQKvHeadView QuantHeadView(const uint8_t* const* k_bases,
+                                        const uint8_t* const* v_bases, int kv_head) const;
+
   hexsim::NpuDevice& dev_;
   const ModelWeights& weights_;
   hkern::ExpLut lut_;
@@ -111,6 +123,11 @@ class Transformer {
   std::vector<std::vector<const hexllm::F16*>> slot_v_ptrs_;
   std::vector<const hexllm::F16*> layer_k_ptrs_;
   std::vector<const hexllm::F16*> layer_v_ptrs_;
+  // Quantized-mode twins (byte-addressed block bases for hkern::PagedQKvHeadView).
+  std::vector<std::vector<const uint8_t*>> slot_kq_ptrs_;
+  std::vector<std::vector<const uint8_t*>> slot_vq_ptrs_;
+  std::vector<const uint8_t*> layer_kq_ptrs_;
+  std::vector<const uint8_t*> layer_vq_ptrs_;
 };
 
 }  // namespace hllm

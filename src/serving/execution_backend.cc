@@ -44,12 +44,30 @@ AnalyticBackend::AnalyticBackend(const hrt::Engine& engine, const Options& optio
     : engine_(engine),
       bucket_tokens_(std::max(1, options.context_bucket_tokens)),
       // Unbounded accountant: the DRAM budget gates admission (CanAdmit), it never aborts
-      // mid-decode. bytes_per_block is the model's true FP16 K+V footprint for one block.
+      // mid-decode. bytes_per_block is the model's true K+V footprint for one block under
+      // the configured KV dtype, so a budget admits proportionally more sequences when KV
+      // is quantized — the same arithmetic the functional cache applies to its storage.
       kv_(options.kv_block_tokens, /*max_blocks=*/0,
-          engine.options().model->KvCacheBytes(options.kv_block_tokens)) {
+          engine.options().model->KvCacheBytes(options.kv_block_tokens,
+                                               hquant::KvDtypeFromEnv(options.kv_dtype),
+                                               options.kv_quant_group)),
+      kv_dtype_(hquant::KvDtypeFromEnv(options.kv_dtype)) {
   if (options.kv_budget_bytes > 0) {
-    budget_blocks_ =
-        options.kv_budget_bytes / engine.options().model->KvCacheBytes(options.kv_block_tokens);
+    budget_blocks_ = options.kv_budget_bytes /
+                     engine.options().model->KvCacheBytes(options.kv_block_tokens, kv_dtype_,
+                                                          options.kv_quant_group);
+  }
+}
+
+void AnalyticBackend::ExportMetrics(obs::Registry& registry) const {
+  // Quantized modes publish the active dtype (value = bits per element, label = name) so
+  // analytic reports carry the same `kv.dtype` series as functional runs. F16 exports
+  // nothing extra, keeping legacy metric snapshots byte-identical. The analytic path never
+  // materializes K/V values, so there is no round-trip error proxy here — accuracy figures
+  // come from the capability model (hcap::CapabilityModel::AttentionErr).
+  if (kv_dtype_ != hquant::KvDtype::kF16) {
+    registry.Set("kv.dtype", static_cast<double>(hquant::KvDtypeBits(kv_dtype_)),
+                 hquant::KvDtypeName(kv_dtype_));
   }
 }
 
@@ -268,8 +286,10 @@ StepOutcome AnalyticBackend::Step(std::span<const int> slots, std::span<const in
 // ---------------------------------------------------------------------------
 
 FunctionalBackend::FunctionalBackend(hexsim::NpuDevice& dev, const hllm::ModelWeights& weights,
-                                     int max_batch, int max_context, int64_t kv_pool_blocks)
-    : dev_(dev), tf_(dev, weights, max_batch, max_context, kv_pool_blocks),
+                                     int max_batch, int max_context, int64_t kv_pool_blocks,
+                                     hquant::KvDtype kv_dtype, int kv_quant_group)
+    : dev_(dev),
+      tf_(dev, weights, max_batch, max_context, kv_pool_blocks, kv_dtype, kv_quant_group),
       max_context_(max_context),
       last_token_(static_cast<size_t>(max_batch), 1),
       sampler_opts_(static_cast<size_t>(max_batch)),

@@ -107,6 +107,10 @@ class ExecutionBackend {
   // Physical-vs-logical KV accounting snapshot (zeroed for backends without it).
   virtual hkv::KvStats kv_stats() const { return {}; }
 
+  // KV storage dtype this backend accounts/stores blocks in (docs/kv_quantization.md).
+  // F16 for backends without a quantized mode.
+  virtual hquant::KvDtype kv_dtype() const { return hquant::KvDtype::kF16; }
+
   // Publishes backend-specific counters into the serving run's metrics registry (called by
   // the batcher when it snapshots a finished run). The functional backend exports the full
   // simulated-device activity profile (hexsim.* metrics); the default exports nothing.
@@ -126,6 +130,11 @@ class AnalyticBackend : public ExecutionBackend {
     // DRAM budget for KV blocks; admissions are deferred (or rejected when the batch is
     // empty) once the worst-case block demand exceeds it. <= 0 tracks without gating.
     int64_t kv_budget_bytes = 0;
+    // KV storage dtype the accountant prices blocks in. Quantized modes shrink
+    // bytes_per_block 1.9-3.6x, so the same kv_budget_bytes admits proportionally more
+    // blocks (more Best-of-N lanes / longer contexts — the KV-quantization payoff).
+    hquant::KvDtype kv_dtype = hquant::KvDtype::kF16;
+    int kv_quant_group = hquant::kGroupSize;  // elements per scale group
   };
 
   AnalyticBackend(const hrt::Engine& engine, const Options& options);
@@ -146,6 +155,11 @@ class AnalyticBackend : public ExecutionBackend {
   bool CanAdmit(const ServeJob& job, int context_tokens) override;
   int max_context() const override;
   hkv::KvStats kv_stats() const override { return kv_.stats(); }
+  hquant::KvDtype kv_dtype() const override { return kv_dtype_; }
+  // Exports kv.dtype when a quantized mode is active (the analytic backend has no stored
+  // rows, so there are no kv.quant.* error gauges to publish). F16 runs export nothing —
+  // keeping legacy metric snapshots byte-identical.
+  void ExportMetrics(obs::Registry& registry) const override;
 
   // Bucketed step pricing (exposed for tests): cost of one step at `batch` rows whose mean
   // context rounds up to the bucket containing `context`.
@@ -182,6 +196,7 @@ class AnalyticBackend : public ExecutionBackend {
   // Storage-free KV accountant: same block math as the functional backend's PagedKvCache,
   // no bytes. budget_blocks_ < 0 means unlimited.
   hkv::KvBlockManager kv_;
+  hquant::KvDtype kv_dtype_ = hquant::KvDtype::kF16;
   int64_t budget_blocks_ = -1;
   std::vector<int> end_len_;           // per slot: context+decode at admission (0 = free)
   std::map<int, Retained> retained_;   // completed job id -> retained stem
@@ -196,9 +211,13 @@ class AnalyticBackend : public ExecutionBackend {
 class FunctionalBackend : public ExecutionBackend {
  public:
   // kv_pool_blocks <= 0 sizes the KV block pool for `max_batch` dense sequences (plus CoW
-  // and retention slack); tests pass a small pool to exercise admission gating.
+  // and retention slack); tests pass a small pool to exercise admission gating. `kv_dtype`
+  // selects the transformer's KV storage mode (docs/kv_quantization.md); F16 is
+  // bit-identical to the legacy path.
   FunctionalBackend(hexsim::NpuDevice& dev, const hllm::ModelWeights& weights, int max_batch,
-                    int max_context, int64_t kv_pool_blocks = 0);
+                    int max_context, int64_t kv_pool_blocks = 0,
+                    hquant::KvDtype kv_dtype = hquant::KvDtype::kF16,
+                    int kv_quant_group = hquant::kGroupSize);
 
   const char* name() const override { return "functional"; }
   double AdmitSlot(int slot, const ServeJob& job, int context_tokens,
@@ -214,12 +233,18 @@ class FunctionalBackend : public ExecutionBackend {
   bool CanAdmit(const ServeJob& job, int context_tokens) override;
   int max_context() const override { return max_context_; }
   hkv::KvStats kv_stats() const override { return tf_.kv().stats(); }
+  hquant::KvDtype kv_dtype() const override { return tf_.kv().dtype(); }
   void ExportMetrics(obs::Registry& registry) const override {
     hexsim::ExportDeviceMetrics(dev_, registry);
     // Peak bytes of the transformer's persistent step-scratch arena
     // (docs/metrics_schema.md, docs/performance.md).
     registry.Set("exec.workspace.bytes",
                  static_cast<double>(tf_.workspace().high_watermark()));
+    // Quantized KV modes publish the dtype and the write-time round-trip error proxy; F16
+    // runs export nothing extra, keeping legacy snapshots byte-identical.
+    if (tf_.kv().dtype() != hquant::KvDtype::kF16) {
+      hkv::ExportKvQuantStats(tf_.kv().dtype(), tf_.kv().quant_stats(), registry);
+    }
   }
 
   hllm::Transformer& transformer() { return tf_; }

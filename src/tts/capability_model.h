@@ -47,6 +47,19 @@ class CapabilityModel {
   double per_channel_q4_err() const { return per_channel_q4_err_; }
   double q8_err() const { return q8_err_; }
   double lut_f16_attention_err() const { return lut_f16_attention_err_; }
+  // Attention output error under a KV storage dtype (docs/kv_quantization.md): the F16+LUT
+  // probe rerun with K/V round-tripped through the paged cache's write-time quantizers.
+  // Includes the LUT-softmax deviation, so AttentionErr(kF16) == lut_f16_attention_err().
+  double AttentionErr(hquant::KvDtype kv_dtype) const {
+    switch (kv_dtype) {
+      case hquant::KvDtype::kInt4:
+        return kv_int4_attention_err_;
+      case hquant::KvDtype::kInt8:
+        return kv_int8_attention_err_;
+      default:
+        return lut_f16_attention_err_;
+    }
+  }
 
   // Parameter-weighted weight error of a model deployed with this repo's scheme
   // (tile-group Q4 projections + Q8 FFN-down, §7.1).
@@ -78,6 +91,8 @@ class CapabilityModel {
   double per_channel_q4_err_ = 0.0;
   double q8_err_ = 0.0;
   double lut_f16_attention_err_ = 0.0;
+  double kv_int8_attention_err_ = 0.0;
+  double kv_int4_attention_err_ = 0.0;
 
   // Per-dataset damage-curve parameters (MATH500, GSM8K).
   double lambda_math_ = 0.0, p_math_ = 1.0;

@@ -37,7 +37,7 @@ std::vector<ParetoPoint> SweepPareto(const CapabilityModel& cap,
   for (const auto* model : options.models) {
     const double theta = cap.EffectiveTheta(*model, options.dataset,
                                             cap.DeployedWeightErr(*model),
-                                            cap.lut_f16_attention_err());
+                                            cap.AttentionErr(options.kv_dtype));
     hrt::EngineOptions eo;
     eo.model = model;
     eo.device = options.device;
@@ -54,11 +54,14 @@ std::vector<ParetoPoint> SweepPareto(const CapabilityModel& cap,
       p.model = model->name;
       p.method = method;
       p.budget = budget;
+      p.kv_dtype = options.kv_dtype;
       p.accuracy = r.accuracy;
       p.runnable = runnable;
       if (runnable) {
         hserve::AnalyticBackend::Options bo;
         bo.kv_budget_bytes = options.kv_budget_bytes;
+        bo.kv_dtype = options.kv_dtype;
+        bo.kv_quant_group = options.kv_quant_group;
         hserve::AnalyticBackend backend(engine, bo);
         hserve::ServeOptions so;
         so.max_batch = std::max(1, r.batch);

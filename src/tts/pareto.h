@@ -27,6 +27,7 @@ struct ParetoPoint {
   std::string model;
   TtsMethod method = TtsMethod::kBase;
   int budget = 1;                 // generation budget (max decode batch)
+  hquant::KvDtype kv_dtype = hquant::KvDtype::kF16;  // KV storage mode this point ran under
   double accuracy = 0.0;          // task accuracy (fraction)
   double latency_per_token_s = 0.0;  // average decode latency per step (cost axis, Fig 10)
   double energy_per_token_j = 0.0;   // energy cost alternative (§7.2.3)
@@ -53,6 +54,12 @@ struct ParetoSweepOptions {
   // exceeds it (a point whose stream cannot fit at all is marked not runnable). <= 0 tracks
   // KV bytes without gating.
   int64_t kv_budget_bytes = 0;
+  // KV storage dtype for the serving cost model AND the accuracy model: quantized KV
+  // shrinks block bytes (more parallel samples fit a DRAM budget) while the attention
+  // error fed to EffectiveTheta switches to the measured round-trip figure
+  // (CapabilityModel::AttentionErr; docs/kv_quantization.md).
+  hquant::KvDtype kv_dtype = hquant::KvDtype::kF16;
+  int kv_quant_group = hquant::kGroupSize;
 };
 
 // Runs base + Best-of-N + Beam Search sweeps for every model/budget on one device+dataset.

@@ -1,7 +1,11 @@
 // Paged KV-cache manager tests: block-pool invariants, prefix sharing, copy-on-write
-// forking, debug poisoning, admission gating on pool/budget exhaustion, and the
-// functional-vs-analytic block-accounting parity the serving layer promises.
+// forking, debug poisoning, admission gating on pool/budget exhaustion, low-bit quantized
+// KV storage (round-trip bounds, CoW/pause-resume integrity, paged-Q attention parity, the
+// F16 bit-identity guard), and the functional-vs-analytic block-accounting parity the
+// serving layer promises — including under quantized block accounting.
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <set>
 #include <vector>
@@ -9,6 +13,9 @@
 #include <gtest/gtest.h>
 
 #include "src/base/fp16.h"
+#include "src/base/rng.h"
+#include "src/kernels/attention.h"
+#include "src/kernels/exp_lut.h"
 #include "src/hexsim/device_profile.h"
 #include "src/hexsim/npu_device.h"
 #include "src/kvcache/block_pool.h"
@@ -166,6 +173,240 @@ TEST(PagedKvCacheTest, ForkReadsSharedRowsAndCowPreservesParent) {
   // block, which the retained handle pins as an immutable snapshot.
   EXPECT_EQ(kv.stats().cow_splits, 2);
   kv.DropHandle(h);
+}
+
+// --- quantized KV storage (docs/kv_quantization.md) ---
+
+TEST(KvQuantTest, RoundTripErrorRespectsScaleBoundPerGroupSize) {
+  // Q4_0/Q8_0 group quantization bounds the per-element error by half the group scale
+  // (plus F16 rounding of the scale and the product). Checked per group size on the real
+  // write/read path, and against the cache's own accumulated error proxy.
+  hexllm::Rng rng(0xBEEF);
+  const int kv_dim = 64;
+  const int positions = 8;
+  double rel_rms_int4 = 0.0;
+  double rel_rms_int8 = 0.0;
+  for (const int group : {16, 32, 64}) {
+    for (const hquant::KvDtype dtype : {hquant::KvDtype::kInt8, hquant::KvDtype::kInt4}) {
+      PagedKvCache kv(/*layers=*/1, kv_dim, /*num_seqs=*/1, /*max_context=*/64,
+                      /*block_tokens=*/4, /*num_blocks=*/0, dtype, group);
+      std::vector<F16> src(static_cast<size_t>(kv_dim));
+      std::vector<F16> back(static_cast<size_t>(kv_dim));
+      for (int pos = 0; pos < positions; ++pos) {
+        for (auto& x : src) {
+          x = F16(static_cast<float>(rng.NextGaussian()));
+        }
+        kv.WriteKeyRow(0, 0, pos, src.data());
+        kv.WriteValueRow(0, 0, pos, src.data());
+        kv.Advance(0);
+        kv.ReadKeyRow(0, 0, pos, back.data());
+        for (int g = 0; g < kv_dim; g += group) {
+          float amax = 0.0f;
+          for (int j = 0; j < group; ++j) {
+            amax = std::max(amax, std::abs(src[static_cast<size_t>(g + j)].ToFloat()));
+          }
+          // Q8_0's symmetric grid bounds the error at half a step; Q4_0's asymmetric grid
+          // (levels -8d..+7d) clamps opposite-sign extremes up to a FULL step. Plus F16
+          // rounding slop for the scale and the product.
+          const float bound = (dtype == hquant::KvDtype::kInt4 ? amax / 8.0f
+                                                               : 0.5f * amax / 127.0f) +
+                              amax / 512.0f;
+          for (int j = 0; j < group; ++j) {
+            const float err = std::abs(back[static_cast<size_t>(g + j)].ToFloat() -
+                                       src[static_cast<size_t>(g + j)].ToFloat());
+            EXPECT_LE(err, bound) << "group=" << group << " dtype=" << static_cast<int>(dtype);
+          }
+        }
+      }
+      // The write-time proxy saw every row and agrees with the bound scale-wise.
+      const KvQuantStats& st = kv.quant_stats();
+      EXPECT_EQ(st.rows, int64_t{2} * positions);
+      EXPECT_EQ(st.elems, int64_t{2} * positions * kv_dim);
+      EXPECT_GT(st.max_abs_err, 0.0);
+      EXPECT_GT(st.bytes_saved(), 0);
+      if (group == 32) {
+        (dtype == hquant::KvDtype::kInt4 ? rel_rms_int4 : rel_rms_int8) = st.rel_rms();
+      }
+    }
+  }
+  // 4-bit storage is strictly lossier than 8-bit, and both stay inside the documented
+  // bounds (docs/kv_quantization.md).
+  EXPECT_GT(rel_rms_int4, rel_rms_int8);
+  EXPECT_LT(rel_rms_int8, 2e-2);
+  EXPECT_LT(rel_rms_int4, 2e-1);
+}
+
+TEST(KvQuantTest, QuantizedCowForkAndPauseResumeKeepRowsIntact) {
+  // The fork/pause machinery is dtype-blind (it moves whole blocks), but only if every
+  // CoW copy moves the *quantized* block bytes. Distinguishable rows catch any mixing of
+  // payload and scale bytes across the split.
+  PagedKvCache kv(/*layers=*/1, /*kv_dim=*/64, /*num_seqs=*/2, /*max_context=*/64,
+                  /*block_tokens=*/4, /*num_blocks=*/0, hquant::KvDtype::kInt4,
+                  /*quant_group=*/32);
+  std::vector<F16> row(64);
+  std::vector<std::vector<F16>> truth;  // post-quantization ground truth per position
+  for (int pos = 0; pos < 6; ++pos) {
+    for (int j = 0; j < 64; ++j) {
+      row[static_cast<size_t>(j)] =
+          F16(0.125f * static_cast<float>((pos + 1) * ((j % 7) - 3)));
+    }
+    kv.WriteKeyRow(0, 0, pos, row.data());
+    kv.WriteValueRow(0, 0, pos, row.data());
+    kv.Advance(0);
+    truth.emplace_back(64);
+    kv.ReadKeyRow(0, 0, pos, truth.back().data());
+  }
+
+  // Fork: the child reads the parent's quantized rows through its own table.
+  const int64_t h = kv.Retain(0);
+  kv.ShareFromHandle(h, 1, 6);
+  std::vector<F16> got(64);
+  for (int pos = 0; pos < 6; ++pos) {
+    kv.ReadKeyRow(0, 1, pos, got.data());
+    for (int j = 0; j < 64; ++j) {
+      EXPECT_EQ(got[static_cast<size_t>(j)].bits(),
+                truth[static_cast<size_t>(pos)][static_cast<size_t>(j)].bits())
+          << pos << "," << j;
+    }
+  }
+  // Divergent append CoW-splits the tail; the copied block carries positions 4-5 intact
+  // and the parent never sees the child's position 6.
+  for (auto& x : row) {
+    x = F16(-1.0f);
+  }
+  kv.WriteKeyRow(0, 1, 6, row.data());
+  kv.WriteValueRow(0, 1, 6, row.data());
+  kv.Advance(1);
+  kv.ReadKeyRow(0, 1, 5, got.data());
+  EXPECT_EQ(got[0].bits(), truth[5][0].bits());
+  for (auto& x : row) {
+    x = F16(2.0f);
+  }
+  kv.WriteKeyRow(0, 0, 6, row.data());
+  kv.WriteValueRow(0, 0, 6, row.data());
+  kv.Advance(0);
+  kv.ReadKeyRow(0, 0, 6, got.data());
+  EXPECT_EQ(got[0].ToFloat(), 2.0f);
+  kv.ReadKeyRow(0, 1, 6, got.data());
+  EXPECT_EQ(got[0].ToFloat(), -1.0f);
+  EXPECT_EQ(kv.stats().cow_splits, 2);
+  kv.DropHandle(h);
+
+  // Pause/resume: snapshot the child, reset its slot, map the snapshot back. Every row
+  // survives and the resumed append extends in place (no further CoW split).
+  const int64_t snap = kv.Retain(1);
+  kv.ResetSeq(1);
+  kv.ShareFromHandle(snap, 1, 7);
+  kv.DropHandle(snap);
+  kv.ReadKeyRow(0, 1, 5, got.data());
+  EXPECT_EQ(got[0].bits(), truth[5][0].bits());
+  kv.ReadKeyRow(0, 1, 6, got.data());
+  EXPECT_EQ(got[0].ToFloat(), -1.0f);
+  kv.WriteKeyRow(0, 1, 7, row.data());
+  kv.WriteValueRow(0, 1, 7, row.data());
+  kv.Advance(1);
+  EXPECT_EQ(kv.stats().cow_splits, 2);
+}
+
+TEST(KvQuantTest, F16ModeIsBitExactAndMatchesLegacyLayout) {
+  // The F16 guard: the defaulted constructor and an explicit kF16 are the same mode, rows
+  // round-trip bit-exactly through the Write/Read API (it is a memcpy), and no quant
+  // bookkeeping runs — the legacy byte/checksum surface is untouched.
+  PagedKvCache legacy(/*layers=*/2, /*kv_dim=*/8, /*num_seqs=*/1, /*max_context=*/64,
+                      /*block_tokens=*/4);
+  PagedKvCache f16(2, 8, 1, 64, 4, /*num_blocks=*/0, hquant::KvDtype::kF16);
+  EXPECT_EQ(legacy.dtype(), hquant::KvDtype::kF16);
+  EXPECT_EQ(f16.row_bytes(), int64_t{8} * 2);
+  EXPECT_EQ(legacy.byte_size(), f16.byte_size());
+  hexllm::Rng rng(7);
+  std::vector<F16> src(8);
+  std::vector<F16> back(8);
+  for (int pos = 0; pos < 6; ++pos) {
+    for (auto& x : src) {
+      x = F16(static_cast<float>(rng.NextGaussian()));
+    }
+    // Legacy direct-row write vs the new Write API must land identical bits.
+    std::memcpy(legacy.KeyRow(0, 0, pos), src.data(), src.size() * sizeof(F16));
+    f16.WriteKeyRow(0, 0, pos, src.data());
+    legacy.Advance(0);
+    f16.Advance(0);
+    EXPECT_EQ(std::memcmp(legacy.KeyRowAt(0, 0, pos), f16.KeyRowAt(0, 0, pos),
+                          src.size() * sizeof(F16)),
+              0);
+    f16.ReadKeyRow(0, 0, pos, back.data());
+    EXPECT_EQ(std::memcmp(back.data(), src.data(), src.size() * sizeof(F16)), 0);
+  }
+  EXPECT_EQ(f16.quant_stats().rows, 0);  // no proxy accumulation in F16 mode
+}
+
+TEST(KvQuantTest, PagedQuantAttentionMatchesDequantizedF16Attention) {
+  // FlashAttentionPagedQ's in-kernel dequant promises ReadKeyRow/ReadValueRow numerics:
+  // attention over the quantized cache must be BIT-identical to F16 paged attention over a
+  // cache holding the round-tripped rows. Also checks the dequant shows up in the ledger
+  // (its own kernel counter plus HVX work under "attn.kv_dequant").
+  const int head_dim = 64;
+  const int kv_len = 19;  // straddles blocks, partial tail
+  const int q_len = 2;
+  const int block_tokens = 8;
+  hexsim::NpuDevice dev(hexsim::OnePlus12());
+  hkern::ExpLut lut(dev);
+  PagedKvCache qkv(1, head_dim, 1, 64, block_tokens, 0, hquant::KvDtype::kInt4, 32);
+  PagedKvCache fkv(1, head_dim, 1, 64, block_tokens);
+  hexllm::Rng rng(0xA17E);
+  std::vector<F16> row(head_dim);
+  std::vector<F16> rt(head_dim);
+  for (int pos = 0; pos < kv_len; ++pos) {
+    for (auto& x : row) {
+      x = F16(static_cast<float>(rng.NextGaussian()));
+    }
+    qkv.WriteKeyRow(0, 0, pos, row.data());
+    qkv.ReadKeyRow(0, 0, pos, rt.data());
+    fkv.WriteKeyRow(0, 0, pos, rt.data());
+    for (auto& x : row) {
+      x = F16(static_cast<float>(rng.NextGaussian()));
+    }
+    qkv.WriteValueRow(0, 0, pos, row.data());
+    qkv.ReadValueRow(0, 0, pos, rt.data());
+    fkv.WriteValueRow(0, 0, pos, rt.data());
+    qkv.Advance(0);
+    fkv.Advance(0);
+  }
+  std::vector<const uint8_t*> qk(8), qvv(8);
+  std::vector<const F16*> fk(8), fv(8);
+  qkv.FillQuantBlockPointers(0, 0, kv_len, qk.data(), qvv.data());
+  fkv.FillBlockPointers(0, 0, kv_len, fk.data(), fv.data());
+  hkern::PagedQKvHeadView qview;
+  qview.k_blocks = qk.data();
+  qview.v_blocks = qvv.data();
+  qview.block_tokens = block_tokens;
+  qview.row_bytes = qkv.row_bytes();
+  qview.payload_offset = 0;
+  qview.scales_offset = qkv.scales_offset();
+  qview.group = 32;
+  qview.dtype = hquant::KvDtype::kInt4;
+  hkern::PagedKvHeadView fview;
+  fview.k_blocks = fk.data();
+  fview.v_blocks = fv.data();
+  fview.block_tokens = block_tokens;
+  fview.row_stride = head_dim;
+  fview.head_offset = 0;
+
+  std::vector<F16> q(static_cast<size_t>(q_len) * head_dim);
+  for (auto& x : q) {
+    x = F16(static_cast<float>(rng.NextGaussian()));
+  }
+  std::vector<F16> oq(q.size()), of(q.size());
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  hkern::FlashAttentionPagedQ(dev, lut, hkern::SoftmaxVariant::kLut, q.data(), head_dim,
+                              qview, oq.data(), head_dim, q_len, kv_len, head_dim, scale,
+                              /*q_pos_offset=*/kv_len - q_len);
+  hkern::FlashAttentionPagedF16(dev, lut, hkern::SoftmaxVariant::kLut, q.data(), head_dim,
+                                fview, of.data(), head_dim, q_len, kv_len, head_dim, scale,
+                                kv_len - q_len);
+  for (size_t i = 0; i < oq.size(); ++i) {
+    EXPECT_EQ(oq[i].bits(), of[i].bits()) << i;
+  }
+  EXPECT_EQ(dev.ledger().Count("kernel.attn_kv_dequant.calls"), 1);
 }
 
 #ifndef NDEBUG
@@ -459,6 +700,111 @@ TEST_F(ServingKvTest, MalformedJobsReportErrorsInsteadOfAborting) {
   const ScheduleResult ok = batcher.Run({Job(0, 4, 0, 8, 0, 0), Job(1, 4, 0, 8, 4, 1, 0)});
   EXPECT_TRUE(ok.error.empty()) << ok.error;
   EXPECT_EQ(ok.completions.size(), 2u);
+}
+
+// --- quantized KV through the serving stack (docs/kv_quantization.md) ---
+
+TEST_F(ServingKvTest, QuantizedKvKeepsBackendBlockParityAndShrinksBytes) {
+  // The analytic accountant never stores a byte, yet under INT4 it must agree with the
+  // functional paged cache on every block statistic — and both must charge the quantized
+  // bytes_per_block (toy config: 36 bytes/row vs 128 F16, exactly 32/9).
+  const std::vector<ServeJob> jobs =
+      BeamForkStream(/*prompt=*/8, /*rounds=*/3, /*width=*/2, /*expansion=*/2,
+                     /*step_tokens=*/4);
+  ServeOptions so;
+  so.max_batch = 4;
+
+  AnalyticBackend::Options bo;
+  bo.kv_dtype = hquant::KvDtype::kInt4;
+  AnalyticBackend analytic(*toy_engine_, bo);
+  const ScheduleResult ra = ContinuousBatcher(analytic, so).Run(jobs);
+  ASSERT_TRUE(ra.error.empty()) << ra.error;
+
+  FunctionalBackend functional(dev_, weights_, so.max_batch, /*max_context=*/64,
+                               /*kv_pool_blocks=*/0, hquant::KvDtype::kInt4);
+  const ScheduleResult rf = ContinuousBatcher(functional, so).Run(jobs);
+  ASSERT_TRUE(rf.error.empty()) << rf.error;
+
+  EXPECT_EQ(functional.kv_dtype(), hquant::KvDtype::kInt4);
+  EXPECT_EQ(analytic.kv_dtype(), hquant::KvDtype::kInt4);
+  ExpectStatsEqual(ra.kv, rf.kv);
+  EXPECT_EQ(rf.kv.bytes_per_block,
+            config_.KvCacheBytes(rf.kv.block_tokens, hquant::KvDtype::kInt4));
+
+  // Same stream in F16: identical block counts (quantization changes bytes, not paging),
+  // with the documented 32/9 byte ratio, and identical token streams modulo the logit
+  // delta the quantization introduces (checked small below via the exported proxy).
+  hexsim::NpuDevice dev2(hexsim::OnePlus12());
+  FunctionalBackend f16(dev2, weights_, so.max_batch, /*max_context=*/64);
+  const ScheduleResult r16 = ContinuousBatcher(f16, so).Run(jobs);
+  ASSERT_TRUE(r16.error.empty()) << r16.error;
+  EXPECT_EQ(r16.kv.peak_physical_blocks, rf.kv.peak_physical_blocks);
+  EXPECT_EQ(r16.kv.cow_splits, rf.kv.cow_splits);
+  EXPECT_EQ(rf.kv.bytes_per_block * 32, r16.kv.bytes_per_block * 9);
+
+  // The quantized run exports its dtype and round-trip error proxy; F16 exports neither.
+  bool found = false;
+  EXPECT_EQ(rf.metrics.GaugeValue("kv.dtype", "int4", &found), 4.0);
+  EXPECT_TRUE(found);
+  const double rel_rms = rf.metrics.GaugeValue("kv.quant.rel_rms", {}, &found);
+  EXPECT_TRUE(found);
+  EXPECT_GT(rel_rms, 0.0);
+  EXPECT_LT(rel_rms, 2e-1);  // the documented INT4 bound
+  r16.metrics.GaugeValue("kv.dtype", "f16", &found);
+  EXPECT_FALSE(found);
+}
+
+TEST_F(ServingKvTest, QuantizedForkContinuationMatchesUnforkedDecodeTokenForToken) {
+  // The fork-equals-continuous guarantee must survive quantized KV: the child attends to
+  // the parent's retained *quantized* blocks, and the continuous run wrote the identical
+  // quantized rows, so the argmax token streams stitch exactly.
+  ServeOptions so;
+  so.max_batch = 1;
+  const std::vector<ServeJob> whole = {Job(0, 8, /*group=*/0, /*prompt=*/8)};
+  const std::vector<ServeJob> forked = {
+      Job(0, 4, 0, 8, 0, /*barrier=*/0),
+      Job(1, 4, 0, 8, /*context=*/4, /*barrier=*/1, /*parent=*/0),
+  };
+
+  hexsim::NpuDevice dev1(hexsim::OnePlus12());
+  FunctionalBackend b1(dev1, weights_, so.max_batch, /*max_context=*/64,
+                       /*kv_pool_blocks=*/0, hquant::KvDtype::kInt4);
+  const ScheduleResult rw = ContinuousBatcher(b1, so).Run(whole);
+  ASSERT_TRUE(rw.error.empty()) << rw.error;
+
+  hexsim::NpuDevice dev2(hexsim::OnePlus12());
+  FunctionalBackend b2(dev2, weights_, so.max_batch, /*max_context=*/64,
+                       /*kv_pool_blocks=*/0, hquant::KvDtype::kInt4);
+  const ScheduleResult rf = ContinuousBatcher(b2, so).Run(forked);
+  ASSERT_TRUE(rf.error.empty()) << rf.error;
+
+  EXPECT_EQ(rf.forked_admissions, 1);
+  EXPECT_EQ(rf.prefilled_tokens, 8);
+  std::vector<int> stitched = rf.job_tokens.at(0);
+  stitched.insert(stitched.end(), rf.job_tokens.at(1).begin(), rf.job_tokens.at(1).end());
+  EXPECT_EQ(stitched, rw.job_tokens.at(0));
+}
+
+TEST_F(ServingKvTest, ExplicitF16BackendMatchesDefaultTokenForToken) {
+  // The serving-level F16 identity guard: passing kF16 explicitly takes exactly the legacy
+  // code path, so token streams (and block stats) match the defaulted backend bit for bit.
+  const std::vector<ServeJob> jobs =
+      BeamForkStream(/*prompt=*/8, /*rounds=*/2, /*width=*/2, /*expansion=*/2,
+                     /*step_tokens=*/4);
+  ServeOptions so;
+  so.max_batch = 4;
+  hexsim::NpuDevice dev1(hexsim::OnePlus12());
+  FunctionalBackend def(dev1, weights_, so.max_batch, /*max_context=*/64);
+  const ScheduleResult rd = ContinuousBatcher(def, so).Run(jobs);
+  ASSERT_TRUE(rd.error.empty()) << rd.error;
+  hexsim::NpuDevice dev2(hexsim::OnePlus12());
+  FunctionalBackend exp(dev2, weights_, so.max_batch, /*max_context=*/64,
+                        /*kv_pool_blocks=*/0, hquant::KvDtype::kF16);
+  const ScheduleResult re = ContinuousBatcher(exp, so).Run(jobs);
+  ASSERT_TRUE(re.error.empty()) << re.error;
+  EXPECT_EQ(def.kv_dtype(), hquant::KvDtype::kF16);
+  EXPECT_EQ(rd.job_tokens, re.job_tokens);
+  ExpectStatsEqual(rd.kv, re.kv);
 }
 
 }  // namespace

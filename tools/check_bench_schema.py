@@ -19,6 +19,17 @@ METRICS_SCHEMA_VERSION = 1
 
 NUMBER = (int, float)
 
+# KV storage dtypes (docs/kv_quantization.md): gauge label -> bits-per-element value.
+KV_DTYPES = {"f16": 16, "int8": 8, "int4": 4}
+# Write-time round-trip error-proxy gauges exported by quantized functional runs.
+KV_QUANT_GAUGES = (
+    "kv.quant.rows",
+    "kv.quant.bytes_saved",
+    "kv.quant.max_abs_err",
+    "kv.quant.mean_abs_err",
+    "kv.quant.rel_rms",
+)
+
 
 def fail(path, msg, errors):
     errors.append(f"{path}: {msg}")
@@ -43,6 +54,21 @@ def check_metrics_snapshot(path, where, snap, errors):
     for g in snap["gauges"]:
         if not isinstance(g.get("name"), str) or not isinstance(g.get("value"), NUMBER):
             fail(path, f"{where}: bad gauge entry {g!r}", errors)
+            continue
+        # kv.dtype is a labeled gauge: label names the dtype, value is bits per element.
+        if g["name"] == "kv.dtype":
+            label = g.get("label")
+            if label not in KV_DTYPES:
+                fail(path, f"{where}: kv.dtype label must be one of {sorted(KV_DTYPES)}, "
+                           f"got {label!r}", errors)
+            elif g["value"] != KV_DTYPES[label]:
+                fail(path, f"{where}: kv.dtype[{label}] must be {KV_DTYPES[label]} bits, "
+                           f"got {g['value']!r}", errors)
+        elif g["name"] == "kv.quant.rel_rms" and not 0.0 <= g["value"] <= 1.0:
+            fail(path, f"{where}: kv.quant.rel_rms out of [0,1]: {g['value']!r}", errors)
+        elif g["name"] in KV_QUANT_GAUGES and g["value"] < 0:
+            fail(path, f"{where}: {g['name']} must be non-negative, got {g['value']!r}",
+                 errors)
     for h in snap["histograms"]:
         if not isinstance(h.get("name"), str):
             fail(path, f"{where}: histogram entry without a name", errors)
@@ -109,6 +135,30 @@ def check_report(path, errors):
             fail(path, f"metrics[{i}] must be an object with a 'snapshot'", errors)
             continue
         check_metrics_snapshot(path, f"metrics[{i}]", m["snapshot"], errors)
+
+    # Bench-specific: fig16's KV-dtype axis must sweep every storage mode with the fields
+    # the EXPERIMENTS.md headline numbers are read from.
+    if doc.get("bench") == "fig16_cpu_memory" and isinstance(rows, list):
+        kv_rows = [r for r in rows
+                   if isinstance(r, dict) and r.get("series") == "kv_dtype"]
+        if not kv_rows:
+            fail(path, "fig16_cpu_memory must report a 'kv_dtype' row series", errors)
+        seen = set()
+        for r in kv_rows:
+            dtype = r.get("kv_dtype")
+            if dtype not in KV_DTYPES:
+                fail(path, f"kv_dtype row with unknown dtype {dtype!r}", errors)
+                continue
+            seen.add(dtype)
+            if r.get("kv_bits") != KV_DTYPES[dtype]:
+                fail(path, f"kv_dtype row {dtype}: kv_bits must be {KV_DTYPES[dtype]}",
+                     errors)
+            for key in ("peak_physical_bytes", "compression_vs_f16", "attn_rel_rms"):
+                if not isinstance(r.get(key), NUMBER):
+                    fail(path, f"kv_dtype row {dtype}: missing numeric {key!r}", errors)
+        if kv_rows and seen != set(KV_DTYPES):
+            fail(path, f"kv_dtype rows must cover {sorted(KV_DTYPES)}, got {sorted(seen)}",
+                 errors)
 
 
 def main(argv):
