@@ -42,6 +42,9 @@ int main() {
       opts.tasks = bench::SmokePreset() ? 100 : 400;
       opts.trials = bench::SmokePreset() ? 2 : 5;
       opts.seed = 10 + static_cast<uint64_t>(dataset);
+      // Speculative-decoding axis (§9): each model also gets a lossless draft-assisted
+      // point — base accuracy, cheaper tokens (docs/speculative_decoding.md).
+      opts.spec_draft = &hllm::Qwen25_0_5B();
       const auto points = SweepPareto(cap, opts);
 
       std::printf("%-6s %-12s %7s %10s %13s %9s %8s\n", "model", "method", "budget",
@@ -75,6 +78,10 @@ int main() {
         row.Set("ms_per_token", p.latency_per_token_s * 1e3);
         row.Set("mj_per_token", p.energy_per_token_j * 1e3);
         row.Set("on_pareto_frontier", frontier);
+        if (p.method == TtsMethod::kSpeculative) {
+          row.Set("spec_draft", p.spec_draft);
+          row.Set("spec_acceptance", p.spec_acceptance);
+        }
       }
 
       // The paper's headline comparisons for this panel.

@@ -1,0 +1,398 @@
+// Executable speculative decoding through the serving stack (the §9 generate-then-verify
+// observation, docs/speculative_decoding.md) — unlike bench_ext_speculative, which evaluates
+// the CLOSED-FORM cycle model, every number here comes from actually running draft + verify
+// cycles through ContinuousBatcher.
+//
+// Three parts:
+//   1. Analytic sweep (gamma x draft size): a Qwen2.5-7B target decodes a fixed job stream
+//      plainly and with each draft/gamma combination on the calibrated cost model.
+//      Acceptance per token comes from the capability-model skill gap
+//      (htts::SpeculativeAcceptanceRate). Reports tok/s, J/token, measured acceptance and
+//      the speedup over plain decode; the default preset (0.5B draft, gamma 4) is the row
+//      tools/compare_bench_perf.py --spec gates in CI.
+//   2. A closed-form cross-check: the serving speedup at the default preset is compared
+//      against htts::EvaluateSpeculative's cycle model as a reference entry.
+//   3. Functional bit-identity: a toy target + toy draft decode the same jobs (greedy AND
+//      seeded stochastic samplers) plainly and speculatively; the committed streams must be
+//      IDENTICAL — the bench exits non-zero otherwise. Per-job token checksums are emitted
+//      as `serving_request` rows so CI can additionally diff 1-thread vs 4-thread runs with
+//      tools/compare_bench_tokens.py.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/reporter.h"
+#include "src/hexsim/device_profile.h"
+#include "src/hexsim/npu_device.h"
+#include "src/llm/model_config.h"
+#include "src/llm/weights.h"
+#include "src/runtime/engine.h"
+#include "src/serving/continuous_batcher.h"
+#include "src/serving/execution_backend.h"
+#include "src/tts/capability_model.h"
+#include "src/tts/speculative.h"
+
+namespace {
+
+// FNV-1a over the committed token stream (same construction as the serving frontend's
+// per-request checksum): thread-count invariant, order sensitive.
+uint64_t TokenChecksum(const std::vector<int>& tokens) {
+  uint64_t h = 1469598103934665603ull;
+  for (const int t : tokens) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(t));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// The functional draft: smaller than ToyConfig along every axis, same vocabulary (exact
+// match acceptance compares token ids, so the id spaces must agree).
+hllm::ModelConfig DraftToyConfig() {
+  hllm::ModelConfig c = hllm::ToyConfig();
+  c.name = "toy-draft";
+  c.params_b = 0.004;
+  c.hidden = 64;
+  c.layers = 1;
+  c.heads = 2;
+  c.kv_heads = 2;
+  c.head_dim = 32;
+  c.ffn_hidden = 128;
+  return c;
+}
+
+std::vector<hserve::ServeJob> AnalyticJobs(int n, int decode, int prompt, bool speculative) {
+  std::vector<hserve::ServeJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    hserve::ServeJob j;
+    j.id = i;
+    j.prompt_tokens = prompt;
+    j.decode_tokens = decode;
+    j.speculative = speculative;
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main() {
+  bench::Reporter rep("speculative",
+                      "Speculative decoding through the serving stack: gamma x draft sweep",
+                      "Section 9 (generate-then-verify on the NPU)");
+  const bool smoke = bench::SmokePreset();
+
+  // --- 1. analytic gamma x draft sweep -------------------------------------------------
+  const htts::CapabilityModel cap;
+  const hexsim::DeviceProfile& device = hexsim::OnePlus12();
+  const hllm::ModelConfig& target_cfg = hllm::Qwen25_7B();
+  hrt::EngineOptions topt;
+  topt.model = &target_cfg;
+  topt.device = &device;
+  const hrt::Engine target(topt);
+
+  const int n_jobs = smoke ? 4 : 8;
+  const int decode = smoke ? 48 : 96;
+  const int prompt = smoke ? 32 : 64;
+  hserve::ServeOptions so;
+  so.max_batch = 4;
+
+  rep.Section(device.soc_name + " / " + target_cfg.name + " target");
+  hserve::AnalyticBackend plain_backend(target);
+  const hserve::ScheduleResult plain =
+      hserve::ContinuousBatcher(plain_backend, so).Run(AnalyticJobs(n_jobs, decode, prompt,
+                                                                    /*speculative=*/false));
+  if (!plain.error.empty()) {
+    std::fprintf(stderr, "plain analytic run failed: %s\n", plain.error.c_str());
+    return 1;
+  }
+  std::printf("%-22s %5s %10s %10s %12s %10s %8s\n", "draft", "gamma", "accept",
+              "tok/s", "mJ/token", "speedup", "cycles");
+  const double plain_mj =
+      plain.decoded_tokens > 0
+          ? 1e3 * plain.energy_j / static_cast<double>(plain.decoded_tokens)
+          : 0.0;
+  std::printf("%-22s %5d %10s %10.2f %12.2f %10s %8lld\n", "(plain decode)", 0, "-",
+              plain.tokens_per_second, plain_mj, "1.00x",
+              static_cast<long long>(plain.steps));
+  obs::Json& base_row = rep.AddRow("spec_sweep");
+  base_row.Set("target", target_cfg.name);
+  base_row.Set("draft", "none");
+  base_row.Set("gamma", 0);
+  base_row.Set("acceptance", 0.0);
+  base_row.Set("measured_acceptance", 0.0);
+  base_row.Set("tokens_per_second", plain.tokens_per_second);
+  base_row.Set("joules_per_token",
+               plain.decoded_tokens > 0
+                   ? plain.energy_j / static_cast<double>(plain.decoded_tokens)
+                   : 0.0);
+  base_row.Set("speedup_vs_plain", 1.0);
+  base_row.Set("spec_cycles", plain.spec_cycles);
+  base_row.Set("proposed_tokens", plain.spec_proposed_tokens);
+  base_row.Set("accepted_tokens", plain.spec_accepted_tokens);
+  base_row.Set("decoded_tokens", plain.decoded_tokens);
+  base_row.Set("default_preset", false);
+
+  double default_speedup = 0.0;
+  double default_acceptance = 0.0;
+  const std::vector<const hllm::ModelConfig*> drafts = {&hllm::Qwen25_0_5B(),
+                                                        &hllm::Qwen25_1_5B()};
+  const std::vector<int> gammas = smoke ? std::vector<int>{2, 4}
+                                        : std::vector<int>{1, 2, 4, 8};
+  for (const auto* draft_cfg : drafts) {
+    hrt::EngineOptions dopt;
+    dopt.model = draft_cfg;
+    dopt.device = &device;
+    const hrt::Engine draft(dopt);
+    const double beta = htts::SpeculativeAcceptanceRate(cap, *draft_cfg, target_cfg);
+    for (const int gamma : gammas) {
+      hserve::AnalyticBackend::Options bo;
+      bo.draft_engine = &draft;
+      bo.spec_gamma = gamma;
+      bo.spec_acceptance = beta;
+      hserve::AnalyticBackend backend(target, bo);
+      const hserve::ScheduleResult r =
+          hserve::ContinuousBatcher(backend, so).Run(AnalyticJobs(n_jobs, decode, prompt,
+                                                                  /*speculative=*/true));
+      if (!r.error.empty()) {
+        std::fprintf(stderr, "speculative analytic run failed: %s\n", r.error.c_str());
+        return 1;
+      }
+      const double speedup = plain.tokens_per_second > 0.0
+                                 ? r.tokens_per_second / plain.tokens_per_second
+                                 : 0.0;
+      const double mj = r.decoded_tokens > 0
+                            ? 1e3 * r.energy_j / static_cast<double>(r.decoded_tokens)
+                            : 0.0;
+      const double measured_acc = r.metrics.GaugeValue("spec.acceptance_rate");
+      std::printf("%-22s %5d %10.2f %10.2f %12.2f %9.2fx %8lld\n", draft_cfg->name.c_str(),
+                  gamma, measured_acc, r.tokens_per_second, mj, speedup,
+                  static_cast<long long>(r.spec_cycles));
+      obs::Json& row = rep.AddRow("spec_sweep");
+      row.Set("target", target_cfg.name);
+      row.Set("draft", draft_cfg->name);
+      row.Set("gamma", gamma);
+      row.Set("acceptance", beta);
+      row.Set("measured_acceptance", measured_acc);
+      row.Set("tokens_per_second", r.tokens_per_second);
+      row.Set("joules_per_token",
+              r.decoded_tokens > 0
+                  ? r.energy_j / static_cast<double>(r.decoded_tokens)
+                  : 0.0);
+      row.Set("speedup_vs_plain", speedup);
+      row.Set("spec_cycles", r.spec_cycles);
+      row.Set("proposed_tokens", r.spec_proposed_tokens);
+      row.Set("accepted_tokens", r.spec_accepted_tokens);
+      row.Set("decoded_tokens", r.decoded_tokens);
+      row.Set("default_preset", false);
+    }
+  }
+
+  // The acceptance-favorable DEFAULT PRESET: 0.5B draft at the backend's own defaults
+  // (gamma 4, acceptance 0.8 — the upper end of what same-family draft pairs report, vs
+  // the conservative skill-gap-derived rates the sweep uses). This is the row the CI gate
+  // (tools/compare_bench_perf.py --spec) holds to >= 1.5x plain decode.
+  {
+    hrt::EngineOptions dopt;
+    dopt.model = &hllm::Qwen25_0_5B();
+    dopt.device = &device;
+    const hrt::Engine draft(dopt);
+    hserve::AnalyticBackend::Options bo;  // spec_gamma / spec_acceptance stay at defaults
+    bo.draft_engine = &draft;
+    hserve::AnalyticBackend backend(target, bo);
+    const hserve::ScheduleResult r =
+        hserve::ContinuousBatcher(backend, so).Run(AnalyticJobs(n_jobs, decode, prompt,
+                                                                /*speculative=*/true));
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "default-preset analytic run failed: %s\n", r.error.c_str());
+      return 1;
+    }
+    default_speedup = plain.tokens_per_second > 0.0
+                          ? r.tokens_per_second / plain.tokens_per_second
+                          : 0.0;
+    default_acceptance = bo.spec_acceptance;
+    const double mj = r.decoded_tokens > 0
+                          ? 1e3 * r.energy_j / static_cast<double>(r.decoded_tokens)
+                          : 0.0;
+    std::printf("%-22s %5d %10.2f %10.2f %12.2f %9.2fx %8lld  <- default preset\n",
+                "Qwen2.5-0.5B-Instruct", bo.spec_gamma,
+                r.metrics.GaugeValue("spec.acceptance_rate"), r.tokens_per_second, mj,
+                default_speedup, static_cast<long long>(r.spec_cycles));
+    obs::Json& row = rep.AddRow("spec_sweep");
+    row.Set("target", target_cfg.name);
+    row.Set("draft", hllm::Qwen25_0_5B().name);
+    row.Set("gamma", bo.spec_gamma);
+    row.Set("acceptance", bo.spec_acceptance);
+    row.Set("measured_acceptance", r.metrics.GaugeValue("spec.acceptance_rate"));
+    row.Set("tokens_per_second", r.tokens_per_second);
+    row.Set("joules_per_token",
+            r.decoded_tokens > 0
+                ? r.energy_j / static_cast<double>(r.decoded_tokens)
+                : 0.0);
+    row.Set("speedup_vs_plain", default_speedup);
+    row.Set("spec_cycles", r.spec_cycles);
+    row.Set("proposed_tokens", r.spec_proposed_tokens);
+    row.Set("accepted_tokens", r.spec_accepted_tokens);
+    row.Set("decoded_tokens", r.decoded_tokens);
+    row.Set("default_preset", true);
+    rep.AttachMetrics(r.metrics, "analytic default preset (0.5B draft, gamma 4, acc 0.8)");
+  }
+
+  // --- 2. closed-form cross-check ------------------------------------------------------
+  // The executable serving path should land near the closed-form cycle model's speedup at
+  // the same preset (batching, chunked prefill and per-slot contexts make it inexact).
+  {
+    hrt::EngineOptions dopt;
+    dopt.model = &hllm::Qwen25_0_5B();
+    dopt.device = &device;
+    const hrt::Engine draft(dopt);
+    const htts::SpeculativeReport closed = htts::EvaluateSpeculative(
+        target, draft, default_acceptance, /*gamma=*/4, /*context=*/prompt + decode / 2);
+    rep.Section("closed-form cross-check (0.5B draft, gamma 4)");
+    std::printf("serving speedup %.2fx vs closed-form cycle model %.2fx "
+                "(acceptance %.2f)\n",
+                default_speedup, closed.speedup, default_acceptance);
+    rep.AddReference("default-preset speedup vs closed-form model", default_speedup,
+                     closed.speedup, "x");
+  }
+
+  // --- 3. functional bit-identity + thread-compare rows --------------------------------
+  // Toy target + toy draft decode the same jobs plainly and speculatively. Losslessness
+  // demands IDENTICAL committed streams for every sampler; the bench is its own gate.
+  rep.Section("functional toy: speculative == plain, per-job checksums");
+  const hllm::ModelConfig toy = hllm::ToyConfig();
+  const hllm::ModelConfig toy_draft = DraftToyConfig();
+  const hllm::ModelWeights weights = hllm::ModelWeights::Random(toy, 42);
+  const hllm::ModelWeights draft_weights = hllm::ModelWeights::Random(toy_draft, 7);
+
+  const int fn_jobs = smoke ? 4 : 6;
+  const int fn_decode = smoke ? 16 : 24;
+  std::vector<hserve::ServeJob> jobs;
+  for (int i = 0; i < fn_jobs; ++i) {
+    hserve::ServeJob j;
+    j.id = i;
+    j.prompt_tokens = 10;
+    j.decode_tokens = fn_decode;
+    j.seed = 100 + static_cast<uint64_t>(i);
+    if (i % 2 == 1) {  // odd jobs sample stochastically — losslessness is sampler-agnostic
+      j.sampler.temperature = 0.8f;
+      j.sampler.top_k = 8;
+    }
+    jobs.push_back(j);
+  }
+  hserve::ServeOptions fso;
+  fso.max_batch = 3;
+  const auto run_functional = [&](int gamma) {
+    hexsim::NpuDevice dev(device);
+    std::vector<hserve::ServeJob> js = jobs;
+    for (auto& j : js) {
+      j.speculative = gamma > 0;
+    }
+    if (gamma <= 0) {
+      hserve::FunctionalBackend backend(dev, weights, fso.max_batch, /*max_context=*/160);
+      return hserve::ContinuousBatcher(backend, fso).Run(js);
+    }
+    hserve::FunctionalBackend::SpecOptions spec;
+    spec.draft = &draft_weights;
+    spec.gamma = gamma;
+    hserve::FunctionalBackend backend(dev, weights, fso.max_batch, /*max_context=*/160,
+                                      /*kv_pool_blocks=*/0, hquant::KvDtype::kF16,
+                                      hquant::kGroupSize, spec);
+    return hserve::ContinuousBatcher(backend, fso).Run(js);
+  };
+  const hserve::ScheduleResult fn_plain = run_functional(/*gamma=*/0);
+  const hserve::ScheduleResult fn_spec = run_functional(/*gamma=*/4);
+  if (!fn_plain.error.empty() || !fn_spec.error.empty()) {
+    std::fprintf(stderr, "functional run failed: %s%s\n", fn_plain.error.c_str(),
+                 fn_spec.error.c_str());
+    return 1;
+  }
+  if (fn_spec.job_tokens != fn_plain.job_tokens) {
+    std::fprintf(stderr, "LOSSLESSNESS VIOLATION: speculative committed stream differs "
+                         "from plain decode\n");
+    return 1;
+  }
+  std::printf("%-8s %-8s %8s %8s %20s\n", "request", "sampler", "prompt", "tokens",
+              "checksum");
+  for (size_t i = 0; i < fn_spec.job_tokens.size(); ++i) {
+    const std::vector<int>& toks = fn_spec.job_tokens[i];
+    char checksum_hex[20];
+    std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
+                  static_cast<unsigned long long>(TokenChecksum(toks)));
+    const char* sampler = jobs[i].sampler.temperature > 0.0f ? "top_k" : "greedy";
+    std::printf("%-8d %-8s %8d %8zu %20s\n", jobs[i].id, sampler, jobs[i].prompt_tokens,
+                toks.size(), checksum_hex);
+    obs::Json& row = rep.AddRow("serving_request");
+    row.Set("request", jobs[i].id);
+    row.Set("sampler", sampler);
+    row.Set("prompt_tokens", jobs[i].prompt_tokens);
+    row.Set("tokens", static_cast<int64_t>(toks.size()));
+    row.Set("token_checksum", checksum_hex);
+  }
+  std::printf("speculative cycles %lld, proposed %lld, accepted %lld "
+              "(acceptance %.2f), steps %lld vs plain %lld\n",
+              static_cast<long long>(fn_spec.spec_cycles),
+              static_cast<long long>(fn_spec.spec_proposed_tokens),
+              static_cast<long long>(fn_spec.spec_accepted_tokens),
+              fn_spec.metrics.GaugeValue("spec.acceptance_rate"),
+              static_cast<long long>(fn_spec.steps),
+              static_cast<long long>(fn_plain.steps));
+  rep.AttachMetrics(fn_spec.metrics, "functional toy speculative run");
+
+  // Random toy weights rarely agree token-for-token, so the run above mostly exercises the
+  // REJECT path (rollback). A perfect draft — the target itself — exercises the accept
+  // path end to end: every proposal lands, cycles shrink accordingly, stream unchanged.
+  {
+    std::vector<hserve::ServeJob> greedy_jobs = jobs;
+    for (auto& j : greedy_jobs) {
+      j.sampler = hserve::GreedySampler();  // all-greedy: argmax proposals always land
+    }
+    const auto run_greedy = [&](bool speculative) {
+      hexsim::NpuDevice dev(device);
+      std::vector<hserve::ServeJob> js = greedy_jobs;
+      for (auto& j : js) {
+        j.speculative = speculative;
+      }
+      if (!speculative) {
+        hserve::FunctionalBackend backend(dev, weights, fso.max_batch, /*max_context=*/160);
+        return hserve::ContinuousBatcher(backend, fso).Run(js);
+      }
+      hserve::FunctionalBackend::SpecOptions spec;
+      spec.draft = &weights;  // draft == target: every greedy proposal is accepted
+      spec.gamma = 4;
+      hserve::FunctionalBackend backend(dev, weights, fso.max_batch, /*max_context=*/160,
+                                        /*kv_pool_blocks=*/0, hquant::KvDtype::kF16,
+                                        hquant::kGroupSize, spec);
+      return hserve::ContinuousBatcher(backend, fso).Run(js);
+    };
+    const hserve::ScheduleResult greedy_plain = run_greedy(false);
+    const hserve::ScheduleResult perfect = run_greedy(true);
+    if (!perfect.error.empty() || !greedy_plain.error.empty() ||
+        perfect.job_tokens != greedy_plain.job_tokens) {
+      std::fprintf(stderr, "perfect-draft run diverged from plain decode\n");
+      return 1;
+    }
+    std::printf("perfect draft (target as its own draft): acceptance %.2f, steps %lld, "
+                "accepted %lld/%lld\n",
+                perfect.metrics.GaugeValue("spec.acceptance_rate"),
+                static_cast<long long>(perfect.steps),
+                static_cast<long long>(perfect.spec_accepted_tokens),
+                static_cast<long long>(perfect.spec_proposed_tokens));
+    obs::Json& row = rep.AddRow("functional_spec_summary");
+    row.Set("variant", "perfect_draft");
+    row.Set("steps", perfect.steps);
+    row.Set("plain_steps", greedy_plain.steps);
+    row.Set("proposed_tokens", perfect.spec_proposed_tokens);
+    row.Set("accepted_tokens", perfect.spec_accepted_tokens);
+    row.Set("lossless", true);
+  }
+
+  rep.Note("All numbers come from executing draft + verify cycles through "
+           "ContinuousBatcher, not the closed-form model (that is "
+           "bench_ext_speculative). The committed stream is checked bit-identical "
+           "to plain decode in-process, and the serving_request checksums are "
+           "thread-count invariant: CI diffs 1- vs 4-thread reports with "
+           "tools/compare_bench_tokens.py and gates the default-preset speedup with "
+           "tools/compare_bench_perf.py --spec.");
+  return 0;
+}

@@ -112,6 +112,23 @@ void KvBlockManager::Reset(int seq, std::vector<int>* freed) {
   t->length = 0;
 }
 
+int64_t KvBlockManager::Truncate(int seq, int new_len, std::vector<int>* freed) {
+  Table& t = Seq(seq);
+  HEXLLM_CHECK_MSG(new_len >= 0 && new_len <= t.length,
+                   "Truncate target must lie within the sequence");
+  const int64_t keep = hexllm::CeilDiv(new_len, block_tokens_);
+  const int64_t dropped = static_cast<int64_t>(t.blocks.size()) - keep;
+  for (size_t i = static_cast<size_t>(keep); i < t.blocks.size(); ++i) {
+    if (pool_.Unref(t.blocks[i]) && freed != nullptr) {
+      freed->push_back(t.blocks[i]);
+    }
+  }
+  t.blocks.resize(static_cast<size_t>(keep));
+  BumpLogical(-dropped);
+  t.length = new_len;
+  return dropped;
+}
+
 int64_t KvBlockManager::Retain(int seq, int len) {
   const Table* t = SeqOrNull(seq);
   HEXLLM_CHECK(t != nullptr);

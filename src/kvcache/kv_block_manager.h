@@ -103,6 +103,15 @@ class KvBlockManager {
   // are appended to `freed` (nullable).
   void Reset(int seq, std::vector<int>* freed);
 
+  // Shrinks `seq` to `new_len` positions (the speculative-decode rollback primitive): whole
+  // tail blocks past ceil(new_len / block_tokens) are Unref'd (last-owner blocks appended to
+  // `freed`, nullable) and the length rewinds so the next append targets position `new_len`.
+  // A kept partial tail block is untouched — if it is shared (forked child, retained
+  // prefix), the re-append after rollback CoW-splits it through EnsureWritable exactly like
+  // any other divergent write, so fork/handle invariants survive rollback. Returns the
+  // number of table blocks dropped.
+  int64_t Truncate(int seq, int new_len, std::vector<int>* freed);
+
   // Snapshots the first `len` positions (-1 = full length) of `seq` as a retained handle:
   // the covered blocks stay alive independent of the sequence's own lifetime, so a prompt
   // prefix or a completed beam stem can outlive its slot. Returns the handle id.

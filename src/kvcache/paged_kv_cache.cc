@@ -229,6 +229,13 @@ void PagedKvCache::ResetSeq(int seq) {
   PoisonFreed();
 }
 
+int64_t PagedKvCache::TruncateSeq(int seq, int new_len) {
+  freed_scratch_.clear();
+  const int64_t dropped = mgr_.Truncate(seq, new_len, &freed_scratch_);
+  PoisonFreed();
+  return dropped;
+}
+
 void PagedKvCache::ShareFromHandle(int64_t handle, int dst_seq, int len) {
   mgr_.ShareFromHandle(handle, dst_seq, len);
 }

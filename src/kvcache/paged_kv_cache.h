@@ -160,6 +160,10 @@ class PagedKvCache {
   // Releases the sequence's block references; last-owner blocks return to the pool (and are
   // NaN-poisoned in debug builds).
   void ResetSeq(int seq);
+  // Rolls the sequence back to `new_len` positions (speculative-decode rejection): whole
+  // tail blocks are released (and poisoned in debug builds when last-owner); a kept shared
+  // partial tail CoW-splits on the next append. Returns the number of table blocks dropped.
+  int64_t TruncateSeq(int seq, int new_len);
 
   // Prefix sharing / fork support (see KvBlockManager): retain the first `len` positions
   // (-1 = all) of `seq` past its slot's lifetime, map a retained prefix into an empty

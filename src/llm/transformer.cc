@@ -39,13 +39,14 @@ int64_t StepWorkspaceBytes(const ModelConfig& c, int max_batch) {
 
 Transformer::Transformer(hexsim::NpuDevice& dev, const ModelWeights& weights, int max_batch,
                          int max_context, int64_t kv_pool_blocks, hquant::KvDtype kv_dtype,
-                         int kv_quant_group)
+                         int kv_quant_group, int max_step_rows)
     : dev_(dev), weights_(weights), lut_(dev),
       kv_(weights.config.layers, weights.config.kv_dim(), max_batch, max_context,
           hkv::kDefaultBlockTokens, kv_pool_blocks, hquant::KvDtypeFromEnv(kv_dtype),
           kv_quant_group),
       max_batch_(max_batch),
-      ws_(StepWorkspaceBytes(weights.config, max_batch)) {
+      max_rows_(std::max(max_step_rows, max_batch)),
+      ws_(StepWorkspaceBytes(weights.config, std::max(max_step_rows, max_batch))) {
   if (kv_.dtype() != hquant::KvDtype::kF16) {
     // Per-kv-head attention views slice rows at head boundaries, so quant groups must not
     // straddle heads.
@@ -54,6 +55,7 @@ Transformer::Transformer(hexsim::NpuDevice& dev, const ModelWeights& weights, in
   kv_.ReserveSeqs(max_batch);
   identity_seq_ids_.resize(static_cast<size_t>(max_batch));
   std::iota(identity_seq_ids_.begin(), identity_seq_ids_.end(), 0);
+  span_row0_.reserve(static_cast<size_t>(max_batch));
   // lm_head converted to float once and transposed to row-major [hidden x vocab]: the
   // blocked CPU lm_head then converts each hidden row once per step and streams contiguous
   // vocab slices. F16::ToFloat is exact and the per-logit accumulation order is unchanged,
@@ -135,6 +137,158 @@ void Transformer::StepSeqs(std::span<const int> tokens, std::span<const int> seq
                            std::span<float> logits, hkern::SoftmaxVariant exp_variant) {
   HEXLLM_CHECK(tokens.size() == seq_ids.size());
   StepSeqSubset(tokens, seq_ids, logits, exp_variant);
+}
+
+void Transformer::StepSpans(std::span<const int> tokens, std::span<const int> seq_ids,
+                            std::span<const int> span_rows, std::span<float> logits,
+                            hkern::SoftmaxVariant exp_variant) {
+  const ModelConfig& c = weights_.config;
+  const int spans = static_cast<int>(seq_ids.size());
+  HEXLLM_CHECK(spans >= 1 && spans <= max_batch_);
+  HEXLLM_CHECK(span_rows.size() == seq_ids.size());
+  span_row0_.resize(static_cast<size_t>(spans));
+  int64_t total = 0;
+  for (int s = 0; s < spans; ++s) {
+    HEXLLM_CHECK(span_rows[static_cast<size_t>(s)] >= 1);
+    span_row0_[static_cast<size_t>(s)] = static_cast<int>(total);
+    total += span_rows[static_cast<size_t>(s)];
+  }
+  const int rows = static_cast<int>(total);
+  HEXLLM_CHECK(rows <= max_rows_);
+  HEXLLM_CHECK(tokens.size() == static_cast<size_t>(rows));
+  HEXLLM_CHECK(logits.size() == static_cast<size_t>(rows) * c.vocab);
+  const int hidden = c.hidden;
+  const int q_dim = c.q_dim();
+  const int kv_dim = c.kv_dim();
+  const int dh = c.head_dim;
+  const int group = c.heads / c.kv_heads;
+
+  ws_.Reset();
+  F16* x = ws_.Alloc<F16>(static_cast<int64_t>(rows) * hidden);
+  F16* xn = ws_.Alloc<F16>(static_cast<int64_t>(rows) * hidden);
+  F16* q = ws_.Alloc<F16>(static_cast<int64_t>(rows) * q_dim);
+  F16* k = ws_.Alloc<F16>(static_cast<int64_t>(rows) * kv_dim);
+  F16* v = ws_.Alloc<F16>(static_cast<int64_t>(rows) * kv_dim);
+  F16* attn_out = ws_.Alloc<F16>(static_cast<int64_t>(rows) * q_dim);
+  F16* proj = ws_.Alloc<F16>(static_cast<int64_t>(rows) * hidden);
+  F16* gate = ws_.Alloc<F16>(static_cast<int64_t>(rows) * c.ffn_hidden);
+  F16* up = ws_.Alloc<F16>(static_cast<int64_t>(rows) * c.ffn_hidden);
+  F16* act = ws_.Alloc<F16>(static_cast<int64_t>(rows) * c.ffn_hidden);
+
+  for (int r = 0; r < rows; ++r) {
+    HEXLLM_CHECK(tokens[static_cast<size_t>(r)] >= 0 &&
+                 tokens[static_cast<size_t>(r)] < c.vocab);
+    std::memcpy(x + static_cast<int64_t>(r) * hidden,
+                weights_.embedding.data() +
+                    static_cast<size_t>(tokens[static_cast<size_t>(r)]) * hidden,
+                static_cast<size_t>(hidden) * 2);
+  }
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const int slots = hexec::PlannedSlots(spans);
+  const auto slot_luts = EnsureShardLuts(slots);
+  EnsureSlotScratch(slots);
+
+  for (int l = 0; l < c.layers; ++l) {
+    const LayerWeights& lw = weights_.layers[static_cast<size_t>(l)];
+
+    // --- attention block: every span's rows share the batched norms and GEMMs ---
+    hkern::RmsNormF16(dev_, x, lw.attn_norm.data(), xn, rows, hidden, c.rms_eps);
+    lw.wq.Forward(dev_, xn, q, rows, &ws_);
+    lw.wk.Forward(dev_, xn, k, rows, &ws_);
+    lw.wv.Forward(dev_, xn, v, rows, &ws_);
+
+    // Per-row RoPE at the row's absolute position, then append each span's K/V rows to
+    // its sequence (the table length itself only advances after the layer loop).
+    for (int s = 0; s < spans; ++s) {
+      const int seq = seq_ids[static_cast<size_t>(s)];
+      const int pos0 = kv_.length(seq);
+      const int n = span_rows[static_cast<size_t>(s)];
+      const int r0 = span_row0_[static_cast<size_t>(s)];
+      for (int r = 0; r < n; ++r) {
+        hkern::RopeHeadsF16(dev_, q + static_cast<int64_t>(r0 + r) * q_dim, c.heads, dh,
+                            pos0 + r, rope_inv_freq_.data());
+        hkern::RopeHeadsF16(dev_, k + static_cast<int64_t>(r0 + r) * kv_dim, c.kv_heads, dh,
+                            pos0 + r, rope_inv_freq_.data());
+        kv_.WriteKeyRow(l, seq, pos0 + r, k + static_cast<int64_t>(r0 + r) * kv_dim);
+        kv_.WriteValueRow(l, seq, pos0 + r, v + static_cast<int64_t>(r0 + r) * kv_dim);
+      }
+    }
+
+    // Per-span parallel causal attention: each span queries its own sequence's KV with
+    // q_pos_offset at the span base, so row r sees [0, pos0 + r]. The KV cache is
+    // read-only in this region and attn_out rows are disjoint, so results are
+    // bit-identical at any lane count (same argument as StepSeqSubset).
+    const bool kv_quant = kv_.dtype() != hquant::KvDtype::kF16;
+    hexec::ParallelFor(
+        spans,
+        [&](int64_t s_begin, int64_t s_end, int slot) {
+          hexsim::NpuDevice& d = dev_.ForSlot(slot);
+          const hkern::ExpLut& lut = *slot_luts[static_cast<size_t>(slot)];
+          for (int64_t s = s_begin; s < s_end; ++s) {
+            const int seq = seq_ids[static_cast<size_t>(s)];
+            const int n = span_rows[static_cast<size_t>(s)];
+            const int r0 = span_row0_[static_cast<size_t>(s)];
+            const int pos0 = kv_.length(seq);
+            const int kv_len = pos0 + n;  // includes the rows just written
+            if (kv_quant) {
+              const uint8_t** k_bases = slot_kq_ptrs_[static_cast<size_t>(slot)].data();
+              const uint8_t** v_bases = slot_vq_ptrs_[static_cast<size_t>(slot)].data();
+              kv_.FillQuantBlockPointers(l, seq, kv_len, k_bases, v_bases);
+              for (int h = 0; h < c.heads; ++h) {
+                const hkern::PagedQKvHeadView view =
+                    QuantHeadView(k_bases, v_bases, h / group);
+                hkern::FlashAttentionPagedQ(
+                    d, lut, exp_variant, q + static_cast<int64_t>(r0) * q_dim + h * dh,
+                    q_dim, view, attn_out + static_cast<int64_t>(r0) * q_dim + h * dh,
+                    q_dim, /*q_len=*/n, kv_len, dh, scale, /*q_pos_offset=*/pos0);
+              }
+              continue;
+            }
+            const F16** k_bases = slot_k_ptrs_[static_cast<size_t>(slot)].data();
+            const F16** v_bases = slot_v_ptrs_[static_cast<size_t>(slot)].data();
+            kv_.FillBlockPointers(l, seq, kv_len, k_bases, v_bases);
+            hkern::PagedKvHeadView view;
+            view.k_blocks = k_bases;
+            view.v_blocks = v_bases;
+            view.block_tokens = kv_.block_tokens();
+            view.row_stride = kv_.row_stride();
+            for (int h = 0; h < c.heads; ++h) {
+              view.head_offset = static_cast<int64_t>(h / group) * dh;
+              hkern::FlashAttentionPagedF16(
+                  d, lut, exp_variant, q + static_cast<int64_t>(r0) * q_dim + h * dh, q_dim,
+                  view, attn_out + static_cast<int64_t>(r0) * q_dim + h * dh, q_dim,
+                  /*q_len=*/n, kv_len, dh, scale, /*q_pos_offset=*/pos0);
+            }
+          }
+        },
+        slots);
+    dev_.MergeShards();
+
+    lw.wo.Forward(dev_, attn_out, proj, rows, &ws_);
+    hkern::AddF16(dev_, x, proj, x, static_cast<int64_t>(rows) * hidden);
+
+    // --- FFN block ---
+    hkern::RmsNormF16(dev_, x, lw.ffn_norm.data(), xn, rows, hidden, c.rms_eps);
+    lw.w_gate.Forward(dev_, xn, gate, rows, &ws_);
+    lw.w_up.Forward(dev_, xn, up, rows, &ws_);
+    hkern::SiluMulF16(dev_, gate, up, act, static_cast<int64_t>(rows) * c.ffn_hidden);
+    lw.w_down.Forward(dev_, act, proj, rows, &ws_);
+    hkern::AddF16(dev_, x, proj, x, static_cast<int64_t>(rows) * hidden);
+  }
+
+  for (int s = 0; s < spans; ++s) {
+    for (int r = 0; r < span_rows[static_cast<size_t>(s)]; ++r) {
+      kv_.Advance(seq_ids[static_cast<size_t>(s)]);
+    }
+  }
+
+  hkern::RmsNormF16(dev_, x, weights_.final_norm.data(), xn, rows, hidden, c.rms_eps);
+  float* xf = ws_.Alloc<float>(static_cast<int64_t>(rows) * hidden);
+  for (int64_t i = 0; i < static_cast<int64_t>(rows) * hidden; ++i) {
+    xf[i] = xn[i].ToFloat();
+  }
+  hkern::LmHeadForwardF32W(xf, lm_head_f32_.data(), logits.data(), rows, hidden, c.vocab);
 }
 
 void Transformer::Prefill(int seq, std::span<const int> tokens) {

@@ -50,10 +50,13 @@ class Transformer {
   // route attention through hkern::FlashAttentionPagedQ). The HEXLLM_KV_DTYPE env var
   // overrides the configured dtype (docs/kv_quantization.md). `kv_quant_group` elements
   // share one scale and must divide head_dim.
+  // `max_step_rows` (0 = max_batch) raises the per-forward row capacity above the sequence
+  // count — speculative verify steps push max_batch spans of gamma+1 rows each through one
+  // forward, so the serving backend sizes the scratch arena for max_batch * (gamma + 1).
   Transformer(hexsim::NpuDevice& dev, const ModelWeights& weights, int max_batch,
               int max_context, int64_t kv_pool_blocks = 0,
               hquant::KvDtype kv_dtype = hquant::KvDtype::kF16,
-              int kv_quant_group = hquant::kGroupSize);
+              int kv_quant_group = hquant::kGroupSize, int max_step_rows = 0);
 
   // Decodes one step for `tokens.size()` parallel sequences (sequence i consumes tokens[i]
   // at its current position). Writes FP32 logits [batch, vocab]. The softmax exp variant is
@@ -67,6 +70,21 @@ class Transformer {
   void StepSeqs(std::span<const int> tokens, std::span<const int> seq_ids,
                 std::span<float> logits,
                 hkern::SoftmaxVariant exp_variant = hkern::SoftmaxVariant::kLut);
+
+  // Generalized multi-span step — the speculative-decode verify forward. Span s consumes
+  // span_rows[s] consecutive tokens starting at sequence seq_ids[s]'s current position
+  // (tokens are flattened span-major; tokens.size() == sum(span_rows)). All spans' rows
+  // share every GEMM/RMSNorm as one big batch (this is how a verify fills HMX tile rows
+  // like Best-of-N lanes), while attention is per-span causal FlashAttention with
+  // q_pos_offset at the span's base position. Writes FP32 logits for EVERY row,
+  // [tokens.size(), vocab]. With all-ones span_rows this is bit-identical to StepSeqs:
+  // every per-row computation (norms, GEMM rows, RoPE, single-row causal attention, the
+  // blocked lm_head) is row-independent, and causally masked positions contribute exactly
+  // +0.0f to the online softmax — the lossless-under-greedy invariant the speculative
+  // serving path is built on (docs/speculative_decoding.md).
+  void StepSpans(std::span<const int> tokens, std::span<const int> seq_ids,
+                 std::span<const int> span_rows, std::span<float> logits,
+                 hkern::SoftmaxVariant exp_variant = hkern::SoftmaxVariant::kLut);
 
   // Prefills sequence `seq` with a prompt, processed in chunks of up to 32 tokens per
   // forward pass (causal FlashAttention handles intra-chunk masking) — the paper's chunked
@@ -109,6 +127,7 @@ class Transformer {
   hkern::ExpLut lut_;
   KvCache kv_;
   int max_batch_;
+  int max_rows_;  // per-forward row capacity (>= max_batch_; see max_step_rows)
   std::vector<std::unique_ptr<hkern::ExpLut>> shard_luts_;
   std::vector<const hkern::ExpLut*> slot_lut_ptrs_;
 
@@ -117,6 +136,7 @@ class Transformer {
   std::vector<float> lm_head_f32_;       // [hidden x vocab] row-major, converted once
   std::vector<double> rope_inv_freq_;    // base^(-2i/d) per pair, pow() hoisted once
   std::vector<int> identity_seq_ids_;    // 0..max_batch-1, for Step()
+  std::vector<int> span_row0_;           // per-span first-row offsets, for StepSpans()
   // Block-pointer scratch: per decode slot (parallel lanes), and one shared set for the
   // single-sequence prefill (filled once per layer, read by all head lanes).
   std::vector<std::vector<const hexllm::F16*>> slot_k_ptrs_;

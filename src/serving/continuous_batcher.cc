@@ -502,21 +502,43 @@ StepEvents ContinuousBatcher::Step() {
 
   row_slots_.clear();
   row_contexts_.clear();
+  row_gammas_.clear();
   int useful = 0;
+  // Effective draft length: the backend's configured gamma, optionally capped/disabled by
+  // the run's policy. Per row it further caps at remaining - 1 so a cycle can never commit
+  // past the job's decode budget (a job's LAST token always comes from a plain position).
+  const int run_gamma = options_.spec_gamma < 0
+                            ? backend_.spec_gamma()
+                            : std::min(options_.spec_gamma, backend_.spec_gamma());
+  bool any_spec = false;
   for (int s = 0; s < options_.max_batch; ++s) {
     const Slot& sl = slots_[static_cast<size_t>(s)];
     if (sl.job >= 0) {
       row_slots_.push_back(s);
       row_contexts_.push_back(sl.context);
       context_row_sum_ += sl.context;
+      int gamma = 0;
       if (sl.remaining > 0) {
         ++useful;
+        if (run_gamma > 0 && jobs_[static_cast<size_t>(sl.job)].job.speculative &&
+            sl.remaining > 1) {
+          gamma = std::min(run_gamma, sl.remaining - 1);
+          any_spec = true;
+        }
       }
+      row_gammas_.push_back(gamma);
     }
   }
 
   const double t0 = r_.makespan_s;
-  const StepOutcome out = backend_.Step(row_slots_, row_contexts_);
+  // A cycle with at least one drafting row runs as gamma draft steps + ONE batched
+  // multi-row verify, charged as one step; otherwise the exact legacy single-token step.
+  const StepOutcome out = any_spec
+                              ? backend_.SpeculativeStep(row_slots_, row_contexts_, row_gammas_)
+                              : backend_.Step(row_slots_, row_contexts_);
+  if (any_spec) {
+    ++r_.spec_cycles;
+  }
   // NPU/CPU overlap (docs/threading_model.md): with >= 2 rows in flight, the CPU lm_head
   // of this step hides under the next step's NPU time (double-buffered logits keep its
   // inputs alive), so the step charges max(npu, lm_head) + comm instead of their sum. The
@@ -552,26 +574,48 @@ StepEvents ContinuousBatcher::Step() {
     ++traced_steps_;
   }
   if (!out.tokens.empty()) {
-    HEXLLM_CHECK(out.tokens.size() == row_slots_.size());
+    size_t expect = row_slots_.size();
+    if (!out.row_token_counts.empty()) {
+      expect = 0;
+      for (const int c : out.row_token_counts) {
+        expect += static_cast<size_t>(c);
+      }
+    }
+    HEXLLM_CHECK(out.tokens.size() == expect);
     if (r_.job_tokens.size() < jobs_.size()) {
       r_.job_tokens.resize(jobs_.size());
     }
   }
 
+  // Token distribution. Plain steps commit one token per row; a speculative cycle commits
+  // row_token_counts[i] tokens for row i (tokens flattened row-major) and the per-row
+  // gamma cap above guarantees committed <= remaining — never past the decode budget.
+  size_t tok_off = 0;
   for (size_t i = 0; i < row_slots_.size(); ++i) {
     const int s = row_slots_[i];
     Slot& sl = slots_[static_cast<size_t>(s)];
-    ++sl.context;
+    const int committed = out.row_token_counts.empty() ? 1 : out.row_token_counts[i];
+    sl.context += committed;
     if (sl.remaining <= 0) {
+      tok_off += static_cast<size_t>(committed);
       continue;  // padding row riding out a static wave
     }
+    HEXLLM_CHECK(committed <= sl.remaining);
     if (!out.tokens.empty()) {
-      r_.job_tokens[static_cast<size_t>(sl.job)].push_back(out.tokens[i]);
-      ev.tokens.push_back(StepEvents::Token{jobs_[static_cast<size_t>(sl.job)].job.id,
-                                            out.tokens[i], r_.makespan_s});
+      const int job_id = jobs_[static_cast<size_t>(sl.job)].job.id;
+      for (int k = 0; k < committed; ++k) {
+        const int tok = out.tokens[tok_off + static_cast<size_t>(k)];
+        r_.job_tokens[static_cast<size_t>(sl.job)].push_back(tok);
+        ev.tokens.push_back(StepEvents::Token{job_id, tok, r_.makespan_s});
+      }
     }
-    --sl.remaining;
-    ++r_.decoded_tokens;
+    tok_off += static_cast<size_t>(committed);
+    if (row_gammas_[i] > 0) {
+      r_.spec_proposed_tokens += row_gammas_[i];
+      r_.spec_accepted_tokens += committed - 1;  // minus the target's own bonus token
+    }
+    sl.remaining -= committed;
+    r_.decoded_tokens += committed;
     if (sl.remaining == 0) {
       Complete(s, ev);
     }
@@ -618,6 +662,18 @@ void ContinuousBatcher::FinalizeMetrics() {
   reg_.Set("serve.avg_active_batch", r_.avg_active_batch);
   reg_.Set("serve.avg_context", r_.avg_context);
   reg_.Set("serve.slot_utilization", r_.slot_utilization);
+  if (r_.spec_cycles > 0) {
+    // Gated on use so non-speculative runs keep byte-identical metric snapshots.
+    reg_.Count("spec.cycles", r_.spec_cycles);
+    reg_.Count("spec.proposed_tokens", r_.spec_proposed_tokens);
+    reg_.Count("spec.accepted_tokens", r_.spec_accepted_tokens);
+    reg_.Count("spec.rejected_tokens", r_.spec_proposed_tokens - r_.spec_accepted_tokens);
+    reg_.Set("spec.acceptance_rate",
+             r_.spec_proposed_tokens > 0
+                 ? static_cast<double>(r_.spec_accepted_tokens) /
+                       static_cast<double>(r_.spec_proposed_tokens)
+                 : 0.0);
+  }
   reg_.Set("exec.overlap.saved_seconds", overlap_saved_s_);
   reg_.Set("exec.overlap.lm_head_seconds", overlap_lm_s_);
   reg_.Set("exec.overlap.ratio",

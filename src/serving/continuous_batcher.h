@@ -20,6 +20,9 @@
 ///     context lengths every step), replacing the old fixed-context simplification;
 ///   * NPU/CPU overlap accounting (ServeOptions::overlap_lm_head): the CPU lm_head of step
 ///     N pipelines under the NPU time of step N+1, the paper's Figure 16 optimization;
+///   * speculative-decoding cycles (ServeJob::speculative + a backend draft model,
+///     docs/speculative_decoding.md): rows with per-row gamma > 0 commit up to gamma+1
+///     tokens per charged step through ExecutionBackend::SpeculativeStep, losslessly;
 ///   * optional per-step Chrome-trace recording via hrt::TraceBuilder.
 ///
 /// Two driving modes share one step loop:
@@ -84,6 +87,13 @@ struct ServeOptions {
   // (ties: most tokens remaining, then highest slot) and it re-enters the admission queue
   // at its own priority, resuming from its retained KV when a slot frees.
   bool enable_preemption = false;
+  // Speculative-decoding gamma policy (docs/speculative_decoding.md). -1 uses the backend's
+  // configured gamma as-is; 0 disables speculation for the whole run (every job decodes
+  // plainly, even with ServeJob::speculative set); > 0 caps the per-cycle draft length at
+  // min(spec_gamma, backend gamma). Per row the batcher further caps gamma at
+  // remaining - 1, so a cycle can never commit past the job's decode budget (and the final
+  // token of every job is produced by a plain-position row).
+  int spec_gamma = -1;
 };
 
 // One admission record (job -> slot binding), in admission order. Resumed jobs admit again
@@ -124,6 +134,11 @@ struct ScheduleResult {
   int64_t admission_deferrals = 0; // admissions pushed back because the KV pool was full
   int64_t preemptions = 0;         // decodes paused to admit higher-priority work
   int64_t resumes = 0;             // paused decodes re-admitted from retained KV
+  // Speculative decoding (docs/speculative_decoding.md; all zero when no cycle drafted).
+  // A cycle = gamma draft steps + one batched multi-row verify, charged as one step.
+  int64_t spec_cycles = 0;           // decode steps that ran as speculative cycles
+  int64_t spec_proposed_tokens = 0;  // draft proposals verified (sum of per-row gammas)
+  int64_t spec_accepted_tokens = 0;  // proposals the target accepted (committed - bonus)
   // Physical-vs-logical KV accounting at the end of the run (peaks cover the whole run):
   // physical bytes are what the paged pool actually held, logical bytes what a dense
   // per-sequence layout would have held; kv.sharing_ratio() is the headline saving.
@@ -156,7 +171,9 @@ struct StepEvents {
   std::vector<int> admitted;        // job ids admitted this call (includes resumes)
   std::vector<int> paused;          // job ids preempted this call
   std::vector<int> completed;       // job ids that produced their last token this call
-  std::vector<Token> tokens;        // token-producing backends: one entry per useful row
+  // Token-producing backends: one entry per useful-row token — usually one per row, but a
+  // speculative cycle commits up to gamma+1 tokens per row in stream order.
+  std::vector<Token> tokens;
 };
 
 class ContinuousBatcher {
@@ -323,6 +340,7 @@ class ContinuousBatcher {
   // Step scratch (reused across steps).
   std::vector<int> row_slots_;
   std::vector<int> row_contexts_;
+  std::vector<int> row_gammas_;  // per-row speculative draft lengths (0 = plain row)
 };
 
 }  // namespace hserve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 
 #include "src/base/check.h"
 #include "src/base/math_util.h"
@@ -36,6 +37,19 @@ int SyntheticToken(int job_id, int pos, int vocab) {
 
 }  // namespace
 
+int SpecGammaFromEnv(int configured) {
+  const char* env = std::getenv("HEXLLM_SPEC_GAMMA");
+  if (env == nullptr || *env == '\0') {
+    return std::max(0, configured);
+  }
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) {
+    return std::max(0, configured);
+  }
+  return static_cast<int>(v);
+}
+
 // ---------------------------------------------------------------------------
 // AnalyticBackend
 // ---------------------------------------------------------------------------
@@ -43,6 +57,10 @@ int SyntheticToken(int job_id, int pos, int vocab) {
 AnalyticBackend::AnalyticBackend(const hrt::Engine& engine, const Options& options)
     : engine_(engine),
       bucket_tokens_(std::max(1, options.context_bucket_tokens)),
+      draft_engine_(options.draft_engine),
+      spec_gamma_(options.draft_engine != nullptr ? SpecGammaFromEnv(options.spec_gamma) : 0),
+      spec_acceptance_(std::clamp(options.spec_acceptance, 0.0, 1.0)),
+      spec_rng_(options.spec_seed),
       // Unbounded accountant: the DRAM budget gates admission (CanAdmit), it never aborts
       // mid-decode. bytes_per_block is the model's true K+V footprint for one block under
       // the configured KV dtype, so a budget admits proportionally more sequences when KV
@@ -68,6 +86,11 @@ void AnalyticBackend::ExportMetrics(obs::Registry& registry) const {
   if (kv_dtype_ != hquant::KvDtype::kF16) {
     registry.Set("kv.dtype", static_cast<double>(hquant::KvDtypeBits(kv_dtype_)),
                  hquant::KvDtypeName(kv_dtype_));
+  }
+  // Speculative runs publish the rollback counter (docs/metrics_schema.md); plain runs
+  // export nothing extra, keeping legacy metric snapshots byte-identical.
+  if (spec_cycles_ > 0) {
+    registry.Count("spec.rollback_blocks", spec_rollback_blocks_);
   }
 }
 
@@ -281,6 +304,91 @@ StepOutcome AnalyticBackend::Step(std::span<const int> slots, std::span<const in
   return out;
 }
 
+const hrt::StepCost& AnalyticBackend::DraftCost(int batch, int context_bucket) {
+  const auto key = std::make_pair(batch, context_bucket);
+  auto it = draft_step_cache_.find(key);
+  if (it == draft_step_cache_.end()) {
+    it = draft_step_cache_.emplace(key, draft_engine_->DecodeStep(batch, context_bucket))
+             .first;
+  }
+  return it->second;
+}
+
+StepOutcome AnalyticBackend::SpeculativeStep(std::span<const int> slots,
+                                             std::span<const int> contexts,
+                                             std::span<const int> gammas) {
+  HEXLLM_CHECK(!slots.empty() && slots.size() == contexts.size() &&
+               slots.size() == gammas.size());
+  int max_gamma = 0;
+  int64_t verify_rows = 0;
+  for (const int g : gammas) {
+    HEXLLM_CHECK(g >= 0);
+    max_gamma = std::max(max_gamma, g);
+    verify_rows += g + 1;
+  }
+  if (max_gamma == 0 || draft_engine_ == nullptr) {
+    return Step(slots, contexts);
+  }
+  ++spec_cycles_;
+  const int batch = static_cast<int>(slots.size());
+  const int bucket = ContextBucket(contexts, bucket_tokens_);
+
+  // Cycle cost = gamma autoregressive draft steps (only rows still drafting batch into step
+  // j) + ONE target step verifying all gamma+1 positions per row — the verify fills HMX
+  // tile rows exactly like Best-of-N lanes, so it is priced as a verify_rows-row batched
+  // step, charged once (src/tts/speculative.h's closed form, made operational).
+  StepOutcome out;
+  out.cost = BucketedCost(static_cast<int>(verify_rows), bucket);
+  for (int j = 1; j <= max_gamma; ++j) {
+    int batch_j = 0;
+    for (const int g : gammas) {
+      batch_j += g >= j ? 1 : 0;
+    }
+    const hrt::StepCost& d = DraftCost(batch_j, bucket);
+    out.cost.linear_s += d.linear_s;
+    out.cost.attention_s += d.attention_s;
+    out.cost.misc_s += d.misc_s;
+    out.cost.lm_head_s += d.lm_head_s;
+    out.cost.comm_s += d.comm_s;
+    out.cost.total_s += d.total_s;
+    out.cost.hvx_busy_s += d.hvx_busy_s;
+    out.cost.hmx_busy_s += d.hmx_busy_s;
+    out.cost.dma_busy_s += d.dma_busy_s;
+    out.cost.cpu_busy_s += d.cpu_busy_s;
+    out.cost.gpu_busy_s += d.gpu_busy_s;
+    out.cost.ddr_bytes += d.ddr_bytes;
+  }
+  const bool gpu = engine_.options().backend == hrt::Backend::kGpuOpenCl;
+  out.watts = hrt::StepPower(*engine_.options().device, out.cost, batch, gpu).watts;
+
+  // Per-row acceptance from the geometric process, then the SAME block choreography the
+  // functional backend performs: append all gamma+1 verify positions, roll the rejected
+  // suffix back through the accountant's Truncate. Refcount/CoW invariants are exercised
+  // identically (a shared tail CoW-splits on the first verify append, rollback drops only
+  // whole last-owner tail blocks).
+  out.row_token_counts.resize(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    const int slot = slots[static_cast<size_t>(i)];
+    const int g = gammas[static_cast<size_t>(i)];
+    HEXLLM_DCHECK(kv_.length(slot) == contexts[static_cast<size_t>(i)]);
+    for (int p = 0; p <= g; ++p) {
+      kv_.EnsureWritable(slot, contexts[static_cast<size_t>(i)] + p);
+      kv_.Advance(slot);
+    }
+    int accepted = 0;
+    while (accepted < g && spec_rng_.NextBool(spec_acceptance_)) {
+      ++accepted;
+    }
+    const int committed = accepted + 1;  // accepted prefix + the target's own token
+    if (committed < g + 1) {
+      spec_rollback_blocks_ +=
+          kv_.Truncate(slot, contexts[static_cast<size_t>(i)] + committed, nullptr);
+    }
+    out.row_token_counts[static_cast<size_t>(i)] = committed;
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // FunctionalBackend
 // ---------------------------------------------------------------------------
@@ -288,16 +396,41 @@ StepOutcome AnalyticBackend::Step(std::span<const int> slots, std::span<const in
 FunctionalBackend::FunctionalBackend(hexsim::NpuDevice& dev, const hllm::ModelWeights& weights,
                                      int max_batch, int max_context, int64_t kv_pool_blocks,
                                      hquant::KvDtype kv_dtype, int kv_quant_group)
+    : FunctionalBackend(dev, weights, max_batch, max_context, kv_pool_blocks, kv_dtype,
+                        kv_quant_group, SpecOptions{}) {}
+
+FunctionalBackend::FunctionalBackend(hexsim::NpuDevice& dev, const hllm::ModelWeights& weights,
+                                     int max_batch, int max_context, int64_t kv_pool_blocks,
+                                     hquant::KvDtype kv_dtype, int kv_quant_group,
+                                     const SpecOptions& spec)
     : dev_(dev),
-      tf_(dev, weights, max_batch, max_context, kv_pool_blocks, kv_dtype, kv_quant_group),
+      // A speculative verify pushes max_batch spans of gamma+1 rows through one forward, so
+      // the transformer's scratch arena is sized for that row count up front.
+      tf_(dev, weights, max_batch, max_context, kv_pool_blocks, kv_dtype, kv_quant_group,
+          spec.draft != nullptr ? max_batch * (SpecGammaFromEnv(spec.gamma) + 1) : 0),
       max_context_(max_context),
       last_token_(static_cast<size_t>(max_batch), 1),
       sampler_opts_(static_cast<size_t>(max_batch)),
       sampler_rng_(static_cast<size_t>(max_batch), hexllm::Rng(0)),
-      end_len_(static_cast<size_t>(max_batch), 0) {
-  const size_t logits_elems = static_cast<size_t>(max_batch) * weights.config.vocab;
+      end_len_(static_cast<size_t>(max_batch), 0),
+      spec_gamma_(spec.draft != nullptr ? SpecGammaFromEnv(spec.gamma) : 0) {
+  const size_t verify_rows =
+      static_cast<size_t>(max_batch) * (spec_gamma_ > 0 ? spec_gamma_ + 1 : 1);
+  const size_t logits_elems = verify_rows * weights.config.vocab;
   logits_buf_[0].resize(logits_elems);
   logits_buf_[1].resize(logits_elems);
+  if (spec.draft != nullptr && spec_gamma_ > 0) {
+    HEXLLM_CHECK_MSG(spec.draft->config.vocab == weights.config.vocab,
+                     "draft and target must share a vocabulary (acceptance compares ids)");
+    draft_ = std::make_unique<hllm::Transformer>(dev, *spec.draft, max_batch, max_context,
+                                                 /*kv_pool_blocks=*/0, kv_dtype,
+                                                 kv_quant_group);
+    spec_slot_.assign(static_cast<size_t>(max_batch), false);
+    draft_carry_.assign(static_cast<size_t>(max_batch), -1);
+    draft_prev_.assign(static_cast<size_t>(max_batch), 0);
+    draft_logits_.resize(static_cast<size_t>(max_batch) * weights.config.vocab);
+    spec_proposals_.resize(static_cast<size_t>(max_batch));
+  }
 }
 
 int FunctionalBackend::SharedPrefixLen(const ServeJob& job, int context_tokens) const {
@@ -331,7 +464,47 @@ bool FunctionalBackend::CanAdmit(const ServeJob& job, int context_tokens) {
 }
 
 double FunctionalBackend::AdmitSlot(int slot, const ServeJob& job, int context_tokens,
-                                    int /*charged_prefill_tokens*/) {
+                                    int charged_prefill_tokens) {
+  return AdmitTarget(slot, job, context_tokens, charged_prefill_tokens) +
+         AdmitDraft(slot, job.id, job.speculative, context_tokens);
+}
+
+double FunctionalBackend::AdmitDraft(int slot, int job_id, bool speculative,
+                                     int context_tokens) {
+  if (draft_ == nullptr) {
+    return 0.0;
+  }
+  if (spec_slot_[static_cast<size_t>(slot)]) {
+    draft_->kv().ResetSeq(slot);  // stale draft state from the slot's previous tenant
+    spec_slot_[static_cast<size_t>(slot)] = false;
+  }
+  draft_carry_[static_cast<size_t>(slot)] = -1;
+  if (!speculative) {
+    return 0.0;
+  }
+  spec_slot_[static_cast<size_t>(slot)] = true;
+  if (context_tokens == 0) {
+    return 0.0;
+  }
+  // The draft conditions on the deterministic synthetic view of the job's context. For a
+  // plainly-admitted prompt this IS the target's token stream; for shared/forked/resumed
+  // contexts it may diverge — which only moves the acceptance rate, never the committed
+  // tokens (those are always sampled from the target's own logits).
+  const int vocab = draft_->config().vocab;
+  std::vector<int> prompt(static_cast<size_t>(context_tokens));
+  for (int i = 0; i < context_tokens; ++i) {
+    prompt[static_cast<size_t>(i)] = SyntheticToken(job_id, i, vocab);
+  }
+  const hexsim::CycleLedger mark = dev_.ledger();
+  draft_->Prefill(slot, prompt);
+  hrt::StepCost cost;
+  const double npu_s = ComposeStep(mark, /*batch=*/0, &cost);
+  const int chunks = static_cast<int>(hexllm::CeilDiv(context_tokens, hkern::kAttnQTile));
+  return npu_s + chunks * (2 * hexsim::NpuSession::kMailboxLatencySeconds + 30e-6);
+}
+
+double FunctionalBackend::AdmitTarget(int slot, const ServeJob& job, int context_tokens,
+                                      int /*charged_prefill_tokens*/) {
   HEXLLM_CHECK(slot >= 0 && slot < static_cast<int>(last_token_.size()));
   HEXLLM_CHECK(context_tokens + job.decode_tokens <= max_context_);
   hllm::KvCache& kv = tf_.kv();
@@ -425,6 +598,11 @@ double FunctionalBackend::AdmitSlot(int slot, const ServeJob& job, int context_t
 void FunctionalBackend::ReleaseSlot(int slot) {
   tf_.kv().ResetSeq(slot);
   end_len_[static_cast<size_t>(slot)] = 0;
+  if (draft_ != nullptr && spec_slot_[static_cast<size_t>(slot)]) {
+    draft_->kv().ResetSeq(slot);
+    spec_slot_[static_cast<size_t>(slot)] = false;
+    draft_carry_[static_cast<size_t>(slot)] = -1;
+  }
 }
 
 void FunctionalBackend::RetainKv(int slot, int job_id) {
@@ -460,6 +638,15 @@ void FunctionalBackend::PauseSlot(int slot, int job_id) {
   p.end_len = end_len_[static_cast<size_t>(slot)];
   p.opts = sampler_opts_[static_cast<size_t>(slot)];
   p.rng = sampler_rng_[static_cast<size_t>(slot)];  // exact sampler state at the pause point
+  // Draft KV is NOT snapshotted: it is rebuilt from the synthetic context view at resume.
+  // A different draft conditioning can only change acceptance (cycle timing), never the
+  // committed token stream — losslessness keeps pause/resume bit-identical regardless.
+  p.speculative = draft_ != nullptr && spec_slot_[static_cast<size_t>(slot)];
+  if (p.speculative) {
+    draft_->kv().ResetSeq(slot);
+    spec_slot_[static_cast<size_t>(slot)] = false;
+    draft_carry_[static_cast<size_t>(slot)] = -1;
+  }
   const auto [it, inserted] = paused_.emplace(job_id, std::move(p));
   HEXLLM_CHECK_MSG(inserted, "job paused twice");
   kv.ResetSeq(slot);  // the handle's references keep every page resident
@@ -480,7 +667,14 @@ void FunctionalBackend::ResumeSlot(int slot, int job_id, int context_tokens) {
   end_len_[static_cast<size_t>(slot)] = it->second.end_len;
   sampler_opts_[static_cast<size_t>(slot)] = it->second.opts;
   sampler_rng_[static_cast<size_t>(slot)] = it->second.rng;
+  const bool speculative = it->second.speculative;
   paused_.erase(it);
+  if (speculative) {
+    // Re-prime the draft from the synthetic context view (the pause dropped its KV).
+    // Resume is charged as free (mirroring the mapped-KV target resume), so the returned
+    // prefill cost is discarded; the next cycle's ledger mark is taken after this runs.
+    AdmitDraft(slot, job_id, /*speculative=*/true, context_tokens);
+  }
 }
 
 bool FunctionalBackend::CanResume(int job_id) {
@@ -537,6 +731,165 @@ StepOutcome FunctionalBackend::Step(std::span<const int> slots, std::span<const 
     out.tokens[static_cast<size_t>(i)] = tok;
     last_token_[static_cast<size_t>(slot)] = tok;
   }
+  return out;
+}
+
+StepOutcome FunctionalBackend::SpeculativeStep(std::span<const int> slots,
+                                               std::span<const int> contexts,
+                                               std::span<const int> gammas) {
+  HEXLLM_CHECK(!slots.empty() && slots.size() == contexts.size() &&
+               slots.size() == gammas.size());
+  int max_gamma = 0;
+  for (const int g : gammas) {
+    HEXLLM_CHECK(g >= 0);
+    max_gamma = std::max(max_gamma, g);
+  }
+  if (max_gamma == 0 || draft_ == nullptr) {
+    return Step(slots, contexts);  // nothing to draft this cycle: exact legacy behavior
+  }
+  ++spec_cycles_;
+  const int batch = static_cast<int>(slots.size());
+  const int vocab = tf_.config().vocab;
+  const hexsim::DeviceProfile& d = dev_.profile();
+  // One ledger window prices the whole cycle: the draft shares dev_, so its gamma decode
+  // forwards and any catch-up prefill land in the same engine-busy deltas as the verify.
+  const hexsim::CycleLedger mark = dev_.ledger();
+
+  // Draft catch-up + per-cycle state seed. A fully-accepted previous cycle left the draft
+  // one token short (the target committed gamma+1 tokens but the draft only consumed
+  // gamma); the carried proposal closes the gap with a 1-token prefill.
+  int n_catchup = 0;
+  for (int i = 0; i < batch; ++i) {
+    const size_t slot = static_cast<size_t>(slots[static_cast<size_t>(i)]);
+    if (gammas[static_cast<size_t>(i)] <= 0) {
+      continue;
+    }
+    HEXLLM_DCHECK(spec_slot_[slot]);
+    if (draft_carry_[slot] >= 0) {
+      const int carry = draft_carry_[slot];
+      draft_->Prefill(static_cast<int>(slot), std::span<const int>(&carry, 1));
+      draft_carry_[slot] = -1;
+      ++n_catchup;
+    }
+    HEXLLM_DCHECK(draft_->kv().length(static_cast<int>(slot)) ==
+                  contexts[static_cast<size_t>(i)]);
+    draft_prev_[slot] = last_token_[slot];
+    spec_proposals_[slot].clear();
+  }
+
+  // gamma draft decode steps. Step j batches every row whose gamma reaches j (per-row
+  // gammas shrink near a job's end). The draft proposes greedily regardless of the job's
+  // sampler — draft policy only moves acceptance, never the committed stream.
+  double lm_head_s = 0.0;
+  double lm_cpu_busy_s = 0.0;
+  for (int j = 1; j <= max_gamma; ++j) {
+    spec_tokens_.clear();
+    spec_seqs_.clear();
+    for (int i = 0; i < batch; ++i) {
+      if (gammas[static_cast<size_t>(i)] < j) {
+        continue;
+      }
+      const size_t slot = static_cast<size_t>(slots[static_cast<size_t>(i)]);
+      spec_tokens_.push_back(draft_prev_[slot]);
+      spec_seqs_.push_back(static_cast<int>(slot));
+    }
+    const int draft_batch = static_cast<int>(spec_tokens_.size());
+    std::span<float> dlogits(draft_logits_.data(), static_cast<size_t>(draft_batch) * vocab);
+    draft_->StepSeqs(spec_tokens_, spec_seqs_, dlogits);
+    const hkern::LmHeadCost lm =
+        hkern::LmHeadCostModel(d, draft_batch, draft_->config().hidden, vocab);
+    lm_head_s += lm.seconds;
+    lm_cpu_busy_s += lm.cpu_busy_s;
+    for (int r = 0; r < draft_batch; ++r) {
+      const size_t slot = static_cast<size_t>(spec_seqs_[static_cast<size_t>(r)]);
+      const int tok = hllm::ArgmaxToken(std::span<const float>(
+          draft_logits_.data() + static_cast<size_t>(r) * vocab, static_cast<size_t>(vocab)));
+      spec_proposals_[slot].push_back(tok);
+      draft_prev_[slot] = tok;
+    }
+  }
+
+  // One batched multi-row verify: row span [last committed token, proposals...] per
+  // sequence, all spans' rows filling HMX tile rows of one forward (Transformer::StepSpans).
+  spec_tokens_.clear();
+  spec_counts_.clear();
+  int total_rows = 0;
+  for (int i = 0; i < batch; ++i) {
+    const size_t slot = static_cast<size_t>(slots[static_cast<size_t>(i)]);
+    const int g = gammas[static_cast<size_t>(i)];
+    spec_tokens_.push_back(last_token_[slot]);
+    for (int j = 0; j < g; ++j) {
+      spec_tokens_.push_back(spec_proposals_[slot][static_cast<size_t>(j)]);
+    }
+    spec_counts_.push_back(g + 1);
+    total_rows += g + 1;
+  }
+  logits_cur_ ^= 1;
+  std::vector<float>& logits_vec = logits_buf_[static_cast<size_t>(logits_cur_)];
+  std::span<float> logits(logits_vec.data(), static_cast<size_t>(total_rows) * vocab);
+  tf_.StepSpans(spec_tokens_, slots, spec_counts_, logits);
+
+  // Acceptance walk. Every committed token is sampled from the TARGET's logits at exact
+  // plain-decode conditioning (row j of a span saw positions < ctx+j only), consuming the
+  // slot's Rng one draw per committed token in stream order — so the committed stream is
+  // bit-identical to plain decode for any sampler, and rejection can only shorten a cycle.
+  StepOutcome out;
+  out.row_token_counts.assign(static_cast<size_t>(batch), 0);
+  out.tokens.reserve(static_cast<size_t>(total_rows));
+  int row0 = 0;
+  for (int i = 0; i < batch; ++i) {
+    const size_t slot = static_cast<size_t>(slots[static_cast<size_t>(i)]);
+    const int g = gammas[static_cast<size_t>(i)];
+    const int ctx = contexts[static_cast<size_t>(i)];
+    const std::vector<int>& props = spec_proposals_[slot];
+    int committed = 0;
+    for (int j = 0; j <= g; ++j) {
+      const int tok = hllm::SampleToken(
+          std::span<const float>(logits_vec.data() + static_cast<size_t>(row0 + j) * vocab,
+                                 static_cast<size_t>(vocab)),
+          sampler_opts_[slot], sampler_rng_[slot]);
+      out.tokens.push_back(tok);
+      last_token_[slot] = tok;
+      ++committed;
+      // Row j+1's logits conditioned on proposal d_{j+1}; a mismatch invalidates them (and
+      // everything after). Row g is the bonus row — nothing proposed beyond it.
+      if (j == g || tok != props[static_cast<size_t>(j)]) {
+        break;
+      }
+    }
+    out.row_token_counts[static_cast<size_t>(i)] = committed;
+    // The verify appended g+1 target KV rows (positions ctx..ctx+g); roll the rejected
+    // suffix back through the paged-cache tail. committed == g+1 means nothing to drop.
+    if (committed < g + 1) {
+      spec_rollback_blocks_ += tf_.kv().TruncateSeq(static_cast<int>(slot), ctx + committed);
+    }
+    if (g > 0) {
+      if (committed == g + 1) {
+        // Full acceptance: the draft consumed only t0,d_1..d_{g-1} (length ctx+g) but the
+        // target committed to ctx+g+1. Carry d_g for a 1-token catch-up next cycle.
+        draft_carry_[slot] = props[static_cast<size_t>(g - 1)];
+      } else {
+        // Resync the draft to the committed prefix; its next input is last_token_.
+        draft_->kv().TruncateSeq(static_cast<int>(slot), ctx + committed);
+        draft_carry_[slot] = -1;
+      }
+    }
+    row0 += g + 1;
+  }
+
+  // Cycle cost: overlapped engine busy time across the whole window (drafts + verify),
+  // plus the CPU lm_head per forward (gamma draft heads + ONE verify head over all rows —
+  // the multi-row verify is charged as one step, like Best-of-N lanes), plus one mailbox
+  // round trip per forward dispatched (catch-up prefills + gamma drafts + the verify).
+  const double npu_s = ComposeStep(mark, /*batch=*/0, &out.cost);
+  const hkern::LmHeadCost verify_lm =
+      hkern::LmHeadCostModel(d, total_rows, tf_.config().hidden, vocab);
+  out.cost.lm_head_s = lm_head_s + verify_lm.seconds;
+  out.cost.cpu_busy_s = lm_cpu_busy_s + verify_lm.cpu_busy_s;
+  out.cost.comm_s = (n_catchup + max_gamma + 1) *
+                    (2 * hexsim::NpuSession::kMailboxLatencySeconds + 30e-6);
+  out.cost.total_s = npu_s + out.cost.lm_head_s + out.cost.comm_s;
+  out.watts = hrt::StepPower(d, out.cost, batch).watts;
   return out;
 }
 

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -54,7 +55,16 @@ struct StepOutcome {
   hrt::StepCost cost;       // decomposition; cost.total_s is the step's wall time
   double watts = 0.0;       // power drawn during the step (energy = watts * total_s)
   std::vector<int> tokens;  // FunctionalBackend: sampled token per active row; else empty
+  // Speculative cycles only: tokens the step committed per row (accepted draft prefix plus
+  // the target's own token, 1..gamma+1). Empty means every row advanced exactly one token
+  // (plain decode). When set, `tokens` is flattened row-major: row i owns the next
+  // row_token_counts[i] entries.
+  std::vector<int> row_token_counts;
 };
+
+// Effective per-cycle draft length: the HEXLLM_SPEC_GAMMA environment variable overrides
+// `configured` when set to a non-negative integer (docs/speculative_decoding.md).
+int SpecGammaFromEnv(int configured);
 
 class ExecutionBackend {
  public:
@@ -75,6 +85,25 @@ class ExecutionBackend {
   // One decode step advancing every listed slot by one token. `contexts[i]` is slot
   // `slots[i]`'s current KV length; pricing must reflect these actual contexts.
   virtual StepOutcome Step(std::span<const int> slots, std::span<const int> contexts) = 0;
+
+  // One speculative decode cycle (docs/speculative_decoding.md): row i drafts gammas[i]
+  // tokens with the backend's draft model and the target verifies all gammas[i]+1 positions
+  // in ONE batched multi-row step (gamma-0 rows ride the same verify as plain single-row
+  // lanes). Each row commits the accepted draft prefix plus the target's own token
+  // (1..gammas[i]+1 tokens, reported via StepOutcome::row_token_counts) and rolls its paged
+  // KV back to the committed length. The returned cost covers the whole cycle: gamma draft
+  // steps plus one verify step. The caller must keep gammas[i] < the row's remaining decode
+  // budget so a fully-accepted cycle never overshoots the admission's KV reservation.
+  // Backends without a draft model fall back to a plain step.
+  virtual StepOutcome SpeculativeStep(std::span<const int> slots,
+                                      std::span<const int> contexts,
+                                      std::span<const int> gammas) {
+    return Step(slots, contexts);
+  }
+
+  // Draft tokens per cycle this backend can run (0 = no draft model configured; the batcher
+  // then decodes ServeJob::speculative jobs plainly).
+  virtual int spec_gamma() const { return 0; }
 
   // Fork support: snapshots `slot`'s KV under the completed job's id so fork children can
   // map it after the slot is released; drops the snapshot once the last child admitted.
@@ -135,6 +164,17 @@ class AnalyticBackend : public ExecutionBackend {
     // blocks (more Best-of-N lanes / longer contexts — the KV-quantization payoff).
     hquant::KvDtype kv_dtype = hquant::KvDtype::kF16;
     int kv_quant_group = hquant::kGroupSize;  // elements per scale group
+    // Speculative decoding (docs/speculative_decoding.md): a draft engine prices the gamma
+    // autoregressive draft steps of each cycle and the target engine prices the batched
+    // verify; per-row accepted-prefix lengths are drawn from the classic geometric
+    // acceptance process at `spec_acceptance` (htts::SpeculativeAcceptanceRate supplies a
+    // calibrated value) with a backend-owned deterministic Rng. Jobs opt in via
+    // ServeJob::speculative; nullptr leaves speculation off. HEXLLM_SPEC_GAMMA overrides
+    // spec_gamma. The draft engine must outlive the backend.
+    const hrt::Engine* draft_engine = nullptr;
+    int spec_gamma = 4;
+    double spec_acceptance = 0.8;
+    uint64_t spec_seed = 0x5eedbeef;
   };
 
   AnalyticBackend(const hrt::Engine& engine, const Options& options);
@@ -146,6 +186,9 @@ class AnalyticBackend : public ExecutionBackend {
                    int charged_prefill_tokens) override;
   void ReleaseSlot(int slot) override;
   StepOutcome Step(std::span<const int> slots, std::span<const int> contexts) override;
+  StepOutcome SpeculativeStep(std::span<const int> slots, std::span<const int> contexts,
+                              std::span<const int> gammas) override;
+  int spec_gamma() const override { return spec_gamma_; }
   void RetainKv(int slot, int job_id) override;
   void DropRetained(int job_id) override;
   void ReleaseGroup(int prompt_group) override;
@@ -187,11 +230,23 @@ class AnalyticBackend : public ExecutionBackend {
   // Shared-prefix length `job` would map on admission (fork stem or group prompt anchor).
   int SharedPrefixLen(const ServeJob& job, int context_tokens) const;
   void TrackSlot(int slot, int end_len);
+  // Bucketed draft-engine step pricing (the draft twin of BucketedCost).
+  const hrt::StepCost& DraftCost(int batch, int context_bucket);
 
   const hrt::Engine& engine_;
   int bucket_tokens_;
   std::map<std::pair<int, int>, std::pair<hrt::StepCost, double>> step_cache_;
   std::map<int, double> prefill_cache_;
+
+  // Speculative decoding: draft-engine pricing cache plus the deterministic geometric
+  // acceptance process. spec_gamma_ is 0 when no draft engine is configured.
+  const hrt::Engine* draft_engine_ = nullptr;
+  int spec_gamma_ = 0;
+  double spec_acceptance_ = 0.0;
+  hexllm::Rng spec_rng_{0};
+  std::map<std::pair<int, int>, hrt::StepCost> draft_step_cache_;
+  int64_t spec_rollback_blocks_ = 0;
+  int64_t spec_cycles_ = 0;
 
   // Storage-free KV accountant: same block math as the functional backend's PagedKvCache,
   // no bytes. budget_blocks_ < 0 means unlimited.
@@ -210,10 +265,25 @@ class AnalyticBackend : public ExecutionBackend {
 // mailbox), so a serving run both computes real logits and advances a realistic clock.
 class FunctionalBackend : public ExecutionBackend {
  public:
+  // Draft-model configuration for speculative decoding (ServeJob::speculative,
+  // docs/speculative_decoding.md). The draft weights must share the target's vocabulary
+  // (exact-match acceptance compares token ids) and must outlive the backend; running the
+  // draft on the SAME simulated device folds its charges into the same cycle ledger the
+  // cycle cost is composed from. HEXLLM_SPEC_GAMMA overrides gamma.
+  struct SpecOptions {
+    const hllm::ModelWeights* draft = nullptr;  // nullptr leaves speculation off
+    int gamma = 4;                              // draft tokens per cycle
+  };
+
   // kv_pool_blocks <= 0 sizes the KV block pool for `max_batch` dense sequences (plus CoW
   // and retention slack); tests pass a small pool to exercise admission gating. `kv_dtype`
   // selects the transformer's KV storage mode (docs/kv_quantization.md); F16 is
   // bit-identical to the legacy path.
+  FunctionalBackend(hexsim::NpuDevice& dev, const hllm::ModelWeights& weights, int max_batch,
+                    int max_context, int64_t kv_pool_blocks,
+                    hquant::KvDtype kv_dtype, int kv_quant_group, const SpecOptions& spec);
+  // Convenience overload without a draft model (SpecOptions can't be a default argument:
+  // its member initializers are incomplete inside the enclosing class).
   FunctionalBackend(hexsim::NpuDevice& dev, const hllm::ModelWeights& weights, int max_batch,
                     int max_context, int64_t kv_pool_blocks = 0,
                     hquant::KvDtype kv_dtype = hquant::KvDtype::kF16,
@@ -224,6 +294,9 @@ class FunctionalBackend : public ExecutionBackend {
                    int charged_prefill_tokens) override;
   void ReleaseSlot(int slot) override;
   StepOutcome Step(std::span<const int> slots, std::span<const int> contexts) override;
+  StepOutcome SpeculativeStep(std::span<const int> slots, std::span<const int> contexts,
+                              std::span<const int> gammas) override;
+  int spec_gamma() const override { return spec_gamma_; }
   void RetainKv(int slot, int job_id) override;
   void DropRetained(int job_id) override;
   void ReleaseGroup(int prompt_group) override;
@@ -245,9 +318,15 @@ class FunctionalBackend : public ExecutionBackend {
     if (tf_.kv().dtype() != hquant::KvDtype::kF16) {
       hkv::ExportKvQuantStats(tf_.kv().dtype(), tf_.kv().quant_stats(), registry);
     }
+    // Speculative runs publish the rollback counter (docs/metrics_schema.md); plain runs
+    // export nothing extra, keeping legacy snapshots byte-identical.
+    if (spec_cycles_ > 0) {
+      registry.Count("spec.rollback_blocks", spec_rollback_blocks_);
+    }
   }
 
   hllm::Transformer& transformer() { return tf_; }
+  hllm::Transformer* draft_transformer() { return draft_.get(); }
 
  private:
   struct Retained {
@@ -264,6 +343,7 @@ class FunctionalBackend : public ExecutionBackend {
     int len = 0;
     int last_token = 0;
     int end_len = 0;
+    bool speculative = false;  // resume re-primes the draft KV from the synthetic view
     hllm::SamplerOptions opts;
     hexllm::Rng rng{0};
   };
@@ -272,6 +352,13 @@ class FunctionalBackend : public ExecutionBackend {
   // CPU lm_head and mailbox costs for `batch` rows; fills `cost`'s busy fields.
   double ComposeStep(const hexsim::CycleLedger& mark, int batch, hrt::StepCost* cost) const;
   int SharedPrefixLen(const ServeJob& job, int context_tokens) const;
+  // Target-side admission (the pre-speculation AdmitSlot body).
+  double AdmitTarget(int slot, const ServeJob& job, int context_tokens,
+                     int charged_prefill_tokens);
+  // (Re)builds the slot's draft KV for a speculative job by prefilling the deterministic
+  // synthetic view of its context; clears any stale draft state otherwise. Returns the
+  // draft prefill's wall-time cost.
+  double AdmitDraft(int slot, int job_id, bool speculative, int context_tokens);
 
   hexsim::NpuDevice& dev_;
   hllm::Transformer tf_;
@@ -293,6 +380,25 @@ class FunctionalBackend : public ExecutionBackend {
   std::map<int, Retained> retained_;  // completed job id -> retained stem
   std::map<int, Retained> anchors_;   // prompt_group -> retained prompt prefix
   std::map<int, Paused> paused_;      // preempted job id -> paused snapshot
+
+  // Speculative decoding (docs/speculative_decoding.md). The draft transformer shares the
+  // simulated device, so its charges land in the same cycle ledger the cycle cost is
+  // composed from. Draft KV is (re)built from the synthetic context view at admission and
+  // resume — losslessness never depends on draft conditioning, because every committed
+  // token is sampled from the target's own logits under exact plain-decode conditioning.
+  std::unique_ptr<hllm::Transformer> draft_;
+  int spec_gamma_ = 0;               // env-resolved draft tokens per cycle (0 = off)
+  std::vector<bool> spec_slot_;      // per slot: draft KV live (speculative job)
+  std::vector<int> draft_carry_;     // per slot: fully-accepted last proposal the draft has
+                                     // not consumed yet (-1 = in sync); fed back via a
+                                     // one-token catch-up prefill at the next cycle
+  std::vector<int> draft_prev_;      // per slot: input of the next draft step (intra-cycle)
+  std::vector<float> draft_logits_;  // [max_batch x vocab] draft-step scratch
+  // Cycle scratch (reused across cycles; see docs/performance.md).
+  std::vector<int> spec_tokens_, spec_seqs_, spec_counts_;
+  std::vector<std::vector<int>> spec_proposals_;  // per slot: this cycle's draft tokens
+  int64_t spec_rollback_blocks_ = 0;
+  int64_t spec_cycles_ = 0;
 };
 
 }  // namespace hserve

@@ -7,6 +7,7 @@
 #include "src/runtime/engine.h"
 #include "src/serving/continuous_batcher.h"
 #include "src/tts/reward_model.h"
+#include "src/tts/speculative.h"
 #include "src/tts/tts.h"
 
 namespace htts {
@@ -21,6 +22,8 @@ const char* TtsMethodName(TtsMethod m) {
       return "Beam Search";
     case TtsMethod::kMajorityVote:
       return "Majority Vote";
+    case TtsMethod::kSpeculative:
+      return "Speculative";
   }
   return "?";
 }
@@ -49,7 +52,9 @@ std::vector<ParetoPoint> SweepPareto(const CapabilityModel& cap,
     // chunked prefill, and energy integrated per step (§7.2.1's "increased context" falls
     // out of the per-slot KV lengths instead of a hand-picked fixed context).
     const auto add_point = [&](TtsMethod method, int budget, const MethodResult& r,
-                               const std::vector<hserve::ServeJob>& jobs) {
+                               const std::vector<hserve::ServeJob>& jobs,
+                               const hrt::Engine* draft_engine = nullptr,
+                               double spec_acceptance = 0.0) {
       ParetoPoint p;
       p.model = model->name;
       p.method = method;
@@ -57,11 +62,20 @@ std::vector<ParetoPoint> SweepPareto(const CapabilityModel& cap,
       p.kv_dtype = options.kv_dtype;
       p.accuracy = r.accuracy;
       p.runnable = runnable;
+      if (draft_engine != nullptr) {
+        p.spec_draft = options.spec_draft->name;
+        p.spec_acceptance = spec_acceptance;
+      }
       if (runnable) {
         hserve::AnalyticBackend::Options bo;
         bo.kv_budget_bytes = options.kv_budget_bytes;
         bo.kv_dtype = options.kv_dtype;
         bo.kv_quant_group = options.kv_quant_group;
+        if (draft_engine != nullptr) {
+          bo.draft_engine = draft_engine;
+          bo.spec_gamma = options.spec_gamma;
+          bo.spec_acceptance = spec_acceptance;
+        }
         hserve::AnalyticBackend backend(engine, bo);
         hserve::ServeOptions so;
         so.max_batch = std::max(1, r.batch);
@@ -95,6 +109,25 @@ std::vector<ParetoPoint> SweepPareto(const CapabilityModel& cap,
       std::vector<hserve::ServeJob> jobs;
       const MethodResult r = RunSingleSample(tasks, theta, options.trials, rng, &jobs);
       add_point(TtsMethod::kBase, 1, r, jobs);
+
+      // Speculative axis: the same single-sample stream decoded draft-assisted. Lossless
+      // under any sampler, so accuracy is the base point's; the point exists to show where
+      // generate-then-verify lands on the cost axis next to the scaling methods.
+      if (options.spec_draft != nullptr && options.spec_draft != model &&
+          options.spec_gamma > 0) {
+        hrt::EngineOptions deo;
+        deo.model = options.spec_draft;
+        deo.device = options.device;
+        hrt::Engine draft_engine(deo);
+        if (draft_engine.CanRun()) {
+          const double beta = SpeculativeAcceptanceRate(cap, *options.spec_draft, *model);
+          std::vector<hserve::ServeJob> spec_jobs = jobs;
+          for (auto& job : spec_jobs) {
+            job.speculative = true;
+          }
+          add_point(TtsMethod::kSpeculative, 1, r, spec_jobs, &draft_engine, beta);
+        }
+      }
     }
 
     for (const int budget : options.budgets) {

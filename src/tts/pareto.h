@@ -19,6 +19,7 @@ enum class TtsMethod : uint8_t {
   kBestOfN,
   kBeamSearch,
   kMajorityVote,
+  kSpeculative,   // draft-assisted decoding: base accuracy at a lower cost per token
 };
 
 const char* TtsMethodName(TtsMethod m);
@@ -26,6 +27,11 @@ const char* TtsMethodName(TtsMethod m);
 struct ParetoPoint {
   std::string model;
   TtsMethod method = TtsMethod::kBase;
+  // kSpeculative only: the draft model and the per-token acceptance rate the point ran at.
+  // Speculation is lossless, so its accuracy equals the base point's — it moves the point
+  // along the cost axis alone.
+  std::string spec_draft;
+  double spec_acceptance = 0.0;
   int budget = 1;                 // generation budget (max decode batch)
   hquant::KvDtype kv_dtype = hquant::KvDtype::kF16;  // KV storage mode this point ran under
   double accuracy = 0.0;          // task accuracy (fraction)
@@ -60,6 +66,13 @@ struct ParetoSweepOptions {
   // (CapabilityModel::AttentionErr; docs/kv_quantization.md).
   hquant::KvDtype kv_dtype = hquant::KvDtype::kF16;
   int kv_quant_group = hquant::kGroupSize;
+  // Optional speculative-decoding axis: when set (and distinct from the swept model), each
+  // model additionally gets a kSpeculative point — the base single-sample job stream decoded
+  // with this draft at `spec_gamma` proposals per cycle, acceptance derived from the
+  // capability-model skill gap (SpeculativeAcceptanceRate). Lossless, so the point keeps
+  // base accuracy and only moves cost (docs/speculative_decoding.md).
+  const hllm::ModelConfig* spec_draft = nullptr;
+  int spec_gamma = 4;
 };
 
 // Runs base + Best-of-N + Beam Search sweeps for every model/budget on one device+dataset.

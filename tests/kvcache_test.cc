@@ -124,6 +124,82 @@ TEST(KvBlockManagerTest, ShareForkAndCowAccounting) {
   EXPECT_EQ(mgr.stats().peak_physical_blocks, 3);
 }
 
+TEST(KvBlockManagerTest, TruncateFreesWholeTailBlocksAndReappendsInPlace) {
+  // The speculative-decode rollback primitive: a rejected suffix truncates the tail.
+  KvBlockManager mgr(/*block_tokens=*/4, /*max_blocks=*/0, /*bytes_per_block=*/10);
+  for (int pos = 0; pos < 10; ++pos) {
+    mgr.EnsureWritable(0, pos);
+    mgr.Advance(0);
+  }
+  EXPECT_EQ(mgr.stats().physical_blocks, 3);  // 4 + 4 + 2
+
+  // Truncating to 6 keeps ceil(6/4) = 2 blocks; the solely-owned third block frees.
+  std::vector<int> freed;
+  EXPECT_EQ(mgr.Truncate(0, 6, &freed), 1);
+  EXPECT_EQ(freed.size(), 1u);
+  EXPECT_EQ(mgr.length(0), 6);
+  EXPECT_EQ(mgr.stats().physical_blocks, 2);
+  EXPECT_EQ(mgr.stats().logical_blocks, 2);
+
+  // Truncating within the tail block drops no blocks, only logical length.
+  freed.clear();
+  EXPECT_EQ(mgr.Truncate(0, 5, &freed), 0);
+  EXPECT_TRUE(freed.empty());
+  EXPECT_EQ(mgr.length(0), 5);
+  EXPECT_EQ(mgr.stats().physical_blocks, 2);
+
+  // Re-appending after a rollback extends the existing tail block in place.
+  const int tail = mgr.block_at(0, 1);
+  mgr.EnsureWritable(0, 5);
+  mgr.Advance(0);
+  EXPECT_EQ(mgr.length(0), 6);
+  EXPECT_EQ(mgr.block_at(0, 1), tail);
+  EXPECT_EQ(mgr.stats().physical_blocks, 2);
+}
+
+TEST(KvBlockManagerTest, TruncateOnForkedSequencesPreservesSharingInvariants) {
+  KvBlockManager mgr(/*block_tokens=*/4, /*max_blocks=*/0, /*bytes_per_block=*/10);
+  for (int pos = 0; pos < 6; ++pos) {
+    mgr.EnsureWritable(0, pos);
+    mgr.Advance(0);
+  }
+  const int64_t h = mgr.Retain(0);
+  mgr.ShareFromHandle(h, 1, 6);
+  const int parent_tail = mgr.block_at(0, 1);
+
+  // The child diverges: its first append CoW-splits the shared partial tail, then it grows
+  // a private block — exactly the state a speculative verify leaves before a rejection.
+  for (int pos = 6; pos < 12; ++pos) {
+    mgr.EnsureWritable(1, pos);
+    mgr.Advance(1);
+  }
+  const int child_tail = mgr.block_at(1, 1);
+  EXPECT_NE(child_tail, parent_tail);
+  EXPECT_EQ(mgr.stats().physical_blocks, 4);  // b0, parent tail, CoW copy, child block 2
+  EXPECT_EQ(mgr.stats().cow_splits, 1);
+
+  // Rolling the child back to the fork point frees ONLY its private third block; the CoW
+  // copy stays (it holds the child's positions 4..5) and the parent is untouched.
+  std::vector<int> freed;
+  EXPECT_EQ(mgr.Truncate(1, 6, &freed), 1);
+  EXPECT_EQ(freed.size(), 1u);
+  EXPECT_EQ(mgr.length(1), 6);
+  EXPECT_EQ(mgr.block_at(1, 1), child_tail);
+  EXPECT_EQ(mgr.length(0), 6);
+  EXPECT_EQ(mgr.block_at(0, 1), parent_tail);
+  EXPECT_EQ(mgr.stats().physical_blocks, 3);
+
+  // Truncating the PARENT under a still-shared tail unrefs without freeing: the retained
+  // handle keeps the block resident for the child/fork machinery.
+  freed.clear();
+  EXPECT_EQ(mgr.Truncate(0, 4, &freed), 1);
+  EXPECT_TRUE(freed.empty());  // the handle still references the dropped block
+  EXPECT_EQ(mgr.stats().physical_blocks, 3);
+  mgr.DropHandle(h, &freed);
+  EXPECT_EQ(freed.size(), 1u);  // last reference gone: now it frees
+  EXPECT_EQ(mgr.stats().physical_blocks, 2);
+}
+
 TEST(KvBlockManagerTest, BlocksToAdmitCoversRoundingAndAlignedTails) {
   KvBlockManager mgr(32, 0, 1);
   EXPECT_EQ(mgr.BlocksToAdmit(0, 0), 0);

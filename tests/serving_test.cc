@@ -495,5 +495,266 @@ TEST(TtsServingTest, BeamSearchRoundsBecomeBarrierWaves) {
   EXPECT_GE(r.steps, static_cast<int64_t>(rounds) * per_round_decode);
 }
 
+// --- speculative decoding (docs/speculative_decoding.md) ---
+
+// A draft smaller than ToyConfig along every axis, sharing the vocabulary (exact-match
+// acceptance compares token ids, so draft and target must agree on the id space).
+hllm::ModelConfig DraftToyConfig() {
+  hllm::ModelConfig c = hllm::ToyConfig();
+  c.name = "toy-draft";
+  c.params_b = 0.004;
+  c.hidden = 64;
+  c.layers = 1;
+  c.heads = 2;
+  c.kv_heads = 2;
+  c.head_dim = 32;
+  c.ffn_hidden = 128;
+  return c;
+}
+
+class SpeculativeServingTest : public ::testing::Test {
+ protected:
+  SpeculativeServingTest()
+      : config_(hllm::ToyConfig()),
+        draft_config_(DraftToyConfig()),
+        weights_(hllm::ModelWeights::Random(config_, 42)),
+        draft_weights_(hllm::ModelWeights::Random(draft_config_, 7)) {}
+
+  // Runs `jobs` through a fresh functional backend; gamma <= 0 builds a plain backend.
+  ScheduleResult RunFunctional(const std::vector<ServeJob>& jobs, int max_batch, int gamma,
+                               int max_context = 96) {
+    hexsim::NpuDevice dev(hexsim::OnePlus12());
+    ServeOptions so;
+    so.max_batch = max_batch;
+    if (gamma <= 0) {
+      FunctionalBackend backend(dev, weights_, max_batch, max_context);
+      return ContinuousBatcher(backend, so).Run(jobs);
+    }
+    FunctionalBackend::SpecOptions spec;
+    spec.draft = &draft_weights_;
+    spec.gamma = gamma;
+    FunctionalBackend backend(dev, weights_, max_batch, max_context, /*kv_pool_blocks=*/0,
+                              hquant::KvDtype::kF16, hquant::kGroupSize, spec);
+    return ContinuousBatcher(backend, so).Run(jobs);
+  }
+
+  static std::vector<ServeJob> SpecJobs(int n, int decode, int prompt, bool speculative) {
+    std::vector<ServeJob> jobs;
+    for (int i = 0; i < n; ++i) {
+      ServeJob j = Job(i, decode, /*group=*/-1, prompt);
+      j.speculative = speculative;
+      jobs.push_back(j);
+    }
+    return jobs;
+  }
+
+  hllm::ModelConfig config_;
+  hllm::ModelConfig draft_config_;
+  hllm::ModelWeights weights_;
+  hllm::ModelWeights draft_weights_;
+};
+
+TEST_F(SpeculativeServingTest, GreedySpeculativeMatchesPlainDecodeTokenForToken) {
+  // The headline correctness gate: under greedy sampling the committed stream must be
+  // BIT-IDENTICAL to plain decode — for any gamma and any lane count. Rejections only cost
+  // time (rolled back through the paged-KV tail), never change tokens.
+  for (const int max_batch : {1, 3}) {
+    for (const int gamma : {1, 2, 4}) {
+      const std::vector<ServeJob> jobs = SpecJobs(max_batch, 12, /*prompt=*/8, true);
+      const ScheduleResult plain = RunFunctional(SpecJobs(max_batch, 12, 8, false),
+                                                 max_batch, /*gamma=*/0);
+      const ScheduleResult spec = RunFunctional(jobs, max_batch, gamma);
+      ASSERT_TRUE(plain.error.empty()) << plain.error;
+      ASSERT_TRUE(spec.error.empty()) << spec.error;
+      EXPECT_EQ(spec.job_tokens, plain.job_tokens)
+          << "greedy divergence at max_batch=" << max_batch << " gamma=" << gamma;
+      EXPECT_EQ(spec.decoded_tokens, plain.decoded_tokens);
+      // The cycle accounting is consistent and the run actually drafted.
+      EXPECT_GT(spec.spec_cycles, 0);
+      EXPECT_GT(spec.spec_proposed_tokens, 0);
+      EXPECT_GE(spec.spec_proposed_tokens, spec.spec_accepted_tokens);
+      // Accepted proposals remove charged steps (exactly one each in the single-lane
+      // case; multi-lane runs end on the slowest lane's cycle count).
+      EXPECT_LE(spec.steps, plain.steps);
+      if (max_batch == 1) {
+        EXPECT_EQ(spec.steps, plain.steps - spec.spec_accepted_tokens);
+      }
+    }
+  }
+}
+
+TEST_F(SpeculativeServingTest, AnySamplerSpeculativeMatchesPlainDecodeTokenForToken) {
+  // Losslessness holds for ANY sampler, not just greedy: every committed token is sampled
+  // from the target's own logits under exact plain-decode conditioning, consuming the
+  // per-slot Rng one draw per committed token in stream order.
+  std::vector<ServeJob> plain_jobs = SpecJobs(2, 10, /*prompt=*/6, false);
+  std::vector<ServeJob> spec_jobs = SpecJobs(2, 10, /*prompt=*/6, true);
+  for (int i = 0; i < 2; ++i) {
+    hllm::SamplerOptions s;
+    s.temperature = 0.9f;
+    s.top_k = 8;
+    plain_jobs[static_cast<size_t>(i)].sampler = s;
+    plain_jobs[static_cast<size_t>(i)].seed = 100 + static_cast<uint64_t>(i);
+    spec_jobs[static_cast<size_t>(i)].sampler = s;
+    spec_jobs[static_cast<size_t>(i)].seed = 100 + static_cast<uint64_t>(i);
+  }
+  const ScheduleResult plain = RunFunctional(plain_jobs, /*max_batch=*/2, /*gamma=*/0);
+  const ScheduleResult spec = RunFunctional(spec_jobs, /*max_batch=*/2, /*gamma=*/3);
+  ASSERT_TRUE(plain.error.empty()) << plain.error;
+  ASSERT_TRUE(spec.error.empty()) << spec.error;
+  EXPECT_EQ(spec.job_tokens, plain.job_tokens);
+  EXPECT_GT(spec.spec_cycles, 0);
+}
+
+TEST_F(SpeculativeServingTest, RunGammaCapAndDisableControlTheCycle) {
+  const std::vector<ServeJob> jobs = SpecJobs(1, 12, /*prompt=*/8, true);
+  hexsim::NpuDevice dev(hexsim::OnePlus12());
+  FunctionalBackend::SpecOptions spec;
+  spec.draft = &draft_weights_;
+  spec.gamma = 4;
+  FunctionalBackend backend(dev, weights_, 1, 96, 0, hquant::KvDtype::kF16,
+                            hquant::kGroupSize, spec);
+  // spec_gamma = 0 disables drafting for the whole run even on a spec-capable backend...
+  ServeOptions off;
+  off.max_batch = 1;
+  off.spec_gamma = 0;
+  const ScheduleResult r_off = ContinuousBatcher(backend, off).Run(jobs);
+  ASSERT_TRUE(r_off.error.empty()) << r_off.error;
+  EXPECT_EQ(r_off.spec_cycles, 0);
+  EXPECT_EQ(r_off.steps, 12);
+  // ...and spec.* metrics stay out of the snapshot entirely (legacy byte-identity).
+  bool found = false;
+  r_off.metrics.CounterValue("spec.cycles", {}, &found);
+  EXPECT_FALSE(found);
+
+  // A positive spec_gamma caps the backend's configured draft length per cycle.
+  ServeOptions capped;
+  capped.max_batch = 1;
+  capped.spec_gamma = 1;
+  const ScheduleResult r_cap = ContinuousBatcher(backend, capped).Run(jobs);
+  ASSERT_TRUE(r_cap.error.empty()) << r_cap.error;
+  EXPECT_GT(r_cap.spec_cycles, 0);
+  EXPECT_EQ(r_cap.spec_proposed_tokens, r_cap.spec_cycles);  // one proposal per cycle
+  found = false;
+  EXPECT_EQ(r_cap.metrics.CounterValue("spec.cycles", {}, &found), r_cap.spec_cycles);
+  EXPECT_TRUE(found);
+  EXPECT_GE(r_cap.metrics.CounterValue("spec.rollback_blocks"), 0);
+}
+
+TEST_F(SpeculativeServingTest, SpeculativeForkChildMatchesPlainForkedDecode) {
+  // Rollback on a CoW-forked child: the child's verify appends split the shared tail and a
+  // rejected suffix truncates the child's PRIVATE copy — the parent's retained stem and
+  // the committed stream must both survive intact.
+  const auto forked = [](bool speculative) {
+    std::vector<ServeJob> jobs = {Job(0, 4, /*group=*/0, /*prompt=*/8, 0, /*barrier=*/0),
+                                  Job(1, 8, 0, 8, /*context=*/4, /*barrier=*/1)};
+    jobs[1].parent_job = 0;
+    jobs[1].speculative = speculative;
+    return jobs;
+  };
+  const ScheduleResult plain = RunFunctional(forked(false), /*max_batch=*/1, /*gamma=*/0);
+  const ScheduleResult spec = RunFunctional(forked(true), /*max_batch=*/1, /*gamma=*/3);
+  ASSERT_TRUE(plain.error.empty()) << plain.error;
+  ASSERT_TRUE(spec.error.empty()) << spec.error;
+  EXPECT_EQ(spec.job_tokens, plain.job_tokens);
+  EXPECT_EQ(spec.forked_admissions, 1);
+  EXPECT_GT(spec.spec_cycles, 0);
+}
+
+TEST_F(SpeculativeServingTest, PauseResumeOfSpeculativeJobIsBitIdentical) {
+  // Preempting a drafting job drops its draft KV; resume re-primes the draft and the
+  // committed stream continues bit-identically (the target-side snapshot carries sampler
+  // state; draft conditioning only moves acceptance).
+  const auto run = [&](bool pause) {
+    hexsim::NpuDevice dev(hexsim::OnePlus12());
+    FunctionalBackend::SpecOptions spec;
+    spec.draft = &draft_weights_;
+    spec.gamma = 2;
+    FunctionalBackend backend(dev, weights_, 1, 96, 0, hquant::KvDtype::kF16,
+                              hquant::kGroupSize, spec);
+    ServeOptions so;
+    so.max_batch = 1;
+    ContinuousBatcher batcher(backend, so);
+    ServeJob j = Job(0, 14, /*group=*/-1, /*prompt=*/6);
+    j.speculative = true;
+    std::string err;
+    EXPECT_TRUE(batcher.Submit(j, &err)) << err;
+    std::vector<int> tokens;
+    const auto drain = [&](int steps) {
+      for (int s = 0; s < steps && batcher.HasWork(); ++s) {
+        const StepEvents ev = batcher.Step();
+        for (const auto& t : ev.tokens) {
+          tokens.push_back(t.token);
+        }
+      }
+    };
+    drain(3);
+    if (pause) {
+      EXPECT_TRUE(batcher.PauseJob(0, /*requeue=*/true));
+      EXPECT_EQ(batcher.job_state(0), JobState::kPaused);
+    }
+    while (batcher.HasWork()) {
+      drain(1);
+    }
+    const ScheduleResult r = batcher.Finish();
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    return tokens;
+  };
+  const std::vector<int> uninterrupted = run(false);
+  const std::vector<int> preempted = run(true);
+  EXPECT_EQ(preempted, uninterrupted);
+  EXPECT_EQ(uninterrupted.size(), 14u);
+}
+
+TEST_F(SpeculativeServingTest, AnalyticSpeculativeSpeedsUpDecodeAndExportsMetrics) {
+  // The analytic twin: costs from the calibrated capability model, acceptance from the
+  // configured geometric process. At the acceptance-favorable default preset (big target,
+  // small draft) speculation must clearly beat plain decode.
+  hrt::EngineOptions topt;
+  topt.model = &hllm::Qwen25_7B();
+  topt.device = &hexsim::OnePlus12();
+  hrt::Engine target(topt);
+  hrt::EngineOptions dopt;
+  dopt.model = &hllm::Qwen25_0_5B();
+  dopt.device = &hexsim::OnePlus12();
+  hrt::Engine draft(dopt);
+
+  std::vector<ServeJob> plain_jobs;
+  std::vector<ServeJob> spec_jobs;
+  for (int i = 0; i < 8; ++i) {
+    plain_jobs.push_back(Job(i, 96, /*group=*/-1, /*prompt=*/64));
+    ServeJob j = Job(i, 96, /*group=*/-1, /*prompt=*/64);
+    j.speculative = true;
+    spec_jobs.push_back(j);
+  }
+  ServeOptions so;
+  so.max_batch = 4;
+
+  AnalyticBackend b_plain(target);
+  const ScheduleResult r_plain = ContinuousBatcher(b_plain, so).Run(plain_jobs);
+  ASSERT_TRUE(r_plain.error.empty()) << r_plain.error;
+
+  AnalyticBackend::Options opts;
+  opts.draft_engine = &draft;
+  opts.spec_gamma = 4;
+  opts.spec_acceptance = 0.8;
+  AnalyticBackend b_spec(target, opts);
+  EXPECT_EQ(b_spec.spec_gamma(), 4);
+  const ScheduleResult r_spec = ContinuousBatcher(b_spec, so).Run(spec_jobs);
+  ASSERT_TRUE(r_spec.error.empty()) << r_spec.error;
+
+  EXPECT_EQ(r_spec.decoded_tokens, r_plain.decoded_tokens);
+  EXPECT_GT(r_spec.spec_cycles, 0);
+  EXPECT_LT(r_spec.steps, r_plain.steps);
+  EXPECT_GT(r_spec.tokens_per_second, 1.5 * r_plain.tokens_per_second);
+  const double acc = r_spec.metrics.GaugeValue("spec.acceptance_rate");
+  EXPECT_GT(acc, 0.5);
+  EXPECT_LE(acc, 1.0);
+  EXPECT_EQ(r_spec.metrics.CounterValue("spec.proposed_tokens"),
+            r_spec.spec_proposed_tokens);
+  EXPECT_EQ(r_spec.metrics.CounterValue("spec.rejected_tokens"),
+            r_spec.spec_proposed_tokens - r_spec.spec_accepted_tokens);
+}
+
 }  // namespace
 }  // namespace hserve

@@ -237,6 +237,41 @@ TEST(ParetoTest, SmallModelWithTtsBeatsLargeModelBase) {
   EXPECT_LT(small_scaled->latency_per_token_s, 1.2 * large_base->latency_per_token_s);
 }
 
+TEST(ParetoTest, SpeculativeAxisKeepsBaseAccuracyAtLowerCost) {
+  // The §9 generate-then-verify point: with a draft configured, every swept model gains a
+  // kSpeculative point that is lossless (base accuracy, bit-for-bit the same stream) and
+  // sits left of base on the cost axis.
+  ParetoSweepOptions opts;
+  opts.device = &hexsim::OnePlus12();
+  opts.models = {&hllm::Qwen25_7B()};
+  opts.budgets = {};
+  opts.tasks = 100;
+  opts.trials = 2;
+  opts.spec_draft = &hllm::Qwen25_0_5B();
+  opts.spec_gamma = 4;
+  const auto points = SweepPareto(Cap(), opts);
+
+  const ParetoPoint* base = nullptr;
+  const ParetoPoint* spec = nullptr;
+  for (const auto& p : points) {
+    if (p.method == TtsMethod::kBase) {
+      base = &p;
+    }
+    if (p.method == TtsMethod::kSpeculative) {
+      spec = &p;
+    }
+  }
+  ASSERT_NE(base, nullptr);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_TRUE(spec->runnable);
+  EXPECT_EQ(spec->spec_draft, hllm::Qwen25_0_5B().name);
+  EXPECT_GT(spec->spec_acceptance, 0.5);
+  EXPECT_LE(spec->spec_acceptance, 0.88);
+  EXPECT_DOUBLE_EQ(spec->accuracy, base->accuracy);   // lossless: same stream, same answers
+  EXPECT_LT(spec->makespan_s, base->makespan_s);      // but cheaper to decode
+  EXPECT_LT(spec->energy_per_token_j, base->energy_per_token_j);
+}
+
 TEST(ParetoTest, V73SkipsThreeBillionModels) {
   ParetoSweepOptions opts;
   opts.device = &hexsim::OnePlusAce3();

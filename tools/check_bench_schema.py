@@ -160,6 +160,49 @@ def check_report(path, errors):
             fail(path, f"kv_dtype rows must cover {sorted(KV_DTYPES)}, got {sorted(seen)}",
                  errors)
 
+    # Bench-specific: the speculative sweep must carry a plain-decode baseline, the
+    # default-preset row the CI speedup gate reads (compare_bench_perf.py --spec), and the
+    # serving_request checksum rows the 1-vs-4-thread compare diffs.
+    if doc.get("bench") == "speculative" and isinstance(rows, list):
+        sweep = [r for r in rows
+                 if isinstance(r, dict) and r.get("series") == "spec_sweep"]
+        if not sweep:
+            fail(path, "speculative must report a 'spec_sweep' row series", errors)
+        for r in sweep:
+            where = f"spec_sweep row (draft={r.get('draft')!r}, gamma={r.get('gamma')!r})"
+            if not isinstance(r.get("draft"), str) or not isinstance(r.get("gamma"), int):
+                fail(path, f"{where}: needs string 'draft' and int 'gamma'", errors)
+                continue
+            if r["gamma"] < 0:
+                fail(path, f"{where}: gamma must be >= 0", errors)
+            for key in ("acceptance", "measured_acceptance"):
+                v = r.get(key)
+                if not isinstance(v, NUMBER) or not 0.0 <= v <= 1.0:
+                    fail(path, f"{where}: {key} must be in [0,1], got {v!r}", errors)
+            for key in ("tokens_per_second", "speedup_vs_plain"):
+                if not isinstance(r.get(key), NUMBER) or r[key] <= 0:
+                    fail(path, f"{where}: {key} must be a positive number", errors)
+            if not isinstance(r.get("joules_per_token"), NUMBER) or r["joules_per_token"] < 0:
+                fail(path, f"{where}: joules_per_token must be non-negative", errors)
+            if not isinstance(r.get("default_preset"), bool):
+                fail(path, f"{where}: missing bool 'default_preset'", errors)
+        plain = [r for r in sweep if r.get("gamma") == 0]
+        if len(plain) != 1:
+            fail(path, f"spec_sweep needs exactly one gamma=0 plain-decode baseline row, "
+                       f"got {len(plain)}", errors)
+        if sweep and not any(r.get("default_preset") is True for r in sweep):
+            fail(path, "spec_sweep needs a default_preset row (the CI speedup gate input)",
+                 errors)
+        requests = [r for r in rows
+                    if isinstance(r, dict) and r.get("series") == "serving_request"]
+        if not requests:
+            fail(path, "speculative must report 'serving_request' checksum rows", errors)
+        for r in requests:
+            if not isinstance(r.get("tokens"), int) or not isinstance(
+                    r.get("token_checksum"), str):
+                fail(path, f"serving_request row {r.get('request')!r}: needs int 'tokens' "
+                           f"and string 'token_checksum'", errors)
+
 
 def main(argv):
     if len(argv) < 2:

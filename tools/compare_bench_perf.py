@@ -16,6 +16,15 @@ distinction):
     not at least --min-ratio (default 1.2) times faster. This is the CI smoke guard
     that the weight cache actually pays for itself.
 
+A third mode gates speculative decoding instead (over SIMULATED tokens_per_second of
+BENCH_speculative's `spec_sweep` rows, not host throughput):
+
+  * Spec mode: compare_bench_perf.py --spec REPORT.json
+    Compares the sweep's default-preset row (default_preset: true — the
+    acceptance-favorable 0.5B-draft/gamma-4 configuration) against the gamma=0
+    plain-decode baseline row and fails when speculation is not at least --min-ratio
+    times faster. CI runs this with --min-ratio 1.5 (docs/speculative_decoding.md).
+
 --min-batch N restricts either mode to rows with batch >= N (small-batch host timings
 are the noisiest). Exit 0 on pass, 1 on regression, 2 on usage error. Stdlib only.
 """
@@ -39,6 +48,35 @@ def load_rows(path, series):
     if not rows:
         raise SystemExit(f"{path}: no {series} rows (wrong bench or old schema?)")
     return rows
+
+
+def check_spec(path, factor):
+    """Default-preset speculative tok/s must reach factor x the plain-decode baseline."""
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+    sweep = [r for r in report.get("rows", []) if r.get("series") == "spec_sweep"]
+    if not sweep:
+        raise SystemExit(f"{path}: no spec_sweep rows (wrong bench or old schema?)")
+    plain = [r for r in sweep if r.get("gamma") == 0]
+    defaults = [r for r in sweep if r.get("default_preset") is True]
+    if len(plain) != 1:
+        raise SystemExit(f"{path}: expected exactly one gamma=0 baseline row, got {len(plain)}")
+    if not defaults:
+        raise SystemExit(f"{path}: no default_preset spec_sweep row")
+    base = float(plain[0]["tokens_per_second"])
+    ok = True
+    for row in defaults:
+        tps = float(row["tokens_per_second"])
+        ratio = tps / base if base > 0 else float("inf")
+        verdict = "ok" if ratio >= factor else "FAIL"
+        print(
+            f"draft={row.get('draft')} gamma={row.get('gamma')} "
+            f"acceptance={row.get('acceptance')}: plain={base:.2f} tok/s  "
+            f"spec={tps:.2f} tok/s  speedup={ratio:.2f}x (floor {factor:.2f}) {verdict}"
+        )
+        if ratio < factor:
+            ok = False
+    return ok
 
 
 def check_pairs(base, new, factor, min_batch, base_desc, new_desc):
@@ -86,15 +124,32 @@ def main(argv):
         help="two-file mode: NEW must reach this fraction of OLD (default 0.80)",
     )
     parser.add_argument(
+        "--spec",
+        dest="spec_mode",
+        action="store_true",
+        help="one BENCH_speculative report: default-preset speculation vs plain decode",
+    )
+    parser.add_argument(
         "--min-ratio",
         type=float,
         default=1.2,
-        help="self mode: cached must be this many times nocache (default 1.2)",
+        help="self/spec mode: the faster path must be this many times the baseline "
+        "(default 1.2)",
     )
     parser.add_argument(
         "--min-batch", type=int, default=0, help="only compare rows with batch >= N"
     )
     args = parser.parse_args(argv[1:])
+
+    if args.spec_mode:
+        if args.self_mode:
+            parser.error("--spec and --self are mutually exclusive")
+        if len(args.reports) != 1:
+            parser.error("--spec takes exactly one report")
+        ok = check_spec(args.reports[0], args.min_ratio)
+        print("OK: speculation beats plain decode at the default preset" if ok
+              else "FAIL: speculative speedup below floor")
+        return 0 if ok else 1
 
     if args.self_mode:
         if len(args.reports) != 1:
