@@ -131,6 +131,18 @@ class Reporter {
     root.Set("paper_ref", paper_ref_);
     root.Set("git_sha", HEXLLM_GIT_SHA);
     root.Set("smoke", SmokePreset());
+    // Environment knobs that shape the run (additive field, no schema bump —
+    // docs/metrics_schema.md). Unset knobs record as "" so any two reports diff
+    // field-for-field regardless of which knobs the runs exported.
+    obs::Json env = obs::Json::Object();
+    for (const char* knob :
+         {"HEXLLM_KV_DTYPE", "HEXLLM_NUM_THREADS", "HEXLLM_SPEC_GAMMA",
+          "HEXLLM_KV_OFFLOAD_GBPS", "HEXLLM_ATTN_SINK_BLOCKS", "HEXLLM_ATTN_WINDOW_BLOCKS",
+          "HEXLLM_BENCH_SMOKE"}) {
+      const char* v = std::getenv(knob);
+      env.Set(knob, std::string(v != nullptr ? v : ""));
+    }
+    root.Set("env", std::move(env));
     obs::Json notes = obs::Json::Array();
     for (const std::string& n : notes_) {
       notes.Append(n);

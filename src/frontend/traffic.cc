@@ -50,6 +50,10 @@ std::vector<Request> GenerateTraffic(const TrafficOptions& o) {
     const bool interactive = rng.NextBool(o.interactive_fraction);
     const bool in_session = o.session_fraction > 0.0 && o.session_turns > 1 &&
                             rng.NextBool(o.session_fraction);
+    // Long-context draw, gated on the knob so legacy traces are unchanged. Every turn of a
+    // long session stays in the long regime — the document context persists across turns.
+    const bool long_context =
+        o.long_context_fraction > 0.0 && rng.NextBool(o.long_context_fraction);
     // Shared-system-prompt draw, gated on the prefix knobs so legacy traces are unchanged.
     int prefix = -1;
     if (o.prefix_count > 0 && o.prefix_tokens > 0 && rng.NextBool(o.prefix_fraction)) {
@@ -63,7 +67,9 @@ std::vector<Request> GenerateTraffic(const TrafficOptions& o) {
       r.arrival_s = turn == 0 ? t : o.mean_think_s * rng.NextExponential();
       r.session = session;
       r.turn_index = turn;
-      r.prompt_tokens = Length(o.mean_prompt_tokens, o.min_prompt_tokens, rng);
+      r.prompt_tokens = long_context
+                            ? Length(o.mean_long_prompt_tokens, o.min_long_prompt_tokens, rng)
+                            : Length(o.mean_prompt_tokens, o.min_prompt_tokens, rng);
       r.decode_tokens = Length(o.mean_decode_tokens, o.min_decode_tokens, rng);
       if (turn == 0 && prefix >= 0) {
         // The registered prefix rides in front of the first turn's own prompt.

@@ -51,6 +51,18 @@ struct TrafficOptions {
   int session_turns = 3;
   double mean_think_s = 1.0;
 
+  // --- long-context requests (tiered KV offload, docs/long_context.md) ---
+  // With long_context_fraction > 0, an initial arrival is a document-grounded long-context
+  // request with this probability: its prompt length is drawn around
+  // `mean_long_prompt_tokens` (same lognormal dispersion, floored at
+  // `min_long_prompt_tokens`) instead of the short-prompt mean. These are the sessions
+  // whose resident KV overflows the DRAM budget and exercises the flash tier / sliding
+  // window. All draws are gated on the fraction, so the default (0) produces byte-identical
+  // traces to older options.
+  double long_context_fraction = 0.0;
+  int mean_long_prompt_tokens = 8192;
+  int min_long_prompt_tokens = 1024;
+
   // --- shared system prompts (fleet prefix registry, docs/fleet.md) ---
   // With prefix_count > 0 and prefix_tokens > 0, each initial arrival uses a registered
   // shared system prompt with probability `prefix_fraction`: its Request carries a

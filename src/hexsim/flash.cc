@@ -1,0 +1,21 @@
+#include "src/hexsim/flash.h"
+
+#include <cstdlib>
+
+namespace hexsim {
+
+FlashSpec FlashSpecFromEnv(FlashSpec spec) {
+  const char* v = std::getenv("HEXLLM_KV_OFFLOAD_GBPS");
+  if (v != nullptr && v[0] != '\0') {
+    char* end = nullptr;
+    const double gbps = std::strtod(v, &end);
+    if (end != v && gbps > 0.0) {
+      const double ratio = spec.write_gbps / spec.read_gbps;
+      spec.read_gbps = gbps;
+      spec.write_gbps = gbps * ratio;
+    }
+  }
+  return spec;
+}
+
+}  // namespace hexsim

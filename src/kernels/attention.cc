@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <vector>
@@ -141,6 +142,17 @@ struct PagedQuantKvRows {
   }
 };
 
+// Drops a window that is disabled or covers the whole KV range, so full-coverage windowed
+// calls run the exact legacy code path (bit-identical charges and outputs).
+const AttnWindowSpec* NormalizeWindow(const AttnWindowSpec* window, int q_len, int kv_len,
+                                      int q_pos_offset) {
+  if (window == nullptr || !window->enabled()) {
+    return nullptr;
+  }
+  const int eff_off = q_pos_offset >= 0 ? q_pos_offset : kv_len - q_len;
+  return window->CoversAll(eff_off + q_len - 1) ? nullptr : window;
+}
+
 // Algorithm 1 core, shared by the contiguous and paged entry points. `KvRows::Stage` fills
 // the TCM staging buffer with KV positions [j0, j0 + n); Q/O rows are strided by
 // q_stride/o_stride elements so callers can point directly into packed activations.
@@ -148,8 +160,16 @@ template <typename KvRows>
 void FlashAttentionCore(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant exp_variant,
                         const F16* q, int64_t q_stride, const KvRows& k_rows,
                         const KvRows& v_rows, F16* o, int64_t o_stride, int q_len,
-                        int kv_len, int head_dim, float scale, int q_pos_offset) {
+                        int kv_len, int head_dim, float scale, int q_pos_offset,
+                        const AttnWindowSpec* window) {
   const bool causal = q_pos_offset >= 0;
+  const AttnWindowSpec* win = NormalizeWindow(window, q_len, kv_len, q_pos_offset);
+  // Absolute position of query row 0: rows align to the end of kv when no causal offset is
+  // given (the single-row decode convention).
+  const int win_off = causal ? q_pos_offset : kv_len - q_len;
+  if (win != nullptr) {
+    dev.ledger().AddCount("kernel.flash_attention.windowed_calls");
+  }
   HEXLLM_CHECK(head_dim % HmxEngine::kTileDim == 0);
   HEXLLM_CHECK(q_len > 0 && kv_len > 0);
   dev.ledger().AddCount("kernel.flash_attention.calls");
@@ -214,6 +234,9 @@ void FlashAttentionCore(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVarian
       const int kvt = static_cast<int>(hexllm::CeilDiv(kvn, HmxEngine::kTileDim));
       if (causal && kv0 > q_pos_offset + q0 + rows - 1) {
         continue;  // every position in this chunk is in the future for every row
+      }
+      if (win != nullptr && win->ChunkFullyMasked(kv0, kvn, win_off + q0)) {
+        continue;  // interior chunk outside every row's sink+window span: never staged
       }
 
       // Stage K rows and pack K^T tiles (weight layout: [head_dim x kv] tiles).
@@ -281,6 +304,19 @@ void FlashAttentionCore(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVarian
           }
         }
         ctx.Charge(rows);  // one masked vmux sweep per row (2 regs, amortized)
+      }
+      // Sliding-window + sink mask: positions between the sink prefix and the row's
+      // trailing window contribute exp(-inf) = 0, same mechanism as the causal mask.
+      if (win != nullptr) {
+        for (int r = 0; r < rows; ++r) {
+          const int qa = win_off + q0 + r;
+          for (int c = 0; c < kvn; ++c) {
+            if (win->Masked(kv0 + c, qa)) {
+              s_rows[r * kAttnKvChunk + c] = F16::NegInf();
+            }
+          }
+        }
+        ctx.Charge(rows);  // one masked vmux sweep per row, mirroring the causal charge
       }
 
       // Online softmax over the chunk (2 registers per row).
@@ -375,30 +411,83 @@ void FlashAttentionCore(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVarian
 
 }  // namespace
 
+AttnWindowSpec AttnWindowFromEnv(AttnWindowSpec spec) {
+  if (const char* s = std::getenv("HEXLLM_ATTN_SINK_BLOCKS"); s != nullptr && *s != '\0') {
+    spec.sink_blocks = std::atoi(s);
+  }
+  if (const char* s = std::getenv("HEXLLM_ATTN_WINDOW_BLOCKS"); s != nullptr && *s != '\0') {
+    spec.window_blocks = std::atoi(s);
+  }
+  return spec;
+}
+
+void AppendAttendedBlocks(const AttnWindowSpec* window, int q_len, int kv_len,
+                          int q_pos_offset, int block_tokens, std::vector<int>* out) {
+  HEXLLM_CHECK(block_tokens >= 1);
+  if (q_len <= 0 || kv_len <= 0) {
+    return;
+  }
+  const AttnWindowSpec* win = NormalizeWindow(window, q_len, kv_len, q_pos_offset);
+  const bool causal = q_pos_offset >= 0;
+  const int win_off = causal ? q_pos_offset : kv_len - q_len;
+  const int q_tiles = static_cast<int>(hexllm::CeilDiv(q_len, kAttnQTile));
+  const int kv_chunks = static_cast<int>(hexllm::CeilDiv(kv_len, kAttnKvChunk));
+  int prev_last = -1;  // chunks ascend, so blocks ascend: dedup is a high-water mark
+  for (int chunk = 0; chunk < kv_chunks; ++chunk) {
+    const int kv0 = chunk * kAttnKvChunk;
+    const int kvn = std::min(kAttnKvChunk, kv_len - kv0);
+    // A chunk is staged iff some q-tile both causally reaches it and does not have it
+    // fully window-masked — the exact pair of skip predicates in FlashAttentionCore.
+    bool staged = false;
+    for (int qt = 0; qt < q_tiles && !staged; ++qt) {
+      const int q0 = qt * kAttnQTile;
+      const int rows = std::min(kAttnQTile, q_len - q0);
+      if (causal && kv0 > q_pos_offset + q0 + rows - 1) {
+        continue;
+      }
+      if (win != nullptr && win->ChunkFullyMasked(kv0, kvn, win_off + q0)) {
+        continue;
+      }
+      staged = true;
+    }
+    if (!staged) {
+      continue;
+    }
+    const int first = kv0 / block_tokens;
+    const int last = (kv0 + kvn - 1) / block_tokens;
+    for (int b = std::max(first, prev_last + 1); b <= last; ++b) {
+      out->push_back(b);
+    }
+    prev_last = last;
+  }
+}
+
 void FlashAttentionF16(hexsim::NpuDevice& dev, const ExpLut& lut, SoftmaxVariant exp_variant,
                        const F16* q, const F16* k, const F16* v, F16* o, int q_len, int kv_len,
                        int head_dim, float scale, int q_pos_offset) {
   const ContigKvRows k_rows{k, head_dim};
   const ContigKvRows v_rows{v, head_dim};
   FlashAttentionCore(dev, lut, exp_variant, q, head_dim, k_rows, v_rows, o, head_dim, q_len,
-                     kv_len, head_dim, scale, q_pos_offset);
+                     kv_len, head_dim, scale, q_pos_offset, /*window=*/nullptr);
 }
 
 void FlashAttentionPagedF16(hexsim::NpuDevice& dev, const ExpLut& lut,
                             SoftmaxVariant exp_variant, const F16* q, int64_t q_stride,
                             const PagedKvHeadView& kv, F16* o, int64_t o_stride, int q_len,
-                            int kv_len, int head_dim, float scale, int q_pos_offset) {
+                            int kv_len, int head_dim, float scale, int q_pos_offset,
+                            const AttnWindowSpec* window) {
   HEXLLM_CHECK(kv.k_blocks != nullptr && kv.v_blocks != nullptr && kv.block_tokens >= 1);
   const PagedKvRows k_rows{kv.k_blocks, kv.block_tokens, kv.row_stride, kv.head_offset};
   const PagedKvRows v_rows{kv.v_blocks, kv.block_tokens, kv.row_stride, kv.head_offset};
   FlashAttentionCore(dev, lut, exp_variant, q, q_stride, k_rows, v_rows, o, o_stride, q_len,
-                     kv_len, head_dim, scale, q_pos_offset);
+                     kv_len, head_dim, scale, q_pos_offset, window);
 }
 
 void FlashAttentionPagedQ(hexsim::NpuDevice& dev, const ExpLut& lut,
                           SoftmaxVariant exp_variant, const F16* q, int64_t q_stride,
                           const PagedQKvHeadView& kv, F16* o, int64_t o_stride, int q_len,
-                          int kv_len, int head_dim, float scale, int q_pos_offset) {
+                          int kv_len, int head_dim, float scale, int q_pos_offset,
+                          const AttnWindowSpec* window) {
   HEXLLM_CHECK(kv.k_blocks != nullptr && kv.v_blocks != nullptr && kv.block_tokens >= 1);
   HEXLLM_CHECK(kv.dtype != hquant::KvDtype::kF16);
   HEXLLM_CHECK(kv.group >= 2 && head_dim % kv.group == 0);
@@ -412,7 +501,7 @@ void FlashAttentionPagedQ(hexsim::NpuDevice& dev, const ExpLut& lut,
                                 kv.payload_offset, kv.scales_offset, kv.group,
                                 kv.dtype,          staged_row_bytes};
   FlashAttentionCore(dev, lut, exp_variant, q, q_stride, k_rows, v_rows, o, o_stride, q_len,
-                     kv_len, head_dim, scale, q_pos_offset);
+                     kv_len, head_dim, scale, q_pos_offset, window);
 }
 
 void FlashAttentionHeadsF16(

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "src/base/fp16.h"
 #include "src/hexsim/npu_device.h"
@@ -29,6 +30,60 @@ namespace hkern {
 
 inline constexpr int kAttnQTile = 32;    // HMX tile height
 inline constexpr int kAttnKvChunk = 128; // KV positions per online-softmax step (4 tiles)
+
+// Sliding-window attention with attention sinks (docs/long_context.md): a query at
+// absolute position qa attends the first `sink_blocks` blocks (the attention-sink prefix
+// that anchors softmax mass), the trailing `window_blocks` blocks ending at its own block,
+// and nothing in between. Block-aligned on the KV-cache block size so masked interior
+// blocks become whole-block eviction candidates for the tiered KV offload.
+//
+// window_blocks <= 0 disables the window (plain causal attention). A window that covers
+// the whole KV range (CoversAll) is normalized away at the kernel entry points, so the
+// full-coverage configuration takes the exact legacy code path — charges and outputs stay
+// bit-identical to unwindowed attention, the invariant the CI gate checks.
+struct AttnWindowSpec {
+  int sink_blocks = 0;
+  int window_blocks = 0;
+  int block_tokens = 32;  // must match the paged KV cache's block size
+
+  bool enabled() const { return window_blocks > 0; }
+  int sink_tokens() const { return sink_blocks * block_tokens; }
+  // First KV position the query at absolute position qa may attend outside the sinks: the
+  // window is the `window_blocks` whole blocks ending at qa's own block.
+  int WindowStart(int qa) const {
+    const int start = (qa / block_tokens - window_blocks + 1) * block_tokens;
+    return start > 0 ? start : 0;
+  }
+  // True when position `p` is masked for the query at absolute position `qa`.
+  bool Masked(int p, int qa) const {
+    return p >= sink_tokens() && p < WindowStart(qa);
+  }
+  // True when KV chunk [kv0, kv0 + n) is masked for EVERY query row at absolute positions
+  // >= qa0 (the masked interior only grows with qa, so the first row decides).
+  bool ChunkFullyMasked(int kv0, int n, int qa0) const {
+    return kv0 >= sink_tokens() && kv0 + n <= WindowStart(qa0);
+  }
+  // True when no position in [0, kv_len) is masked for any query up to qa_max — the
+  // full-coverage case that must degrade to legacy causal attention.
+  bool CoversAll(int qa_max) const { return WindowStart(qa_max) <= sink_tokens(); }
+  // Resident tokens a window keeps attendable regardless of context length (sinks + window
+  // + the partially-filled current block) — what admission math prices.
+  int ResidentTokens() const { return (sink_blocks + window_blocks + 1) * block_tokens; }
+};
+
+// Builds an AttnWindowSpec from HEXLLM_ATTN_SINK_BLOCKS / HEXLLM_ATTN_WINDOW_BLOCKS
+// (window disabled when the window var is unset or <= 0), overriding `spec`.
+AttnWindowSpec AttnWindowFromEnv(AttnWindowSpec spec = AttnWindowSpec());
+
+// Appends to `out` the KV-cache table-block indices a windowed FlashAttention call over
+// [0, kv_len) with `q_len` query rows at base position `q_pos_offset` (< 0: rows aligned
+// to the end of kv, the decode convention) will actually stage — chunk-granular, matching
+// FlashAttentionCore's causal and window chunk-skip logic exactly. The serving layer
+// faults exactly these blocks resident before the kernel runs; everything else is
+// evictable. `window` may be null (plain causal attention stages every block up to the
+// causal frontier).
+void AppendAttendedBlocks(const AttnWindowSpec* window, int q_len, int kv_len,
+                          int q_pos_offset, int block_tokens, std::vector<int>* out);
 
 // Runs one head of FP16 FlashAttention. q: [q_len, head_dim], k/v: [kv_len, head_dim],
 // o: [q_len, head_dim], all row-major FP16 in (simulated) DDR. head_dim must be a multiple
@@ -66,11 +121,18 @@ struct PagedKvHeadView {
 // (q row r = q + r * q_stride, first head_dim columns), o rows by `o_stride` — so the
 // kernel reads/writes head columns of the transformer's packed activations directly.
 // Same math, same charging as the contiguous kernel.
+// `window`, when non-null and enabled, applies sliding-window + attention-sink masking on
+// top of the causal mask: fully-masked KV chunks are skipped (never staged, never charged)
+// and partially-masked chunks get -inf scores like the causal mask. A window covering the
+// whole KV range is normalized away, taking the exact legacy path (bit-identical charges
+// and outputs). When q_pos_offset < 0 the query rows are treated as ending at kv_len (the
+// decode convention) for window purposes.
 void FlashAttentionPagedF16(hexsim::NpuDevice& dev, const ExpLut& lut,
                             SoftmaxVariant exp_variant, const hexllm::F16* q,
                             int64_t q_stride, const PagedKvHeadView& kv, hexllm::F16* o,
                             int64_t o_stride, int q_len, int kv_len, int head_dim,
-                            float scale, int q_pos_offset = -1);
+                            float scale, int q_pos_offset = -1,
+                            const AttnWindowSpec* window = nullptr);
 
 // One attention head's view of a low-bit quantized paged KV cache
 // (hkv::PagedKvCache with KvDtype kInt8/kInt4; docs/kv_quantization.md). Blocks store
@@ -101,7 +163,7 @@ void FlashAttentionPagedQ(hexsim::NpuDevice& dev, const ExpLut& lut,
                           SoftmaxVariant exp_variant, const hexllm::F16* q, int64_t q_stride,
                           const PagedQKvHeadView& kv, hexllm::F16* o, int64_t o_stride,
                           int q_len, int kv_len, int head_dim, float scale,
-                          int q_pos_offset = -1);
+                          int q_pos_offset = -1, const AttnWindowSpec* window = nullptr);
 
 // Runs `heads` independent attention heads, parallelized across hexec slots with one shard
 // device (and one exp LUT resident in that shard's TCM) per slot. `slot_luts[s]` must be

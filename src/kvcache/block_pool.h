@@ -50,13 +50,33 @@ class BlockPool {
   // Blocks still allocatable; meaningless (INT64_MAX) for unbounded pools.
   int64_t free_blocks() const;
 
+  // --- tiered-offload support (docs/long_context.md) ---
+  // A live block's payload is either DRAM-resident (the default) or demoted to the flash
+  // tier. Only hkv::KvOffloadEngine flips residency; everything else just reads it. A block
+  // whose last reference drops reverts to resident, so the free list stays tier-agnostic.
+  void SetResident(int block, bool resident);
+  bool resident(int block) const;
+  // Live AND resident block count (what a DRAM budget actually holds).
+  int64_t resident_blocks() const;
+
+  // Eviction recency: the bookkeeping thread stamps a block whenever it is appended to or
+  // staged for attention; the LRU policy evicts the smallest stamp first.
+  void Touch(int block, int64_t step);
+  int64_t last_touch(int block) const;
+
+  // Ids ever created — the upper bound for scans over per-block state.
+  int64_t minted_blocks() const;
+
  private:
   mutable std::mutex mu_;
   int64_t capacity_;
   int64_t used_ = 0;
+  int64_t nonresident_ = 0;     // live blocks demoted to the flash tier
   int64_t peak_used_ = 0;
   std::vector<int> refs_;       // per minted id; 0 = on the free list
   std::vector<int> free_list_;  // LIFO
+  std::vector<uint8_t> resident_;    // per minted id
+  std::vector<int64_t> last_touch_;  // per minted id
 };
 
 }  // namespace hkv

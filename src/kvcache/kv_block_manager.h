@@ -135,6 +135,10 @@ class KvBlockManager {
   int64_t free_blocks() const { return pool_.free_blocks(); }
   KvStats stats() const;
 
+  // Physical-pool access for the tiered-offload engine (residency bits, LRU stamps).
+  BlockPool& pool() { return pool_; }
+  const BlockPool& pool() const { return pool_; }
+
  private:
   struct Table {
     std::vector<int> blocks;

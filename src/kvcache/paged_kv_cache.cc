@@ -63,10 +63,23 @@ int64_t PagedKvCache::QuantRowOffset(int layer, bool value, int pos_in_block) co
          row_bytes_;
 }
 
+void PagedKvCache::FaultForWrite(const KvBlockManager::WriteAccess& wa) {
+  if (offload_ == nullptr || !offload_->enabled()) {
+    return;
+  }
+  // The CoW source must be readable (its rows are about to be copied) and the destination
+  // writable; both faults charge the flash tier like any other access.
+  if (wa.copied_from >= 0) {
+    offload_->EnsureResidentBlock(wa.copied_from);
+  }
+  offload_->EnsureResidentBlock(wa.block);
+}
+
 hexllm::F16* PagedKvCache::MutableRow(int layer, int seq, int pos, bool value) {
   HEXLLM_DCHECK(dtype_ == hquant::KvDtype::kF16);
   HEXLLM_DCHECK(pos >= 0 && pos < max_context_);
   const KvBlockManager::WriteAccess wa = mgr_.EnsureWritable(seq, pos);
+  FaultForWrite(wa);
   if (wa.copied_from >= 0) {
     // CoW split: the new private block inherits every layer's rows of the shared block.
     std::memcpy(BlockData(wa.block), BlockData(wa.copied_from),
@@ -93,6 +106,7 @@ void PagedKvCache::WriteRow(int layer, int seq, int pos, bool value, const hexll
   }
   HEXLLM_DCHECK(pos >= 0 && pos < max_context_);
   const KvBlockManager::WriteAccess wa = mgr_.EnsureWritable(seq, pos);
+  FaultForWrite(wa);
   if (wa.copied_from >= 0) {
     std::memcpy(QuantBlockData(wa.block), QuantBlockData(wa.copied_from),
                 static_cast<size_t>(block_bytes_));
@@ -191,8 +205,11 @@ int PagedKvCache::FillBlockPointers(int layer, int seq, int positions,
   const int64_t k_off = RowOffset(layer, false, 0);
   const int64_t v_off = RowOffset(layer, true, 0);
   for (int i = 0; i < n; ++i) {
-    const hexllm::F16* base =
-        storage_.data() + static_cast<int64_t>(mgr_.block_at(seq, i)) * block_elems_;
+    const int block = mgr_.block_at(seq, i);
+    // Demoted blocks may legitimately appear here: a windowed kernel never stages the
+    // masked interior chunks, and every staged block was faulted resident by
+    // EnsureResidentTableBlocks before this parallel region (docs/long_context.md).
+    const hexllm::F16* base = storage_.data() + static_cast<int64_t>(block) * block_elems_;
     k_bases[i] = base + k_off;
     v_bases[i] = base + v_off;
   }
@@ -230,10 +247,81 @@ void PagedKvCache::ResetSeq(int seq) {
 }
 
 int64_t PagedKvCache::TruncateSeq(int seq, int new_len) {
+  [[maybe_unused]] const int old_len = mgr_.length(seq);
   freed_scratch_.clear();
   const int64_t dropped = mgr_.Truncate(seq, new_len, &freed_scratch_);
   PoisonFreed();
+#ifndef NDEBUG
+  // Whole dropped blocks were just poisoned, but a speculative rollback usually lands
+  // mid-block: the KEPT partial tail block still holds the rejected rows [new_len, old_len).
+  // Poison them too (when the block is exclusively owned — a shared tail belongs to other
+  // sequences whose rows are still live) so a stale re-read fails as loudly as a freed
+  // block instead of silently returning rolled-back KV.
+  const int bt = mgr_.block_tokens();
+  if (new_len > 0 && new_len < old_len && new_len % bt != 0) {
+    const int idx = new_len / bt;
+    const int block = mgr_.block_at(seq, idx);
+    if (mgr_.pool().ref_count(block) == 1) {
+      for (int p = new_len % bt; p < bt; ++p) {
+        for (int l = 0; l < layers_; ++l) {
+          for (int value = 0; value < 2; ++value) {
+            if (dtype_ == hquant::KvDtype::kF16) {
+              hexllm::F16* row = BlockData(block) + RowOffset(l, value != 0, p);
+              for (int i = 0; i < kv_dim_; ++i) {
+                row[i] = hexllm::F16::FromBits(kPoisonBits);
+              }
+            } else {
+              std::memset(QuantBlockData(block) + QuantRowOffset(l, value != 0, p), 0xFF,
+                          static_cast<size_t>(row_bytes_));
+            }
+          }
+        }
+      }
+    }
+  }
+#endif
   return dropped;
+}
+
+void PagedKvCache::ConfigureOffload(const KvOffloadOptions& opts,
+                                    std::unique_ptr<KvEvictionPolicy> policy) {
+  HEXLLM_CHECK_MSG(mgr_.stats().physical_blocks == 0,
+                   "ConfigureOffload requires an empty cache");
+  uint8_t* storage = dtype_ == hquant::KvDtype::kF16
+                         ? reinterpret_cast<uint8_t*>(storage_.data())
+                         : qstorage_.data();
+  offload_ = std::make_unique<KvOffloadEngine>(mgr_.pool(), storage, StorageBlockBytes(),
+                                               opts, std::move(policy));
+}
+
+double PagedKvCache::EnsureResidentTableBlocks(int seq, std::span<const int> table_indices) {
+  if (offload_ == nullptr || !offload_->enabled()) {
+    return 0.0;
+  }
+  resident_scratch_.clear();
+  const int64_t table = mgr_.table_blocks(seq);
+  for (const int idx : table_indices) {
+    if (idx >= table) {
+      continue;  // not allocated yet — the step's first write mints it resident
+    }
+    resident_scratch_.push_back(mgr_.block_at(seq, idx));
+  }
+  return offload_->EnsureResident(resident_scratch_);
+}
+
+void PagedKvCache::PrefetchTableBlocks(int seq, std::span<const int> table_indices) {
+  if (offload_ == nullptr || !offload_->enabled()) {
+    return;
+  }
+  resident_scratch_.clear();
+  const int64_t table = mgr_.table_blocks(seq);
+  for (const int idx : table_indices) {
+    if (idx >= table) {
+      continue;
+    }
+    resident_scratch_.push_back(mgr_.block_at(seq, idx));
+  }
+  offload_->PrefetchAsync(resident_scratch_);
 }
 
 void PagedKvCache::ShareFromHandle(int64_t handle, int dst_seq, int len) {
@@ -247,6 +335,13 @@ void PagedKvCache::DropHandle(int64_t handle) {
 }
 
 void PagedKvCache::PoisonFreed() {
+  if (offload_ != nullptr) {
+    // A freed block's flash copy (or queued promotion) is dead weight — drop it so the id
+    // can be reused tier-clean.
+    for (const int b : freed_scratch_) {
+      offload_->NoteFreed(b);
+    }
+  }
 #ifndef NDEBUG
   for (const int b : freed_scratch_) {
     if (dtype_ == hquant::KvDtype::kF16) {

@@ -32,10 +32,13 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "src/base/fp16.h"
 #include "src/kvcache/kv_block_manager.h"
+#include "src/kvcache/kv_offload.h"
 #include "src/quant/quant_types.h"
 
 namespace hkv {
@@ -182,6 +185,29 @@ class PagedKvCache {
   int64_t table_blocks(int seq) const { return mgr_.table_blocks(seq); }
   bool TailShared(int seq) const { return mgr_.TailShared(seq); }
 
+  // --- tiered flash offload (docs/long_context.md) ---
+  // Attaches a KvOffloadEngine under this cache: the pool's capacity stays the hard limit,
+  // but only `opts.resident_block_budget` live blocks may keep their payload in DRAM — the
+  // rest demote to the flash tier and fault back in on access. Call before any sequence
+  // holds blocks. A default-constructed (budget <= 0) options value detaches nothing but
+  // leaves offload disabled.
+  void ConfigureOffload(const KvOffloadOptions& opts,
+                        std::unique_ptr<KvEvictionPolicy> policy = nullptr);
+  KvOffloadEngine* offload() { return offload_.get(); }
+  const KvOffloadEngine* offload() const { return offload_.get(); }
+  bool offload_enabled() const { return offload_ != nullptr && offload_->enabled(); }
+
+  // Faults the given table entries of `seq` back into DRAM and stamps their recency —
+  // bookkeeping-thread only, before the parallel attention region reads KV in place
+  // (docs/threading_model.md). Returns the flash-read stall seconds the step absorbs.
+  double EnsureResidentTableBlocks(int seq, std::span<const int> table_indices);
+
+  // Queues async flash reads for the given table entries (resident/pending blocks and
+  // entries past the allocated table are skipped; no-op with offload off). The serving
+  // layer calls this with the NEXT step's predicted attended set so the reads overlap the
+  // intervening decode compute instead of stalling at the fault.
+  void PrefetchTableBlocks(int seq, std::span<const int> table_indices);
+
   KvStats stats() const { return mgr_.stats(); }
   const KvQuantStats& quant_stats() const { return quant_stats_; }
   // Physical bytes of the whole block pool (allocated up front).
@@ -199,6 +225,10 @@ class PagedKvCache {
   const uint8_t* QuantBlockDataForTest(int block) const {
     return qstorage_.data() + static_cast<int64_t>(block) * block_bytes_;
   }
+  // Physical block id behind table entry `table_idx` of `seq`, for tests
+  // (residency/eviction checks against the pool).
+  int BlockIdForTest(int seq, int table_idx) const { return mgr_.block_at(seq, table_idx); }
+  const BlockPool& PoolForTest() const { return mgr_.pool(); }
 
  private:
   hexllm::F16* BlockData(int block) {
@@ -216,6 +246,13 @@ class PagedKvCache {
   void QuantizeRowInto(const hexllm::F16* src, uint8_t* row);
   void DequantRowInto(const uint8_t* row, hexllm::F16* dst) const;
   void PoisonFreed();
+  // Bytes per block in the active dtype's backing store (the offload payload unit).
+  int64_t StorageBlockBytes() const {
+    return dtype_ == hquant::KvDtype::kF16 ? block_elems_ * 2 : block_bytes_;
+  }
+  // Write-path residency: faults the CoW source and destination blocks of a WriteAccess
+  // back into DRAM before storage touches them. No-op when offload is off.
+  void FaultForWrite(const KvBlockManager::WriteAccess& wa);
 
   int layers_;
   int kv_dim_;
@@ -230,9 +267,11 @@ class PagedKvCache {
   std::vector<hexllm::F16> storage_;   // F16 mode backing store
   std::vector<uint8_t> qstorage_;      // quantized-mode backing store
   std::vector<int> freed_scratch_;
+  std::vector<int> resident_scratch_;  // table-index -> block-id staging for EnsureResident
   std::vector<float> quant_src_scratch_;  // one group of floats (writer-thread only)
   std::vector<hexllm::F16> quant_rt_scratch_;  // round-trip dequant for error accounting
   KvQuantStats quant_stats_;
+  std::unique_ptr<KvOffloadEngine> offload_;
 };
 
 }  // namespace hkv

@@ -96,6 +96,16 @@ hkern::PagedQKvHeadView Transformer::QuantHeadView(const uint8_t* const* k_bases
   return view;
 }
 
+void Transformer::FaultAttendedBlocks(int seq, int q_len, int kv_len, int q_pos_offset) {
+  if (!kv_.offload_enabled()) {
+    return;
+  }
+  attended_scratch_.clear();
+  hkern::AppendAttendedBlocks(win(), q_len, kv_len, q_pos_offset, kv_.block_tokens(),
+                              &attended_scratch_);
+  kv_.EnsureResidentTableBlocks(seq, attended_scratch_);
+}
+
 std::span<const hkern::ExpLut* const> Transformer::EnsureShardLuts(int slots) {
   dev_.EnsureShards(slots);
   if (slot_lut_ptrs_.empty()) {
@@ -189,6 +199,14 @@ void Transformer::StepSpans(std::span<const int> tokens, std::span<const int> se
   const auto slot_luts = EnsureShardLuts(slots);
   EnsureSlotScratch(slots);
 
+  // Tiered offload: promote every block attention will stage, once per step — blocks hold
+  // all layers' rows, so the attended set is layer-invariant.
+  for (int s = 0; s < spans; ++s) {
+    const int seq = seq_ids[static_cast<size_t>(s)];
+    const int n = span_rows[static_cast<size_t>(s)];
+    FaultAttendedBlocks(seq, n, kv_.length(seq) + n, /*q_pos_offset=*/kv_.length(seq));
+  }
+
   for (int l = 0; l < c.layers; ++l) {
     const LayerWeights& lw = weights_.layers[static_cast<size_t>(l)];
 
@@ -241,7 +259,7 @@ void Transformer::StepSpans(std::span<const int> tokens, std::span<const int> se
                 hkern::FlashAttentionPagedQ(
                     d, lut, exp_variant, q + static_cast<int64_t>(r0) * q_dim + h * dh,
                     q_dim, view, attn_out + static_cast<int64_t>(r0) * q_dim + h * dh,
-                    q_dim, /*q_len=*/n, kv_len, dh, scale, /*q_pos_offset=*/pos0);
+                    q_dim, /*q_len=*/n, kv_len, dh, scale, /*q_pos_offset=*/pos0, win());
               }
               continue;
             }
@@ -258,7 +276,7 @@ void Transformer::StepSpans(std::span<const int> tokens, std::span<const int> se
               hkern::FlashAttentionPagedF16(
                   d, lut, exp_variant, q + static_cast<int64_t>(r0) * q_dim + h * dh, q_dim,
                   view, attn_out + static_cast<int64_t>(r0) * q_dim + h * dh, q_dim,
-                  /*q_len=*/n, kv_len, dh, scale, /*q_pos_offset=*/pos0);
+                  /*q_len=*/n, kv_len, dh, scale, /*q_pos_offset=*/pos0, win());
             }
           }
         },
@@ -336,6 +354,7 @@ void Transformer::PrefillChunk(int seq, std::span<const int> tokens) {
   const int kv_len = pos0 + rows;
   const int slots = std::min(hexec::PlannedSlots(c.heads), c.heads);
   const auto slot_luts = EnsureShardLuts(slots);
+  FaultAttendedBlocks(seq, rows, kv_len, /*q_pos_offset=*/pos0);
 
   for (int l = 0; l < c.layers; ++l) {
     const LayerWeights& lw = weights_.layers[static_cast<size_t>(l)];
@@ -378,7 +397,7 @@ void Transformer::PrefillChunk(int seq, std::span<const int> tokens) {
                   layer_kq_ptrs_.data(), layer_vq_ptrs_.data(), static_cast<int>(h / group));
               hkern::FlashAttentionPagedQ(d, lut, hkern::SoftmaxVariant::kLut, q + h * dh,
                                           q_dim, view, attn_out + h * dh, q_dim, rows,
-                                          kv_len, dh, scale, /*q_pos_offset=*/pos0);
+                                          kv_len, dh, scale, /*q_pos_offset=*/pos0, win());
               continue;
             }
             hkern::PagedKvHeadView view;
@@ -389,7 +408,7 @@ void Transformer::PrefillChunk(int seq, std::span<const int> tokens) {
             view.head_offset = static_cast<int64_t>(h / group) * dh;
             hkern::FlashAttentionPagedF16(d, lut, hkern::SoftmaxVariant::kLut, q + h * dh,
                                           q_dim, view, attn_out + h * dh, q_dim, rows,
-                                          kv_len, dh, scale, /*q_pos_offset=*/pos0);
+                                          kv_len, dh, scale, /*q_pos_offset=*/pos0, win());
           }
         },
         slots);
@@ -452,6 +471,13 @@ void Transformer::StepSeqSubset(std::span<const int> tokens, std::span<const int
   const auto slot_luts = EnsureShardLuts(slots);
   EnsureSlotScratch(slots);
 
+  // Tiered offload: promote the attended blocks once per step, on this (bookkeeping)
+  // thread — the parallel lanes below must never mutate pool residency.
+  for (int b = 0; b < batch; ++b) {
+    const int seq = seq_ids[static_cast<size_t>(b)];
+    FaultAttendedBlocks(seq, /*q_len=*/1, kv_.length(seq) + 1, /*q_pos_offset=*/-1);
+  }
+
   for (int l = 0; l < c.layers; ++l) {
     const LayerWeights& lw = weights_.layers[static_cast<size_t>(l)];
 
@@ -498,7 +524,7 @@ void Transformer::StepSeqSubset(std::span<const int> tokens, std::span<const int
                 hkern::FlashAttentionPagedQ(
                     d, lut, exp_variant, q + static_cast<int64_t>(b) * q_dim + h * dh, q_dim,
                     view, attn_out + static_cast<int64_t>(b) * q_dim + h * dh, q_dim,
-                    /*q_len=*/1, kv_len, dh, scale);
+                    /*q_len=*/1, kv_len, dh, scale, /*q_pos_offset=*/-1, win());
               }
             }
             return;
@@ -519,7 +545,7 @@ void Transformer::StepSeqSubset(std::span<const int> tokens, std::span<const int
               hkern::FlashAttentionPagedF16(
                   d, lut, exp_variant, q + static_cast<int64_t>(b) * q_dim + h * dh, q_dim,
                   view, attn_out + static_cast<int64_t>(b) * q_dim + h * dh, q_dim,
-                  /*q_len=*/1, kv_len, dh, scale);
+                  /*q_len=*/1, kv_len, dh, scale, /*q_pos_offset=*/-1, win());
             }
           }
         },

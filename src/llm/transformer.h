@@ -91,6 +91,17 @@ class Transformer {
   // prefill pipeline, not token-by-token decoding. Logits are discarded.
   void Prefill(int seq, std::span<const int> tokens);
 
+  // Installs sliding-window + attention-sink masking (docs/long_context.md) on every
+  // attention region. The spec's block size is forced to the KV cache's block size; a spec
+  // with window_blocks <= 0 (the default) disables the window, and a window wide enough to
+  // cover the whole context is normalized away inside the kernels — both configurations
+  // are bit-identical to unwindowed attention. May be changed between steps, not during.
+  void SetAttentionWindow(hkern::AttnWindowSpec window) {
+    window.block_tokens = kv_.block_tokens();
+    window_ = window;
+  }
+  const hkern::AttnWindowSpec& attention_window() const { return window_; }
+
   KvCache& kv() { return kv_; }
   const KvCache& kv() const { return kv_; }
   const ModelConfig& config() const { return weights_.config; }
@@ -122,6 +133,17 @@ class Transformer {
   hkern::PagedQKvHeadView QuantHeadView(const uint8_t* const* k_bases,
                                         const uint8_t* const* v_bases, int kv_head) const;
 
+  // The window pointer attention kernels receive: null when windowing is off.
+  const hkern::AttnWindowSpec* win() const {
+    return window_.enabled() ? &window_ : nullptr;
+  }
+
+  // Faults the KV blocks an attention call with this shape will stage back into DRAM
+  // (tiered offload; no-op when offload is off). Must run on the bookkeeping thread
+  // BEFORE the parallel attention region — block promotion mutates pool residency state,
+  // which the read-only parallel lanes must never do (docs/threading_model.md).
+  void FaultAttendedBlocks(int seq, int q_len, int kv_len, int q_pos_offset);
+
   hexsim::NpuDevice& dev_;
   const ModelWeights& weights_;
   hkern::ExpLut lut_;
@@ -137,6 +159,8 @@ class Transformer {
   std::vector<double> rope_inv_freq_;    // base^(-2i/d) per pair, pow() hoisted once
   std::vector<int> identity_seq_ids_;    // 0..max_batch-1, for Step()
   std::vector<int> span_row0_;           // per-span first-row offsets, for StepSpans()
+  hkern::AttnWindowSpec window_;         // disabled unless SetAttentionWindow installs one
+  std::vector<int> attended_scratch_;    // table indices for FaultAttendedBlocks
   // Block-pointer scratch: per decode slot (parallel lanes), and one shared set for the
   // single-sequence prefill (filled once per layer, read by all head lanes).
   std::vector<std::vector<const hexllm::F16*>> slot_k_ptrs_;

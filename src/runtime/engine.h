@@ -42,6 +42,12 @@ struct StepCost {
   double misc_s = 0.0;       // RMSNorm, RoPE, SiLU, residual adds
   double lm_head_s = 0.0;    // CPU vocabulary projection
   double comm_s = 0.0;       // mailbox round trips + cache maintenance
+  // Tiered KV offload (docs/long_context.md): seconds spent moving KV blocks between DRAM
+  // and the flash tier, and the bytes moved. flash_s overlaps decode compute where the
+  // prefetch queue permits; only the non-overlapped stall is folded into total_s. Zero on
+  // every path without offload — legacy cost sums are unchanged.
+  double flash_s = 0.0;
+  int64_t flash_bytes = 0;
   double total_s = 0.0;
 
   // Engine busy time (for the power model).

@@ -555,6 +555,8 @@ StepEvents ContinuousBatcher::Step() {
   }
   r_.makespan_s += charged_s;
   r_.decode_s += charged_s;
+  r_.flash_s += out.cost.flash_s;
+  r_.flash_bytes += out.cost.flash_bytes;
   r_.energy_j += out.watts * charged_s;
   step_seconds_hist_->Observe(charged_s);
   step_active_hist_->Observe(static_cast<double>(useful));
@@ -673,6 +675,11 @@ void ContinuousBatcher::FinalizeMetrics() {
                  ? static_cast<double>(r_.spec_accepted_tokens) /
                        static_cast<double>(r_.spec_proposed_tokens)
                  : 0.0);
+  }
+  if (r_.flash_bytes > 0 || r_.flash_s > 0.0) {
+    // Gated on use so runs without tiered offload keep byte-identical metric snapshots.
+    reg_.Count("serve.flash_bytes", r_.flash_bytes);
+    reg_.Set("serve.flash_seconds", r_.flash_s);
   }
   reg_.Set("exec.overlap.saved_seconds", overlap_saved_s_);
   reg_.Set("exec.overlap.lm_head_seconds", overlap_lm_s_);

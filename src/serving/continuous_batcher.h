@@ -139,6 +139,11 @@ struct ScheduleResult {
   int64_t spec_cycles = 0;           // decode steps that ran as speculative cycles
   int64_t spec_proposed_tokens = 0;  // draft proposals verified (sum of per-row gammas)
   int64_t spec_accepted_tokens = 0;  // proposals the target accepted (committed - bonus)
+  // Tiered KV offload (docs/long_context.md; both zero when no step touched the flash
+  // tier): flash traffic the run's decode steps generated, and the seconds it cost the
+  // tier. Only the non-overlapped stall portion is inside decode_s/makespan_s.
+  double flash_s = 0.0;
+  int64_t flash_bytes = 0;
   // Physical-vs-logical KV accounting at the end of the run (peaks cover the whole run):
   // physical bytes are what the paged pool actually held, logical bytes what a dense
   // per-sequence layout would have held; kv.sharing_ratio() is the headline saving.

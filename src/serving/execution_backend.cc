@@ -69,12 +69,48 @@ AnalyticBackend::AnalyticBackend(const hrt::Engine& engine, const Options& optio
           engine.options().model->KvCacheBytes(options.kv_block_tokens,
                                                hquant::KvDtypeFromEnv(options.kv_dtype),
                                                options.kv_quant_group)),
-      kv_dtype_(hquant::KvDtypeFromEnv(options.kv_dtype)) {
+      kv_dtype_(hquant::KvDtypeFromEnv(options.kv_dtype)),
+      offload_blocks_(std::max<int64_t>(0, options.kv_offload_resident_blocks)),
+      bytes_per_block_(engine.options().model->KvCacheBytes(
+          options.kv_block_tokens, hquant::KvDtypeFromEnv(options.kv_dtype),
+          options.kv_quant_group)),
+      flash_(hexsim::FlashSpecFromEnv(options.flash)),
+      window_(hkern::AttnWindowFromEnv(options.attn_window)) {
+  window_.block_tokens = options.kv_block_tokens;
   if (options.kv_budget_bytes > 0) {
-    budget_blocks_ = options.kv_budget_bytes /
-                     engine.options().model->KvCacheBytes(options.kv_block_tokens, kv_dtype_,
-                                                          options.kv_quant_group);
+    budget_blocks_ = options.kv_budget_bytes / bytes_per_block_;
   }
+}
+
+int AnalyticBackend::EffectiveContext(int context) const {
+  // A windowed row attends at most sinks + window + its own block; everything between is
+  // masked, never staged, never priced (mirrors the kernel's chunk skip).
+  return window_.enabled() ? std::min(context, window_.ResidentTokens()) : context;
+}
+
+void AnalyticBackend::ChargeOffload(std::span<const int> contexts, hrt::StepCost* cost) {
+  if (offload_blocks_ <= 0) {
+    return;
+  }
+  // Every attended block beyond the DRAM-resident budget streams from the flash tier this
+  // step. The read overlaps the step's NPU compute (the prefetch queue runs ahead of the
+  // kv chunk loop); only the excess over the compute window stalls the step.
+  int64_t attended = 0;
+  for (const int c : contexts) {
+    attended += hexllm::CeilDiv(EffectiveContext(c) + 1, kv_.block_tokens());
+  }
+  const int64_t excess = attended - offload_blocks_;
+  if (excess <= 0) {
+    return;
+  }
+  const int64_t bytes = excess * bytes_per_block_;
+  const double read_s = flash_.ChargeRead(bytes);
+  cost->flash_s += read_s;
+  cost->flash_bytes += bytes;
+  const double npu_s = cost->total_s - cost->lm_head_s - cost->comm_s;
+  const double stall = std::max(0.0, read_s - std::max(npu_s, 0.0));
+  offload_stall_s_ += stall;
+  cost->total_s += stall;
 }
 
 void AnalyticBackend::ExportMetrics(obs::Registry& registry) const {
@@ -91,6 +127,22 @@ void AnalyticBackend::ExportMetrics(obs::Registry& registry) const {
   // export nothing extra, keeping legacy metric snapshots byte-identical.
   if (spec_cycles_ > 0) {
     registry.Count("spec.rollback_blocks", spec_rollback_blocks_);
+  }
+  // Offload/window series mirror the functional backend's kv.offload.* / attn.window.*
+  // exports with the subset the analytic model tracks (it prices flash reads in bulk, it
+  // never demotes individual blocks). Gated so legacy snapshots stay byte-identical.
+  if (offload_blocks_ > 0) {
+    const hexsim::FlashStats& fs = flash_.stats();
+    registry.Count("kv.offload.flash_read_bytes", fs.read_bytes);
+    registry.Set("kv.offload.flash_read_seconds", fs.read_seconds);
+    registry.Set("kv.offload.stall_seconds", offload_stall_s_);
+    registry.Set("kv.offload.resident_block_budget", static_cast<double>(offload_blocks_));
+  }
+  if (window_.enabled()) {
+    registry.Set("attn.window.sink_blocks", static_cast<double>(window_.sink_blocks));
+    registry.Set("attn.window.window_blocks", static_cast<double>(window_.window_blocks));
+    registry.Set("attn.window.resident_tokens",
+                 static_cast<double>(window_.ResidentTokens()));
   }
 }
 
@@ -122,8 +174,22 @@ bool AnalyticBackend::CanAdmit(const ServeJob& job, int context_tokens) {
   if (budget_blocks_ < 0) {
     return true;
   }
-  const int64_t needed = kv_.BlocksToAdmit(context_tokens + job.decode_tokens,
-                                           SharedPrefixLen(job, context_tokens));
+  if (offload_blocks_ > 0) {
+    // Tiered offload: DRAM holds only the resident working set and the flash store backs
+    // everything else, so the DRAM budget no longer gates admission — the cost shows up as
+    // flash traffic and stall in ChargeOffload instead of a rejection here.
+    return true;
+  }
+  // With a sliding window only sinks + window + the active block must ever be resident;
+  // the masked interior could live anywhere (or nowhere), so admission prices the capped
+  // working set instead of the full context.
+  const int64_t resident_cap =
+      window_.enabled()
+          ? hexllm::CeilDiv(window_.ResidentTokens(), window_.block_tokens) + 1
+          : INT64_MAX;
+  const int64_t needed =
+      std::min(resident_cap, kv_.BlocksToAdmit(context_tokens + job.decode_tokens,
+                                               SharedPrefixLen(job, context_tokens)));
   // Reserve worst-case growth (plus a pending CoW tail split) for every running slot, so an
   // admission never starves a slot that already committed to decode to its end length.
   int64_t reserved = 0;
@@ -132,8 +198,9 @@ bool AnalyticBackend::CanAdmit(const ServeJob& job, int context_tokens) {
       continue;
     }
     const int64_t want = hexllm::CeilDiv(end_len_[s], kv_.block_tokens());
-    reserved += std::max<int64_t>(0, want - kv_.table_blocks(static_cast<int>(s))) +
-                (kv_.TailShared(static_cast<int>(s)) ? 1 : 0);
+    const int64_t growth =
+        std::min(resident_cap, std::max<int64_t>(0, want - kv_.table_blocks(static_cast<int>(s))));
+    reserved += growth + (kv_.TailShared(static_cast<int>(s)) ? 1 : 0);
   }
   const int64_t free = budget_blocks_ - kv_.stats().physical_blocks;
   return free - reserved >= needed;
@@ -250,8 +317,8 @@ void AnalyticBackend::ResumeSlot(int slot, int job_id, int context_tokens) {
 }
 
 bool AnalyticBackend::CanResume(int job_id) {
-  if (budget_blocks_ < 0) {
-    return true;
+  if (budget_blocks_ < 0 || offload_blocks_ > 0) {
+    return true;  // see CanAdmit: the flash tier backs any overflow
   }
   const auto it = paused_.find(job_id);
   HEXLLM_CHECK_MSG(it != paused_.end(), "resume of a job that was never paused");
@@ -290,7 +357,14 @@ const hrt::StepCost& AnalyticBackend::BucketedCost(int batch, int context) {
 StepOutcome AnalyticBackend::Step(std::span<const int> slots, std::span<const int> contexts) {
   HEXLLM_CHECK(!slots.empty() && slots.size() == contexts.size());
   const int batch = static_cast<int>(slots.size());
-  const int bucket = ContextBucket(contexts, bucket_tokens_);
+  // Attention cost scales with the ATTENDED context: a sliding window caps every row at its
+  // resident token count (the kernel skips masked chunks), so pricing buckets the effective
+  // contexts, not the raw ones.
+  eff_contexts_.clear();
+  for (const int c : contexts) {
+    eff_contexts_.push_back(EffectiveContext(c));
+  }
+  const int bucket = ContextBucket(eff_contexts_, bucket_tokens_);
   // Mirror the functional backend's KV appends exactly (one position per row), so the two
   // backends report bit-identical block statistics for one job stream.
   for (size_t i = 0; i < slots.size(); ++i) {
@@ -301,6 +375,7 @@ StepOutcome AnalyticBackend::Step(std::span<const int> slots, std::span<const in
   StepOutcome out;
   out.cost = BucketedCost(batch, bucket);
   out.watts = step_cache_.at(std::make_pair(batch, bucket)).second;
+  ChargeOffload(contexts, &out.cost);
   return out;
 }
 
@@ -331,7 +406,11 @@ StepOutcome AnalyticBackend::SpeculativeStep(std::span<const int> slots,
   }
   ++spec_cycles_;
   const int batch = static_cast<int>(slots.size());
-  const int bucket = ContextBucket(contexts, bucket_tokens_);
+  eff_contexts_.clear();
+  for (const int c : contexts) {
+    eff_contexts_.push_back(EffectiveContext(c));
+  }
+  const int bucket = ContextBucket(eff_contexts_, bucket_tokens_);
 
   // Cycle cost = gamma autoregressive draft steps (only rows still drafting batch into step
   // j) + ONE target step verifying all gamma+1 positions per row — the verify fills HMX
@@ -357,7 +436,12 @@ StepOutcome AnalyticBackend::SpeculativeStep(std::span<const int> slots,
     out.cost.cpu_busy_s += d.cpu_busy_s;
     out.cost.gpu_busy_s += d.gpu_busy_s;
     out.cost.ddr_bytes += d.ddr_bytes;
+    out.cost.flash_s += d.flash_s;
+    out.cost.flash_bytes += d.flash_bytes;
   }
+  // One offload charge per cycle: the verify step stages the full attended set once; the
+  // draft model keeps its own (small) KV and never touches the flash tier.
+  ChargeOffload(contexts, &out.cost);
   const bool gpu = engine_.options().backend == hrt::Backend::kGpuOpenCl;
   out.watts = hrt::StepPower(*engine_.options().device, out.cost, batch, gpu).watts;
 
@@ -431,6 +515,62 @@ FunctionalBackend::FunctionalBackend(hexsim::NpuDevice& dev, const hllm::ModelWe
     draft_logits_.resize(static_cast<size_t>(max_batch) * weights.config.vocab);
     spec_proposals_.resize(static_cast<size_t>(max_batch));
   }
+}
+
+void FunctionalBackend::ConfigureLongContext(const hkv::KvOffloadOptions& offload,
+                                             const hkern::AttnWindowSpec& window) {
+  // Env knobs (HEXLLM_ATTN_*_BLOCKS, HEXLLM_KV_OFFLOAD_GBPS) override the configured
+  // values here, mirroring the AnalyticBackend constructor.
+  tf_.SetAttentionWindow(hkern::AttnWindowFromEnv(window));
+  if (offload.resident_block_budget > 0) {
+    hkv::KvOffloadOptions opts = offload;
+    opts.flash = hexsim::FlashSpecFromEnv(opts.flash);
+    tf_.kv().ConfigureOffload(opts);
+  }
+}
+
+hkv::KvOffloadStats FunctionalBackend::BeginOffloadStep() {
+  hllm::KvCache& kv = tf_.kv();
+  if (!kv.offload_enabled()) {
+    return {};
+  }
+  hkv::KvOffloadEngine* off = kv.offload();
+  // The previous forward's compute is the window the prefetches queued at its end
+  // overlapped with: reads that fit inside it are free hits for this step's faults.
+  off->AdvanceClock(last_npu_s_);
+  off->BeginStep();
+  return off->stats();
+}
+
+void FunctionalBackend::FoldOffload(const hkv::KvOffloadStats& mark, std::span<const int> slots,
+                                    std::span<const int> contexts, double npu_s,
+                                    hrt::StepCost* cost) {
+  last_npu_s_ = npu_s;
+  hllm::KvCache& kv = tf_.kv();
+  if (!kv.offload_enabled()) {
+    return;
+  }
+  hkv::KvOffloadEngine* off = kv.offload();
+  // Write-behind demotion: shrink back to the resident budget now that the step's appends
+  // landed. The flash writes charge the tier (and wear), not this step's critical path.
+  off->EnforceBudget();
+  // Queue async reads for each slot's predicted next-step attended set (decode advances
+  // one position per step), so the reads overlap the next forward instead of stalling it.
+  const hkern::AttnWindowSpec& win = tf_.attention_window();
+  const hkern::AttnWindowSpec* winp = win.enabled() ? &win : nullptr;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    prefetch_scratch_.clear();
+    hkern::AppendAttendedBlocks(winp, /*q_len=*/1, /*kv_len=*/contexts[i] + 2,
+                                /*q_pos_offset=*/-1, kv.block_tokens(), &prefetch_scratch_);
+    kv.PrefetchTableBlocks(slots[i], prefetch_scratch_);
+  }
+  const hkv::KvOffloadStats& now = off->stats();
+  const double stall = now.stall_seconds - mark.stall_seconds;
+  cost->flash_s += (now.flash_read_seconds - mark.flash_read_seconds) +
+                   (now.flash_write_seconds - mark.flash_write_seconds);
+  cost->flash_bytes += (now.flash_read_bytes - mark.flash_read_bytes) +
+                       (now.flash_write_bytes - mark.flash_write_bytes);
+  cost->total_s += stall;  // only the non-overlapped remainder of the reads stalls the step
 }
 
 int FunctionalBackend::SharedPrefixLen(const ServeJob& job, int context_tokens) const {
@@ -509,6 +649,7 @@ double FunctionalBackend::AdmitTarget(int slot, const ServeJob& job, int context
   HEXLLM_CHECK(context_tokens + job.decode_tokens <= max_context_);
   hllm::KvCache& kv = tf_.kv();
   kv.ResetSeq(slot);
+  const hkv::KvOffloadStats omark = BeginOffloadStep();
   end_len_[static_cast<size_t>(slot)] = context_tokens + job.decode_tokens;
   // Per-request sampling policy, seeded at admission. Sampling is consumed on the
   // bookkeeping thread in Step, so the token stream is deterministic at any thread count.
@@ -541,8 +682,13 @@ double FunctionalBackend::AdmitTarget(int slot, const ServeJob& job, int context
     last_token_[static_cast<size_t>(slot)] = prompt.back();
     hrt::StepCost cost;
     const double npu_s = ComposeStep(mark, /*batch=*/0, &cost);
+    // Demote the freshly-admitted context down to the resident budget and absorb any
+    // prefill fault stall (cost.total_s carries only the FoldOffload stall here).
+    FoldOffload(omark, std::span<const int>(&slot, 1),
+                std::span<const int>(&context_tokens, 1), npu_s, &cost);
     const int chunks = static_cast<int>(hexllm::CeilDiv(fresh, hkern::kAttnQTile));
-    return npu_s + chunks * (2 * hexsim::NpuSession::kMailboxLatencySeconds + 30e-6);
+    return npu_s + cost.total_s +
+           chunks * (2 * hexsim::NpuSession::kMailboxLatencySeconds + 30e-6);
   }
   if (context_tokens == 0) {
     // Nothing to prefill: decode starts from a fixed BOS-like token.
@@ -581,8 +727,11 @@ double FunctionalBackend::AdmitTarget(int slot, const ServeJob& job, int context
     // 32-token chunk (mirrors Engine::Prefill's comm model). No lm_head — logits discarded.
     hrt::StepCost cost;
     const double npu_s = ComposeStep(mark, /*batch=*/0, &cost);
+    FoldOffload(omark, std::span<const int>(&slot, 1),
+                std::span<const int>(&context_tokens, 1), npu_s, &cost);
     const int chunks = static_cast<int>(hexllm::CeilDiv(fresh, hkern::kAttnQTile));
-    admit_s = npu_s + chunks * (2 * hexsim::NpuSession::kMailboxLatencySeconds + 30e-6);
+    admit_s = npu_s + cost.total_s +
+              chunks * (2 * hexsim::NpuSession::kMailboxLatencySeconds + 30e-6);
   } else {
     last_token_[static_cast<size_t>(slot)] = anchor->last_token;
   }
@@ -714,9 +863,11 @@ StepOutcome FunctionalBackend::Step(std::span<const int> slots, std::span<const 
   std::vector<float>& logits_vec = logits_buf_[static_cast<size_t>(logits_cur_)];
   std::span<float> logits(logits_vec.data(), static_cast<size_t>(batch) * vocab);
   const hexsim::CycleLedger mark = dev_.ledger();
+  const hkv::KvOffloadStats omark = BeginOffloadStep();
   tf_.StepSeqs(tokens, slots, logits);
   StepOutcome out;
   out.cost.total_s = ComposeStep(mark, batch, &out.cost);
+  FoldOffload(omark, slots, contexts, out.cost.linear_s, &out.cost);
   out.watts = hrt::StepPower(dev_.profile(), out.cost, batch).watts;
   out.tokens.resize(static_cast<size_t>(batch));
   for (int i = 0; i < batch; ++i) {
@@ -754,6 +905,7 @@ StepOutcome FunctionalBackend::SpeculativeStep(std::span<const int> slots,
   // One ledger window prices the whole cycle: the draft shares dev_, so its gamma decode
   // forwards and any catch-up prefill land in the same engine-busy deltas as the verify.
   const hexsim::CycleLedger mark = dev_.ledger();
+  const hkv::KvOffloadStats omark = BeginOffloadStep();
 
   // Draft catch-up + per-cycle state seed. A fully-accepted previous cycle left the draft
   // one token short (the target committed gamma+1 tokens but the draft only consumed
@@ -889,6 +1041,7 @@ StepOutcome FunctionalBackend::SpeculativeStep(std::span<const int> slots,
   out.cost.comm_s = (n_catchup + max_gamma + 1) *
                     (2 * hexsim::NpuSession::kMailboxLatencySeconds + 30e-6);
   out.cost.total_s = npu_s + out.cost.lm_head_s + out.cost.comm_s;
+  FoldOffload(omark, slots, contexts, npu_s, &out.cost);
   out.watts = hrt::StepPower(d, out.cost, batch).watts;
   return out;
 }

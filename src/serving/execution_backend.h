@@ -39,8 +39,11 @@
 #include <vector>
 
 #include "src/base/rng.h"
+#include "src/hexsim/flash.h"
 #include "src/hexsim/npu_device.h"
+#include "src/kernels/attention.h"
 #include "src/kvcache/kv_block_manager.h"
+#include "src/kvcache/kv_offload.h"
 #include "src/llm/sampling.h"
 #include "src/llm/transformer.h"
 #include "src/llm/weights.h"
@@ -175,6 +178,18 @@ class AnalyticBackend : public ExecutionBackend {
     int spec_gamma = 4;
     double spec_acceptance = 0.8;
     uint64_t spec_seed = 0x5eedbeef;
+    // Tiered KV offload (docs/long_context.md): DRAM-resident KV budget in blocks; <= 0
+    // disables the tier. When enabled, contexts whose attended set exceeds the budget
+    // stream the excess blocks from a flash tier every step (charged per StepCost::flash_s;
+    // only the non-overlapped part stalls total_s) and admission stops hard-gating on
+    // kv_budget_bytes — the flash tier is the backing store, so a 64k context decodes
+    // under a 16k-resident DRAM budget instead of failing admission.
+    int64_t kv_offload_resident_blocks = 0;
+    hexsim::FlashSpec flash;  // offload tier bandwidth/latency envelope
+    // Sliding-window + attention-sink masking (docs/long_context.md): pricing attends at
+    // most ResidentTokens() per row, and admission reserves only the resident set. The
+    // default (window_blocks = 0) is disabled — legacy pricing bit-for-bit.
+    hkern::AttnWindowSpec attn_window;
   };
 
   AnalyticBackend(const hrt::Engine& engine, const Options& options);
@@ -230,6 +245,12 @@ class AnalyticBackend : public ExecutionBackend {
   // Shared-prefix length `job` would map on admission (fork stem or group prompt anchor).
   int SharedPrefixLen(const ServeJob& job, int context_tokens) const;
   void TrackSlot(int slot, int end_len);
+  // Per-row context as priced: windowed rows attend at most ResidentTokens().
+  int EffectiveContext(int context) const;
+  // Flash streaming for one step over the (effective) contexts: charges the tier for the
+  // attended blocks beyond the resident budget and folds the non-overlapped stall into
+  // `cost` (cost->total_s must already hold the step's compute time).
+  void ChargeOffload(std::span<const int> contexts, hrt::StepCost* cost);
   // Bucketed draft-engine step pricing (the draft twin of BucketedCost).
   const hrt::StepCost& DraftCost(int batch, int context_bucket);
 
@@ -253,6 +274,14 @@ class AnalyticBackend : public ExecutionBackend {
   hkv::KvBlockManager kv_;
   hquant::KvDtype kv_dtype_ = hquant::KvDtype::kF16;
   int64_t budget_blocks_ = -1;
+  // Tiered offload + window pricing state (docs/long_context.md). offload_blocks_ <= 0
+  // disables the tier; window_ disabled leaves every context priced at full length.
+  int64_t offload_blocks_ = 0;
+  int64_t bytes_per_block_ = 0;
+  hexsim::FlashTier flash_;
+  double offload_stall_s_ = 0.0;
+  hkern::AttnWindowSpec window_;
+  std::vector<int> eff_contexts_;  // per-step scratch for windowed pricing
   std::vector<int> end_len_;           // per slot: context+decode at admission (0 = free)
   std::map<int, Retained> retained_;   // completed job id -> retained stem
   std::map<int, Retained> anchors_;    // prompt_group -> retained prompt prefix
@@ -289,6 +318,14 @@ class FunctionalBackend : public ExecutionBackend {
                     hquant::KvDtype kv_dtype = hquant::KvDtype::kF16,
                     int kv_quant_group = hquant::kGroupSize);
 
+  // Wires tiered KV offload and/or sliding-window attention into the transformer
+  // (docs/long_context.md). Must be called before the first admission: the offload engine
+  // requires an empty paged cache. A disabled window plus a <= 0 resident budget is a
+  // no-op, keeping the legacy path bit-identical. The window applies to the target model
+  // only — windowing the draft would merely shift acceptance, never committed tokens.
+  void ConfigureLongContext(const hkv::KvOffloadOptions& offload,
+                            const hkern::AttnWindowSpec& window);
+
   const char* name() const override { return "functional"; }
   double AdmitSlot(int slot, const ServeJob& job, int context_tokens,
                    int charged_prefill_tokens) override;
@@ -323,6 +360,17 @@ class FunctionalBackend : public ExecutionBackend {
     if (spec_cycles_ > 0) {
       registry.Count("spec.rollback_blocks", spec_rollback_blocks_);
     }
+    // Tiered offload / windowed runs publish their series (docs/long_context.md); plain
+    // runs export nothing extra, keeping legacy snapshots byte-identical.
+    if (tf_.kv().offload_enabled()) {
+      hkv::ExportKvOffloadStats(tf_.kv().offload()->stats(), registry);
+    }
+    if (tf_.attention_window().enabled()) {
+      const hkern::AttnWindowSpec& w = tf_.attention_window();
+      registry.Set("attn.window.sink_blocks", static_cast<double>(w.sink_blocks));
+      registry.Set("attn.window.window_blocks", static_cast<double>(w.window_blocks));
+      registry.Set("attn.window.resident_tokens", static_cast<double>(w.ResidentTokens()));
+    }
   }
 
   hllm::Transformer& transformer() { return tf_; }
@@ -351,6 +399,15 @@ class FunctionalBackend : public ExecutionBackend {
   // Seconds elapsed on the critical path for the ledger activity since `mark`, plus the
   // CPU lm_head and mailbox costs for `batch` rows; fills `cost`'s busy fields.
   double ComposeStep(const hexsim::CycleLedger& mark, int batch, hrt::StepCost* cost) const;
+  // Tiered-offload step choreography (no-op when offload is off). BeginOffloadStep runs
+  // before the forward: advances the engine clock by the PREVIOUS forward's compute time —
+  // that is the window queued prefetches overlapped with — and snapshots the stats.
+  // FoldOffload runs after: demotes over-budget blocks (write-behind), queues prefetches
+  // for each slot's predicted next-step attended set, and folds the stall/traffic deltas
+  // into `cost` (stall extends total_s; flash_s/flash_bytes report the tier traffic).
+  hkv::KvOffloadStats BeginOffloadStep();
+  void FoldOffload(const hkv::KvOffloadStats& mark, std::span<const int> slots,
+                   std::span<const int> contexts, double npu_s, hrt::StepCost* cost);
   int SharedPrefixLen(const ServeJob& job, int context_tokens) const;
   // Target-side admission (the pre-speculation AdmitSlot body).
   double AdmitTarget(int slot, const ServeJob& job, int context_tokens,
@@ -399,6 +456,11 @@ class FunctionalBackend : public ExecutionBackend {
   std::vector<std::vector<int>> spec_proposals_;  // per slot: this cycle's draft tokens
   int64_t spec_rollback_blocks_ = 0;
   int64_t spec_cycles_ = 0;
+
+  // Tiered offload (docs/long_context.md): compute seconds of the last forward — the
+  // overlap window the next step's queued prefetches hide under — plus prefetch scratch.
+  double last_npu_s_ = 0.0;
+  std::vector<int> prefetch_scratch_;
 };
 
 }  // namespace hserve

@@ -283,6 +283,45 @@ TEST_F(FrontendTest, TrafficGeneratorIsSeedDeterministic) {
   EXPECT_TRUE(differs);
 }
 
+TEST_F(FrontendTest, LongContextTrafficIsGatedAndDrawsLongPrompts) {
+  // Default options (fraction 0) must keep traces byte-identical to the pre-knob
+  // generator: the long-context draw may not consume RNG state when gated off.
+  TrafficOptions base;
+  base.arrivals = 32;
+  base.seed = 13;
+  base.session_fraction = 0.25;
+  const std::vector<Request> legacy = GenerateTraffic(base);
+  TrafficOptions gated = base;
+  gated.long_context_fraction = 0.0;
+  gated.mean_long_prompt_tokens = 1 << 20;  // would be obvious if it leaked
+  const std::vector<Request> same = GenerateTraffic(gated);
+  ASSERT_EQ(legacy.size(), same.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].prompt_tokens, same[i].prompt_tokens);
+    EXPECT_EQ(legacy[i].arrival_s, same[i].arrival_s);
+    EXPECT_EQ(legacy[i].seed, same[i].seed);
+  }
+
+  // Turned on, a fraction of arrivals draw document-scale prompts (floored well above the
+  // short-prompt regime) while the rest keep short ones.
+  TrafficOptions lo = base;
+  lo.long_context_fraction = 0.5;
+  lo.mean_long_prompt_tokens = 8192;
+  lo.min_long_prompt_tokens = 1024;
+  const std::vector<Request> mixed = GenerateTraffic(lo);
+  int long_reqs = 0;
+  int short_reqs = 0;
+  for (const Request& r : mixed) {
+    if (r.prompt_tokens >= lo.min_long_prompt_tokens) {
+      ++long_reqs;
+    } else {
+      ++short_reqs;
+    }
+  }
+  EXPECT_GT(long_reqs, 0);
+  EXPECT_GT(short_reqs, 0);
+}
+
 TEST_F(FrontendTest, EngineServesBurstyTrafficDeterministicallyWithPreemption) {
   TrafficOptions o;
   o.arrivals = 10;

@@ -747,5 +747,213 @@ TEST(LmHeadTest, ForwardMatchesReference) {
   }
 }
 
+// --- sliding-window + attention-sink masking (docs/long_context.md) ---
+
+TEST(AttnWindowTest, SpecSemantics) {
+  AttnWindowSpec off;
+  EXPECT_FALSE(off.enabled());  // window_blocks == 0 disables
+
+  AttnWindowSpec w;
+  w.sink_blocks = 1;
+  w.window_blocks = 2;
+  w.block_tokens = 32;
+  EXPECT_TRUE(w.enabled());
+  EXPECT_EQ(w.sink_tokens(), 32);
+  // The window is the 2 whole blocks ending at qa's own block.
+  EXPECT_EQ(w.WindowStart(100), 64);  // qa in block 3 -> blocks 2..3 visible
+  EXPECT_EQ(w.WindowStart(10), 0);    // clamped at the start of the context
+  // Masked = outside the sinks AND before the window.
+  EXPECT_FALSE(w.Masked(10, 100));  // sink
+  EXPECT_TRUE(w.Masked(40, 100));   // interior
+  EXPECT_FALSE(w.Masked(70, 100));  // window
+  EXPECT_FALSE(w.Masked(32, 95));   // qa in block 2 -> WindowStart 32, nothing masked
+  // Chunk-granular skip decision uses the FIRST query row (the masked interior only grows
+  // with qa).
+  EXPECT_TRUE(w.ChunkFullyMasked(32, 32, 100));
+  EXPECT_FALSE(w.ChunkFullyMasked(32, 64, 100));  // tail reaches into the window
+  EXPECT_FALSE(w.ChunkFullyMasked(0, 32, 100));   // overlaps the sinks
+  // Full coverage: every position visible up to qa_max -> must degrade to legacy causal.
+  EXPECT_TRUE(w.CoversAll(95));
+  EXPECT_FALSE(w.CoversAll(96));
+  EXPECT_EQ(w.ResidentTokens(), (1 + 2 + 1) * 32);
+}
+
+TEST(AttnWindowTest, AppendAttendedBlocksMatchesKernelChunkSkips) {
+  // Plain causal decode stages every block up to the causal frontier.
+  std::vector<int> got;
+  AppendAttendedBlocks(nullptr, /*q_len=*/1, /*kv_len=*/512, /*q_pos_offset=*/-1,
+                       /*block_tokens=*/32, &got);
+  ASSERT_EQ(got.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)], i);
+  }
+  // Windowed decode at qa=511 with 1 sink + 1 window block: visible positions are
+  // [0,32) + [480,512), but staging is kAttnKvChunk(=128)-granular, so only the fully
+  // masked chunks [128,384) are skipped: blocks {0..3, 12..15} are staged.
+  AttnWindowSpec w;
+  w.sink_blocks = 1;
+  w.window_blocks = 1;
+  w.block_tokens = 32;
+  got.clear();
+  AppendAttendedBlocks(&w, 1, 512, -1, 32, &got);
+  const std::vector<int> expected{0, 1, 2, 3, 12, 13, 14, 15};
+  EXPECT_EQ(got, expected);
+  // A full-coverage window stages everything, exactly like no window.
+  AttnWindowSpec wide = w;
+  wide.window_blocks = 64;
+  got.clear();
+  AppendAttendedBlocks(&wide, 1, 512, -1, 32, &got);
+  EXPECT_EQ(got.size(), 16u);
+}
+
+// Builds a paged single-head view over contiguous [kv_len, d] K/V buffers.
+void FillContiguousView(const std::vector<F16>& k, const std::vector<F16>& v, int d,
+                        int block_tokens, int kv_len, std::vector<const F16*>* kb,
+                        std::vector<const F16*>* vb, PagedKvHeadView* view) {
+  const int blocks = (kv_len + block_tokens - 1) / block_tokens;
+  kb->resize(static_cast<size_t>(blocks));
+  vb->resize(static_cast<size_t>(blocks));
+  for (int i = 0; i < blocks; ++i) {
+    (*kb)[static_cast<size_t>(i)] = k.data() + static_cast<size_t>(i) * block_tokens * d;
+    (*vb)[static_cast<size_t>(i)] = v.data() + static_cast<size_t>(i) * block_tokens * d;
+  }
+  view->k_blocks = kb->data();
+  view->v_blocks = vb->data();
+  view->block_tokens = block_tokens;
+  view->row_stride = d;
+  view->head_offset = 0;
+}
+
+TEST(AttnWindowTest, FullCoverageWindowIsBitIdenticalToUnwindowed) {
+  Rng rng(81);
+  const int d = 32;
+  const int kv_len = 96;
+  const int bt = 32;
+  std::vector<F16> q(static_cast<size_t>(d));
+  std::vector<F16> k(static_cast<size_t>(kv_len) * d);
+  std::vector<F16> v(k.size());
+  for (auto& x : q) {
+    x = F16(static_cast<float>(rng.NextGaussian()));
+  }
+  for (size_t i = 0; i < k.size(); ++i) {
+    k[i] = F16(static_cast<float>(rng.NextGaussian()));
+    v[i] = F16(static_cast<float>(rng.NextGaussian()));
+  }
+  std::vector<const F16*> kb, vb;
+  PagedKvHeadView view;
+  FillContiguousView(k, v, d, bt, kv_len, &kb, &vb, &view);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  // 1 sink + 8 window blocks cover the whole 3-block range: NormalizeWindow must drop the
+  // window at the kernel entry, taking the exact legacy path.
+  AttnWindowSpec w;
+  w.sink_blocks = 1;
+  w.window_blocks = 8;
+  w.block_tokens = bt;
+  ASSERT_TRUE(w.CoversAll(kv_len - 1));
+  std::vector<F16> o_win(q.size()), o_plain(q.size());
+  double win_s = 0.0, plain_s = 0.0;
+  {
+    NpuDevice dev(OnePlus12());
+    ExpLut lut(dev);
+    FlashAttentionPagedF16(dev, lut, SoftmaxVariant::kLut, q.data(), d, view, o_win.data(),
+                           d, 1, kv_len, d, scale, /*q_pos_offset=*/-1, &w);
+    // The covered window was normalized away — the windowed-call counter must NOT fire.
+    EXPECT_EQ(dev.ledger().Count("kernel.flash_attention.windowed_calls"), 0);
+    win_s = dev.ledger().TagSeconds("attn.softmax") + dev.ledger().TagSeconds("dma");
+  }
+  {
+    NpuDevice dev(OnePlus12());
+    ExpLut lut(dev);
+    FlashAttentionPagedF16(dev, lut, SoftmaxVariant::kLut, q.data(), d, view,
+                           o_plain.data(), d, 1, kv_len, d, scale, -1, nullptr);
+    plain_s = dev.ledger().TagSeconds("attn.softmax") + dev.ledger().TagSeconds("dma");
+  }
+  for (size_t i = 0; i < o_win.size(); ++i) {
+    EXPECT_EQ(o_win[i].bits(), o_plain[i].bits()) << i;
+  }
+  EXPECT_DOUBLE_EQ(win_s, plain_s);  // charges identical too
+}
+
+TEST(AttnWindowTest, MaskedInteriorIsNeverReadAndMatchesVisibleReference) {
+  Rng rng(82);
+  const int d = 32;
+  const int kv_len = 512;  // 16 blocks, 4 kv chunks of 128
+  const int bt = 32;
+  std::vector<F16> q(static_cast<size_t>(d));
+  std::vector<F16> k(static_cast<size_t>(kv_len) * d);
+  std::vector<F16> v(k.size());
+  for (auto& x : q) {
+    x = F16(static_cast<float>(rng.NextGaussian()));
+  }
+  for (size_t i = 0; i < k.size(); ++i) {
+    k[i] = F16(static_cast<float>(rng.NextGaussian()));
+    v[i] = F16(static_cast<float>(rng.NextGaussian()));
+  }
+  // Decode row at qa=511 with 1 sink + 1 window block: visible = [0,32) + [480,512);
+  // chunks [128,384) are fully masked (skipped), positions [32,128)+[384,480) are masked
+  // inside staged chunks (-inf scores).
+  AttnWindowSpec w;
+  w.sink_blocks = 1;
+  w.window_blocks = 1;
+  w.block_tokens = bt;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  std::vector<const F16*> kb, vb;
+  PagedKvHeadView view;
+  FillContiguousView(k, v, d, bt, kv_len, &kb, &vb, &view);
+  std::vector<F16> o_a(q.size());
+  {
+    NpuDevice dev(OnePlus12());
+    ExpLut lut(dev);
+    FlashAttentionPagedF16(dev, lut, SoftmaxVariant::kLut, q.data(), d, view, o_a.data(),
+                           d, 1, kv_len, d, scale, -1, &w);
+    // A surviving (non-normalized) window marks the call in the ledger.
+    EXPECT_EQ(dev.ledger().Count("kernel.flash_attention.windowed_calls"), 1);
+  }
+  // Corrupt every masked position in a copy: NaN in the fully skipped chunks (staging them
+  // would poison the output), huge finite rows in the staged-but-masked stretches (an
+  // unmasked score there would dominate softmax). The windowed output must not move a bit.
+  std::vector<F16> k2 = k, v2 = v;
+  for (int p = 32; p < 480; ++p) {
+    const bool skipped_chunk = p >= 128 && p < 384;
+    for (int c = 0; c < d; ++c) {
+      const size_t at = static_cast<size_t>(p) * d + c;
+      k2[at] = skipped_chunk ? F16(std::nanf("")) : F16(8.0f);
+      v2[at] = skipped_chunk ? F16(std::nanf("")) : F16(8.0f);
+    }
+  }
+  std::vector<const F16*> kb2, vb2;
+  PagedKvHeadView view2;
+  FillContiguousView(k2, v2, d, bt, kv_len, &kb2, &vb2, &view2);
+  std::vector<F16> o_b(q.size());
+  {
+    NpuDevice dev(OnePlus12());
+    ExpLut lut(dev);
+    FlashAttentionPagedF16(dev, lut, SoftmaxVariant::kLut, q.data(), d, view2, o_b.data(),
+                           d, 1, kv_len, d, scale, -1, &w);
+  }
+  for (size_t i = 0; i < o_a.size(); ++i) {
+    EXPECT_EQ(o_a[i].bits(), o_b[i].bits()) << i;
+  }
+  // Semantics check: the windowed output equals plain attention over just the visible
+  // rows (sinks + trailing window) packed contiguously.
+  const int visible = 64;
+  std::vector<float> qf(q.size()), kf(static_cast<size_t>(visible) * d),
+      vf(static_cast<size_t>(visible) * d), of(q.size());
+  for (size_t i = 0; i < q.size(); ++i) {
+    qf[i] = q[i].ToFloat();
+  }
+  for (int p = 0; p < visible; ++p) {
+    const int src = p < 32 ? p : 480 + (p - 32);
+    for (int c = 0; c < d; ++c) {
+      kf[static_cast<size_t>(p) * d + c] = k[static_cast<size_t>(src) * d + c].ToFloat();
+      vf[static_cast<size_t>(p) * d + c] = v[static_cast<size_t>(src) * d + c].ToFloat();
+    }
+  }
+  AttentionF32Reference(qf.data(), kf.data(), vf.data(), of.data(), 1, visible, d, scale);
+  for (size_t i = 0; i < o_a.size(); ++i) {
+    EXPECT_NEAR(o_a[i].ToFloat(), of[i], 0.03) << i;
+  }
+}
+
 }  // namespace
 }  // namespace hkern

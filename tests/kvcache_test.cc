@@ -485,6 +485,234 @@ TEST(KvQuantTest, PagedQuantAttentionMatchesDequantizedF16Attention) {
   EXPECT_EQ(dev.ledger().Count("kernel.attn_kv_dequant.calls"), 1);
 }
 
+// --- tiered flash offload (docs/long_context.md) ---
+
+TEST(KvOffloadTest, LruEvictionSkipsPinnedAndSharedBlocks) {
+  constexpr int64_t kBlockBytes = 64;
+  BlockPool pool(6);
+  std::vector<uint8_t> slab(6 * kBlockBytes);
+  KvOffloadOptions opts;
+  opts.resident_block_budget = 2;
+  KvOffloadEngine off(pool, slab.data(), kBlockBytes, opts);
+  ASSERT_TRUE(off.enabled());
+  std::vector<int> blocks;
+  for (int i = 0; i < 4; ++i) {
+    const int b = pool.Alloc();
+    ASSERT_GE(b, 0);
+    std::memset(slab.data() + b * kBlockBytes, 0x10 + i, kBlockBytes);
+    off.BeginStep();
+    off.Touch(b);  // stamps rise with i: blocks[0] is the LRU victim
+    blocks.push_back(b);
+  }
+  // blocks[1] gains a second reference (CoW share / retained handle) — exempt from
+  // eviction despite its old stamp.
+  pool.AddRef(blocks[1]);
+  EXPECT_EQ(off.EnforceBudget(), 2);
+  EXPECT_FALSE(pool.resident(blocks[0]));
+  EXPECT_FALSE(pool.resident(blocks[2]));
+  EXPECT_TRUE(pool.resident(blocks[1]));
+  EXPECT_TRUE(pool.resident(blocks[3]));
+  EXPECT_TRUE(off.HasFlashCopy(blocks[0]));
+  EXPECT_TRUE(off.HasFlashCopy(blocks[2]));
+  EXPECT_FALSE(off.HasFlashCopy(blocks[1]));
+  // The demoted DRAM copies are destroyed (0xFF bytes = F16 NaNs) so a read that skips the
+  // promotion fault fails loudly instead of returning stale rows.
+  for (int64_t i = 0; i < kBlockBytes; ++i) {
+    ASSERT_EQ(slab[static_cast<size_t>(blocks[0] * kBlockBytes + i)], 0xFF) << i;
+  }
+  EXPECT_EQ(off.stats().demotions, 2);
+  EXPECT_EQ(off.stats().wear_write_ops, 2);
+  EXPECT_EQ(off.stats().flash_write_bytes, 2 * kBlockBytes);
+  EXPECT_EQ(pool.resident_blocks(), 2);  // live AND resident
+}
+
+TEST(KvOffloadTest, FaultRestoresBitIdenticalPayloadAndAccountingBalances) {
+  constexpr int64_t kBlockBytes = 96;
+  BlockPool pool(4);
+  std::vector<uint8_t> slab(4 * kBlockBytes);
+  KvOffloadOptions opts;
+  opts.resident_block_budget = 1;
+  KvOffloadEngine off(pool, slab.data(), kBlockBytes, opts);
+  const int a = pool.Alloc();
+  const int b = pool.Alloc();
+  std::vector<uint8_t> payload(kBlockBytes);
+  for (int64_t i = 0; i < kBlockBytes; ++i) {
+    payload[static_cast<size_t>(i)] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  std::memcpy(slab.data() + a * kBlockBytes, payload.data(), kBlockBytes);
+  off.BeginStep();
+  off.Touch(a);
+  off.BeginStep();
+  off.Touch(b);
+  ASSERT_EQ(off.EnforceBudget(), 1);  // `a` is older — demoted
+  ASSERT_FALSE(pool.resident(a));
+  // Demand fault on an idle read channel: the step absorbs the full block read cost.
+  const double stall = off.EnsureResidentBlock(a);
+  EXPECT_GT(stall, 0.0);
+  EXPECT_TRUE(pool.resident(a));
+  EXPECT_FALSE(off.HasFlashCopy(a));
+  EXPECT_EQ(std::memcmp(slab.data() + a * kBlockBytes, payload.data(),
+                        static_cast<size_t>(kBlockBytes)),
+            0);
+  const KvOffloadStats& st = off.stats();
+  EXPECT_EQ(st.demotions, 1);
+  EXPECT_EQ(st.promotions, 1);
+  EXPECT_EQ(st.demand_faults, 1);
+  EXPECT_EQ(st.prefetch_hits, 0);
+  EXPECT_EQ(st.flash_read_bytes, kBlockBytes);
+  EXPECT_EQ(st.flash_write_bytes, kBlockBytes);
+  EXPECT_DOUBLE_EQ(st.stall_seconds, stall);
+}
+
+TEST(KvOffloadTest, PrefetchedReadCompletesFreeAfterOverlap) {
+  constexpr int64_t kBlockBytes = 96;
+  BlockPool pool(4);
+  std::vector<uint8_t> slab(4 * kBlockBytes);
+  KvOffloadOptions opts;
+  opts.resident_block_budget = 1;
+  KvOffloadEngine off(pool, slab.data(), kBlockBytes, opts);
+  const int a = pool.Alloc();
+  const int b = pool.Alloc();
+  std::vector<uint8_t> payload(kBlockBytes);
+  for (int64_t i = 0; i < kBlockBytes; ++i) {
+    payload[static_cast<size_t>(i)] = static_cast<uint8_t>(i * 13 + 1);
+  }
+  std::memcpy(slab.data() + a * kBlockBytes, payload.data(), kBlockBytes);
+  off.BeginStep();
+  off.Touch(a);
+  off.BeginStep();
+  off.Touch(b);
+  ASSERT_EQ(off.EnforceBudget(), 1);
+  // Prefetch issued a step ahead; one second of overlapped NPU compute dwarfs the read
+  // cost, so the later access is a free hit.
+  const int want[] = {a};
+  off.PrefetchAsync(want);
+  off.AdvanceClock(1.0);
+  EXPECT_EQ(off.EnsureResident(want), 0.0);
+  EXPECT_TRUE(pool.resident(a));
+  EXPECT_EQ(std::memcmp(slab.data() + a * kBlockBytes, payload.data(),
+                        static_cast<size_t>(kBlockBytes)),
+            0);
+  EXPECT_EQ(off.stats().prefetch_hits, 1);
+  EXPECT_EQ(off.stats().demand_faults, 0);
+  EXPECT_EQ(off.stats().stall_seconds, 0.0);
+}
+
+TEST(PagedKvCacheTest, OffloadDemoteFaultRoundTripPreservesRowsThroughCache) {
+  // 16 positions at block_tokens=4 fill four blocks; budget 2 demotes the two oldest.
+  PagedKvCache kv(1, 4, 1, 64, /*block_tokens=*/4);
+  KvOffloadOptions opts;
+  opts.resident_block_budget = 2;
+  kv.ConfigureOffload(opts);
+  ASSERT_TRUE(kv.offload_enabled());
+  auto row_val = [](int pos, int i) { return static_cast<float>(pos * 10 + i); };
+  std::vector<F16> row(4);
+  for (int pos = 0; pos < 16; ++pos) {
+    for (int i = 0; i < 4; ++i) {
+      row[static_cast<size_t>(i)] = F16(row_val(pos, i));
+    }
+    kv.WriteKeyRow(0, 0, pos, row.data());
+    for (int i = 0; i < 4; ++i) {
+      row[static_cast<size_t>(i)] = F16(-row_val(pos, i));
+    }
+    kv.WriteValueRow(0, 0, pos, row.data());
+    kv.offload()->BeginStep();
+    kv.offload()->Touch(kv.BlockIdForTest(0, pos / 4));
+    kv.Advance(0);
+  }
+  const BlockPool& pool = kv.PoolForTest();
+  EXPECT_EQ(kv.offload()->EnforceBudget(), 2);
+  const int b0 = kv.BlockIdForTest(0, 0);
+  const int b1 = kv.BlockIdForTest(0, 1);
+  EXPECT_FALSE(pool.resident(b0));
+  EXPECT_FALSE(pool.resident(b1));
+  EXPECT_TRUE(kv.offload()->HasFlashCopy(b0));
+  EXPECT_TRUE(kv.offload()->HasFlashCopy(b1));
+  EXPECT_TRUE(std::isnan(kv.KeyRowAt(0, 0, 0)[0].ToFloat()));
+  // Fault the whole attended set back in: every row restores bit-identically.
+  const int want[] = {0, 1, 2, 3};
+  EXPECT_GT(kv.EnsureResidentTableBlocks(0, want), 0.0);
+  for (int pos = 0; pos < 16; ++pos) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(kv.KeyRowAt(0, 0, pos)[i].ToFloat(), row_val(pos, i)) << pos << "," << i;
+      EXPECT_EQ(kv.ValueRowAt(0, 0, pos)[i].ToFloat(), -row_val(pos, i)) << pos << "," << i;
+    }
+  }
+  // Accounting balances: everything demoted came back, byte-for-byte.
+  const KvOffloadStats& st = kv.offload()->stats();
+  EXPECT_EQ(st.demotions, 2);
+  EXPECT_EQ(st.promotions, 2);
+  EXPECT_EQ(st.flash_read_bytes, st.flash_write_bytes);
+  EXPECT_EQ(pool.resident_blocks(), 4);
+}
+
+TEST(PagedKvCacheTest, OffloadPinnedBlocksNeverEvictAndAppendFaultsDemotedTail) {
+  PagedKvCache kv(1, 4, 1, 64, /*block_tokens=*/4);
+  KvOffloadOptions opts;
+  opts.resident_block_budget = 1;
+  kv.ConfigureOffload(opts);
+  std::vector<F16> row(4);
+  auto write_pos = [&](int pos) {
+    for (int i = 0; i < 4; ++i) {
+      row[static_cast<size_t>(i)] = F16(static_cast<float>(pos + 1));
+    }
+    kv.WriteKeyRow(0, 0, pos, row.data());
+    kv.Advance(0);
+  };
+  for (int pos = 0; pos < 6; ++pos) {
+    write_pos(pos);  // block 0 full, block 1 half
+  }
+  const BlockPool& pool = kv.PoolForTest();
+  const int b0 = kv.BlockIdForTest(0, 0);
+  const int b1 = kv.BlockIdForTest(0, 1);
+
+  // Both blocks pinned through a retained handle: over budget, but nothing is evictable,
+  // so EnforceBudget refuses rather than demoting a pinned block.
+  const int64_t h = kv.Retain(0);
+  EXPECT_EQ(kv.offload()->EnforceBudget(), 0);
+  EXPECT_TRUE(pool.resident(b0));
+  EXPECT_TRUE(pool.resident(b1));
+  kv.DropHandle(h);
+
+  // Unpinned with b0 touched more recently, the LRU victim is the tail block b1.
+  kv.offload()->BeginStep();
+  kv.offload()->Touch(b0);
+  EXPECT_EQ(kv.offload()->EnforceBudget(), 1);
+  EXPECT_FALSE(pool.resident(b1));
+  EXPECT_TRUE(std::isnan(kv.KeyRowAt(0, 0, 4)[0].ToFloat()));
+
+  // Appending into the demoted tail block auto-faults it (FaultForWrite): the new row
+  // lands AND the block's earlier rows come back bit-identical.
+  const int64_t faults_before = kv.offload()->stats().demand_faults;
+  write_pos(6);
+  EXPECT_TRUE(pool.resident(b1));
+  EXPECT_EQ(kv.offload()->stats().demand_faults, faults_before + 1);
+  EXPECT_EQ(kv.KeyRowAt(0, 0, 4)[0].ToFloat(), 5.0f);
+  EXPECT_EQ(kv.KeyRowAt(0, 0, 5)[2].ToFloat(), 6.0f);
+  EXPECT_EQ(kv.KeyRowAt(0, 0, 6)[0].ToFloat(), 7.0f);
+}
+
+#ifndef NDEBUG
+TEST(PagedKvCacheTest, TruncateSeqPoisonsRejectedTailRowsInDebug) {
+  PagedKvCache kv(1, 4, 1, 64, /*block_tokens=*/4);
+  std::vector<F16> row(4);
+  for (int pos = 0; pos < 6; ++pos) {
+    for (int i = 0; i < 4; ++i) {
+      row[static_cast<size_t>(i)] = F16(static_cast<float>(pos + 1));
+    }
+    kv.WriteKeyRow(0, 0, pos, row.data());
+    kv.Advance(0);
+  }
+  const F16* row4 = kv.KeyRowAt(0, 0, 4);
+  const F16* row5 = kv.KeyRowAt(0, 0, 5);
+  // Mid-block speculative rollback: no whole blocks drop, but the rejected row inside the
+  // kept partial tail block is poisoned while the still-live row stays intact.
+  EXPECT_EQ(kv.TruncateSeq(0, 5), 0);
+  EXPECT_EQ(row4[0].ToFloat(), 5.0f);
+  EXPECT_TRUE(std::isnan(row5[0].ToFloat()));
+}
+#endif
+
 #ifndef NDEBUG
 TEST(PagedKvCacheTest, FreedBlocksArePoisonedWithNanInDebug) {
   PagedKvCache kv(1, 4, 1, 64, /*block_tokens=*/4);

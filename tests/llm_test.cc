@@ -268,6 +268,39 @@ TEST_F(TransformerTest, DecodeIsDeterministic) {
   EXPECT_EQ(out1, out2);
 }
 
+TEST_F(TransformerTest, FullCoverageWindowDecodesBitIdenticalTokens) {
+  // A sliding window + sinks covering the whole (short) context must be normalized away
+  // end-to-end: tokens AND logits stay bit-identical to the unwindowed transformer
+  // (docs/long_context.md's CI invariant).
+  std::vector<std::vector<int>> outs;
+  std::vector<std::vector<float>> last_logits;
+  for (int use_window = 0; use_window < 2; ++use_window) {
+    hexsim::NpuDevice dev(hexsim::OnePlus12());
+    Transformer tf(dev, weights_, 1, 16);
+    if (use_window != 0) {
+      hkern::AttnWindowSpec w;
+      w.sink_blocks = 1;
+      w.window_blocks = 8;  // >= the 16-token context in blocks — full coverage
+      tf.SetAttentionWindow(w);
+      ASSERT_TRUE(tf.attention_window().enabled());
+    }
+    std::vector<float> logits(static_cast<size_t>(config_.vocab));
+    std::vector<int> out;
+    int tok = 7;
+    for (int i = 0; i < 6; ++i) {
+      tf.Step({&tok, 1}, logits);
+      tok = ArgmaxToken(logits);
+      out.push_back(tok);
+    }
+    outs.push_back(std::move(out));
+    last_logits.push_back(std::move(logits));
+  }
+  EXPECT_EQ(outs[0], outs[1]);
+  for (size_t i = 0; i < last_logits[0].size(); ++i) {
+    ASSERT_EQ(last_logits[0][i], last_logits[1][i]) << i;
+  }
+}
+
 TEST_F(TransformerTest, BatchedStepMatchesSingleSequence) {
   // Two independent sequences decoded as a batch must produce the same logits as decoding
   // each alone (row independence of every kernel).

@@ -136,6 +136,19 @@ def check_report(path, errors):
             continue
         check_metrics_snapshot(path, f"metrics[{i}]", m["snapshot"], errors)
 
+    # Optional (additive) env block: the knob values the run was produced under. When
+    # present it must map knob names to strings ("" = unset) so two reports diff
+    # field-for-field.
+    env = doc.get("env")
+    if env is not None:
+        if not isinstance(env, dict):
+            fail(path, "env must be an object", errors)
+        else:
+            for k, v in env.items():
+                if not isinstance(k, str) or not isinstance(v, str):
+                    fail(path, f"env[{k!r}] must map a string knob to a string value",
+                         errors)
+
     # Bench-specific: fig16's KV-dtype axis must sweep every storage mode with the fields
     # the EXPERIMENTS.md headline numbers are read from.
     if doc.get("bench") == "fig16_cpu_memory" and isinstance(rows, list):
@@ -202,6 +215,83 @@ def check_report(path, errors):
                     r.get("token_checksum"), str):
                 fail(path, f"serving_request row {r.get('request')!r}: needs int 'tokens' "
                            f"and string 'token_checksum'", errors)
+
+    # Bench-specific: the long-context tiered-offload sweep (docs/long_context.md).
+    if doc.get("bench") == "longcontext" and isinstance(rows, list):
+        check_longcontext(path, doc, rows, errors)
+
+
+def check_longcontext(path, doc, rows, errors):
+    """Bench-specific checks for BENCH_longcontext.json (docs/long_context.md)."""
+    sweep = [r for r in rows
+             if isinstance(r, dict) and r.get("series") == "longcontext_sweep"]
+    if not sweep:
+        fail(path, "longcontext must report a 'longcontext_sweep' row series", errors)
+    for r in sweep:
+        where = (f"longcontext_sweep row (context={r.get('context')!r}, "
+                 f"read_gbps={r.get('read_gbps')!r}, window={r.get('window_blocks')!r})")
+        if not isinstance(r.get("context"), int) or r.get("context", 0) <= 0:
+            fail(path, f"{where}: 'context' must be a positive int", errors)
+        if not isinstance(r.get("admitted"), bool):
+            fail(path, f"{where}: missing bool 'admitted'", errors)
+            continue
+        for key in ("resident_block_budget", "sink_blocks", "window_blocks"):
+            if not isinstance(r.get(key), int) or r[key] < 0:
+                fail(path, f"{where}: {key} must be a non-negative int", errors)
+        if not isinstance(r.get("read_gbps"), NUMBER) or r.get("read_gbps", 0) <= 0:
+            fail(path, f"{where}: 'read_gbps' must be a positive number", errors)
+        if r["admitted"]:
+            if not isinstance(r.get("tokens_per_second"), NUMBER) or \
+                    r["tokens_per_second"] <= 0:
+                fail(path, f"{where}: admitted row needs positive 'tokens_per_second'",
+                     errors)
+            if not isinstance(r.get("flash_bytes"), int) or r["flash_bytes"] < 0:
+                fail(path, f"{where}: admitted row needs non-negative int 'flash_bytes'",
+                     errors)
+            for key in ("ttft_seconds", "tpot_seconds", "flash_seconds"):
+                if not isinstance(r.get(key), NUMBER) or r[key] < 0:
+                    fail(path, f"{where}: admitted row needs non-negative {key!r}", errors)
+            sf = r.get("stall_fraction")
+            if not isinstance(sf, NUMBER) or not 0.0 <= sf <= 1.0:
+                fail(path, f"{where}: stall_fraction must be in [0,1], got {sf!r}", errors)
+        elif not isinstance(r.get("error"), str) or not r["error"]:
+            fail(path, f"{where}: rejected row must carry a non-empty string 'error'",
+                 errors)
+    # The headline demo must be present: a 64k context rejected DRAM-only but admitted
+    # with the flash tier behind the same resident budget.
+    big = [r for r in sweep if r.get("context") == 65536]
+    if big and doc.get("smoke") is not True:
+        if not any(r.get("admitted") is False for r in big):
+            fail(path, "longcontext_sweep needs a rejected DRAM-only 64k row", errors)
+        if not any(r.get("admitted") is True for r in big):
+            fail(path, "longcontext_sweep needs an admitted offloaded 64k row", errors)
+    requests = [r for r in rows
+                if isinstance(r, dict) and r.get("series") == "serving_request"]
+    if not requests:
+        fail(path, "longcontext must report 'serving_request' checksum rows", errors)
+    for r in requests:
+        if not isinstance(r.get("tokens"), int) or not isinstance(
+                r.get("token_checksum"), str):
+            fail(path, f"serving_request row {r.get('request')!r}: needs int 'tokens' "
+                       f"and string 'token_checksum'", errors)
+    if not isinstance(doc.get("env"), dict):
+        fail(path, "longcontext must record the 'env' knob object "
+                   "(HEXLLM_KV_OFFLOAD_GBPS / HEXLLM_ATTN_*)", errors)
+    summary = [r for r in rows
+               if isinstance(r, dict) and r.get("series") == "functional_offload_summary"]
+    if len(summary) != 1:
+        fail(path, "longcontext needs exactly one 'functional_offload_summary' row",
+             errors)
+    else:
+        s = summary[0]
+        for key in ("demotions", "promotions", "demand_faults", "prefetch_hits",
+                    "flash_read_bytes", "wear_write_ops"):
+            if not isinstance(s.get(key), int) or s[key] < 0:
+                fail(path, f"functional_offload_summary: {key} must be a non-negative "
+                           f"int", errors)
+        if s.get("lossless") is not True:
+            fail(path, "functional_offload_summary: offloaded decode must be lossless "
+                       "(token streams bit-identical to the DRAM-only run)", errors)
 
 
 def main(argv):
